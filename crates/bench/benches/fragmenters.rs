@@ -1,0 +1,72 @@
+//! Fragmentation algorithm cost vs graph size.
+//!
+//! Times each of the three §3 algorithms on transportation graphs of
+//! growing size. The paper flags the k-connectivity idea as "very
+//! computation intensive"; this bench quantifies what its replacements
+//! cost instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ds_fragment::bond_energy::{bond_energy, BondEnergyConfig, SplitRule};
+use ds_fragment::center::{center_based, CenterConfig, CenterSelection};
+use ds_fragment::linear::{linear_sweep, LinearConfig};
+use ds_gen::{generate_transportation, TransportationConfig};
+
+fn bench_fragmenters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fragmenters");
+    group.sample_size(10);
+    for nodes_per_cluster in [25usize, 50] {
+        let cfg = TransportationConfig {
+            clusters: 4,
+            nodes_per_cluster,
+            target_edges_per_cluster: nodes_per_cluster * 4,
+            ..TransportationConfig::default()
+        };
+        let g = generate_transportation(&cfg, 1);
+        let el = g.edge_list();
+        let n = cfg.total_nodes();
+
+        group.bench_with_input(BenchmarkId::new("center-based", n), &el, |b, el| {
+            b.iter(|| {
+                center_based(el, &CenterConfig { fragments: 4, ..Default::default() }).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("distributed-centers", n), &el, |b, el| {
+            b.iter(|| {
+                center_based(
+                    el,
+                    &CenterConfig {
+                        fragments: 4,
+                        selection: CenterSelection::Distributed { pool_factor: 8.0 },
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bond-energy", n), &el, |b, el| {
+            b.iter(|| {
+                bond_energy(
+                    el,
+                    &BondEnergyConfig {
+                        split: SplitRule::CutBelowThreshold(4),
+                        min_block_edges: 30,
+                        // Cap restarts so the bench scales; the tables use
+                        // the full restart loop.
+                        max_restarts: Some(8),
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &el, |b, el| {
+            b.iter(|| {
+                linear_sweep(el, &LinearConfig { fragments: 4, ..Default::default() }).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fragmenters);
+criterion_main!(benches);

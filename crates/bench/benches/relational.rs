@@ -1,0 +1,49 @@
+//! Relational operator benches: naive vs semi-naive iteration (the
+//! intermediate-result blowup §2.2 worries about) and the min-plus join
+//! of the final assembly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ds_gen::deterministic::{cycle, grid};
+use ds_graph::NodeId;
+use ds_relation::join::compose_min_plus;
+use ds_relation::{tc, PathTuple, Relation};
+
+fn rel_of(g: &ds_gen::GeneratedGraph) -> Relation<PathTuple> {
+    Relation::from_rows(
+        "R",
+        g.closure_graph().edges().map(PathTuple::from).collect::<Vec<_>>(),
+    )
+}
+
+fn bench_tc_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tc-strategy");
+    group.sample_size(10);
+    for n in [16usize, 32] {
+        let rel = rel_of(&cycle(n));
+        group.bench_with_input(BenchmarkId::new("naive", n), &rel, |b, r| {
+            b.iter(|| tc::naive_closure(r, None))
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive", n), &rel, |b, r| {
+            b.iter(|| tc::seminaive_closure(r, None))
+        });
+    }
+    group.finish();
+}
+
+fn bench_assembly_join(c: &mut Criterion) {
+    // Small border matrices, as the final assembly sees them.
+    let g = grid(12, 4);
+    let rel = rel_of(&g);
+    let left = rel.select(|t| t.src.0 < 8);
+    let right = rel.select(|t| t.src.0 >= 8);
+    let mut group = c.benchmark_group("assembly");
+    group.bench_function("compose-min-plus", |b| b.iter(|| compose_min_plus(&left, &right)));
+    group.bench_function("min-cost-aggregate", |b| b.iter(|| rel.min_cost()));
+    group.bench_function("keyhole-selection", |b| {
+        b.iter(|| rel.select(|t| t.src == NodeId(0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tc_strategies, bench_assembly_join);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! The §2.1 iteration claim: "The number of iterations required before
+//! reaching a fixpoint is given by the maximum diameter of the graph; if
+//! the graph is fragmented in n fragments of equal size, the diameter of
+//! each subgraph is highly reduced."
+//!
+//! We measure semi-naive iteration counts on the whole relation versus
+//! the maximum over the fragments, alongside the corresponding diameters.
+
+use ds_fragment::{semantic, CrossingPolicy};
+use ds_gen::{generate_transportation, TransportationConfig};
+use ds_graph::traverse;
+use ds_relation::{tc, PathTuple, Relation};
+
+/// One row of the iteration experiment.
+#[derive(Clone, Debug)]
+pub struct ItersRow {
+    pub fragments: usize,
+    /// Semi-naive iterations to the fixpoint on the whole relation.
+    pub global_iterations: usize,
+    /// Maximum semi-naive iterations over the fragments.
+    pub max_fragment_iterations: usize,
+    /// Hop diameter of the whole graph.
+    pub global_diameter: u32,
+    /// Maximum hop diameter over the fragments.
+    pub max_fragment_diameter: u32,
+}
+
+/// Run the iteration experiment for each cluster count (chain topology,
+/// so the global diameter grows with the number of clusters).
+pub fn iterations(cluster_counts: &[usize], nodes_per_cluster: usize, seed: u64) -> Vec<ItersRow> {
+    cluster_counts.iter().map(|&k| one_row(k, nodes_per_cluster, seed)).collect()
+}
+
+fn one_row(clusters: usize, nodes_per_cluster: usize, seed: u64) -> ItersRow {
+    let cfg = TransportationConfig {
+        clusters,
+        nodes_per_cluster,
+        target_edges_per_cluster: nodes_per_cluster * 3,
+        ..TransportationConfig::default()
+    };
+    let g = generate_transportation(&cfg, seed);
+    let labels = g.cluster_of.clone().expect("transportation graphs carry labels");
+    let frag =
+        semantic::by_labels(g.nodes, &g.connections, &labels, clusters, CrossingPolicy::LowerBlock)
+            .expect("non-empty");
+    let csr = g.closure_graph();
+
+    // Global: full semi-naive closure of the whole relation.
+    let global_rel =
+        Relation::from_rows("R", csr.edges().map(PathTuple::from).collect::<Vec<_>>());
+    let (_, global_stats) = tc::seminaive_closure(&global_rel, None);
+
+    // Per fragment: full closure of the fragment's (symmetric) relation.
+    let mut max_frag_iters = 0;
+    let mut max_frag_diam = 0;
+    for f in frag.fragments() {
+        let local = f.local_graph(g.nodes, true);
+        let rel =
+            Relation::from_rows("Rf", local.edges().map(PathTuple::from).collect::<Vec<_>>());
+        let (_, stats) = tc::seminaive_closure(&rel, None);
+        max_frag_iters = max_frag_iters.max(stats.iterations);
+        max_frag_diam = max_frag_diam.max(f.diameter());
+    }
+
+    ItersRow {
+        fragments: clusters,
+        global_iterations: global_stats.iterations,
+        max_fragment_iterations: max_frag_iters,
+        global_diameter: traverse::diameter(&csr),
+        max_fragment_diameter: max_frag_diam,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragmentation_reduces_iterations_and_diameter() {
+        let rows = iterations(&[4], 15, 3);
+        let r = &rows[0];
+        assert!(
+            r.max_fragment_iterations < r.global_iterations,
+            "fragment iterations {} !< global {}",
+            r.max_fragment_iterations,
+            r.global_iterations
+        );
+        assert!(
+            r.max_fragment_diameter < r.global_diameter,
+            "fragment diameter {} !< global {}",
+            r.max_fragment_diameter,
+            r.global_diameter
+        );
+    }
+
+    #[test]
+    fn global_diameter_grows_with_chain_length() {
+        let rows = iterations(&[2, 6], 10, 5);
+        assert!(rows[1].global_diameter > rows[0].global_diameter);
+    }
+}

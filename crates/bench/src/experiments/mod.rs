@@ -1,0 +1,126 @@
+//! Experiment drivers. See the crate docs for the experiment ↔ paper map.
+
+pub mod ablation;
+pub mod figures;
+pub mod iters;
+pub mod phe_exp;
+pub mod speedup;
+pub mod tables;
+
+use ds_fragment::Fragmentation;
+
+/// One averaged row of a fragmentation-characteristics table (the columns
+/// of Tables 1–3 plus context).
+#[derive(Clone, Debug)]
+pub struct AveragedRow {
+    pub algorithm: String,
+    /// Mean realized fragment count.
+    pub fragments: f64,
+    /// F̄ — mean fragment size (edges).
+    pub f: f64,
+    /// D̄S — mean disconnection set size (nodes).
+    pub ds: f64,
+    /// ΔF — mean absolute deviation of fragment sizes.
+    pub df: f64,
+    /// ΔDS — mean absolute deviation of DS sizes.
+    pub dds: f64,
+    /// Share of runs with an acyclic fragmentation graph.
+    pub acyclic_share: f64,
+    /// Graphs averaged over.
+    pub graphs: usize,
+}
+
+/// Average the metrics of several fragmentations into one row.
+pub fn average_row(algorithm: &str, frags: &[Fragmentation]) -> AveragedRow {
+    let n = frags.len().max(1) as f64;
+    let mut row = AveragedRow {
+        algorithm: algorithm.to_string(),
+        fragments: 0.0,
+        f: 0.0,
+        ds: 0.0,
+        df: 0.0,
+        dds: 0.0,
+        acyclic_share: 0.0,
+        graphs: frags.len(),
+    };
+    for frag in frags {
+        let m = frag.metrics();
+        row.fragments += m.fragment_count as f64 / n;
+        row.f += m.avg_fragment_edges / n;
+        row.ds += m.avg_ds_nodes / n;
+        row.df += m.dev_fragment_edges / n;
+        row.dds += m.dev_ds_nodes / n;
+        row.acyclic_share += if m.loosely_connected { 1.0 / n } else { 0.0 };
+    }
+    row
+}
+
+/// Render [`AveragedRow`]s in the paper's table layout.
+pub fn render_rows(rows: &[AveragedRow]) -> String {
+    use crate::table::{f1, f2, render};
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.clone(),
+                f1(r.f),
+                f1(r.ds),
+                f1(r.df),
+                f2(r.dds),
+                f1(r.fragments),
+                format!("{:.0}%", r.acyclic_share * 100.0),
+                r.graphs.to_string(),
+            ]
+        })
+        .collect();
+    render(
+        &["Algorithm", "F", "DS", "dF", "dDS", "#frag", "acyclic", "graphs"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_graph::{Edge, NodeId};
+
+    #[test]
+    fn average_of_two_fragmentations() {
+        let edges = |pairs: &[(u32, u32)]| -> Vec<Edge> {
+            pairs.iter().map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b))).collect()
+        };
+        let a = Fragmentation::new(
+            3,
+            vec![edges(&[(0, 1)]), edges(&[(1, 2)])],
+            vec![vec![], vec![]],
+        );
+        let b = Fragmentation::new(
+            3,
+            vec![edges(&[(0, 1), (1, 2)]), vec![]],
+            vec![vec![], vec![]],
+        );
+        let row = average_row("x", &[a, b]);
+        assert_eq!(row.graphs, 2);
+        assert_eq!(row.fragments, 2.0);
+        assert!((row.f - 1.0).abs() < 1e-9, "mean of 1.0 and 1.0");
+        assert!((row.acyclic_share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_has_header_and_rows() {
+        let row = AveragedRow {
+            algorithm: "linear".into(),
+            fragments: 4.0,
+            f: 107.0,
+            ds: 13.3,
+            df: 24.0,
+            dds: 1.2,
+            acyclic_share: 1.0,
+            graphs: 10,
+        };
+        let s = render_rows(&[row]);
+        assert!(s.contains("linear"));
+        assert!(s.contains("13.3"));
+        assert!(s.contains("100%"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Plain-text table rendering for the experiment drivers.
+
+/// Render rows as an aligned ASCII table with a header rule.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &widths,
+        &mut out,
+    );
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        line(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Format a float with one decimal, the paper's table style.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let s = render(
+            &["Algorithm", "F"],
+            &[
+                vec!["center-based".into(), "791.8".into()],
+                vec!["linear".into(), "13.3".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Algorithm"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("791.8"));
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f1(2.25), "2.2");
+        assert_eq!(f2(2.25), "2.25");
+    }
+}

@@ -1,0 +1,68 @@
+//! Centralized baselines the disconnection set engine is measured and
+//! validated against: a single processor evaluating the query on the
+//! whole, unfragmented relation.
+
+use ds_graph::{dijkstra, matrix, traverse, Cost, CsrGraph, NodeId};
+use ds_relation::{tc, PathTuple, Relation, TcStats};
+
+/// Global point-to-point shortest path on the whole graph (Dijkstra with
+/// early exit) — the correctness oracle for every engine query.
+pub fn shortest_path_cost(graph: &CsrGraph, x: NodeId, y: NodeId) -> Option<Cost> {
+    dijkstra::point_to_point(graph, x, y)
+}
+
+/// Global reachability on the whole graph.
+pub fn reachable(graph: &CsrGraph, x: NodeId, y: NodeId) -> bool {
+    traverse::is_reachable(graph, x, y)
+}
+
+/// Full all-pairs cost closure (Floyd–Warshall), for exhaustive
+/// validation on small graphs.
+pub fn all_pairs(graph: &CsrGraph) -> Vec<Vec<Cost>> {
+    matrix::floyd_warshall(graph)
+}
+
+/// Single-processor semi-naive transitive closure from one source over
+/// the whole relation, with iteration statistics — the configuration
+/// whose iteration count the paper contrasts with the fragmented one
+/// ("the number of iterations required before reaching a fixpoint is
+/// given by the maximum diameter of the graph", §2.1).
+pub fn seminaive_from(graph: &CsrGraph, source: NodeId) -> (Relation<PathTuple>, TcStats) {
+    let rel = Relation::from_rows(
+        "R",
+        graph.edges().map(PathTuple::from).collect::<Vec<_>>(),
+    );
+    tc::seminaive_closure(&rel, Some(&[source]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_gen::deterministic::{cycle, grid};
+
+    #[test]
+    fn oracles_agree_with_each_other() {
+        let g = grid(5, 4).closure_graph();
+        let fw = all_pairs(&g);
+        for x in g.nodes() {
+            for y in g.nodes() {
+                let p2p = shortest_path_cost(&g, x, y);
+                assert_eq!(p2p, matrix::fw_cost(&fw, x, y));
+                assert_eq!(p2p.is_some(), reachable(&g, x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn seminaive_matches_dijkstra_costs() {
+        let g = cycle(7).closure_graph();
+        let (rel, stats) = seminaive_from(&g, NodeId(0));
+        assert!(stats.iterations <= 4, "diameter-bounded iterations");
+        for y in g.nodes() {
+            if y == NodeId(0) {
+                continue;
+            }
+            assert_eq!(rel.cost_of(NodeId(0), y), shortest_path_cost(&g, NodeId(0), y));
+        }
+    }
+}

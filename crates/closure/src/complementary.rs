@@ -1,0 +1,375 @@
+//! Complementary information: the precomputed border-to-border shortest
+//! distances that make fragment-local evaluation exact.
+//!
+//! §2.1: "it is required to store in addition some complementary
+//! information about the identity of border cities and the properties of
+//! their connections … for the shortest path problem it is required to
+//! precompute the shortest path among any two cities on the border
+//! between two fragments. Complementary information about the
+//! disconnection set DS_ij is stored at both sites storing the fragments
+//! R_i and R_j."
+//!
+//! The distances are *global* shortest-path distances — that is what makes
+//! a chain evaluation exact even when the true shortest path briefly
+//! leaves the chain: "the shortest path might include nodes outside the
+//! chain, however, their contribution is precomputed in the complementary
+//! information" (footnote 3).
+//!
+//! Two scopes are provided:
+//! * [`ComplementaryScope::PerDisconnectionSet`] — exactly the paper's
+//!   rule: pairs within each `DS_ij`. Exact when the fragmentation graph
+//!   is loosely connected (acyclic), the paper's stated assumption.
+//! * [`ComplementaryScope::PerFragmentBorder`] — pairs over *all* border
+//!   nodes of each fragment. A strict superset that stays exact on
+//!   *cyclic* fragmentation graphs too (an excursion out of a fragment can
+//!   then return through a different disconnection set; covering all
+//!   border pairs of the fragment closes that hole). This is the default,
+//!   and the extra storage is measured in the `ablation-crossing`
+//!   experiments.
+
+use std::collections::{BTreeSet, HashMap};
+
+use ds_fragment::Fragmentation;
+use ds_graph::{dijkstra, CsrGraph, Edge, NodeId};
+
+/// Which border pairs get a precomputed shortcut.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ComplementaryScope {
+    /// Pairs within each disconnection set (the paper's rule; exact for
+    /// loosely connected fragmentations).
+    PerDisconnectionSet,
+    /// All border-node pairs of each fragment (exact for any
+    /// fragmentation).
+    #[default]
+    PerFragmentBorder,
+}
+
+/// The precomputed shortcut tables, per site.
+#[derive(Clone, Debug)]
+pub struct ComplementaryInfo {
+    /// `shortcuts[f]` — directed shortcut edges `(u, v, global_dist)`
+    /// stored at site `f`.
+    shortcuts: Vec<Vec<Edge>>,
+    /// Concrete global paths backing each shortcut (for route
+    /// reconstruction), when requested.
+    paths: Option<HashMap<(NodeId, NodeId), Vec<NodeId>>>,
+    /// Number of distinct border nodes.
+    border_count: usize,
+    /// Total shortcut tuples stored (the paper's "pre-computed
+    /// information" volume).
+    pair_count: usize,
+}
+
+impl ComplementaryInfo {
+    /// Precompute the complementary information for a fragmentation over
+    /// `graph` (the directed closure graph).
+    ///
+    /// `store_paths` additionally keeps one concrete shortest path per
+    /// shortcut so full routes can be reconstructed later.
+    pub fn compute(
+        graph: &CsrGraph,
+        frag: &Fragmentation,
+        scope: ComplementaryScope,
+        store_paths: bool,
+    ) -> Self {
+        Self::compute_with_threads(graph, frag, scope, store_paths, 1)
+    }
+
+    /// Like [`ComplementaryInfo::compute`], but runs the per-border-node
+    /// Dijkstras on `threads` OS threads. The precomputation itself
+    /// parallelizes embarrassingly (one independent single-source problem
+    /// per border node) — the same observation that makes phase one of
+    /// query processing communication-free.
+    pub fn compute_with_threads(
+        graph: &CsrGraph,
+        frag: &Fragmentation,
+        scope: ComplementaryScope,
+        store_paths: bool,
+        threads: usize,
+    ) -> Self {
+        let per_site_borders = site_border_sets(frag, scope);
+        let all_borders: BTreeSet<NodeId> =
+            per_site_borders.iter().flat_map(|sets| sets.iter().flatten().copied()).collect();
+
+        // One global Dijkstra per border node, reused across all sets the
+        // node appears in. This is the pre-processing cost the paper warns
+        // about ("the pre-processing required for building the
+        // complementary information").
+        let border_list: Vec<NodeId> = all_borders.iter().copied().collect();
+        let mut dist_from: HashMap<NodeId, dijkstra::ShortestPaths> = HashMap::new();
+        if threads <= 1 || border_list.len() < 2 {
+            for &b in &border_list {
+                dist_from.insert(b, dijkstra::single_source(graph, b));
+            }
+        } else {
+            let chunk = border_list.len().div_ceil(threads);
+            let results: Vec<Vec<(NodeId, dijkstra::ShortestPaths)>> =
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = border_list
+                        .chunks(chunk)
+                        .map(|nodes| {
+                            s.spawn(move || {
+                                nodes
+                                    .iter()
+                                    .map(|&b| (b, dijkstra::single_source(graph, b)))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("precompute thread panicked"))
+                        .collect()
+                });
+            for batch in results {
+                dist_from.extend(batch);
+            }
+        }
+
+        let mut shortcuts: Vec<Vec<Edge>> = vec![Vec::new(); frag.fragment_count()];
+        let mut paths: Option<HashMap<(NodeId, NodeId), Vec<NodeId>>> =
+            store_paths.then(HashMap::new);
+        let mut pair_count = 0usize;
+        for (site, groups) in per_site_borders.iter().enumerate() {
+            let mut seen: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+            for group in groups {
+                for &u in group {
+                    let sp = &dist_from[&u];
+                    for &v in group {
+                        if u == v || !seen.insert((u, v)) {
+                            continue;
+                        }
+                        if let Some(cost) = sp.cost(v) {
+                            shortcuts[site].push(Edge::new(u, v, cost));
+                            pair_count += 1;
+                            if let Some(p) = paths.as_mut() {
+                                p.entry((u, v))
+                                    .or_insert_with(|| sp.path_to(v).expect("cost is finite"));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        ComplementaryInfo { shortcuts, paths, border_count: all_borders.len(), pair_count }
+    }
+
+    /// Shortcut edges stored at site `f`.
+    pub fn shortcuts(&self, f: usize) -> &[Edge] {
+        &self.shortcuts[f]
+    }
+
+    /// The concrete path behind shortcut `(u, v)`, if paths were stored.
+    pub fn path(&self, u: NodeId, v: NodeId) -> Option<&[NodeId]> {
+        self.paths.as_ref()?.get(&(u, v)).map(|p| p.as_slice())
+    }
+
+    /// Whether concrete paths were stored.
+    pub fn has_paths(&self) -> bool {
+        self.paths.is_some()
+    }
+
+    /// Number of distinct border nodes.
+    pub fn border_count(&self) -> usize {
+        self.border_count
+    }
+
+    /// Total shortcut tuples across all sites (storage cost measure).
+    pub fn pair_count(&self) -> usize {
+        self.pair_count
+    }
+
+    /// Apply a cost refinement to every shortcut tuple: `f` returns the
+    /// improved cost or `None` to keep the current one. Returns how many
+    /// tuples changed. Used by incremental insert maintenance
+    /// (`dist' = min(dist, dist(a,u) + c + dist(v,b))`).
+    pub fn map_costs(&mut self, f: impl Fn(&Edge) -> Option<u64>) -> usize {
+        let mut changed = 0;
+        for site in &mut self.shortcuts {
+            for e in site {
+                if let Some(new_cost) = f(e) {
+                    debug_assert!(new_cost <= e.cost, "insertions only shorten paths");
+                    if new_cost != e.cost {
+                        e.cost = new_cost;
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        changed
+    }
+}
+
+/// For each site, the groups of border nodes whose pairs get shortcuts:
+/// one group per adjacent DS (paper scope) or a single group of all the
+/// fragment's border nodes (fragment scope).
+fn site_border_sets(frag: &Fragmentation, scope: ComplementaryScope) -> Vec<Vec<Vec<NodeId>>> {
+    let n = frag.fragment_count();
+    let mut out: Vec<Vec<Vec<NodeId>>> = vec![Vec::new(); n];
+    let ds = frag.disconnection_sets();
+    match scope {
+        ComplementaryScope::PerDisconnectionSet => {
+            for (&(i, j), nodes) in &ds {
+                out[i].push(nodes.clone());
+                out[j].push(nodes.clone());
+            }
+        }
+        ComplementaryScope::PerFragmentBorder => {
+            let mut border_of: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); n];
+            for (&(i, j), nodes) in &ds {
+                border_of[i].extend(nodes.iter().copied());
+                border_of[j].extend(nodes.iter().copied());
+            }
+            for (site, set) in border_of.into_iter().enumerate() {
+                if !set.is_empty() {
+                    out[site].push(set.into_iter().collect());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_gen::deterministic::path;
+    use ds_graph::Edge as GEdge;
+
+    /// Path 0-1-2-3-4 fragmented [0-1,1-2] / [2-3,3-4]: border node 2.
+    fn setup() -> (CsrGraph, Fragmentation) {
+        let g = path(5);
+        let edges = |pairs: &[(u32, u32)]| -> Vec<GEdge> {
+            pairs.iter().map(|&(a, b)| GEdge::unit(NodeId(a), NodeId(b))).collect()
+        };
+        let frag = Fragmentation::new(
+            5,
+            vec![edges(&[(0, 1), (1, 2)]), edges(&[(2, 3), (3, 4)])],
+            vec![vec![], vec![]],
+        );
+        (g.closure_graph(), frag)
+    }
+
+    #[test]
+    fn single_border_node_yields_no_pairs() {
+        let (g, frag) = setup();
+        let comp = ComplementaryInfo::compute(
+            &g,
+            &frag,
+            ComplementaryScope::PerDisconnectionSet,
+            false,
+        );
+        assert_eq!(comp.border_count(), 1);
+        assert_eq!(comp.pair_count(), 0, "a singleton DS has no pairs");
+        assert!(comp.shortcuts(0).is_empty());
+    }
+
+    #[test]
+    fn two_border_nodes_get_global_distances() {
+        // Cycle of 6 split into two halves sharing nodes 0 and 3.
+        let g = ds_gen::deterministic::cycle(6);
+        let edges = |pairs: &[(u32, u32)]| -> Vec<GEdge> {
+            pairs.iter().map(|&(a, b)| GEdge::unit(NodeId(a), NodeId(b))).collect()
+        };
+        let frag = Fragmentation::new(
+            6,
+            vec![edges(&[(0, 1), (1, 2), (2, 3)]), edges(&[(3, 4), (4, 5), (5, 0)])],
+            vec![vec![], vec![]],
+        );
+        let csr = g.closure_graph();
+        let comp =
+            ComplementaryInfo::compute(&csr, &frag, ComplementaryScope::PerDisconnectionSet, true);
+        assert_eq!(comp.border_count(), 2);
+        // Pairs (0,3) and (3,0) at both sites.
+        assert_eq!(comp.pair_count(), 4);
+        let s0 = comp.shortcuts(0);
+        let shortcut = s0.iter().find(|e| e.src == NodeId(0) && e.dst == NodeId(3)).unwrap();
+        assert_eq!(shortcut.cost, 3, "global distance around the cycle");
+        let p = comp.path(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p.len(), 4, "3 hops = 4 nodes");
+        assert_eq!(p[0], NodeId(0));
+        assert_eq!(p[3], NodeId(3));
+    }
+
+    #[test]
+    fn fragment_border_scope_covers_cross_ds_pairs() {
+        // Three fragments in a triangle of paths: fragment 0 borders both
+        // 1 (node 2) and 2 (node 4). Fragment scope must add the (2,4)
+        // pair at site 0; the per-DS scope must not.
+        let edges = |pairs: &[(u32, u32)]| -> Vec<GEdge> {
+            pairs
+                .iter()
+                .flat_map(|&(a, b)| {
+                    [GEdge::unit(NodeId(a), NodeId(b)), GEdge::unit(NodeId(b), NodeId(a))]
+                })
+                .collect()
+        };
+        let all = edges(&[(0, 2), (2, 3), (3, 4), (4, 0), (2, 4)]);
+        let g = CsrGraph::from_edges(5, &all);
+        let frag = Fragmentation::new(
+            5,
+            vec![edges(&[(0, 2), (4, 0)]), edges(&[(2, 3)]), edges(&[(3, 4), (2, 4)])],
+            vec![vec![], vec![], vec![]],
+        );
+        let per_ds =
+            ComplementaryInfo::compute(&g, &frag, ComplementaryScope::PerDisconnectionSet, false);
+        let per_border =
+            ComplementaryInfo::compute(&g, &frag, ComplementaryScope::PerFragmentBorder, false);
+        let has_cross = |c: &ComplementaryInfo| {
+            c.shortcuts(0).iter().any(|e| e.src == NodeId(2) && e.dst == NodeId(4))
+        };
+        assert!(per_border.pair_count() >= per_ds.pair_count());
+        assert!(has_cross(&per_border), "fragment scope covers cross-DS border pairs");
+    }
+
+    #[test]
+    fn parallel_precompute_matches_sequential() {
+        let g = ds_gen::generate_transportation(
+            &ds_gen::TransportationConfig::table1(),
+            3,
+        );
+        let frag = ds_fragment::semantic::by_labels(
+            g.nodes,
+            &g.connections,
+            g.cluster_of.as_ref().unwrap(),
+            4,
+            ds_fragment::CrossingPolicy::LowerBlock,
+        )
+        .unwrap();
+        let csr = g.closure_graph();
+        let seq = ComplementaryInfo::compute(
+            &csr,
+            &frag,
+            ComplementaryScope::PerFragmentBorder,
+            false,
+        );
+        let par = ComplementaryInfo::compute_with_threads(
+            &csr,
+            &frag,
+            ComplementaryScope::PerFragmentBorder,
+            false,
+            4,
+        );
+        assert_eq!(seq.pair_count(), par.pair_count());
+        for f in 0..frag.fragment_count() {
+            assert_eq!(seq.shortcuts(f), par.shortcuts(f), "site {f}");
+        }
+    }
+
+    #[test]
+    fn unreachable_border_pairs_are_skipped() {
+        // Directed path 0 -> 1 -> 2; fragments [0->1] and [1->2]; border 1.
+        // Add node 3 shared but unreachable: fragments [0->1, 3 seeded].
+        let e01 = vec![GEdge::unit(NodeId(0), NodeId(1))];
+        let e12 = vec![GEdge::unit(NodeId(1), NodeId(2))];
+        let g = CsrGraph::from_edges(4, &[e01[0], e12[0]]);
+        let frag = Fragmentation::new(4, vec![e01, e12], vec![vec![NodeId(3)], vec![NodeId(3)]]);
+        let comp =
+            ComplementaryInfo::compute(&g, &frag, ComplementaryScope::PerFragmentBorder, false);
+        // Border nodes are 1 and 3; only pairs with finite global distance
+        // are stored; 1 and 3 are mutually unreachable.
+        assert_eq!(comp.border_count(), 2);
+        assert_eq!(comp.pair_count(), 0);
+    }
+}

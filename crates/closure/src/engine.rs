@@ -1,0 +1,493 @@
+//! The disconnection set engine: precompute once, query many times.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use ds_fragment::{FragmentId, Fragmentation};
+use ds_graph::{dijkstra, Cost, CsrGraph, NodeId};
+
+use crate::assemble;
+use crate::complementary::{ComplementaryInfo, ComplementaryScope};
+use crate::error::ClosureError;
+use crate::executor::{run_chain, ExecutionMode};
+use crate::local::augmented_graph;
+use crate::planner::Planner;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Which border pairs get complementary shortcuts.
+    pub scope: ComplementaryScope,
+    /// Keep one concrete path per shortcut, enabling
+    /// [`DisconnectionSetEngine::route`].
+    pub store_paths: bool,
+    /// Chain enumeration caps for cyclic fragmentation graphs.
+    pub max_chains: usize,
+    pub max_chain_len: usize,
+    /// Phase-one execution mode.
+    pub mode: ExecutionMode,
+    /// Parallel Hierarchical Evaluation: the mandatory hub fragment, if
+    /// the fragmentation was built with one (see [`crate::phe`]).
+    pub hub: Option<FragmentId>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            scope: ComplementaryScope::default(),
+            store_paths: false,
+            max_chains: 64,
+            max_chain_len: 16,
+            mode: ExecutionMode::Sequential,
+            hub: None,
+        }
+    }
+}
+
+/// Per-query accounting.
+#[derive(Clone, Debug, Default)]
+pub struct QueryStats {
+    /// Chains of fragments evaluated.
+    pub chains_evaluated: usize,
+    /// Site subqueries run (Σ chain lengths).
+    pub site_queries: usize,
+    /// Total tuples in the shipped segment relations.
+    pub tuples_shipped: usize,
+    /// Longest single site subquery — the phase-one wall time under full
+    /// parallelism.
+    pub max_site_busy: Duration,
+    /// Total site work — the phase-one wall time on one processor.
+    pub total_site_busy: Duration,
+    /// Whether multi-chain enumeration was needed (cyclic G').
+    pub enumerated: bool,
+}
+
+/// Result of a shortest-path query.
+#[derive(Clone, Debug)]
+pub struct QueryAnswer {
+    /// Cheapest cost, `None` if unreachable.
+    pub cost: Option<Cost>,
+    /// The chain of fragments that achieved it.
+    pub best_chain: Option<Vec<FragmentId>>,
+    pub stats: QueryStats,
+}
+
+/// A fully reconstructed route.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Route {
+    pub cost: Cost,
+    /// Every node of the path, source to destination.
+    pub nodes: Vec<NodeId>,
+    /// The fragment chain used.
+    pub chain: Vec<FragmentId>,
+    /// The border cities crossed (junction nodes of the assembly).
+    pub waypoints: Vec<NodeId>,
+}
+
+/// The engine: a fragmented relation plus its precomputed complementary
+/// information, ready to answer connection and shortest-path queries.
+#[derive(Clone, Debug)]
+pub struct DisconnectionSetEngine {
+    graph: CsrGraph,
+    frag: Fragmentation,
+    symmetric: bool,
+    cfg: EngineConfig,
+    comp: ComplementaryInfo,
+    augmented: Vec<CsrGraph>,
+    /// Per site: the real (non-shortcut) hops available locally, with
+    /// costs — used to tell shortcut hops apart during route expansion.
+    real_hops: Vec<HashSet<(NodeId, NodeId, Cost)>>,
+    planner: Planner,
+}
+
+impl DisconnectionSetEngine {
+    /// Build the engine: computes complementary information (the paper's
+    /// pre-processing phase) and the per-site augmented graphs.
+    ///
+    /// `symmetric` declares that each fragment tuple stands for both
+    /// travel directions (transportation networks); `graph` must be the
+    /// matching directed closure graph.
+    pub fn build(
+        graph: CsrGraph,
+        frag: Fragmentation,
+        symmetric: bool,
+        cfg: EngineConfig,
+    ) -> Result<Self, ClosureError> {
+        if graph.node_count() != frag.node_count() {
+            return Err(ClosureError::NodeCountMismatch {
+                graph: graph.node_count(),
+                fragmentation: frag.node_count(),
+            });
+        }
+        let comp = ComplementaryInfo::compute(&graph, &frag, cfg.scope, cfg.store_paths);
+        let n = graph.node_count();
+        let mut augmented = Vec::with_capacity(frag.fragment_count());
+        let mut real_hops = Vec::with_capacity(frag.fragment_count());
+        for f in frag.fragments() {
+            augmented.push(augmented_graph(n, f.edges(), symmetric, comp.shortcuts(f.id())));
+            let mut hops = HashSet::with_capacity(f.edges().len() * 2);
+            for e in f.edges() {
+                hops.insert((e.src, e.dst, e.cost));
+                if symmetric {
+                    hops.insert((e.dst, e.src, e.cost));
+                }
+            }
+            real_hops.push(hops);
+        }
+        let planner = Planner::new(&frag, cfg.max_chains, cfg.max_chain_len, cfg.hub);
+        Ok(DisconnectionSetEngine {
+            graph,
+            frag,
+            symmetric,
+            cfg,
+            comp,
+            augmented,
+            real_hops,
+            planner,
+        })
+    }
+
+    /// Whether fragment tuples stand for both travel directions.
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    /// The fragmentation this engine serves.
+    pub fn fragmentation(&self) -> &Fragmentation {
+        &self.frag
+    }
+
+    /// The precomputed complementary information.
+    pub fn complementary(&self) -> &ComplementaryInfo {
+        &self.comp
+    }
+
+    /// The global closure graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Shortest-path cost from `x` to `y`. Nodes outside every fragment
+    /// yield an unreachable answer; see [`Self::try_shortest_path`] for
+    /// the strict variant.
+    pub fn shortest_path(&self, x: NodeId, y: NodeId) -> QueryAnswer {
+        self.try_shortest_path(x, y).unwrap_or(QueryAnswer {
+            cost: None,
+            best_chain: None,
+            stats: QueryStats::default(),
+        })
+    }
+
+    /// Shortest-path cost, erring when an endpoint is in no fragment.
+    pub fn try_shortest_path(&self, x: NodeId, y: NodeId) -> Result<QueryAnswer, ClosureError> {
+        if x == y {
+            return Ok(QueryAnswer {
+                cost: Some(0),
+                best_chain: self.planner.fragments_of(x).first().map(|&f| vec![f]),
+                stats: QueryStats::default(),
+            });
+        }
+        let plan = self.planner.plan(x, y)?;
+        let mut stats = QueryStats { enumerated: plan.enumerated, ..QueryStats::default() };
+        let mut best: Option<(Cost, Vec<FragmentId>)> = None;
+        for chain in &plan.chains {
+            let (segments, runs) = run_chain(&self.augmented, chain, self.cfg.mode);
+            stats.chains_evaluated += 1;
+            stats.site_queries += runs.len();
+            for r in &runs {
+                stats.tuples_shipped += r.tuples;
+                stats.total_site_busy += r.busy;
+                stats.max_site_busy = stats.max_site_busy.max(r.busy);
+            }
+            if let Some(cost) = assemble::chain_cost(&segments, x, y) {
+                if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                    best = Some((cost, chain.fragments.clone()));
+                }
+            }
+        }
+        let (cost, best_chain) = match best {
+            Some((c, ch)) => (Some(c), Some(ch)),
+            None => (None, None),
+        };
+        Ok(QueryAnswer { cost, best_chain, stats })
+    }
+
+    /// Connection query — "Is A connected to B?".
+    pub fn reachable(&self, x: NodeId, y: NodeId) -> bool {
+        x == y || self.shortest_path(x, y).cost.is_some()
+    }
+
+    /// Reconstruct the full cheapest route. Requires
+    /// `EngineConfig::store_paths`.
+    pub fn route(&self, x: NodeId, y: NodeId) -> Result<Option<Route>, ClosureError> {
+        if !self.comp.has_paths() {
+            return Err(ClosureError::RoutesNotEnabled);
+        }
+        if x == y {
+            return Ok(Some(Route {
+                cost: 0,
+                nodes: vec![x],
+                chain: self.planner.fragments_of(x).first().map(|&f| vec![f]).unwrap_or_default(),
+                waypoints: vec![x],
+            }));
+        }
+        let plan = self.planner.plan(x, y)?;
+        let mut best: Option<(Cost, Vec<NodeId>, Vec<FragmentId>)> = None;
+        for chain in &plan.chains {
+            let (segments, _) = run_chain(&self.augmented, chain, self.cfg.mode);
+            if let Some((cost, waypoints)) = assemble::best_waypoints(&segments, x, y) {
+                if best.as_ref().is_none_or(|(b, _, _)| cost < *b) {
+                    best = Some((cost, waypoints, chain.fragments.clone()));
+                }
+            }
+        }
+        let Some((cost, waypoints, chain)) = best else {
+            return Ok(None);
+        };
+
+        // Expand each junction-to-junction leg within its site.
+        // waypoints = [x, w1, …, y]; leg k runs at site chain[k].
+        debug_assert_eq!(waypoints.len(), chain.len() + 1);
+        let mut nodes = vec![x];
+        for (k, leg) in waypoints.windows(2).enumerate() {
+            let expanded = self.expand_leg(chain[k], leg[0], leg[1]);
+            nodes.extend_from_slice(&expanded[1..]);
+        }
+        Ok(Some(Route { cost, nodes, chain, waypoints }))
+    }
+
+    // --- crate-internal mutation hooks for update maintenance ---
+
+    pub(crate) fn add_fragment_edge(&mut self, owner: FragmentId, edge: ds_graph::Edge) {
+        self.frag.fragment_mut(owner).add_edge(edge);
+        self.real_hops[owner].insert((edge.src, edge.dst, edge.cost));
+        if self.symmetric && !edge.is_loop() {
+            self.real_hops[owner].insert((edge.dst, edge.src, edge.cost));
+        }
+    }
+
+    pub(crate) fn remove_fragment_edges(
+        &mut self,
+        owner: FragmentId,
+        pred: &impl Fn(&ds_graph::Edge) -> bool,
+    ) -> usize {
+        let removed = self.frag.fragment_mut(owner).remove_edges_matching(pred);
+        if removed > 0 {
+            let mut hops = HashSet::new();
+            for e in self.frag.fragment(owner).edges() {
+                hops.insert((e.src, e.dst, e.cost));
+                if self.symmetric && !e.is_loop() {
+                    hops.insert((e.dst, e.src, e.cost));
+                }
+            }
+            self.real_hops[owner] = hops;
+        }
+        removed
+    }
+
+    pub(crate) fn replace_graph(&mut self, graph: CsrGraph) {
+        self.graph = graph;
+    }
+
+    pub(crate) fn map_shortcuts(
+        &mut self,
+        f: impl Fn(&ds_graph::Edge) -> Option<Cost>,
+    ) -> usize {
+        self.comp.map_costs(f)
+    }
+
+    pub(crate) fn recompute_complementary(&mut self) {
+        self.comp = ComplementaryInfo::compute(
+            &self.graph,
+            &self.frag,
+            self.cfg.scope,
+            self.cfg.store_paths,
+        );
+        self.rebuild_augmented();
+    }
+
+    pub(crate) fn rebuild_augmented(&mut self) {
+        self.augmented =
+            Self::rebuild_augmented_for(&self.graph, &self.frag, self.symmetric, &self.comp);
+    }
+
+    /// Expand one leg `a -> b` at `site` into real graph nodes, splicing
+    /// complementary shortcut hops with their stored global paths.
+    fn expand_leg(&self, site: FragmentId, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        if a == b {
+            return vec![a];
+        }
+        let sp = dijkstra::single_source(&self.augmented[site], a);
+        let local = sp
+            .path_to(b)
+            .expect("assembly proved this leg reachable at this site");
+        let mut out = vec![a];
+        for hop in local.windows(2) {
+            let (p, q) = (hop[0], hop[1]);
+            let hop_cost = sp.cost(q).expect("on path") - sp.cost(p).expect("on path");
+            if self.real_hops[site].contains(&(p, q, hop_cost)) {
+                out.push(q);
+            } else {
+                let shortcut = self
+                    .comp
+                    .path(p, q)
+                    .expect("non-fragment hop must be a stored shortcut");
+                out.extend_from_slice(&shortcut[1..]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use ds_fragment::linear::{linear_sweep, LinearConfig};
+    use ds_gen::deterministic::{grid, two_triangles_bridge};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn grid_engine(cfg: EngineConfig) -> (ds_gen::GeneratedGraph, DisconnectionSetEngine) {
+        let g = grid(10, 4);
+        let frag = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig { fragments: 4, ..Default::default() },
+        )
+        .unwrap()
+        .fragmentation;
+        let engine =
+            DisconnectionSetEngine::build(g.closure_graph(), frag, true, cfg).unwrap();
+        (g, engine)
+    }
+
+    #[test]
+    fn matches_global_dijkstra_everywhere() {
+        let (g, engine) = grid_engine(EngineConfig::default());
+        let csr = g.closure_graph();
+        for x in (0..40).step_by(7) {
+            for y in (0..40).step_by(5) {
+                let got = engine.shortest_path(n(x), n(y)).cost;
+                let want = baseline::shortest_path_cost(&csr, n(x), n(y));
+                assert_eq!(got, want, "query {x}->{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_fragment_fast_path_uses_one_site() {
+        let (_, engine) = grid_engine(EngineConfig::default());
+        // Nodes 0 and 1 are in the first sweep fragment.
+        let a = engine.shortest_path(n(0), n(1));
+        assert_eq!(a.cost, Some(1));
+        assert_eq!(a.best_chain.as_deref(), Some(&[0][..]));
+        assert_eq!(a.stats.site_queries, 1);
+    }
+
+    #[test]
+    fn self_query_is_zero() {
+        let (_, engine) = grid_engine(EngineConfig::default());
+        let a = engine.shortest_path(n(17), n(17));
+        assert_eq!(a.cost, Some(0));
+        assert!(engine.reachable(n(17), n(17)));
+    }
+
+    #[test]
+    fn parallel_mode_agrees_with_sequential() {
+        let (_, seq_engine) = grid_engine(EngineConfig::default());
+        let (_, par_engine) = grid_engine(EngineConfig {
+            mode: ExecutionMode::Parallel,
+            ..EngineConfig::default()
+        });
+        for (x, y) in [(0u32, 39u32), (5, 33), (12, 27), (39, 0)] {
+            assert_eq!(
+                seq_engine.shortest_path(n(x), n(y)).cost,
+                par_engine.shortest_path(n(x), n(y)).cost,
+                "query {x}->{y}"
+            );
+        }
+    }
+
+    #[test]
+    fn route_reconstruction_is_a_real_path() {
+        let (g, engine) = grid_engine(EngineConfig {
+            store_paths: true,
+            ..EngineConfig::default()
+        });
+        let csr = g.closure_graph();
+        let route = engine.route(n(0), n(39)).unwrap().expect("reachable");
+        assert_eq!(Some(route.cost), baseline::shortest_path_cost(&csr, n(0), n(39)));
+        assert_eq!(*route.nodes.first().unwrap(), n(0));
+        assert_eq!(*route.nodes.last().unwrap(), n(39));
+        // Every hop must be a real edge; costs must sum to the total.
+        let mut total = 0;
+        for hop in route.nodes.windows(2) {
+            let cost = csr
+                .neighbors(hop[0])
+                .filter(|(t, _)| *t == hop[1])
+                .map(|(_, c)| c)
+                .min()
+                .unwrap_or_else(|| panic!("hop {}->{} is not a real edge", hop[0], hop[1]));
+            total += cost;
+        }
+        assert_eq!(total, route.cost);
+    }
+
+    #[test]
+    fn route_requires_store_paths() {
+        let (_, engine) = grid_engine(EngineConfig::default());
+        assert_eq!(engine.route(n(0), n(5)).unwrap_err(), ClosureError::RoutesNotEnabled);
+    }
+
+    #[test]
+    fn unreachable_is_none_not_error() {
+        // Two disconnected triangles fragmented apart.
+        let g = two_triangles_bridge();
+        // Remove the bridge connection (2,3) to disconnect.
+        let mut connections = g.connections.clone();
+        connections.retain(|e| !(e.src == n(2) && e.dst == n(3)));
+        let frag = ds_fragment::semantic::by_labels(
+            6,
+            &connections,
+            &[0, 0, 0, 1, 1, 1],
+            2,
+            ds_fragment::CrossingPolicy::LowerBlock,
+        )
+        .unwrap();
+        let csr = ds_graph::CsrGraph::from_edges(
+            6,
+            &ds_gen::output::expand_connections(&connections, true),
+        );
+        let engine =
+            DisconnectionSetEngine::build(csr, frag, true, EngineConfig::default()).unwrap();
+        let a = engine.shortest_path(n(0), n(4));
+        assert_eq!(a.cost, None);
+        assert!(!engine.reachable(n(0), n(4)));
+    }
+
+    #[test]
+    fn node_count_mismatch_rejected() {
+        let g = grid(3, 3);
+        let frag = linear_sweep(&g.edge_list(), &LinearConfig::default())
+            .unwrap()
+            .fragmentation;
+        let wrong = grid(4, 4).closure_graph();
+        assert!(matches!(
+            DisconnectionSetEngine::build(wrong, frag, true, EngineConfig::default()),
+            Err(ClosureError::NodeCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_reflect_chain_structure() {
+        let (_, engine) = grid_engine(EngineConfig::default());
+        // Corner to corner crosses all 4 sweep fragments.
+        let a = engine.shortest_path(n(0), n(39));
+        assert!(a.stats.chains_evaluated >= 1);
+        assert!(a.stats.site_queries >= 4, "at least one query per chain fragment");
+        assert!(a.stats.tuples_shipped > 0);
+        assert!(!a.stats.enumerated, "linear fragmentation is loosely connected");
+    }
+}

@@ -1,0 +1,51 @@
+//! Errors of the disconnection set engine.
+
+use std::fmt;
+
+use ds_graph::NodeId;
+
+/// Errors raised when building or querying the engine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ClosureError {
+    /// The fragmentation's node universe differs from the graph's.
+    NodeCountMismatch { graph: usize, fragmentation: usize },
+    /// A query endpoint belongs to no fragment (should not happen for
+    /// fragmentations produced by this workspace's algorithms, which seed
+    /// every node somewhere).
+    NodeNotInAnyFragment(NodeId),
+    /// Route reconstruction was requested but the engine was built without
+    /// shortcut path storage (`EngineConfig::store_paths`).
+    RoutesNotEnabled,
+}
+
+impl fmt::Display for ClosureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClosureError::NodeCountMismatch { graph, fragmentation } => write!(
+                f,
+                "graph has {graph} nodes but the fragmentation covers {fragmentation}"
+            ),
+            ClosureError::NodeNotInAnyFragment(v) => {
+                write!(f, "node {v} belongs to no fragment")
+            }
+            ClosureError::RoutesNotEnabled => {
+                write!(f, "route reconstruction requires EngineConfig::store_paths = true")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClosureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ClosureError::NodeCountMismatch { graph: 5, fragmentation: 4 };
+        assert!(e.to_string().contains('5'));
+        assert!(ClosureError::NodeNotInAnyFragment(NodeId(3)).to_string().contains('3'));
+        assert!(ClosureError::RoutesNotEnabled.to_string().contains("store_paths"));
+    }
+}

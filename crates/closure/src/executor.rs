@@ -1,0 +1,122 @@
+//! Phase-one execution: run the chain's site subqueries, sequentially or
+//! with one OS thread per site.
+//!
+//! "Note that neither communication nor synchronization is required
+//! during the first phase of the computation … Only at the end of the
+//! computation, communication is required for computing the final joins"
+//! (§2.1). The parallel mode exploits exactly that independence: every
+//! [`SiteQuery`] reads only its own site's augmented graph.
+
+use std::time::{Duration, Instant};
+
+use ds_graph::CsrGraph;
+use ds_relation::{PathTuple, Relation};
+
+use crate::local::border_matrix;
+use crate::planner::{ChainPlan, SiteQuery};
+
+/// Sequential or site-parallel phase one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// All subqueries on the calling thread (the centralized-machine
+    /// view; also the baseline for speed-up measurements).
+    #[default]
+    Sequential,
+    /// One thread per site subquery (`std::thread::scope`), the paper's
+    /// one-fragment-per-processor model.
+    Parallel,
+}
+
+/// Accounting for one site's subquery.
+#[derive(Clone, Debug)]
+pub struct SiteRun {
+    pub site: usize,
+    /// Time the site spent on its subquery.
+    pub busy: Duration,
+    /// Tuples in the site's result relation ("very small relations" that
+    /// get shipped for the final joins).
+    pub tuples: usize,
+}
+
+/// Evaluate every subquery of a chain. Returns the segment relations (in
+/// chain order) and per-site accounting.
+pub fn run_chain(
+    augmented: &[CsrGraph],
+    chain: &ChainPlan,
+    mode: ExecutionMode,
+) -> (Vec<Relation<PathTuple>>, Vec<SiteRun>) {
+    match mode {
+        ExecutionMode::Sequential => chain.queries.iter().map(|q| run_one(augmented, q)).unzip(),
+        ExecutionMode::Parallel => {
+            let results: Vec<(Relation<PathTuple>, SiteRun)> = std::thread::scope(|s| {
+                let handles: Vec<_> = chain
+                    .queries
+                    .iter()
+                    .map(|q| s.spawn(move || run_one(augmented, q)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("site thread panicked")).collect()
+            });
+            results.into_iter().unzip()
+        }
+    }
+}
+
+fn run_one(augmented: &[CsrGraph], q: &SiteQuery) -> (Relation<PathTuple>, SiteRun) {
+    let start = Instant::now();
+    let rel = border_matrix(&augmented[q.site], &q.sources, &q.targets);
+    let run = SiteRun { site: q.site, busy: start.elapsed(), tuples: rel.len() };
+    (rel, run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_graph::{Edge, NodeId};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn setup() -> (Vec<CsrGraph>, ChainPlan) {
+        // Two sites: site 0 owns 0-1-2 (unit path), site 1 owns 2-3-4.
+        let site0 = CsrGraph::from_edges(
+            5,
+            &[Edge::unit(n(0), n(1)), Edge::unit(n(1), n(2))],
+        );
+        let site1 = CsrGraph::from_edges(
+            5,
+            &[Edge::unit(n(2), n(3)), Edge::unit(n(3), n(4))],
+        );
+        let chain = ChainPlan {
+            fragments: vec![0, 1],
+            queries: vec![
+                SiteQuery { site: 0, sources: vec![n(0)], targets: vec![n(2)] },
+                SiteQuery { site: 1, sources: vec![n(2)], targets: vec![n(4)] },
+            ],
+        };
+        (vec![site0, site1], chain)
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let (aug, chain) = setup();
+        let (seq, seq_runs) = run_chain(&aug, &chain, ExecutionMode::Sequential);
+        let (par, par_runs) = run_chain(&aug, &chain, ExecutionMode::Parallel);
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[0].rows(), par[0].rows());
+        assert_eq!(seq[1].rows(), par[1].rows());
+        assert_eq!(seq_runs.len(), par_runs.len());
+        assert_eq!(seq_runs[0].tuples, 1);
+        assert_eq!(seq_runs[1].tuples, 1);
+        assert_eq!(seq_runs[0].site, 0);
+        assert_eq!(par_runs[1].site, 1);
+    }
+
+    #[test]
+    fn segment_costs_are_local_shortest_paths() {
+        let (aug, chain) = setup();
+        let (segs, _) = run_chain(&aug, &chain, ExecutionMode::Sequential);
+        assert_eq!(segs[0].cost_of(n(0), n(2)), Some(2));
+        assert_eq!(segs[1].cost_of(n(2), n(4)), Some(2));
+    }
+}

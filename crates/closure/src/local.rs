@@ -1,0 +1,113 @@
+//! Local subquery evaluation: the per-site work of phase one.
+//!
+//! Each site evaluates its recursive subquery on its fragment *augmented*
+//! with the complementary shortcuts stored at that site ("including all
+//! complementary information about disconnection sets stored at that
+//! fragment", §2.1). The disconnection sets act as the selection — the
+//! "keyhole" of §2.2: evaluation starts only from the entry border set
+//! and only the exit border set is reported.
+//!
+//! The output of one subquery is a *very small relation* of
+//! `(entry, exit, cost)` tuples, ready for the final binary joins.
+
+use ds_graph::{dijkstra, Cost, CsrGraph, Edge, NodeId};
+use ds_relation::{PathTuple, Relation};
+
+/// A site's augmented local graph: fragment edges (symmetric expansion if
+/// the network is symmetric) plus the site's complementary shortcuts.
+pub fn augmented_graph(
+    node_count: usize,
+    fragment_edges: &[Edge],
+    symmetric: bool,
+    shortcuts: &[Edge],
+) -> CsrGraph {
+    let mut edges = Vec::with_capacity(fragment_edges.len() * 2 + shortcuts.len());
+    for e in fragment_edges {
+        edges.push(*e);
+        if symmetric && !e.is_loop() {
+            edges.push(e.reversed());
+        }
+    }
+    edges.extend_from_slice(shortcuts);
+    CsrGraph::from_edges(node_count, &edges)
+}
+
+/// Evaluate one local subquery: shortest distances from every node of
+/// `sources` to every node of `targets` on the augmented graph.
+/// One Dijkstra per source; the result relation has at most
+/// `|sources| · |targets|` tuples.
+pub fn border_matrix(
+    aug: &CsrGraph,
+    sources: &[NodeId],
+    targets: &[NodeId],
+) -> Relation<PathTuple> {
+    let mut rows = Vec::new();
+    for &u in sources {
+        let sp = dijkstra::single_source(aug, u);
+        for &v in targets {
+            if let Some(cost) = sp.cost(v) {
+                rows.push(PathTuple::new(u, v, cost));
+            }
+        }
+    }
+    Relation::from_rows("border", rows)
+}
+
+/// Point evaluation within a single fragment (the same-fragment fast
+/// path: "queries about the shortest path of two cities in Holland can be
+/// answered by the Dutch railway computer system alone", §2.1).
+pub fn point_query(aug: &CsrGraph, src: NodeId, dst: NodeId) -> Option<Cost> {
+    dijkstra::point_to_point(aug, src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn augmented_graph_merges_fragment_and_shortcuts() {
+        let frag = vec![Edge::new(n(0), n(1), 2)];
+        let shortcuts = vec![Edge::new(n(1), n(2), 7)];
+        let aug = augmented_graph(3, &frag, true, &shortcuts);
+        assert_eq!(aug.edge_count(), 3); // 0->1, 1->0, shortcut 1->2
+        assert_eq!(point_query(&aug, n(0), n(2)), Some(9));
+        assert_eq!(point_query(&aug, n(2), n(0)), None, "shortcuts are directed");
+    }
+
+    #[test]
+    fn border_matrix_shape() {
+        // Diamond fragment: 0->1 (1), 0->2 (5), 1->3 (1), 2->3 (1).
+        let frag = vec![
+            Edge::new(n(0), n(1), 1),
+            Edge::new(n(0), n(2), 5),
+            Edge::new(n(1), n(3), 1),
+            Edge::new(n(2), n(3), 1),
+        ];
+        let aug = augmented_graph(4, &frag, false, &[]);
+        let m = border_matrix(&aug, &[n(0), n(1)], &[n(3)]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.cost_of(n(0), n(3)), Some(2));
+        assert_eq!(m.cost_of(n(1), n(3)), Some(1));
+    }
+
+    #[test]
+    fn border_matrix_drops_unreachable() {
+        let frag = vec![Edge::unit(n(0), n(1))];
+        let aug = augmented_graph(3, &frag, false, &[]);
+        let m = border_matrix(&aug, &[n(0)], &[n(1), n(2)]);
+        assert_eq!(m.len(), 1, "node 2 unreachable, no tuple");
+    }
+
+    #[test]
+    fn symmetric_expansion_only_when_asked() {
+        let frag = vec![Edge::unit(n(0), n(1))];
+        let asym = augmented_graph(2, &frag, false, &[]);
+        assert_eq!(point_query(&asym, n(1), n(0)), None);
+        let sym = augmented_graph(2, &frag, true, &[]);
+        assert_eq!(point_query(&sym, n(1), n(0)), Some(1));
+    }
+}

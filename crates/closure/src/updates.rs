@@ -1,0 +1,280 @@
+//! Update maintenance — the disadvantage the paper acknowledges:
+//! "The disadvantage of the disconnection set approach is mainly due to
+//! the pre-processing required for building the complementary information
+//! and to the careful treatment of updates. … As long as updates are not
+//! too frequent, the pre-processing costs may be amortized over many
+//! queries." (§2.1)
+//!
+//! This module makes that treatment concrete:
+//!
+//! * **Insertions** are truly incremental. Adding a connection can only
+//!   *decrease* global distances, and any improved shortest path uses the
+//!   new edge; so two Dijkstra runs — one on the reverse graph from the
+//!   new edge's source, one forward from its target — refresh every
+//!   shortcut: `dist'(a,b) = min(dist(a,b), dist(a,u) + c + dist(v,b))`.
+//!   Cost: O(2·(V log V + E)) instead of one Dijkstra per border node.
+//! * **Deletions** can increase distances, which per-pair minima cannot
+//!   repair locally; the engine falls back to a full complementary
+//!   recompute (the paper's amortization argument applies).
+
+use ds_fragment::FragmentId;
+use ds_graph::{dijkstra, Cost, CsrGraph, Edge, NodeId};
+
+use crate::complementary::ComplementaryInfo;
+use crate::engine::DisconnectionSetEngine;
+use crate::error::ClosureError;
+use crate::local::augmented_graph;
+
+/// Outcome of an incremental update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Shortcut tuples whose cost improved.
+    pub shortcuts_improved: usize,
+    /// Whether the engine had to fall back to a full recompute.
+    pub full_recompute: bool,
+}
+
+impl DisconnectionSetEngine {
+    /// Insert a connection into fragment `owner`. For symmetric engines
+    /// the reverse direction is inserted too.
+    ///
+    /// Both endpoints must already belong to the owner fragment —
+    /// inserting within a region never changes the fragmentation's node
+    /// sets, so disconnection sets (and the set of shortcut *pairs*) stay
+    /// fixed and only shortcut *costs* can improve. Growing a fragment's
+    /// node set is a re-fragmentation concern, out of scope for an
+    /// engine-level update.
+    pub fn insert_connection(
+        &mut self,
+        edge: Edge,
+        owner: FragmentId,
+    ) -> Result<UpdateReport, ClosureError> {
+        let frag = self.fragmentation();
+        if owner >= frag.fragment_count() {
+            return Err(ClosureError::NodeNotInAnyFragment(edge.src));
+        }
+        for v in [edge.src, edge.dst] {
+            if !frag.fragment(owner).contains_node(v) {
+                return Err(ClosureError::NodeNotInAnyFragment(v));
+            }
+        }
+
+        // 1. Grow the global graph and the owner's fragment.
+        let symmetric = self.is_symmetric();
+        let mut edges: Vec<Edge> = self.graph().edges().collect();
+        edges.push(edge);
+        if symmetric && !edge.is_loop() {
+            edges.push(edge.reversed());
+        }
+        let new_graph = CsrGraph::from_edges(self.graph().node_count(), &edges);
+        self.add_fragment_edge(owner, edge);
+        self.replace_graph(new_graph);
+
+        // 2. Refresh shortcut costs with two Dijkstra sweeps per inserted
+        //    direction.
+        let mut improved = self.improve_shortcuts(edge.src, edge.dst, edge.cost);
+        if symmetric && !edge.is_loop() {
+            improved += self.improve_shortcuts(edge.dst, edge.src, edge.cost);
+        }
+
+        // 3. Stored shortcut paths cannot be patched pair-locally; if the
+        //    engine keeps them (route reconstruction), recompute in full.
+        let full = self.complementary().has_paths() && improved > 0;
+        if full {
+            self.recompute_complementary();
+        } else {
+            self.rebuild_augmented();
+        }
+        Ok(UpdateReport { shortcuts_improved: improved, full_recompute: full })
+    }
+
+    /// Remove every connection `src -> dst` (and the reverse direction on
+    /// symmetric engines) from fragment `owner`. Distances may grow, so
+    /// complementary information is recomputed in full.
+    pub fn remove_connection(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        owner: FragmentId,
+    ) -> Result<UpdateReport, ClosureError> {
+        if owner >= self.fragmentation().fragment_count() {
+            return Err(ClosureError::NodeNotInAnyFragment(src));
+        }
+        let symmetric = self.is_symmetric();
+        let matches = |e: &Edge| {
+            (e.src == src && e.dst == dst) || (symmetric && e.src == dst && e.dst == src)
+        };
+        let removed = self.remove_fragment_edges(owner, &matches);
+        if removed == 0 {
+            return Ok(UpdateReport { shortcuts_improved: 0, full_recompute: false });
+        }
+        let kept: Vec<Edge> = self.graph().edges().filter(|e| !matches(e)).collect();
+        let new_graph = CsrGraph::from_edges(self.graph().node_count(), &kept);
+        self.replace_graph(new_graph);
+        self.recompute_complementary();
+        Ok(UpdateReport { shortcuts_improved: 0, full_recompute: true })
+    }
+
+    /// Lower every shortcut `(a, b)` to
+    /// `min(cost, dist(a, u) + c + dist(v, b))` after inserting `u -> v`
+    /// with cost `c`. Exact because improved paths must use the new edge.
+    fn improve_shortcuts(&mut self, u: NodeId, v: NodeId, c: Cost) -> usize {
+        let to_u = dijkstra::single_source(&self.graph().reversed(), u);
+        let from_v = dijkstra::single_source(self.graph(), v);
+        self.map_shortcuts(|e| {
+            let (Some(a_u), Some(v_b)) = (to_u.cost(e.src), from_v.cost(e.dst)) else {
+                return None;
+            };
+            let cand = a_u + c + v_b;
+            (cand < e.cost).then_some(cand)
+        })
+    }
+}
+
+/// Crate-internal mutation hooks for the engine (kept out of the public
+/// surface; update flows are the only callers).
+impl DisconnectionSetEngine {
+    pub(crate) fn rebuild_augmented_for(
+        graph: &CsrGraph,
+        frag: &ds_fragment::Fragmentation,
+        symmetric: bool,
+        comp: &ComplementaryInfo,
+    ) -> Vec<CsrGraph> {
+        frag.fragments()
+            .iter()
+            .map(|f| {
+                augmented_graph(graph.node_count(), f.edges(), symmetric, comp.shortcuts(f.id()))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::baseline;
+    use crate::engine::{DisconnectionSetEngine, EngineConfig};
+    use ds_fragment::linear::{linear_sweep, LinearConfig};
+    use ds_gen::deterministic::grid;
+    use ds_graph::{Edge, NodeId};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn build() -> (ds_gen::GeneratedGraph, DisconnectionSetEngine) {
+        let g = grid(8, 4);
+        let frag = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig { fragments: 4, ..Default::default() },
+        )
+        .unwrap()
+        .fragmentation;
+        let e = DisconnectionSetEngine::build(g.closure_graph(), frag, true, EngineConfig::default())
+            .unwrap();
+        (g, e)
+    }
+
+    fn check_all(engine: &DisconnectionSetEngine) {
+        let csr = engine.graph().clone();
+        for x in (0..32).step_by(5) {
+            for y in (0..32).step_by(7) {
+                assert_eq!(
+                    engine.shortest_path(n(x), n(y)).cost,
+                    baseline::shortest_path_cost(&csr, n(x), n(y)),
+                    "{x}->{y} after update"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_within_fragment_stays_exact() {
+        let (_, mut engine) = build();
+        // Find an in-fragment non-adjacent pair and add a zero-ish cost
+        // shortcut between them.
+        let f0 = engine.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        let report = engine.insert_connection(Edge::new(a, b, 1), 0).unwrap();
+        assert!(!report.full_recompute);
+        check_all(&engine);
+    }
+
+    #[test]
+    fn insert_improves_cross_fragment_queries() {
+        let (_, mut engine) = build();
+        let before = engine.shortest_path(n(0), n(31)).cost.unwrap();
+        // A cheap diagonal inside fragment 0 shortens cross-grid routes.
+        let f0 = engine.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        let report = engine.insert_connection(Edge::new(a, b, 1), 0).unwrap();
+        let after = engine.shortest_path(n(0), n(31)).cost.unwrap();
+        assert!(after <= before, "insertion cannot lengthen paths");
+        if after < before {
+            assert!(report.shortcuts_improved > 0, "improvement must flow via shortcuts");
+        }
+        check_all(&engine);
+    }
+
+    #[test]
+    fn insert_endpoint_outside_owner_rejected() {
+        let (_, mut engine) = build();
+        // Node 31 (last column) is not in fragment 0.
+        let err = engine.insert_connection(Edge::new(n(0), n(31), 1), 0).unwrap_err();
+        assert!(matches!(err, crate::ClosureError::NodeNotInAnyFragment(_)));
+    }
+
+    #[test]
+    fn remove_connection_stays_exact() {
+        let (_, mut engine) = build();
+        // Remove a real in-fragment connection.
+        let f0 = engine.fragmentation().fragment(0).clone();
+        let e = f0.edges()[0];
+        let report = engine.remove_connection(e.src, e.dst, 0).unwrap();
+        assert!(report.full_recompute);
+        check_all(&engine);
+    }
+
+    #[test]
+    fn remove_missing_connection_is_noop() {
+        let (_, mut engine) = build();
+        let before = engine.shortest_path(n(0), n(31)).cost;
+        let report = engine.remove_connection(n(0), n(0), 0).unwrap();
+        assert_eq!(report.shortcuts_improved, 0);
+        assert!(!report.full_recompute);
+        assert_eq!(engine.shortest_path(n(0), n(31)).cost, before);
+    }
+
+    #[test]
+    fn updates_with_stored_paths_keep_routes_real() {
+        let g = grid(8, 4);
+        let frag = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig { fragments: 4, ..Default::default() },
+        )
+        .unwrap()
+        .fragmentation;
+        let mut engine = DisconnectionSetEngine::build(
+            g.closure_graph(),
+            frag,
+            true,
+            EngineConfig { store_paths: true, ..EngineConfig::default() },
+        )
+        .unwrap();
+        let f0 = engine.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        engine.insert_connection(Edge::new(a, b, 1), 0).unwrap();
+        let csr = engine.graph().clone();
+        let route = engine.route(n(0), n(31)).unwrap().unwrap();
+        assert_eq!(Some(route.cost), baseline::shortest_path_cost(&csr, n(0), n(31)));
+        let mut total = 0;
+        for hop in route.nodes.windows(2) {
+            total += csr
+                .neighbors(hop[0])
+                .filter(|(t, _)| *t == hop[1])
+                .map(|(_, c)| c)
+                .min()
+                .expect("real hop");
+        }
+        assert_eq!(total, route.cost);
+    }
+}

@@ -1,0 +1,591 @@
+//! The bond-energy fragmentation algorithm (§3.2, Fig. 5).
+//!
+//! "Columns of this matrix are reordered in such a way that nodes that are
+//! closely related are put closely together. In this way, clusters are
+//! formed along the diagonal of the matrix. By splitting the matrix in
+//! such a way that the number of 1's … outside each cluster is small, the
+//! disconnection sets are kept small."
+//!
+//! The reordering is the McCormick bond-energy placement: starting from a
+//! chosen first column, each remaining column is inserted at the position
+//! (left end, right end, or between two placed columns) that maximizes the
+//! sum of inner products of adjacent placed columns; the procedure is
+//! restarted from every possible first column and the best-scoring
+//! ordering wins ("it has to be iterated over all the columns").
+//!
+//! Splitting scans the ordered matrix left to right once and cuts at
+//! cheap boundaries. The paper offers two local conditions — a local
+//! minimum of the outside-connection count, or a user-supplied threshold
+//! ("it is split as soon as the number of connections to nodes outside
+//! the current block reaches the threshold") — and picks the threshold
+//! variant; both are implemented here ([`SplitRule`]), plus a quantile
+//! form of the threshold for graphs without a crisp cluster structure.
+//! The "finetuning … taking into account the number of edges in the
+//! current block … avoids generating fragments that are 'too small'" is
+//! the `min_block_edges` guard.
+
+use ds_graph::{AdjacencyMatrix, CsrGraph, Edge, EdgeList, NodeId};
+
+use crate::error::FragError;
+use crate::fragmentation::Fragmentation;
+use crate::policy::{fragmentation_from_blocks, CrossingPolicy};
+
+/// The local split condition applied while scanning the reordered matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SplitRule {
+    /// Split wherever at most this many connections cross the boundary —
+    /// the paper's user-supplied threshold. A boundary between clusters of
+    /// a transportation graph crosses only the few inter-cluster links, so
+    /// a threshold a little above the expected link count (Table 1: 2.25)
+    /// recovers the clusters.
+    CutBelowThreshold(usize),
+    /// Like `CutBelowThreshold`, but the threshold is the given quantile
+    /// (in `[0, 1]`) of the observed boundary-cut profile. Robust on
+    /// general graphs where absolute cut sizes are unpredictable.
+    CutQuantile(f64),
+    /// Split at strict local minima of the boundary-cut profile — the
+    /// paper's first option ("split as soon as a local minimum is
+    /// reached"), which it notes "usually turns out not to be best".
+    LocalMinimum,
+}
+
+/// Configuration of the bond-energy fragmenter.
+#[derive(Clone, Debug)]
+pub struct BondEnergyConfig {
+    /// Split condition.
+    pub split: SplitRule,
+    /// A block only closes once it holds at least this many edges.
+    pub min_block_edges: usize,
+    /// Restart cap for the placement loop (`None` = all first columns, as
+    /// the paper prescribes; the loop is O(n³) per restart, so cap it for
+    /// graphs beyond a few hundred nodes — deviation #4 in DESIGN.md).
+    pub max_restarts: Option<usize>,
+    /// Ownership rule for block-crossing edges.
+    pub crossing_policy: CrossingPolicy,
+}
+
+impl Default for BondEnergyConfig {
+    fn default() -> Self {
+        BondEnergyConfig {
+            split: SplitRule::CutBelowThreshold(3),
+            min_block_edges: 8,
+            max_restarts: None,
+            crossing_policy: CrossingPolicy::LowerBlock,
+        }
+    }
+}
+
+/// Result of a bond-energy run.
+#[derive(Clone, Debug)]
+pub struct BondEnergyOutcome {
+    pub fragmentation: Fragmentation,
+    /// The winning column ordering (node ids, left to right).
+    pub order: Vec<NodeId>,
+    /// The measure of effectiveness of that ordering: the sum of inner
+    /// products of adjacent placed columns.
+    pub measure: u64,
+    /// `cut_profile[t]` = connections crossing the boundary after position
+    /// `t` of the ordering.
+    pub cut_profile: Vec<usize>,
+}
+
+/// Run the bond-energy fragmentation.
+pub fn bond_energy(edges: &EdgeList, cfg: &BondEnergyConfig) -> Result<BondEnergyOutcome, FragError> {
+    if edges.remaining() == 0 {
+        return Err(FragError::EmptyRelation);
+    }
+    if let SplitRule::CutQuantile(q) = cfg.split {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(FragError::InvalidConfig(format!("quantile {q} outside [0,1]")));
+        }
+    }
+    if matches!(cfg.max_restarts, Some(0)) {
+        return Err(FragError::InvalidConfig("max_restarts must be >= 1".into()));
+    }
+
+    let n = edges.node_count();
+    let sym = symmetric_graph(edges);
+    let matrix = AdjacencyMatrix::from_graph(&sym);
+    let bonds = BondMatrix::new(&matrix);
+
+    // Placement restarts: all first columns, or a deterministic sample.
+    let restarts: Vec<usize> = match cfg.max_restarts {
+        None => (0..n).collect(),
+        Some(k) => sample_indices(n, k),
+    };
+    let mut best: Option<(Vec<usize>, u64)> = None;
+    for &s in &restarts {
+        let (order, me) = place_from(&bonds, s);
+        if best.as_ref().is_none_or(|(_, b)| me > *b) {
+            best = Some((order, me));
+        }
+    }
+    let (order, measure) = best.expect("graph is non-empty");
+
+    // Scan and split.
+    let cut_profile = boundary_cut_profile(&sym, &order);
+    let threshold = match cfg.split {
+        SplitRule::CutBelowThreshold(t) => Some(t),
+        SplitRule::CutQuantile(q) => Some(quantile(&cut_profile, q)),
+        SplitRule::LocalMinimum => None,
+    };
+    let block_of = split_blocks(&sym, &order, &cut_profile, threshold, cfg.min_block_edges);
+    let block_count = 1 + *block_of.iter().max().expect("n >= 1 since edges exist") as usize;
+
+    let all_edges: Vec<Edge> = edges.alive_edges().map(|(_, e)| e).collect();
+    let fragmentation =
+        fragmentation_from_blocks(n, &all_edges, &block_of, block_count, cfg.crossing_policy)?;
+    let order = order.into_iter().map(NodeId::from_index).collect();
+    Ok(BondEnergyOutcome { fragmentation, order, measure, cut_profile })
+}
+
+/// Precomputed column inner products ("bonds") of the adjacency matrix.
+struct BondMatrix {
+    n: usize,
+    b: Vec<u32>,
+}
+
+impl BondMatrix {
+    fn new(m: &AdjacencyMatrix) -> Self {
+        let n = m.order();
+        let cols: Vec<ds_graph::BitSet> = (0..n).map(|j| m.column(j)).collect();
+        let mut b = vec![0u32; n * n];
+        for j in 0..n {
+            for k in j..n {
+                let v = cols[j].intersection_count(&cols[k]) as u32;
+                b[j * n + k] = v;
+                b[k * n + j] = v;
+            }
+        }
+        BondMatrix { n, b }
+    }
+
+    #[inline]
+    fn get(&self, j: usize, k: usize) -> u64 {
+        self.b[j * self.n + k] as u64
+    }
+}
+
+/// Greedy insertion placement starting from column `s`; returns the
+/// ordering and its measure of effectiveness.
+fn place_from(bonds: &BondMatrix, s: usize) -> (Vec<usize>, u64) {
+    let n = bonds.n;
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    order.push(s);
+    let mut placed = vec![false; n];
+    placed[s] = true;
+    let mut me: u64 = 0;
+
+    for _ in 1..n {
+        let mut best_gain = i64::MIN;
+        let mut best_col = usize::MAX;
+        let mut best_pos = 0usize;
+        #[allow(clippy::needless_range_loop)] // x is a column id, not just an index
+        for x in 0..n {
+            if placed[x] {
+                continue;
+            }
+            // Position 0: left of everything.
+            let gain0 = bonds.get(x, order[0]) as i64;
+            if gain0 > best_gain {
+                best_gain = gain0;
+                best_col = x;
+                best_pos = 0;
+            }
+            // Between order[p-1] and order[p].
+            for p in 1..order.len() {
+                let (l, r) = (order[p - 1], order[p]);
+                let gain =
+                    bonds.get(l, x) as i64 + bonds.get(x, r) as i64 - bonds.get(l, r) as i64;
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_col = x;
+                    best_pos = p;
+                }
+            }
+            // Right end.
+            let gain_end = bonds.get(*order.last().expect("non-empty"), x) as i64;
+            if gain_end > best_gain {
+                best_gain = gain_end;
+                best_col = x;
+                best_pos = order.len();
+            }
+        }
+        order.insert(best_pos, best_col);
+        placed[best_col] = true;
+        me = (me as i64 + best_gain) as u64;
+    }
+    debug_assert_eq!(me, measure_of(bonds, &order));
+    (order, me)
+}
+
+/// The measure of effectiveness of an ordering: Σ adjacent bonds.
+fn measure_of(bonds: &BondMatrix, order: &[usize]) -> u64 {
+    order.windows(2).map(|w| bonds.get(w[0], w[1])).sum()
+}
+
+/// `profile[t]` = number of connections crossing the boundary between
+/// positions `0..=t` and `t+1..` of the ordering.
+fn boundary_cut_profile(sym: &CsrGraph, order: &[usize]) -> Vec<usize> {
+    let n = order.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut pos = vec![0usize; n];
+    for (p, &v) in order.iter().enumerate() {
+        pos[v] = p;
+    }
+    // Sweep: when the boundary moves right past position t, node order[t]
+    // switches sides: edges to earlier positions stop crossing, edges to
+    // later positions start crossing. Count each undirected connection
+    // once via src-position < dst-position bookkeeping.
+    let mut profile = vec![0usize; n];
+    let mut cut = 0i64;
+    for t in 0..n {
+        let v = NodeId::from_index(order[t]);
+        for (w, _) in sym.neighbors(v) {
+            // Symmetric graph stores both directions; halve by only
+            // counting pairs where the neighbour differs.
+            let pw = pos[w.index()];
+            if pw > t {
+                cut += 1;
+            } else if pw < t {
+                cut -= 1;
+            }
+        }
+        profile[t] = cut.max(0) as usize;
+    }
+    profile
+}
+
+/// Greedy left-to-right split. `threshold = Some(t)` uses the threshold
+/// rule; `None` uses local minima of the profile. Returns block labels.
+fn split_blocks(
+    sym: &CsrGraph,
+    order: &[usize],
+    profile: &[usize],
+    threshold: Option<usize>,
+    min_block_edges: usize,
+) -> Vec<u32> {
+    let n = order.len();
+    let mut pos = vec![0usize; n];
+    for (p, &v) in order.iter().enumerate() {
+        pos[v] = p;
+    }
+    let mut block_of = vec![0u32; n];
+    let mut block = 0u32;
+    let mut block_start = 0usize;
+    let mut block_edges = 0usize;
+
+    for t in 0..n {
+        let v = NodeId::from_index(order[t]);
+        // Connections from v back into the current block (each symmetric
+        // pair counted once: the back-edge direction).
+        block_edges += sym
+            .neighbors(v)
+            .filter(|(w, _)| {
+                let pw = pos[w.index()];
+                pw < t && pw >= block_start
+            })
+            .count();
+        block_of[order[t]] = block;
+
+        if t + 1 == n {
+            break; // last column: nothing right of it.
+        }
+        let split_here = match threshold {
+            Some(th) => profile[t] <= th,
+            None => {
+                // Strict local minimum of the cut profile.
+                let left_ok = t == 0 || profile[t] <= profile[t - 1];
+                left_ok && profile[t] < profile[t + 1]
+            }
+        };
+        if split_here && block_edges >= min_block_edges {
+            block += 1;
+            block_start = t + 1;
+            block_edges = 0;
+        }
+    }
+    block_of
+}
+
+/// Fig. 5's count: the 1's of the block's columns that fall outside the
+/// block's rows, i.e. connections between block nodes and all other
+/// nodes. (Diagonal entries never leave their block.)
+pub fn block_outside_connections(sym: &CsrGraph, block: &[NodeId]) -> usize {
+    let mut in_block = vec![false; sym.node_count()];
+    for &v in block {
+        in_block[v.index()] = true;
+    }
+    let mut count = 0;
+    for &v in block {
+        for (w, _) in sym.neighbors(v) {
+            if !in_block[w.index()] {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Undirected CSR view of the alive edges (each connection once per
+/// direction, self-loops dropped, duplicates merged).
+fn symmetric_graph(edges: &EdgeList) -> CsrGraph {
+    use std::collections::HashSet;
+    let mut pairs: HashSet<(NodeId, NodeId)> = HashSet::new();
+    for (_, e) in edges.alive_edges() {
+        if !e.is_loop() {
+            pairs.insert(e.undirected_key());
+        }
+    }
+    let mut sym = Vec::with_capacity(pairs.len() * 2);
+    for (a, b) in pairs {
+        sym.push(Edge::unit(a, b));
+        sym.push(Edge::unit(b, a));
+    }
+    CsrGraph::from_edges(edges.node_count(), &sym)
+}
+
+/// The `q`-quantile of the values (nearest-rank, on a sorted copy).
+fn quantile(values: &[usize], q: f64) -> usize {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() as f64 - 1.0) * q).floor() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// `k` deterministic sample indices spread over `0..n`.
+fn sample_indices(n: usize, k: usize) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    (0..k).map(|i| i * n / k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_gen::deterministic::two_triangles_bridge;
+    use ds_gen::{generate_transportation, TransportationConfig};
+
+    /// The exact worked example of Fig. 5, reconstructed from the text:
+    /// undirected edges 1-2, 2-3, 1-5, 2-5, 4-6 (1-indexed). "If nodes 1-3
+    /// are grouped together, there are 2 connections with nodes outside
+    /// the block, both with node 5. If instead nodes 1-4 are grouped
+    /// together, there are 3 connections with nodes outside the block,
+    /// with nodes 5 and 6."
+    fn fig5_graph() -> EdgeList {
+        let pairs = [(0u32, 1u32), (1, 2), (0, 4), (1, 4), (3, 5)];
+        EdgeList::new(6, pairs.iter().map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b))).collect())
+    }
+
+    #[test]
+    fn fig5_worked_example() {
+        let el = fig5_graph();
+        let sym = symmetric_graph(&el);
+        let block123 = [NodeId(0), NodeId(1), NodeId(2)];
+        assert_eq!(block_outside_connections(&sym, &block123), 2);
+        let block1234 = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        assert_eq!(block_outside_connections(&sym, &block1234), 3);
+    }
+
+    #[test]
+    fn fig5_split_prefers_small_ds() {
+        // With a threshold of 2 and no minimum block size, the algorithm
+        // must cut where only the two node-5 connections cross.
+        let out = bond_energy(
+            &fig5_graph(),
+            &BondEnergyConfig {
+                split: SplitRule::CutBelowThreshold(2),
+                min_block_edges: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let m = out.fragmentation.metrics();
+        assert!(m.fragment_count >= 2, "must split: {m}");
+        assert!(m.avg_ds_nodes <= 1.0 + f64::EPSILON, "tiny disconnection sets: {m}");
+    }
+
+    #[test]
+    fn placement_groups_clusters_contiguously() {
+        let g = two_triangles_bridge();
+        let out = bond_energy(
+            &g.edge_list(),
+            &BondEnergyConfig { min_block_edges: 1, ..Default::default() },
+        )
+        .unwrap();
+        // In the winning order, the two triangles {0,1,2} and {3,4,5}
+        // must occupy contiguous spans.
+        let pos_of = |v: u32| out.order.iter().position(|&n| n.0 == v).unwrap();
+        let left: Vec<usize> = (0..3).map(pos_of).collect();
+        let right: Vec<usize> = (3..6).map(pos_of).collect();
+        let lmax = *left.iter().max().unwrap();
+        let lmin = *left.iter().min().unwrap();
+        let rmax = *right.iter().max().unwrap();
+        let rmin = *right.iter().min().unwrap();
+        assert!(
+            lmax < rmin || rmax < lmin,
+            "clusters interleaved in order {:?}",
+            out.order
+        );
+    }
+
+    #[test]
+    fn transportation_graph_recovers_clusters() {
+        let cfg = TransportationConfig::table1();
+        let g = generate_transportation(&cfg, 1);
+        let out = bond_energy(
+            &g.edge_list(),
+            &BondEnergyConfig {
+                split: SplitRule::CutBelowThreshold(4),
+                min_block_edges: 30,
+                max_restarts: Some(12),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        out.fragmentation.validate(&g.connections).unwrap();
+        let m = out.fragmentation.metrics();
+        assert!(
+            (3..=5).contains(&m.fragment_count),
+            "should find ~4 clusters, got {}",
+            m.fragment_count
+        );
+        // The headline claim: disconnection sets are small (Table 1: 2.4).
+        assert!(m.avg_ds_nodes <= 5.0, "DS too large: {m}");
+    }
+
+    #[test]
+    fn quantile_rule_splits_general_graphs() {
+        use ds_gen::{generate_general, GeneralConfig};
+        let g = generate_general(&GeneralConfig::default(), 2);
+        let out = bond_energy(
+            &g.edge_list(),
+            &BondEnergyConfig {
+                split: SplitRule::CutQuantile(0.12),
+                min_block_edges: 40,
+                max_restarts: Some(8),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        out.fragmentation.validate(&g.connections).unwrap();
+        assert!(out.fragmentation.fragment_count() >= 2, "quantile rule should split");
+    }
+
+    #[test]
+    fn local_minimum_rule_runs() {
+        let g = two_triangles_bridge();
+        let out = bond_energy(
+            &g.edge_list(),
+            &BondEnergyConfig {
+                split: SplitRule::LocalMinimum,
+                min_block_edges: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        out.fragmentation.validate(&g.connections).unwrap();
+        assert!(out.fragmentation.fragment_count() >= 2);
+    }
+
+    #[test]
+    fn measure_matches_definition() {
+        let el = fig5_graph();
+        let sym = symmetric_graph(&el);
+        let m = AdjacencyMatrix::from_graph(&sym);
+        let bonds = BondMatrix::new(&m);
+        let (order, me) = place_from(&bonds, 0);
+        assert_eq!(me, measure_of(&bonds, &order));
+        assert_eq!(order.len(), 6);
+    }
+
+    #[test]
+    fn cut_profile_matches_brute_force() {
+        let el = fig5_graph();
+        let sym = symmetric_graph(&el);
+        let order: Vec<usize> = vec![4, 0, 1, 2, 3, 5];
+        let profile = boundary_cut_profile(&sym, &order);
+        for t in 0..order.len() {
+            let left: Vec<NodeId> = order[..=t].iter().map(|&v| NodeId::from_index(v)).collect();
+            let brute = block_outside_connections(&sym, &left)
+                // Outside of a prefix block is exactly the right side.
+                ;
+            assert_eq!(profile[t], brute, "at boundary {t}");
+        }
+    }
+
+    #[test]
+    fn restart_cap_respected_and_validated() {
+        let g = two_triangles_bridge();
+        for cap in [1, 2, 6] {
+            let out = bond_energy(
+                &g.edge_list(),
+                &BondEnergyConfig {
+                    max_restarts: Some(cap),
+                    min_block_edges: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            out.fragmentation.validate(&g.connections).unwrap();
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let g = two_triangles_bridge();
+        assert!(matches!(
+            bond_energy(
+                &g.edge_list(),
+                &BondEnergyConfig { split: SplitRule::CutQuantile(1.5), ..Default::default() }
+            ),
+            Err(FragError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            bond_energy(
+                &g.edge_list(),
+                &BondEnergyConfig { max_restarts: Some(0), ..Default::default() }
+            ),
+            Err(FragError::InvalidConfig(_))
+        ));
+        let empty = EdgeList::new(3, vec![]);
+        assert_eq!(
+            bond_energy(&empty, &BondEnergyConfig::default()).unwrap_err(),
+            FragError::EmptyRelation
+        );
+    }
+
+    #[test]
+    fn min_block_guard_prevents_tiny_fragments() {
+        let el = fig5_graph();
+        // Huge guard: no split can ever close a block -> one fragment.
+        let out = bond_energy(
+            &el,
+            &BondEnergyConfig { min_block_edges: 100, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(out.fragmentation.fragment_count(), 1);
+    }
+
+    #[test]
+    fn sample_indices_spread() {
+        assert_eq!(sample_indices(10, 20), (0..10).collect::<Vec<_>>());
+        let s = sample_indices(100, 4);
+        assert_eq!(s, vec![0, 25, 50, 75]);
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let v = vec![5usize, 1, 9, 3];
+        assert_eq!(quantile(&v, 0.0), 1);
+        assert_eq!(quantile(&v, 1.0), 9);
+        assert_eq!(quantile(&v, 0.5), 3);
+        assert_eq!(quantile(&[], 0.5), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Errors raised by the fragmentation algorithms and validators.
+
+use std::fmt;
+
+/// Errors from fragmentation construction and validation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FragError {
+    /// The input relation has no edges — nothing to fragment.
+    EmptyRelation,
+    /// More fragments requested than the graph can support.
+    TooManyFragments { requested: usize, available: usize },
+    /// The algorithm requires node coordinates (linear sweep, distributed
+    /// centers) but the edge list carries none.
+    MissingCoordinates,
+    /// A configuration value is out of range.
+    InvalidConfig(String),
+    /// Fragment edge sets do not partition the input relation: some edge
+    /// is missing or assigned twice. Violates the disconnection set
+    /// approach's "no redundant computation" guarantee.
+    NotAPartition { missing: usize, duplicated: usize },
+    /// A label table was supplied whose length differs from the node count.
+    LabelLengthMismatch { labels: usize, node_count: usize },
+}
+
+impl fmt::Display for FragError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FragError::EmptyRelation => write!(f, "input relation has no edges"),
+            FragError::TooManyFragments { requested, available } => {
+                write!(f, "{requested} fragments requested but only {available} are supportable")
+            }
+            FragError::MissingCoordinates => {
+                write!(f, "algorithm requires node coordinates but none are attached")
+            }
+            FragError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            FragError::NotAPartition { missing, duplicated } => write!(
+                f,
+                "fragments do not partition the relation: {missing} edges missing, {duplicated} duplicated"
+            ),
+            FragError::LabelLengthMismatch { labels, node_count } => {
+                write!(f, "label table has {labels} entries for {node_count} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FragError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        assert!(FragError::EmptyRelation.to_string().contains("no edges"));
+        let e = FragError::TooManyFragments { requested: 9, available: 3 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('3'));
+        let e = FragError::NotAPartition { missing: 1, duplicated: 2 };
+        assert!(e.to_string().contains("1 edges missing"));
+        assert!(FragError::InvalidConfig("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,344 @@
+//! The linear fragmentation algorithm (§3.3, Fig. 7).
+//!
+//! "The algorithm starts by selecting a group of start nodes located on an
+//! extreme end of the graph. In each iteration, it then accumulates the
+//! adjacent edges in a fragment … Once the number of edges in a fragment
+//! has reached a certain threshold (defined as |E|/f), the nodes on the
+//! boundary are put in a disconnection set and used as starting points for
+//! the next fragment."
+//!
+//! The fragmentation graph is guaranteed acyclic: each wave consumes *all*
+//! edges incident to the frontier ("in each iteration all edges starting
+//! from the boundary nodes have to be added to the fragment to avoid
+//! cycles"), so interior nodes never resurface in later fragments and only
+//! consecutive fragments share nodes.
+//!
+//! Deviations from the paper's pseudocode (documented in DESIGN.md):
+//! on a disconnected graph Fig. 7 loops forever when the frontier dies
+//! with edges remaining; we re-seed at the extreme-most remaining node,
+//! which keeps the fragmentation graph a forest.
+
+use std::collections::BTreeSet;
+
+use ds_graph::{Coord, Edge, EdgeList, NodeId};
+
+use crate::error::FragError;
+use crate::fragmentation::Fragmentation;
+
+/// Sweep direction: which coordinate extreme the start nodes sit on.
+/// Fig. 8 shows the choice matters: sweeping along the long axis of an
+/// elongated graph crosses narrow sections and yields small boundaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Sweep {
+    /// Start at smallest x, sweep right (the paper's default: "We have
+    /// chosen to start at the leftmost side").
+    #[default]
+    XAscending,
+    /// Start at largest x, sweep left.
+    XDescending,
+    /// Start at smallest y, sweep up.
+    YAscending,
+    /// Start at largest y, sweep down — the "starting at the top and going
+    /// down" of Fig. 8.
+    YDescending,
+}
+
+impl Sweep {
+    /// Sort key: smaller = earlier in the sweep.
+    fn key(self, c: Coord) -> f64 {
+        match self {
+            Sweep::XAscending => c.x,
+            Sweep::XDescending => -c.x,
+            Sweep::YAscending => c.y,
+            Sweep::YDescending => -c.y,
+        }
+    }
+}
+
+/// Configuration of the linear sweep.
+#[derive(Clone, Debug)]
+pub struct LinearConfig {
+    /// `f` — the requested number of fragments. The threshold is
+    /// `|E| / f`; the realized count can deviate slightly (§4.2.1: "a
+    /// slight variation in number of fragments possible").
+    pub fragments: usize,
+    /// `s` — how many extreme nodes seed the first fragment.
+    pub start_nodes: usize,
+    /// Sweep direction.
+    pub sweep: Sweep,
+}
+
+impl Default for LinearConfig {
+    fn default() -> Self {
+        LinearConfig { fragments: 4, start_nodes: 1, sweep: Sweep::XAscending }
+    }
+}
+
+/// Result of a linear sweep: the fragmentation plus the boundary sets the
+/// algorithm recorded as it closed each fragment (`DS_k(k+1) := start_n`).
+#[derive(Clone, Debug)]
+pub struct LinearOutcome {
+    pub fragmentation: Fragmentation,
+    /// `recorded_ds[k]` is the boundary recorded between fragments `k` and
+    /// `k+1` (empty when a component ended exactly at the cut).
+    pub recorded_ds: Vec<Vec<NodeId>>,
+    /// How many times the sweep had to re-seed because the frontier died
+    /// with edges remaining (0 on connected graphs).
+    pub reseeds: usize,
+}
+
+/// Run the linear fragmentation of Fig. 7 on a working edge set.
+/// Requires coordinates ([`FragError::MissingCoordinates`] otherwise).
+pub fn linear_sweep(edges: &EdgeList, cfg: &LinearConfig) -> Result<LinearOutcome, FragError> {
+    if edges.remaining() == 0 {
+        return Err(FragError::EmptyRelation);
+    }
+    if cfg.fragments == 0 {
+        return Err(FragError::InvalidConfig("fragments must be >= 1".into()));
+    }
+    if cfg.start_nodes == 0 {
+        return Err(FragError::InvalidConfig("start_nodes must be >= 1".into()));
+    }
+    let coords = edges.coords().ok_or(FragError::MissingCoordinates)?.to_vec();
+    let key = |v: NodeId| cfg.sweep.key(coords[v.index()]);
+
+    let mut work = edges.clone();
+    // threshold := |E| / f  (at least 1 so tiny graphs still progress).
+    let threshold = (work.remaining() / cfg.fragments).max(1);
+
+    // start_n := s nodes with smallest sweep key.
+    let mut all: Vec<NodeId> = work.alive_nodes();
+    all.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).expect("finite coords"));
+    let mut start_n: BTreeSet<NodeId> = all.into_iter().take(cfg.start_nodes).collect();
+
+    let node_count = work.node_count();
+    let mut edge_sets: Vec<Vec<Edge>> = Vec::new();
+    let mut seed_sets: Vec<Vec<NodeId>> = Vec::new();
+    let mut recorded_ds: Vec<Vec<NodeId>> = Vec::new();
+    let mut reseeds = 0usize;
+
+    while !work.is_exhausted() {
+        let seeds: Vec<NodeId> = start_n.iter().copied().collect();
+        let mut frag_edges: Vec<Edge> = Vec::new();
+        let mut v_k: BTreeSet<NodeId> = start_n.clone();
+
+        // Inner loop: accumulate whole waves until the threshold trips.
+        while frag_edges.len() < threshold && !work.is_exhausted() {
+            let taken = work.take_incident_to(start_n.iter().copied());
+            if taken.is_empty() {
+                // Frontier died. If this fragment is still empty and edges
+                // remain, the graph is disconnected: re-seed at the
+                // extreme-most remaining node (deviation #1).
+                if frag_edges.is_empty() {
+                    let reseed = work
+                        .min_alive_node_by(|v| OrderedF64(key(v)))
+                        .expect("edges remain, so an alive node exists");
+                    start_n = BTreeSet::from([reseed]);
+                    v_k.insert(reseed);
+                    reseeds += 1;
+                    continue;
+                }
+                // Component exhausted mid-fragment: close with an empty
+                // boundary; the outer loop re-seeds via the same path.
+                start_n.clear();
+                break;
+            }
+            let new_e: Vec<Edge> = taken.iter().map(|&i| work.edge(i)).collect();
+            // start_n := nodes of new_e not already in V_k (Fig. 7).
+            let mut next_frontier = BTreeSet::new();
+            for e in &new_e {
+                for v in [e.src, e.dst] {
+                    if !v_k.contains(&v) {
+                        next_frontier.insert(v);
+                    }
+                }
+            }
+            v_k.extend(next_frontier.iter().copied());
+            frag_edges.extend(new_e);
+            start_n = next_frontier;
+        }
+
+        // DS_k(k+1) := start_n — the boundary when the fragment closed.
+        edge_sets.push(frag_edges);
+        seed_sets.push(seeds);
+        if !work.is_exhausted() {
+            recorded_ds.push(start_n.iter().copied().collect());
+            if start_n.is_empty() {
+                // Disconnected: seed the next fragment on the extreme-most
+                // remaining node.
+                let reseed = work
+                    .min_alive_node_by(|v| OrderedF64(key(v)))
+                    .expect("edges remain, so an alive node exists");
+                start_n = BTreeSet::from([reseed]);
+                reseeds += 1;
+            }
+        }
+    }
+
+    let fragmentation = Fragmentation::new(node_count, edge_sets, seed_sets);
+    Ok(LinearOutcome { fragmentation, recorded_ds, reseeds })
+}
+
+/// Total-order wrapper for finite f64 sweep keys.
+#[derive(PartialEq, PartialOrd)]
+struct OrderedF64(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_gen::deterministic::{grid, path};
+
+    #[test]
+    fn path_split_in_two_at_midpoint() {
+        // 0-1-2-3-4-5-6-7 (7 edges), f=2 -> threshold 3.
+        let g = path(8);
+        let out = linear_sweep(&g.edge_list(), &LinearConfig { fragments: 2, ..Default::default() })
+            .unwrap();
+        let frag = &out.fragmentation;
+        frag.validate(&g.connections).unwrap();
+        assert!(frag.fragment_count() >= 2);
+        assert!(frag.fragmentation_graph().is_acyclic());
+        assert_eq!(out.reseeds, 0);
+        // Waves from node 0 consume one edge each; the first fragment
+        // closes at exactly the threshold.
+        assert_eq!(frag.fragment(0).edge_count(), 3);
+    }
+
+    #[test]
+    fn recorded_ds_equals_true_ds() {
+        let g = grid(10, 4);
+        let out = linear_sweep(&g.edge_list(), &LinearConfig { fragments: 4, ..Default::default() })
+            .unwrap();
+        let frag = &out.fragmentation;
+        let true_ds = frag.disconnection_sets();
+        // Consecutive fragments only; recorded boundary must equal the
+        // true node intersection.
+        for (k, recorded) in out.recorded_ds.iter().enumerate() {
+            if recorded.is_empty() {
+                continue;
+            }
+            let truth = true_ds.get(&(k, k + 1)).cloned().unwrap_or_default();
+            assert_eq!(recorded, &truth, "boundary between {k} and {}", k + 1);
+        }
+        // And no non-consecutive pair shares nodes.
+        for (&(a, b), nodes) in &true_ds {
+            assert_eq!(b, a + 1, "non-consecutive fragments share {nodes:?}");
+        }
+    }
+
+    #[test]
+    fn acyclic_guarantee_on_grid() {
+        for f in [2, 3, 5, 8] {
+            let g = grid(12, 5);
+            let out = linear_sweep(
+                &g.edge_list(),
+                &LinearConfig { fragments: f, ..Default::default() },
+            )
+            .unwrap();
+            assert!(
+                out.fragmentation.fragmentation_graph().is_acyclic(),
+                "linear sweep must be loosely connected (f={f})"
+            );
+            out.fragmentation.validate(&g.connections).unwrap();
+        }
+    }
+
+    #[test]
+    fn sweep_direction_changes_first_seed() {
+        let g = grid(6, 3); // wider than tall
+        let left = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig { fragments: 3, sweep: Sweep::XAscending, ..Default::default() },
+        )
+        .unwrap();
+        // Leftmost node is id 0 (coord 0,0) or 6/12 — all x=0.
+        let f0 = left.fragmentation.fragment(0);
+        assert!(f0.nodes().iter().any(|v| g.coords[v.index()].x == 0.0));
+
+        let right = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig { fragments: 3, sweep: Sweep::XDescending, ..Default::default() },
+        )
+        .unwrap();
+        let f0 = right.fragmentation.fragment(0);
+        assert!(f0.nodes().iter().any(|v| g.coords[v.index()].x == 5.0));
+    }
+
+    #[test]
+    fn single_fragment_takes_everything() {
+        let g = grid(4, 4);
+        let out = linear_sweep(&g.edge_list(), &LinearConfig { fragments: 1, ..Default::default() })
+            .unwrap();
+        assert_eq!(out.fragmentation.fragment_count(), 1);
+        assert_eq!(out.fragmentation.fragment(0).edge_count(), g.connection_count());
+        assert!(out.recorded_ds.is_empty());
+    }
+
+    #[test]
+    fn disconnected_graph_reseeds_and_stays_acyclic() {
+        // Two disjoint paths; coordinates make them sweep one after the
+        // other.
+        let mut g = path(4); // nodes 0..4 at x=0..3
+        let extra = path(4);
+        // Shift the second path to x in 10..13 with node ids 4..8.
+        let offset = 4u32;
+        for e in extra.connections {
+            g.connections.push(ds_graph::Edge::new(
+                NodeId(e.src.0 + offset),
+                NodeId(e.dst.0 + offset),
+                e.cost,
+            ));
+        }
+        for c in extra.coords {
+            g.coords.push(ds_graph::Coord::new(c.x + 10.0, c.y));
+        }
+        g.nodes = 8;
+        let out = linear_sweep(&g.edge_list(), &LinearConfig { fragments: 2, ..Default::default() })
+            .unwrap();
+        assert!(out.reseeds >= 1, "disconnected graph must re-seed");
+        assert!(out.fragmentation.fragmentation_graph().is_acyclic());
+        out.fragmentation.validate(&g.connections).unwrap();
+    }
+
+    #[test]
+    fn empty_relation_rejected() {
+        let el = ds_graph::EdgeList::new(3, vec![]).with_coords(vec![Coord::default(); 3]);
+        assert_eq!(
+            linear_sweep(&el, &LinearConfig::default()).unwrap_err(),
+            FragError::EmptyRelation
+        );
+    }
+
+    #[test]
+    fn missing_coordinates_rejected() {
+        let el = ds_graph::EdgeList::new(2, vec![Edge::unit(NodeId(0), NodeId(1))]);
+        assert_eq!(
+            linear_sweep(&el, &LinearConfig::default()).unwrap_err(),
+            FragError::MissingCoordinates
+        );
+    }
+
+    #[test]
+    fn zero_fragments_rejected() {
+        let g = path(4);
+        assert!(matches!(
+            linear_sweep(&g.edge_list(), &LinearConfig { fragments: 0, ..Default::default() }),
+            Err(FragError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_start_nodes() {
+        let g = grid(8, 4);
+        let out = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig { fragments: 4, start_nodes: 4, ..Default::default() },
+        )
+        .unwrap();
+        // All four leftmost (x=0) nodes seed fragment 0.
+        let f0 = out.fragmentation.fragment(0);
+        let left_col = (0..4).filter(|&r| f0.contains_node(NodeId(r * 8))).count();
+        assert_eq!(left_col, 4);
+        out.fragmentation.validate(&g.connections).unwrap();
+    }
+}

@@ -1,0 +1,141 @@
+//! Crossing-edge ownership and the node-blocks → fragmentation builder.
+//!
+//! The bond-energy and semantic fragmenters decide *node blocks* first;
+//! edges with endpoints in two different blocks ("connections with other
+//! fragments", §3.2) must then be assigned to exactly one fragment — the
+//! other endpoint becomes a shared border node, i.e. a disconnection-set
+//! member. The paper does not fix this rule; we expose it as a policy and
+//! measure its effect in the `ablation-crossing` experiment.
+
+use ds_graph::{Edge, NodeId};
+
+use crate::error::FragError;
+use crate::fragmentation::Fragmentation;
+
+/// Who owns an edge whose endpoints fall into two different node blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CrossingPolicy {
+    /// The lower-numbered block owns the edge. Deterministic and simple;
+    /// concentrates border nodes on the higher-numbered side.
+    #[default]
+    LowerBlock,
+    /// The block that currently holds fewer edges owns it — trades a
+    /// little disconnection-set focus for balance.
+    Balance,
+}
+
+/// Build a [`Fragmentation`] from a node-block labeling.
+///
+/// `block_of[v]` is the block of node `v`; blocks must be numbered
+/// `0..block_count`. In-block edges go to their block's fragment; crossing
+/// edges are assigned per `policy`.
+pub fn fragmentation_from_blocks(
+    node_count: usize,
+    edges: &[Edge],
+    block_of: &[u32],
+    block_count: usize,
+    policy: CrossingPolicy,
+) -> Result<Fragmentation, FragError> {
+    if block_of.len() != node_count {
+        return Err(FragError::LabelLengthMismatch {
+            labels: block_of.len(),
+            node_count,
+        });
+    }
+    if let Some(&bad) = block_of.iter().find(|&&b| b as usize >= block_count) {
+        return Err(FragError::InvalidConfig(format!(
+            "block label {bad} out of range 0..{block_count}"
+        )));
+    }
+    let mut sets: Vec<Vec<Edge>> = vec![Vec::new(); block_count];
+    for e in edges {
+        let (ba, bb) = (block_of[e.src.index()] as usize, block_of[e.dst.index()] as usize);
+        let owner = if ba == bb {
+            ba
+        } else {
+            match policy {
+                CrossingPolicy::LowerBlock => ba.min(bb),
+                CrossingPolicy::Balance => {
+                    // Prefer the currently smaller fragment; ties to the
+                    // lower block keep it deterministic.
+                    match sets[ba].len().cmp(&sets[bb].len()) {
+                        std::cmp::Ordering::Less => ba,
+                        std::cmp::Ordering::Greater => bb,
+                        std::cmp::Ordering::Equal => ba.min(bb),
+                    }
+                }
+            }
+        };
+        sets[owner].push(*e);
+    }
+    // Seed every node into its own block so isolated nodes stay owned.
+    let mut seeds: Vec<Vec<NodeId>> = vec![Vec::new(); block_count];
+    for (v, &b) in block_of.iter().enumerate() {
+        seeds[b as usize].push(NodeId::from_index(v));
+    }
+    Ok(Fragmentation::new(node_count, sets, seeds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(pairs: &[(u32, u32)]) -> Vec<Edge> {
+        pairs.iter().map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b))).collect()
+    }
+
+    #[test]
+    fn in_block_edges_stay_home() {
+        let e = edges(&[(0, 1), (2, 3)]);
+        let frag = fragmentation_from_blocks(4, &e, &[0, 0, 1, 1], 2, CrossingPolicy::LowerBlock)
+            .unwrap();
+        assert_eq!(frag.fragment(0).edge_count(), 1);
+        assert_eq!(frag.fragment(1).edge_count(), 1);
+        assert!(frag.disconnection_sets().is_empty());
+    }
+
+    #[test]
+    fn lower_block_policy_creates_shared_node_on_high_side() {
+        // Crossing edge 1-2 goes to block 0; node 2 becomes shared.
+        let e = edges(&[(0, 1), (1, 2), (2, 3)]);
+        let frag = fragmentation_from_blocks(4, &e, &[0, 0, 1, 1], 2, CrossingPolicy::LowerBlock)
+            .unwrap();
+        let ds = frag.disconnection_sets();
+        assert_eq!(ds[&(0, 1)], vec![NodeId(2)]);
+        frag.validate(&e).unwrap();
+    }
+
+    #[test]
+    fn balance_policy_evens_out_sizes() {
+        // Block 0 already holds 2 edges, block 1 none; the crossing edge
+        // should go to block 1.
+        let e = edges(&[(0, 1), (0, 1), (1, 2)]);
+        let frag =
+            fragmentation_from_blocks(3, &e, &[0, 0, 1], 2, CrossingPolicy::Balance).unwrap();
+        assert_eq!(frag.fragment(0).edge_count(), 2);
+        assert_eq!(frag.fragment(1).edge_count(), 1);
+        // Node 1 is now shared instead of node 2.
+        assert_eq!(frag.disconnection_sets()[&(0, 1)], vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn isolated_nodes_seeded_into_their_block() {
+        let frag =
+            fragmentation_from_blocks(3, &edges(&[(0, 1)]), &[0, 0, 1], 2, CrossingPolicy::LowerBlock)
+                .unwrap();
+        assert!(frag.fragment(1).contains_node(NodeId(2)));
+    }
+
+    #[test]
+    fn label_validation() {
+        let e = edges(&[(0, 1)]);
+        assert!(matches!(
+            fragmentation_from_blocks(2, &e, &[0], 1, CrossingPolicy::LowerBlock),
+            Err(FragError::LabelLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            fragmentation_from_blocks(2, &e, &[0, 5], 2, CrossingPolicy::LowerBlock),
+            Err(FragError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,86 @@
+//! Semantic (label-driven) fragmentation.
+//!
+//! §2.1 assumes "an initial data fragmentation based on application's
+//! semantics. Consider a railway network connecting cities in Europe …
+//! data are naturally fragmented by country." This module turns such a
+//! node labeling (city → country) into a [`Fragmentation`]: in-label
+//! edges stay home, border-crossing edges get an owner per
+//! [`CrossingPolicy`], and the border cities become the disconnection
+//! sets.
+
+use ds_graph::Edge;
+
+use crate::error::FragError;
+use crate::fragmentation::Fragmentation;
+use crate::policy::{fragmentation_from_blocks, CrossingPolicy};
+
+/// Fragment a relation by an application-supplied node labeling.
+///
+/// `label_of[v]` assigns node `v` to a part; labels must be dense
+/// (`0..part_count`).
+pub fn by_labels(
+    node_count: usize,
+    edges: &[Edge],
+    label_of: &[u32],
+    part_count: usize,
+    policy: CrossingPolicy,
+) -> Result<Fragmentation, FragError> {
+    if edges.is_empty() {
+        return Err(FragError::EmptyRelation);
+    }
+    if part_count == 0 {
+        return Err(FragError::InvalidConfig("part_count must be >= 1".into()));
+    }
+    fragmentation_from_blocks(node_count, edges, label_of, part_count, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_gen::{generate_transportation, TransportationConfig};
+    use ds_graph::NodeId;
+
+    #[test]
+    fn ground_truth_clusters_give_small_ds() {
+        // Fragment a transportation graph by its generator labels: the
+        // disconnection sets are exactly the border nodes of the few
+        // inter-cluster links.
+        let cfg = TransportationConfig::table1();
+        let g = generate_transportation(&cfg, 11);
+        let labels = g.cluster_of.clone().unwrap();
+        let frag = by_labels(g.nodes, &g.connections, &labels, 4, CrossingPolicy::LowerBlock)
+            .unwrap();
+        frag.validate(&g.connections).unwrap();
+        let m = frag.metrics();
+        assert_eq!(m.fragment_count, 4);
+        // Chain topology with 2 links per pair: DS of 1..2 nodes each.
+        assert!(m.avg_ds_nodes <= 2.5, "semantic DS should be tiny: {m}");
+        assert!(m.loosely_connected, "chain topology stays acyclic");
+    }
+
+    #[test]
+    fn crossing_edges_create_borders() {
+        // Two labelled halves of a path share exactly the boundary node.
+        let edges: Vec<Edge> = (0..4u32).map(|i| Edge::unit(NodeId(i), NodeId(i + 1))).collect();
+        let frag = by_labels(5, &edges, &[0, 0, 0, 1, 1], 2, CrossingPolicy::LowerBlock).unwrap();
+        let ds = frag.disconnection_sets();
+        assert_eq!(ds[&(0, 1)], vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert_eq!(
+            by_labels(2, &[], &[0, 0], 1, CrossingPolicy::LowerBlock).unwrap_err(),
+            FragError::EmptyRelation
+        );
+        let e = [Edge::unit(NodeId(0), NodeId(1))];
+        assert!(matches!(
+            by_labels(2, &e, &[0, 0], 0, CrossingPolicy::LowerBlock),
+            Err(FragError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            by_labels(2, &e, &[0], 1, CrossingPolicy::LowerBlock),
+            Err(FragError::LabelLengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,226 @@
+//! Generator configurations.
+//!
+//! The paper's generator takes "the number of nodes of the graph, the
+//! number of fragments that should be generated (in case of transportation
+//! graphs), and two parameters for the probability function" (§4.1). The
+//! configs here expose exactly those knobs, plus a `target_edges` mode
+//! that solves for `c1` so the *expected* edge count matches a requested
+//! value — this is how we calibrate to the edge counts the tables report
+//! (429, 3167, 279.5) without access to the original parameter files.
+
+/// Configuration for a general (unstructured) random graph, §4.1/§4.2.2.
+#[derive(Clone, Debug)]
+pub struct GeneralConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Expected number of connections (undirected edges). When non-zero,
+    /// `c1` is solved so the expected count equals this; when zero, `c1`
+    /// is used as given.
+    pub target_edges: usize,
+    /// The `c1` parameter of `P(p,q) = (c1/n²)·e^(−c2·d(p,q))`.
+    /// Ignored when `target_edges > 0`.
+    pub c1: f64,
+    /// The `c2` parameter: decay of connection probability with distance.
+    /// Larger values favour local connections (the paper used coordinates
+    /// "to encourage local connections over connections between remote
+    /// nodes").
+    pub c2: f64,
+    /// Side length of the square the coordinates are spread over.
+    pub extent: f64,
+    /// Edge costs: `true` -> every edge costs 1; `false` -> cost is the
+    /// rounded Euclidean distance between the endpoints (min 1).
+    pub unit_costs: bool,
+}
+
+impl Default for GeneralConfig {
+    fn default() -> Self {
+        GeneralConfig {
+            nodes: 100,
+            target_edges: 280, // the paper's Table 3 graphs average 279.5
+            c1: 0.0,
+            c2: 0.05,
+            extent: 100.0,
+            unit_costs: false,
+        }
+    }
+}
+
+/// How the clusters of a transportation graph are connected to each other.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterTopology {
+    /// Clusters in a row: i connected to i+1. Loosely connected by
+    /// construction (fragmentation graph is a path).
+    Chain,
+    /// Clusters in a cycle: i connected to (i+1) mod k. The smallest
+    /// topology whose fragmentation graph has a cycle.
+    Ring,
+    /// Explicit list of `(cluster_i, cluster_j, connection_count)`:
+    /// "we were able to specify which fragments were connected to each
+    /// other and by how many edges" (§4.1).
+    Explicit(Vec<(usize, usize, usize)>),
+}
+
+/// Configuration for a transportation graph (Fig. 3): highly connected
+/// clusters, loosely interconnected.
+#[derive(Clone, Debug)]
+pub struct TransportationConfig {
+    /// Number of clusters ("the number of fragments that should be
+    /// generated").
+    pub clusters: usize,
+    /// Nodes per cluster (25 in Table 1, 150 in Table 2).
+    pub nodes_per_cluster: usize,
+    /// Expected connections *within* each cluster.
+    pub target_edges_per_cluster: usize,
+    /// Distance decay within a cluster.
+    pub c2: f64,
+    /// Side length of each cluster's coordinate patch.
+    pub cluster_extent: f64,
+    /// Gap between neighbouring cluster patches (keeps clusters spatially
+    /// separated, as in Fig. 3).
+    pub cluster_gap: f64,
+    /// Inter-cluster wiring and connection counts. Table 1's graphs
+    /// average 2.25 connecting edges per linked cluster pair.
+    pub topology: ClusterTopology,
+    /// Connections per linked cluster pair (used by `Chain`/`Ring`).
+    pub connections_per_link: usize,
+    /// Edge costs as in [`GeneralConfig::unit_costs`].
+    pub unit_costs: bool,
+}
+
+impl Default for TransportationConfig {
+    fn default() -> Self {
+        TransportationConfig {
+            clusters: 4,
+            nodes_per_cluster: 25,
+            // Table 1: "the average number of edges in these graphs was
+            // 429" over 4 clusters with ~2.25·3 connecting edges — about
+            // 105 edges per cluster.
+            target_edges_per_cluster: 105,
+            c2: 0.08,
+            cluster_extent: 50.0,
+            cluster_gap: 60.0,
+            topology: ClusterTopology::Chain,
+            connections_per_link: 2,
+            unit_costs: false,
+        }
+    }
+}
+
+impl TransportationConfig {
+    /// The Table 1 workload: 4 clusters of 25 nodes, ≈429 edges total,
+    /// ≈2.25 connecting edges per linked pair.
+    pub fn table1() -> Self {
+        TransportationConfig::default()
+    }
+
+    /// The Table 2 workload: 4 clusters of 150 nodes, ≈3167 edges total.
+    pub fn table2() -> Self {
+        TransportationConfig {
+            clusters: 4,
+            nodes_per_cluster: 150,
+            // 3167 total ≈ 4 × 790 in-cluster + a handful of links.
+            target_edges_per_cluster: 790,
+            cluster_extent: 80.0,
+            cluster_gap: 100.0,
+            ..TransportationConfig::default()
+        }
+    }
+
+    /// Total node count.
+    pub fn total_nodes(&self) -> usize {
+        self.clusters * self.nodes_per_cluster
+    }
+
+    /// The list of linked cluster pairs with their connection counts.
+    pub fn links(&self) -> Vec<(usize, usize, usize)> {
+        match &self.topology {
+            ClusterTopology::Chain => (0..self.clusters.saturating_sub(1))
+                .map(|i| (i, i + 1, self.connections_per_link))
+                .collect(),
+            ClusterTopology::Ring => {
+                if self.clusters < 3 {
+                    // A "ring" of 2 degenerates to a chain link.
+                    return (0..self.clusters.saturating_sub(1))
+                        .map(|i| (i, i + 1, self.connections_per_link))
+                        .collect();
+                }
+                (0..self.clusters)
+                    .map(|i| (i, (i + 1) % self.clusters, self.connections_per_link))
+                    .collect()
+            }
+            ClusterTopology::Explicit(links) => links.clone(),
+        }
+    }
+}
+
+/// Configuration for an ellipse-shaped graph (Fig. 8): nodes uniform in an
+/// ellipse with semi-axes `a` (x) and `b` (y), `a ≫ b`.
+#[derive(Clone, Debug)]
+pub struct EllipseConfig {
+    pub nodes: usize,
+    pub target_edges: usize,
+    pub c2: f64,
+    /// Semi-axis along x (the long axis in Fig. 8's preferred sweep).
+    pub a: f64,
+    /// Semi-axis along y.
+    pub b: f64,
+    pub unit_costs: bool,
+}
+
+impl Default for EllipseConfig {
+    fn default() -> Self {
+        EllipseConfig { nodes: 120, target_edges: 360, c2: 0.05, a: 150.0, b: 40.0, unit_costs: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_links() {
+        let cfg = TransportationConfig { clusters: 4, connections_per_link: 3, ..Default::default() };
+        assert_eq!(cfg.links(), vec![(0, 1, 3), (1, 2, 3), (2, 3, 3)]);
+    }
+
+    #[test]
+    fn ring_links_close_the_cycle() {
+        let cfg = TransportationConfig {
+            clusters: 4,
+            topology: ClusterTopology::Ring,
+            connections_per_link: 1,
+            ..Default::default()
+        };
+        let links = cfg.links();
+        assert_eq!(links.len(), 4);
+        assert!(links.contains(&(3, 0, 1)));
+    }
+
+    #[test]
+    fn ring_of_two_degenerates_to_chain() {
+        let cfg = TransportationConfig {
+            clusters: 2,
+            topology: ClusterTopology::Ring,
+            connections_per_link: 2,
+            ..Default::default()
+        };
+        assert_eq!(cfg.links(), vec![(0, 1, 2)]);
+    }
+
+    #[test]
+    fn explicit_links_pass_through() {
+        let cfg = TransportationConfig {
+            topology: ClusterTopology::Explicit(vec![(0, 2, 5)]),
+            ..Default::default()
+        };
+        assert_eq!(cfg.links(), vec![(0, 2, 5)]);
+    }
+
+    #[test]
+    fn table_presets_match_paper_scale() {
+        let t1 = TransportationConfig::table1();
+        assert_eq!(t1.total_nodes(), 100);
+        let t2 = TransportationConfig::table2();
+        assert_eq!(t2.total_nodes(), 600);
+    }
+}

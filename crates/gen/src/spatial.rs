@@ -1,0 +1,84 @@
+//! Coordinate generation: "the first step was to generate coordinates for
+//! each node; the coordinates were evenly spread over a given interval"
+//! (§4.1).
+
+use ds_graph::Coord;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// `n` coordinates uniform over the square `[x0, x0+extent] × [y0, y0+extent]`.
+pub fn uniform_square(rng: &mut StdRng, n: usize, x0: f64, y0: f64, extent: f64) -> Vec<Coord> {
+    (0..n)
+        .map(|_| Coord::new(x0 + rng.gen::<f64>() * extent, y0 + rng.gen::<f64>() * extent))
+        .collect()
+}
+
+/// `n` coordinates uniform inside the ellipse `x²/a² + y²/b² ≤ 1`
+/// (centered at the origin), by rejection from the bounding box.
+pub fn uniform_ellipse(rng: &mut StdRng, n: usize, a: f64, b: f64) -> Vec<Coord> {
+    assert!(a > 0.0 && b > 0.0, "ellipse semi-axes must be positive");
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let x = (rng.gen::<f64>() * 2.0 - 1.0) * a;
+        let y = (rng.gen::<f64>() * 2.0 - 1.0) * b;
+        if x * x / (a * a) + y * y / (b * b) <= 1.0 {
+            out.push(Coord::new(x, y));
+        }
+    }
+    out
+}
+
+/// Top-left corners for `k` cluster patches laid out on a row with a gap
+/// between them — the spatial arrangement of Fig. 3's clusters.
+pub fn cluster_origins(k: usize, extent: f64, gap: f64) -> Vec<(f64, f64)> {
+    (0..k).map(|i| (i as f64 * (extent + gap), 0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_square_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let coords = uniform_square(&mut rng, 200, 10.0, 20.0, 50.0);
+        assert_eq!(coords.len(), 200);
+        for c in &coords {
+            assert!(c.x >= 10.0 && c.x <= 60.0, "x {} out of range", c.x);
+            assert!(c.y >= 20.0 && c.y <= 70.0, "y {} out of range", c.y);
+        }
+    }
+
+    #[test]
+    fn uniform_ellipse_within_ellipse() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (a, b) = (100.0, 25.0);
+        for c in uniform_ellipse(&mut rng, 300, a, b) {
+            assert!(c.x * c.x / (a * a) + c.y * c.y / (b * b) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ellipse_is_anisotropic() {
+        // With a >> b the x spread must exceed the y spread.
+        let mut rng = StdRng::seed_from_u64(3);
+        let coords = uniform_ellipse(&mut rng, 500, 200.0, 20.0);
+        let xmax = coords.iter().map(|c| c.x.abs()).fold(0.0, f64::max);
+        let ymax = coords.iter().map(|c| c.y.abs()).fold(0.0, f64::max);
+        assert!(xmax > 4.0 * ymax);
+    }
+
+    #[test]
+    fn cluster_origins_are_spaced() {
+        let origins = cluster_origins(3, 50.0, 10.0);
+        assert_eq!(origins, vec![(0.0, 0.0), (60.0, 0.0), (120.0, 0.0)]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = uniform_square(&mut StdRng::seed_from_u64(9), 10, 0.0, 0.0, 1.0);
+        let b = uniform_square(&mut StdRng::seed_from_u64(9), 10, 0.0, 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,223 @@
+//! Transportation graphs (Fig. 3): "clusters of nodes with a rather high
+//! internal connectivity rate, while these clusters are loosely
+//! interconnected".
+//!
+//! §4.1: "For transportation graphs, the abovementioned procedure was
+//! first used to generate the required number of fragments. Then, these
+//! fragments were connected following the requirements given by the user."
+
+use ds_graph::{Coord, Edge, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::TransportationConfig;
+use crate::general::{connection_cost, draw_edges};
+use crate::output::GeneratedGraph;
+use crate::probability::calibrate_c1;
+use crate::spatial::{cluster_origins, uniform_square};
+
+/// Generate a transportation graph. Node ids are laid out cluster by
+/// cluster: cluster `c` owns ids `c·m .. (c+1)·m` where `m` is
+/// `nodes_per_cluster`. The returned `cluster_of` records that.
+pub fn generate_transportation(cfg: &TransportationConfig, seed: u64) -> GeneratedGraph {
+    assert!(cfg.clusters > 0, "need at least one cluster");
+    assert!(cfg.nodes_per_cluster > 1, "clusters need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = cfg.nodes_per_cluster;
+    let origins = cluster_origins(cfg.clusters, cfg.cluster_extent, cfg.cluster_gap);
+
+    let mut coords: Vec<Coord> = Vec::with_capacity(cfg.total_nodes());
+    let mut connections: Vec<Edge> = Vec::new();
+    let mut cluster_of = Vec::with_capacity(cfg.total_nodes());
+
+    // Per-cluster internal structure, exactly the general-graph recipe on
+    // the cluster's own coordinate patch.
+    for (c, &(x0, y0)) in origins.iter().enumerate() {
+        let patch = uniform_square(&mut rng, m, x0, y0, cfg.cluster_extent);
+        let c1 = calibrate_c1(&patch, cfg.c2, cfg.target_edges_per_cluster);
+        connections.extend(draw_edges(
+            &mut rng,
+            &patch,
+            c1,
+            cfg.c2,
+            cfg.unit_costs,
+            (c * m) as u32,
+        ));
+        coords.extend(patch);
+        cluster_of.extend(std::iter::repeat_n(c as u32, m));
+    }
+
+    // Inter-cluster connections: for each requested link, the k
+    // geometrically closest cross pairs become the connecting edges —
+    // border cities sit on facing edges of the two patches, as in a real
+    // transportation network.
+    for (a, b, k) in cfg.links() {
+        assert!(a < cfg.clusters && b < cfg.clusters && a != b, "bad link ({a},{b})");
+        connections.extend(closest_cross_pairs(&coords, m, a, b, k, cfg.unit_costs));
+    }
+
+    GeneratedGraph {
+        nodes: cfg.total_nodes(),
+        connections,
+        coords,
+        cluster_of: Some(cluster_of),
+        symmetric: true,
+    }
+}
+
+/// The `k` closest (by Euclidean distance) node pairs between cluster `a`
+/// and cluster `b`, as connection edges. Pairs are distinct; endpoints may
+/// repeat (one border city can anchor several links, as Fig. 3 shows).
+fn closest_cross_pairs(
+    coords: &[Coord],
+    nodes_per_cluster: usize,
+    a: usize,
+    b: usize,
+    k: usize,
+    unit_costs: bool,
+) -> Vec<Edge> {
+    let range_a = (a * nodes_per_cluster)..((a + 1) * nodes_per_cluster);
+    let range_b = (b * nodes_per_cluster)..((b + 1) * nodes_per_cluster);
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(range_a.len() * range_b.len());
+    for i in range_a {
+        for j in range_b.clone() {
+            pairs.push((coords[i].distance(&coords[j]), i, j));
+        }
+    }
+    pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("distances are finite"));
+    pairs
+        .into_iter()
+        .take(k)
+        .map(|(d, i, j)| {
+            Edge::new(NodeId(i as u32), NodeId(j as u32), connection_cost(d, unit_costs))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterTopology;
+    use ds_graph::traverse;
+
+    fn small_cfg() -> TransportationConfig {
+        TransportationConfig {
+            clusters: 4,
+            nodes_per_cluster: 25,
+            target_edges_per_cluster: 105,
+            connections_per_link: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = small_cfg();
+        let a = generate_transportation(&cfg, 42);
+        let b = generate_transportation(&cfg, 42);
+        assert_eq!(a.connections, b.connections);
+    }
+
+    #[test]
+    fn cluster_labels_match_layout() {
+        let g = generate_transportation(&small_cfg(), 1);
+        let labels = g.cluster_of.as_ref().unwrap();
+        assert_eq!(labels.len(), 100);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[24], 0);
+        assert_eq!(labels[25], 1);
+        assert_eq!(labels[99], 3);
+    }
+
+    #[test]
+    fn intra_cluster_edges_stay_in_cluster_except_links() {
+        let cfg = small_cfg();
+        let g = generate_transportation(&cfg, 7);
+        let labels = g.cluster_of.as_ref().unwrap();
+        let crossing: Vec<&Edge> = g
+            .connections
+            .iter()
+            .filter(|e| labels[e.src.index()] != labels[e.dst.index()])
+            .collect();
+        // Chain topology with 2 connections per link: exactly 6 crossing
+        // connections (links are chosen deterministically from coords).
+        assert_eq!(crossing.len(), 6);
+        for e in crossing {
+            let (ca, cb) = (labels[e.src.index()], labels[e.dst.index()]);
+            assert_eq!((ca as i32 - cb as i32).abs(), 1, "chain links only adjacent clusters");
+        }
+    }
+
+    #[test]
+    fn edge_count_near_paper_average() {
+        // Table 1: "the average number of edges in these graphs was 429".
+        let cfg = small_cfg();
+        let mean: f64 = (0..10)
+            .map(|s| generate_transportation(&cfg, s).connection_count() as f64)
+            .sum::<f64>()
+            / 10.0;
+        assert!((mean - 426.0).abs() < 45.0, "mean {mean} not near 426 (=4×105+6)");
+    }
+
+    #[test]
+    fn graph_is_connected_across_clusters() {
+        let g = generate_transportation(&small_cfg(), 3);
+        let csr = g.closure_graph();
+        let (_, count) = traverse::weak_components(&csr);
+        // Clusters are internally dense and chained; with ~105 expected
+        // edges on 25 nodes isolated nodes are vanishingly rare for this
+        // seed.
+        assert_eq!(count, 1, "expected a single weak component");
+    }
+
+    #[test]
+    fn ring_topology_produces_cycle_links() {
+        let cfg = TransportationConfig {
+            topology: ClusterTopology::Ring,
+            ..small_cfg()
+        };
+        let g = generate_transportation(&cfg, 5);
+        let labels = g.cluster_of.as_ref().unwrap();
+        let has_wraparound = g.connections.iter().any(|e| {
+            let (a, b) = (labels[e.src.index()], labels[e.dst.index()]);
+            (a, b) == (3, 0) || (a, b) == (0, 3)
+        });
+        assert!(has_wraparound, "ring must link last cluster back to first");
+    }
+
+    #[test]
+    fn explicit_topology_respected() {
+        let cfg = TransportationConfig {
+            topology: ClusterTopology::Explicit(vec![(0, 3, 4)]),
+            ..small_cfg()
+        };
+        let g = generate_transportation(&cfg, 5);
+        let labels = g.cluster_of.as_ref().unwrap();
+        let crossing: Vec<_> = g
+            .connections
+            .iter()
+            .filter(|e| labels[e.src.index()] != labels[e.dst.index()])
+            .collect();
+        assert_eq!(crossing.len(), 4);
+        for e in crossing {
+            let mut pair = [labels[e.src.index()], labels[e.dst.index()]];
+            pair.sort();
+            assert_eq!(pair, [0, 3]);
+        }
+    }
+
+    #[test]
+    fn cross_links_are_geometrically_short() {
+        // Link edges connect facing borders, so they should be much
+        // shorter than the patch pitch (extent + gap).
+        let cfg = small_cfg();
+        let g = generate_transportation(&cfg, 9);
+        let labels = g.cluster_of.as_ref().unwrap();
+        for e in &g.connections {
+            if labels[e.src.index()] != labels[e.dst.index()] {
+                let d = g.coords[e.src.index()].distance(&g.coords[e.dst.index()]);
+                assert!(d < cfg.cluster_extent + cfg.cluster_gap);
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Articulation points ("relevant nodes") of the undirected view.
+//!
+//! The paper's first, abandoned idea for fragmenting transportation graphs
+//! was graph-theoretical: mark nodes "whose removal would increase the
+//! k-connectivity of the graph … as 'relevant' nodes" from which
+//! disconnection sets could be drawn (§3). Full k-connectivity analysis
+//! was rejected as too expensive; the k = 1 case — articulation points —
+//! is cheap (Tarjan's algorithm, O(V+E)) and is kept here both as the
+//! historical reference point and as a useful diagnostic: every candidate
+//! single-node disconnection set must be an articulation point.
+
+use crate::types::NodeId;
+use crate::CsrGraph;
+
+/// Articulation points of the graph viewed as undirected.
+///
+/// A node is an articulation point if removing it increases the number of
+/// connected components. Returned sorted by id.
+pub fn articulation_points(g: &CsrGraph) -> Vec<NodeId> {
+    let n = g.node_count();
+    // Build an undirected adjacency once; Tarjan needs both directions.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for e in g.edges() {
+        if e.src != e.dst {
+            adj[e.src.index()].push(e.dst.0);
+            adj[e.dst.index()].push(e.src.0);
+        }
+    }
+
+    let mut disc = vec![0u32; n]; // discovery time, 0 = unvisited
+    let mut low = vec![0u32; n];
+    let mut is_ap = vec![false; n];
+    let mut timer = 1u32;
+
+    // Iterative DFS to avoid recursion depth limits on long paths.
+    // Stack frames: (node, parent, next neighbor index).
+    let mut stack: Vec<(u32, u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if disc[root as usize] != 0 {
+            continue;
+        }
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        let mut root_children = 0u32;
+        stack.push((root, u32::MAX, 0));
+        while let Some(&mut (v, parent, ref mut idx)) = stack.last_mut() {
+            if *idx < adj[v as usize].len() {
+                let w = adj[v as usize][*idx];
+                *idx += 1;
+                if disc[w as usize] == 0 {
+                    if v == root {
+                        root_children += 1;
+                    }
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    stack.push((w, v, 0));
+                } else if w != parent {
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _, _)) = stack.last() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    if p != root && low[v as usize] >= disc[p as usize] {
+                        is_ap[p as usize] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_ap[root as usize] = true;
+        }
+    }
+
+    (0..n).filter(|&i| is_ap[i]).map(NodeId::from_index).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    fn sym(pairs: &[(u32, u32)], n: usize) -> CsrGraph {
+        let mut edges = Vec::new();
+        for &(a, b) in pairs {
+            edges.push(Edge::unit(NodeId(a), NodeId(b)));
+            edges.push(Edge::unit(NodeId(b), NodeId(a)));
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn path_interior_nodes_are_articulation_points() {
+        let g = sym(&[(0, 1), (1, 2), (2, 3)], 4);
+        assert_eq!(articulation_points(&g), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn cycle_has_no_articulation_points() {
+        let g = sym(&[(0, 1), (1, 2), (2, 3), (3, 0)], 4);
+        assert!(articulation_points(&g).is_empty());
+    }
+
+    #[test]
+    fn two_clusters_bridged_by_one_node() {
+        // Clusters {0,1,2} and {4,5,6} joined through node 3: the
+        // transportation-graph archetype. Node 3 and its neighbours on
+        // each side are the cut nodes.
+        let g = sym(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6), (6, 4)], 7);
+        let aps = articulation_points(&g);
+        assert!(aps.contains(&NodeId(3)), "bridge node is relevant");
+        assert!(aps.contains(&NodeId(2)));
+        assert!(aps.contains(&NodeId(4)));
+        assert!(!aps.contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn star_center_is_articulation_point() {
+        let g = sym(&[(0, 1), (0, 2), (0, 3)], 4);
+        assert_eq!(articulation_points(&g), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn disconnected_components_handled_independently() {
+        let g = sym(&[(0, 1), (1, 2), (3, 4), (4, 5)], 6);
+        assert_eq!(articulation_points(&g), vec![NodeId(1), NodeId(4)]);
+    }
+
+    #[test]
+    fn empty_and_single_node() {
+        assert!(articulation_points(&CsrGraph::from_edges(0, &[])).is_empty());
+        assert!(articulation_points(&CsrGraph::from_edges(1, &[])).is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! A fixed-capacity bit set over `u64` words.
+//!
+//! Used for adjacency-matrix rows (bond-energy algorithm, Warshall
+//! closure) and visited sets in traversals. The operations the closure
+//! kernels need — `union_with`, `count_ones`, word-level access — are kept
+//! branch-light because Warshall runs them in an O(n²) inner loop.
+
+/// A fixed-size set of bits, indexable by `usize`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct BitSet {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty bit set with capacity for `len` bits, all zero.
+    pub fn new(len: usize) -> Self {
+        BitSet { bits: vec![0u64; len.div_ceil(64)], len }
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the capacity is zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i` to one. Panics if out of range.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.bits[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.bits[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether bit `i` is set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `self |= other`. Returns `true` if any bit of `self` changed — the
+    /// semi-naive kernels use this to detect a fixpoint.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len, "bitset length mismatch");
+        let mut changed = false;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            let before = *a;
+            *a |= *b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    /// Popcount of the intersection — the "inner product" of two 0/1
+    /// columns used by the bond-energy algorithm (§3.2).
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterate over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut word = w;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+
+    /// Set every bit to zero, keeping capacity.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collect indices into a bit set sized to the maximum index + 1.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |m| m + 1);
+        let mut bs = BitSet::new(len);
+        for i in items {
+            bs.insert(i);
+        }
+        bs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut bs = BitSet::new(130);
+        assert!(!bs.contains(0));
+        bs.insert(0);
+        bs.insert(63);
+        bs.insert(64);
+        bs.insert(129);
+        assert!(bs.contains(0) && bs.contains(63) && bs.contains(64) && bs.contains(129));
+        assert_eq!(bs.count_ones(), 4);
+        bs.remove(64);
+        assert!(!bs.contains(64));
+        assert_eq!(bs.count_ones(), 3);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let bs = BitSet::new(10);
+        assert!(!bs.contains(10));
+        assert!(!bs.contains(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        let mut bs = BitSet::new(10);
+        bs.insert(10);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        b.insert(69);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        assert!(a.contains(69));
+    }
+
+    #[test]
+    fn intersection_count_is_inner_product() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        for i in [1, 5, 64, 99] {
+            a.insert(i);
+        }
+        for i in [5, 64, 98] {
+            b.insert(i);
+        }
+        assert_eq!(a.intersection_count(&b), 2);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let bs: BitSet = [3usize, 64, 65, 127].into_iter().collect();
+        let ones: Vec<usize> = bs.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 65, 127]);
+    }
+
+    #[test]
+    fn clear_resets_all() {
+        let mut bs: BitSet = [1usize, 2, 3].into_iter().collect();
+        bs.clear();
+        assert_eq!(bs.count_ones(), 0);
+    }
+
+    #[test]
+    fn from_iter_empty() {
+        let bs: BitSet = std::iter::empty::<usize>().collect();
+        assert_eq!(bs.len(), 0);
+        assert!(bs.is_empty());
+    }
+}

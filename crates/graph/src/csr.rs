@@ -1,0 +1,258 @@
+//! Compressed sparse row (CSR) directed graph.
+//!
+//! The indexed, read-optimized form of the connection relation. All query
+//! kernels (Dijkstra, BFS, semi-naive closure) run on this; the
+//! fragmentation algorithms mostly work on [`crate::EdgeList`]s and convert
+//! when they need traversals.
+
+use crate::error::GraphError;
+use crate::types::{Coord, Cost, Edge, NodeId};
+
+/// A directed graph in CSR form, with optional node coordinates.
+///
+/// Parallel edges and self-loops are allowed (the relation may contain
+/// them); algorithms that care filter them out.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets`/`costs` for node `v`.
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+    costs: Vec<Cost>,
+    /// Optional node coordinates (required by the linear sweep and the
+    /// distributed-centers refinement).
+    coords: Option<Vec<Coord>>,
+}
+
+impl CsrGraph {
+    /// Build from an edge list over nodes `0..node_count`.
+    ///
+    /// # Panics
+    /// Panics if an edge references a node outside `0..node_count`; use
+    /// [`CsrGraph::try_from_edges`] for a fallible build.
+    pub fn from_edges(node_count: usize, edges: &[Edge]) -> Self {
+        Self::try_from_edges(node_count, edges).expect("edge references out-of-range node")
+    }
+
+    /// Fallible CSR construction; counting sort by source node, O(V + E).
+    pub fn try_from_edges(node_count: usize, edges: &[Edge]) -> Result<Self, GraphError> {
+        for e in edges {
+            if e.src.index() >= node_count {
+                return Err(GraphError::NodeOutOfRange { node: e.src, node_count });
+            }
+            if e.dst.index() >= node_count {
+                return Err(GraphError::NodeOutOfRange { node: e.dst, node_count });
+            }
+        }
+        let mut offsets = vec![0u32; node_count + 1];
+        for e in edges {
+            offsets[e.src.index() + 1] += 1;
+        }
+        for i in 0..node_count {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![NodeId(0); edges.len()];
+        let mut costs = vec![0 as Cost; edges.len()];
+        for e in edges {
+            let slot = cursor[e.src.index()] as usize;
+            targets[slot] = e.dst;
+            costs[slot] = e.cost;
+            cursor[e.src.index()] += 1;
+        }
+        Ok(CsrGraph { offsets, targets, costs, coords: None })
+    }
+
+    /// Attach node coordinates. Fails if the table length differs from the
+    /// node count.
+    pub fn with_coords(mut self, coords: Vec<Coord>) -> Result<Self, GraphError> {
+        if coords.len() != self.node_count() {
+            return Err(GraphError::CoordLengthMismatch {
+                coords: coords.len(),
+                node_count: self.node_count(),
+            });
+        }
+        self.coords = Some(coords);
+        Ok(self)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges (relation cardinality).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v` — the paper's `grade(v)` for symmetric graphs.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Outgoing `(target, cost)` pairs of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Cost)> + '_ {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        self.targets[lo..hi].iter().copied().zip(self.costs[lo..hi].iter().copied())
+    }
+
+    /// Outgoing target nodes of `v` (no costs).
+    #[inline]
+    pub fn out_targets(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// All nodes, in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// All edges, grouped by source.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.nodes().flat_map(move |v| {
+            self.neighbors(v).map(move |(dst, cost)| Edge { src: v, dst, cost })
+        })
+    }
+
+    /// The graph with every edge reversed (same coordinates).
+    pub fn reversed(&self) -> CsrGraph {
+        let edges: Vec<Edge> = self.edges().map(|e| e.reversed()).collect();
+        let mut g = CsrGraph::from_edges(self.node_count(), &edges);
+        g.coords = self.coords.clone();
+        g
+    }
+
+    /// Node coordinates, if attached.
+    pub fn coords(&self) -> Option<&[Coord]> {
+        self.coords.as_deref()
+    }
+
+    /// Coordinate of one node, if coordinates are attached.
+    pub fn coord(&self, v: NodeId) -> Option<Coord> {
+        self.coords.as_ref().map(|c| c[v.index()])
+    }
+
+    /// True if for every edge `(u, v, c)` the edge `(v, u, c)` also exists —
+    /// the transportation graphs of the paper are symmetric in this sense.
+    pub fn is_symmetric(&self) -> bool {
+        use std::collections::HashMap;
+        let mut want: HashMap<(NodeId, NodeId, Cost), i64> = HashMap::new();
+        for e in self.edges() {
+            if e.is_loop() {
+                continue;
+            }
+            *want.entry((e.src, e.dst, e.cost)).or_insert(0) += 1;
+            *want.entry((e.dst, e.src, e.cost)).or_insert(0) -= 1;
+        }
+        want.values().all(|&v| v == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> CsrGraph {
+        // 0 -> 1 -> 2 -> 3, plus a parallel edge 0 -> 1.
+        CsrGraph::from_edges(
+            4,
+            &[
+                Edge::new(NodeId(0), NodeId(1), 1),
+                Edge::new(NodeId(1), NodeId(2), 2),
+                Edge::new(NodeId(2), NodeId(3), 3),
+                Edge::new(NodeId(0), NodeId(1), 10),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = path_graph();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn neighbors_and_edges_roundtrip() {
+        let g = path_graph();
+        let nbrs: Vec<_> = g.neighbors(NodeId(0)).collect();
+        assert_eq!(nbrs.len(), 2);
+        assert!(nbrs.contains(&(NodeId(1), 1)));
+        assert!(nbrs.contains(&(NodeId(1), 10)));
+        assert_eq!(g.edges().count(), 4);
+        // Rebuilding from edges() yields an equal graph.
+        let edges: Vec<Edge> = g.edges().collect();
+        let g2 = CsrGraph::from_edges(4, &edges);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let err = CsrGraph::try_from_edges(2, &[Edge::unit(NodeId(0), NodeId(2))]).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: NodeId(2), node_count: 2 });
+    }
+
+    #[test]
+    fn reversed_flips_all_edges() {
+        let g = path_graph();
+        let r = g.reversed();
+        assert_eq!(r.edge_count(), g.edge_count());
+        assert_eq!(r.out_degree(NodeId(1)), 2); // two reversed parallel edges
+        assert_eq!(r.reversed().edges().count(), g.edges().count());
+    }
+
+    #[test]
+    fn coords_attach_and_validate() {
+        let g = path_graph();
+        let coords = vec![Coord::new(0.0, 0.0); 4];
+        let g = g.with_coords(coords).unwrap();
+        assert!(g.coords().is_some());
+        assert_eq!(g.coord(NodeId(2)), Some(Coord::new(0.0, 0.0)));
+        let g2 = path_graph();
+        assert!(matches!(
+            g2.with_coords(vec![Coord::default(); 3]),
+            Err(GraphError::CoordLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let asym = path_graph();
+        assert!(!asym.is_symmetric());
+        let sym = CsrGraph::from_edges(
+            2,
+            &[Edge::new(NodeId(0), NodeId(1), 4), Edge::new(NodeId(1), NodeId(0), 4)],
+        );
+        assert!(sym.is_symmetric());
+        // Symmetry requires matching costs.
+        let cost_mismatch = CsrGraph::from_edges(
+            2,
+            &[Edge::new(NodeId(0), NodeId(1), 4), Edge::new(NodeId(1), NodeId(0), 5)],
+        );
+        assert!(!cost_mismatch.is_symmetric());
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn self_loops_allowed() {
+        let g = CsrGraph::from_edges(1, &[Edge::unit(NodeId(0), NodeId(0))]);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.is_symmetric(), "self-loops are ignored by symmetry check");
+    }
+}

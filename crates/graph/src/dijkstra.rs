@@ -1,0 +1,212 @@
+//! Dijkstra shortest paths (binary heap, non-negative integer costs).
+//!
+//! Used as: the per-fragment local evaluator (any "suitable
+//! single-processor algorithm" may be chosen per §2.1), the global
+//! baseline the disconnection set engine is validated against, and the
+//! precomputation kernel for complementary information.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::types::{Cost, NodeId, INFINITE_COST};
+use crate::CsrGraph;
+
+/// Result of a single-source shortest-path computation.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    source: NodeId,
+    dist: Vec<Cost>,
+    /// `parent[v]` is the predecessor of `v` on a shortest path from the
+    /// source, or `u32::MAX` if `v` is the source / unreachable.
+    parent: Vec<u32>,
+}
+
+impl ShortestPaths {
+    /// The source node this tree is rooted at.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Cost to `v`, or `None` if unreachable.
+    pub fn cost(&self, v: NodeId) -> Option<Cost> {
+        let d = self.dist[v.index()];
+        (d < INFINITE_COST).then_some(d)
+    }
+
+    /// Raw distance array (`INFINITE_COST` marks unreachable).
+    pub fn costs(&self) -> &[Cost] {
+        &self.dist
+    }
+
+    /// The shortest path from the source to `v` as a node sequence
+    /// (inclusive of both endpoints), or `None` if unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist[v.index()] >= INFINITE_COST {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != self.source {
+            let p = self.parent[cur.index()];
+            debug_assert_ne!(p, u32::MAX, "reachable node must have a parent");
+            cur = NodeId(p);
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Dijkstra from a single source over the whole graph.
+pub fn single_source(g: &CsrGraph, src: NodeId) -> ShortestPaths {
+    multi_source(g, &[(src, 0)])
+}
+
+/// Dijkstra seeded with several `(node, initial_cost)` pairs.
+///
+/// This is what a fragment subquery runs: the entry disconnection set is
+/// the seed frontier, each border node carrying the best cost found so far
+/// upstream ("disconnection sets act as some sort of keyhole", §2.2).
+pub fn multi_source(g: &CsrGraph, seeds: &[(NodeId, Cost)]) -> ShortestPaths {
+    let n = g.node_count();
+    let mut dist = vec![INFINITE_COST; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut heap: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
+    let mut source = NodeId(0);
+    for &(s, c) in seeds {
+        if c < dist[s.index()] {
+            dist[s.index()] = c;
+            heap.push(Reverse((c, s.0)));
+        }
+        source = s; // representative source for path reconstruction roots
+    }
+    while let Some(Reverse((d, v))) = heap.pop() {
+        let v = NodeId(v);
+        if d > dist[v.index()] {
+            continue; // stale heap entry
+        }
+        for (t, w) in g.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[t.index()] {
+                dist[t.index()] = nd;
+                parent[t.index()] = v.0;
+                heap.push(Reverse((nd, t.0)));
+            }
+        }
+    }
+    ShortestPaths { source, dist, parent }
+}
+
+/// Dijkstra with early exit: stops as soon as `dst` is settled.
+/// Returns the cost, or `None` if unreachable.
+pub fn point_to_point(g: &CsrGraph, src: NodeId, dst: NodeId) -> Option<Cost> {
+    let n = g.node_count();
+    let mut dist = vec![INFINITE_COST; n];
+    let mut heap: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
+    dist[src.index()] = 0;
+    heap.push(Reverse((0, src.0)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        let v = NodeId(v);
+        if v == dst {
+            return Some(d);
+        }
+        if d > dist[v.index()] {
+            continue;
+        }
+        for (t, w) in g.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[t.index()] {
+                dist[t.index()] = nd;
+                heap.push(Reverse((nd, t.0)));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    /// Classic diamond: 0->1 (1), 0->2 (4), 1->2 (2), 1->3 (7), 2->3 (1).
+    fn diamond() -> CsrGraph {
+        CsrGraph::from_edges(
+            4,
+            &[
+                Edge::new(NodeId(0), NodeId(1), 1),
+                Edge::new(NodeId(0), NodeId(2), 4),
+                Edge::new(NodeId(1), NodeId(2), 2),
+                Edge::new(NodeId(1), NodeId(3), 7),
+                Edge::new(NodeId(2), NodeId(3), 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn single_source_costs() {
+        let sp = single_source(&diamond(), NodeId(0));
+        assert_eq!(sp.cost(NodeId(0)), Some(0));
+        assert_eq!(sp.cost(NodeId(1)), Some(1));
+        assert_eq!(sp.cost(NodeId(2)), Some(3)); // via 1, not direct 4
+        assert_eq!(sp.cost(NodeId(3)), Some(4)); // 0-1-2-3
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let sp = single_source(&diamond(), NodeId(0));
+        assert_eq!(
+            sp.path_to(NodeId(3)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(sp.path_to(NodeId(0)).unwrap(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let g = CsrGraph::from_edges(3, &[Edge::new(NodeId(0), NodeId(1), 1)]);
+        let sp = single_source(&g, NodeId(0));
+        assert_eq!(sp.cost(NodeId(2)), None);
+        assert_eq!(sp.path_to(NodeId(2)), None);
+        assert_eq!(point_to_point(&g, NodeId(0), NodeId(2)), None);
+    }
+
+    #[test]
+    fn point_to_point_matches_single_source() {
+        let g = diamond();
+        for dst in 0..4u32 {
+            assert_eq!(
+                point_to_point(&g, NodeId(0), NodeId(dst)),
+                single_source(&g, NodeId(0)).cost(NodeId(dst))
+            );
+        }
+    }
+
+    #[test]
+    fn multi_source_takes_best_seed() {
+        let g = diamond();
+        // Seed node 1 with cost 10 and node 2 with cost 0: node 3 should be
+        // reached via node 2 at cost 1.
+        let sp = multi_source(&g, &[(NodeId(1), 10), (NodeId(2), 0)]);
+        assert_eq!(sp.cost(NodeId(3)), Some(1));
+        assert_eq!(sp.cost(NodeId(1)), Some(10));
+    }
+
+    #[test]
+    fn multi_source_duplicate_seeds_keep_min() {
+        let g = diamond();
+        let sp = multi_source(&g, &[(NodeId(0), 5), (NodeId(0), 2)]);
+        assert_eq!(sp.cost(NodeId(0)), Some(2));
+        assert_eq!(sp.cost(NodeId(3)), Some(6));
+    }
+
+    #[test]
+    fn zero_cost_edges_are_fine() {
+        let g = CsrGraph::from_edges(
+            3,
+            &[Edge::new(NodeId(0), NodeId(1), 0), Edge::new(NodeId(1), NodeId(2), 0)],
+        );
+        let sp = single_source(&g, NodeId(0));
+        assert_eq!(sp.cost(NodeId(2)), Some(0));
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type shared by graph construction and validation.
+
+use std::fmt;
+
+use crate::types::NodeId;
+
+/// Errors raised by graph construction and validation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GraphError {
+    /// An edge references a node id `>= node_count`.
+    NodeOutOfRange { node: NodeId, node_count: usize },
+    /// A coordinate table was supplied whose length differs from the
+    /// graph's node count.
+    CoordLengthMismatch { coords: usize, node_count: usize },
+    /// An operation that requires coordinates was called on a graph
+    /// without them (e.g. the linear fragmentation sweep, §3.3).
+    MissingCoordinates,
+    /// An empty graph was supplied where at least one node is required.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "edge references node {node} but the graph has {node_count} nodes")
+            }
+            GraphError::CoordLengthMismatch { coords, node_count } => {
+                write!(f, "coordinate table has {coords} entries for {node_count} nodes")
+            }
+            GraphError::MissingCoordinates => {
+                write!(f, "operation requires node coordinates but the graph has none")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: NodeId(9), node_count: 5 };
+        assert!(e.to_string().contains("node 9"));
+        assert!(e.to_string().contains("5 nodes"));
+        let e = GraphError::CoordLengthMismatch { coords: 3, node_count: 5 };
+        assert!(e.to_string().contains("3 entries"));
+        assert!(GraphError::MissingCoordinates.to_string().contains("coordinates"));
+        assert!(GraphError::EmptyGraph.to_string().contains("non-empty"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Breadth-first traversals and the structural measures built on them:
+//! hop distances, reachability, connected components, eccentricity and
+//! diameter.
+//!
+//! The paper uses the *diameter* as the iteration bound of semi-naive
+//! transitive closure ("the number of iterations required before reaching
+//! a fixpoint is given by the maximum diameter of the graph", §2.1) and as
+//! the workload proxy of the center-based algorithm (§3.1).
+
+use std::collections::VecDeque;
+
+use crate::bitset::BitSet;
+use crate::types::NodeId;
+use crate::unionfind::UnionFind;
+use crate::CsrGraph;
+
+/// Hop distance (unweighted BFS) from `src` to every node.
+/// `u32::MAX` marks unreachable nodes.
+pub fn hop_distances(g: &CsrGraph, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for &t in g.out_targets(v) {
+            if dist[t.index()] == u32::MAX {
+                dist[t.index()] = dv + 1;
+                queue.push_back(t);
+            }
+        }
+    }
+    dist
+}
+
+/// The set of nodes reachable from `src` (including `src` itself).
+pub fn reachable_set(g: &CsrGraph, src: NodeId) -> BitSet {
+    let mut seen = BitSet::new(g.node_count());
+    let mut stack = vec![src];
+    seen.insert(src.index());
+    while let Some(v) = stack.pop() {
+        for &t in g.out_targets(v) {
+            if !seen.contains(t.index()) {
+                seen.insert(t.index());
+                stack.push(t);
+            }
+        }
+    }
+    seen
+}
+
+/// Whether `dst` can be reached from `src` by directed edges.
+pub fn is_reachable(g: &CsrGraph, src: NodeId, dst: NodeId) -> bool {
+    if src == dst {
+        return true;
+    }
+    let mut seen = BitSet::new(g.node_count());
+    let mut stack = vec![src];
+    seen.insert(src.index());
+    while let Some(v) = stack.pop() {
+        for &t in g.out_targets(v) {
+            if t == dst {
+                return true;
+            }
+            if !seen.contains(t.index()) {
+                seen.insert(t.index());
+                stack.push(t);
+            }
+        }
+    }
+    false
+}
+
+/// Weakly connected components (edges treated as undirected).
+/// Returns `(component_id_per_node, component_count)`.
+pub fn weak_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    let mut uf = UnionFind::new(g.node_count());
+    for e in g.edges() {
+        uf.union(e.src.index(), e.dst.index());
+    }
+    let mut label = vec![u32::MAX; g.node_count()];
+    let mut next = 0u32;
+    for v in 0..g.node_count() {
+        let root = uf.find(v);
+        if label[root] == u32::MAX {
+            label[root] = next;
+            next += 1;
+        }
+        label[v] = label[root];
+    }
+    (label, next as usize)
+}
+
+/// Eccentricity of `src`: the maximum finite hop distance from it.
+/// Unreachable nodes are ignored (so this is the eccentricity within the
+/// reachable component).
+pub fn eccentricity(g: &CsrGraph, src: NodeId) -> u32 {
+    hop_distances(g, src).into_iter().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+}
+
+/// Exact diameter in hops: max over all nodes of [`eccentricity`].
+///
+/// O(V·(V+E)) — acceptable for the paper's graph sizes (≤ a few hundred
+/// nodes). The paper uses the diameter both as the fixpoint iteration
+/// bound and as a fragment workload measure.
+pub fn diameter(g: &CsrGraph) -> u32 {
+    g.nodes().map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+/// Double-sweep lower bound on the diameter: BFS from `seed`, then BFS
+/// from the farthest node found. Exact on trees; a fast, good lower bound
+/// in general. Used where the exact diameter would dominate runtime.
+pub fn diameter_double_sweep(g: &CsrGraph, seed: NodeId) -> u32 {
+    let d1 = hop_distances(g, seed);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != u32::MAX)
+        .max_by_key(|(_, &d)| d)
+        .map(|(i, _)| NodeId::from_index(i))
+        .unwrap_or(seed);
+    eccentricity(g, far)
+}
+
+/// Sum of grades of nodes at exactly `d` hops from `i`, for d = 1..=depth:
+/// the Σ nb(j, d) terms of the center-based status score (§3.1).
+pub fn grade_sums_by_distance(g: &CsrGraph, i: NodeId, depth: u32) -> Vec<u64> {
+    let dist = hop_distances(g, i);
+    let mut sums = vec![0u64; depth as usize];
+    for v in g.nodes() {
+        let d = dist[v.index()];
+        if d >= 1 && d <= depth {
+            sums[(d - 1) as usize] += g.out_degree(v) as u64;
+        }
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    /// 0 - 1 - 2 - 3 path (symmetric), plus isolated node 4.
+    fn path4() -> CsrGraph {
+        let mut edges = Vec::new();
+        for (a, b) in [(0u32, 1u32), (1, 2), (2, 3)] {
+            edges.push(Edge::unit(NodeId(a), NodeId(b)));
+            edges.push(Edge::unit(NodeId(b), NodeId(a)));
+        }
+        CsrGraph::from_edges(5, &edges)
+    }
+
+    #[test]
+    fn hop_distances_on_path() {
+        let g = path4();
+        let d = hop_distances(&g, NodeId(0));
+        assert_eq!(&d[..4], &[0, 1, 2, 3]);
+        assert_eq!(d[4], u32::MAX, "isolated node unreachable");
+    }
+
+    #[test]
+    fn reachability() {
+        let g = path4();
+        assert!(is_reachable(&g, NodeId(0), NodeId(3)));
+        assert!(is_reachable(&g, NodeId(3), NodeId(0)));
+        assert!(!is_reachable(&g, NodeId(0), NodeId(4)));
+        assert!(is_reachable(&g, NodeId(4), NodeId(4)), "trivially reachable from self");
+        let set = reachable_set(&g, NodeId(1));
+        assert_eq!(set.count_ones(), 4);
+        assert!(!set.contains(4));
+    }
+
+    #[test]
+    fn directed_reachability_is_one_way() {
+        let g = CsrGraph::from_edges(2, &[Edge::unit(NodeId(0), NodeId(1))]);
+        assert!(is_reachable(&g, NodeId(0), NodeId(1)));
+        assert!(!is_reachable(&g, NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn components() {
+        let g = path4();
+        let (labels, count) = weak_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[3]);
+        assert_ne!(labels[0], labels[4]);
+    }
+
+    #[test]
+    fn diameter_of_path_is_length() {
+        let g = path4();
+        assert_eq!(diameter(&g), 3);
+        assert_eq!(eccentricity(&g, NodeId(1)), 2);
+        assert_eq!(diameter_double_sweep(&g, NodeId(1)), 3, "double sweep exact on trees");
+    }
+
+    #[test]
+    fn diameter_of_empty_and_singleton() {
+        assert_eq!(diameter(&CsrGraph::from_edges(0, &[])), 0);
+        assert_eq!(diameter(&CsrGraph::from_edges(1, &[])), 0);
+    }
+
+    #[test]
+    fn grade_sums_match_hand_computation() {
+        let g = path4();
+        // From node 0: d=1 -> node 1 (grade 2); d=2 -> node 2 (grade 2);
+        // d=3 -> node 3 (grade 1).
+        let sums = grade_sums_by_distance(&g, NodeId(0), 3);
+        assert_eq!(sums, vec![2, 2, 1]);
+    }
+}

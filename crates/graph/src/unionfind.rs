@@ -1,0 +1,121 @@
+//! Disjoint-set union (union–find) with path halving and union by size.
+//!
+//! Used to detect cycles in the fragmentation graph (the paper's "loosely
+//! connected" test, §2.1) and to find connected components.
+
+/// A union–find structure over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x as usize
+    }
+
+    /// Merge the sets containing `a` and `b`.
+    /// Returns `false` if they were already in the same set — which is
+    /// exactly the "this edge closes a cycle" signal.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Current number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the set containing `x`.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_as_singletons() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.component_size(3), 1);
+    }
+
+    #[test]
+    fn union_merges_and_detects_cycles() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(1, 2));
+        assert_eq!(uf.component_count(), 1);
+        // Any further union closes a cycle.
+        assert!(!uf.union(0, 3));
+        assert!(uf.connected(0, 3));
+        assert_eq!(uf.component_size(0), 4);
+    }
+
+    #[test]
+    fn find_is_idempotent() {
+        let mut uf = UnionFind::new(10);
+        for i in 1..10 {
+            uf.union(0, i);
+        }
+        let r = uf.find(7);
+        assert_eq!(uf.find(7), r);
+        assert_eq!(uf.find(0), r);
+    }
+
+    #[test]
+    fn empty_union_find() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+    }
+}

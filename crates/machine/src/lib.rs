@@ -1,0 +1,262 @@
+//! # ds-machine — a simulated shared-nothing multiprocessor database machine
+//!
+//! The paper's experiments were destined for PRISMA/DB, a multi-processor
+//! main-memory database machine (§5, refs [4], [14], [20]). This crate is
+//! the stand-in documented in DESIGN.md: a coordinator plus one *site* per
+//! fragment, each site an OS thread owning its fragment and complementary
+//! information, communicating exclusively through message channels.
+//!
+//! The simulation preserves the property the disconnection set approach
+//! is designed around — *no communication during phase one* — and makes
+//! the communication that does happen measurable: every request/response
+//! and every shipped tuple is counted in [`MachineStats`].
+//!
+//! ```
+//! use ds_machine::Machine;
+//! use ds_fragment::linear::{linear_sweep, LinearConfig};
+//! use ds_gen::deterministic::grid;
+//! use ds_graph::NodeId;
+//!
+//! let g = grid(8, 3);
+//! let frag = linear_sweep(&g.edge_list(), &LinearConfig { fragments: 3, ..Default::default() })
+//!     .unwrap()
+//!     .fragmentation;
+//! let mut machine = Machine::deploy(g.closure_graph(), frag, true).unwrap();
+//! assert_eq!(machine.shortest_path(NodeId(0), NodeId(23)), Some(9));
+//! let stats = machine.stats();
+//! assert!(stats.messages_sent > 0);
+//! machine.shutdown();
+//! ```
+
+pub mod protocol;
+pub mod site;
+pub mod stats;
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use ds_closure::assemble;
+use ds_closure::complementary::{ComplementaryInfo, ComplementaryScope};
+use ds_closure::local::augmented_graph;
+use ds_closure::planner::Planner;
+use ds_closure::ClosureError;
+use ds_fragment::Fragmentation;
+use ds_graph::{Cost, CsrGraph, NodeId};
+use ds_relation::Relation;
+
+use protocol::{SiteRequest, SiteResponse};
+pub use stats::{MachineStats, SiteStats};
+
+/// The deployed machine: running site threads plus the coordinator state.
+pub struct Machine {
+    senders: Vec<mpsc::Sender<SiteRequest>>,
+    responses: mpsc::Receiver<SiteResponse>,
+    handles: Vec<JoinHandle<()>>,
+    planner: Planner,
+    stats: MachineStats,
+    next_tag: u64,
+}
+
+impl Machine {
+    /// Deploy one site per fragment. Precomputes complementary
+    /// information (fragment-border scope) and ships each site its
+    /// augmented local graph — after this, sites never see global state.
+    pub fn deploy(
+        graph: CsrGraph,
+        frag: Fragmentation,
+        symmetric: bool,
+    ) -> Result<Self, ClosureError> {
+        if graph.node_count() != frag.node_count() {
+            return Err(ClosureError::NodeCountMismatch {
+                graph: graph.node_count(),
+                fragmentation: frag.node_count(),
+            });
+        }
+        let comp = ComplementaryInfo::compute(
+            &graph,
+            &frag,
+            ComplementaryScope::PerFragmentBorder,
+            false,
+        );
+        let (resp_tx, responses) = mpsc::channel();
+        let mut senders = Vec::with_capacity(frag.fragment_count());
+        let mut handles = Vec::with_capacity(frag.fragment_count());
+        for f in frag.fragments() {
+            let aug = augmented_graph(
+                graph.node_count(),
+                f.edges(),
+                symmetric,
+                comp.shortcuts(f.id()),
+            );
+            let (req_tx, req_rx) = mpsc::channel();
+            let tx = resp_tx.clone();
+            let site_id = f.id();
+            handles.push(std::thread::spawn(move || site::run_site(site_id, aug, req_rx, tx)));
+            senders.push(req_tx);
+        }
+        let site_count = senders.len();
+        let planner = Planner::new(&frag, 64, 16, None);
+        Ok(Machine {
+            senders,
+            responses,
+            handles,
+            planner,
+            stats: MachineStats::new(site_count),
+            next_tag: 0,
+        })
+    }
+
+    /// Number of sites (processors).
+    pub fn site_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Shortest-path cost from `x` to `y` (None = unreachable). All site
+    /// subqueries of a chain are dispatched before any response is read —
+    /// the sites genuinely work concurrently.
+    pub fn shortest_path(&mut self, x: NodeId, y: NodeId) -> Option<Cost> {
+        if x == y {
+            return Some(0);
+        }
+        let plan = self.planner.plan(x, y).ok()?;
+        let mut best: Option<Cost> = None;
+        for chain in &plan.chains {
+            // Dispatch phase: one message per site subquery.
+            let mut tag_to_pos = HashMap::new();
+            for (pos, q) in chain.queries.iter().enumerate() {
+                let tag = self.next_tag;
+                self.next_tag += 1;
+                tag_to_pos.insert(tag, pos);
+                self.stats.messages_sent += 1;
+                self.senders[q.site]
+                    .send(SiteRequest::SubQuery {
+                        tag,
+                        sources: q.sources.clone(),
+                        targets: q.targets.clone(),
+                    })
+                    .expect("site thread alive");
+            }
+            // Collect phase: the final joins' communication.
+            let mut segments: Vec<Option<Relation<ds_relation::PathTuple>>> =
+                vec![None; chain.queries.len()];
+            for _ in 0..chain.queries.len() {
+                let resp = self.responses.recv().expect("site thread alive");
+                self.stats.messages_received += 1;
+                self.stats.tuples_shipped += resp.rows.len();
+                let s = &mut self.stats.sites[resp.site];
+                s.subqueries += 1;
+                s.busy += resp.busy;
+                s.tuples_produced += resp.rows.len();
+                let pos = tag_to_pos[&resp.tag];
+                segments[pos] = Some(Relation::from_rows("segment", resp.rows));
+            }
+            let segments: Vec<_> =
+                segments.into_iter().map(|s| s.expect("every tag answered")).collect();
+            if let Some(cost) = assemble::chain_cost(&segments, x, y) {
+                best = Some(best.map_or(cost, |b: Cost| b.min(cost)));
+            }
+        }
+        self.stats.queries += 1;
+        best
+    }
+
+    /// Connection query.
+    pub fn reachable(&mut self, x: NodeId, y: NodeId) -> bool {
+        x == y || self.shortest_path(x, y).is_some()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Stop all site threads. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        for s in &self.senders {
+            // Site may already be gone; ignore send failures on shutdown.
+            let _ = s.send(SiteRequest::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Machine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_closure::baseline;
+    use ds_fragment::linear::{linear_sweep, LinearConfig};
+    use ds_gen::deterministic::grid;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn machine() -> (ds_gen::GeneratedGraph, Machine) {
+        let g = grid(9, 4);
+        let frag = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig { fragments: 3, ..Default::default() },
+        )
+        .unwrap()
+        .fragmentation;
+        let m = Machine::deploy(g.closure_graph(), frag, true).unwrap();
+        (g, m)
+    }
+
+    #[test]
+    fn machine_matches_baseline() {
+        let (g, mut m) = machine();
+        let csr = g.closure_graph();
+        for (x, y) in [(0u32, 35u32), (8, 27), (20, 3), (0, 0), (17, 18)] {
+            assert_eq!(
+                m.shortest_path(n(x), n(y)),
+                baseline::shortest_path_cost(&csr, n(x), n(y)),
+                "query {x}->{y}"
+            );
+        }
+        m.shutdown();
+    }
+
+    #[test]
+    fn stats_count_messages_and_tuples() {
+        let (_, mut m) = machine();
+        m.shortest_path(n(0), n(35));
+        let s = m.stats();
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.messages_sent, s.messages_received);
+        assert!(s.messages_sent >= 3, "one per chain site");
+        assert!(s.tuples_shipped > 0);
+        let busy_sites = s.sites.iter().filter(|x| x.subqueries > 0).count();
+        assert!(busy_sites >= 3);
+        m.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let (_, mut m) = machine();
+        m.shutdown();
+        m.shutdown();
+    }
+
+    #[test]
+    fn site_count_matches_fragments() {
+        let (_, m) = machine();
+        assert_eq!(m.site_count(), 3);
+    }
+
+    #[test]
+    fn reachability_via_machine() {
+        let (_, mut m) = machine();
+        assert!(m.reachable(n(0), n(35)));
+        assert!(m.reachable(n(12), n(12)));
+    }
+}

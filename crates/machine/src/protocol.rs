@@ -1,0 +1,52 @@
+//! Coordinator ↔ site message protocol.
+//!
+//! The only two message kinds a PRISMA-style evaluation needs: a
+//! subquery request (carrying the entry and exit disconnection sets — the
+//! "keyhole" selections) and its small result relation. Everything else
+//! (the fragment, the complementary information) was shipped once at
+//! deployment.
+
+use std::time::Duration;
+
+use ds_graph::NodeId;
+use ds_relation::PathTuple;
+
+/// Coordinator → site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SiteRequest {
+    /// Evaluate border-to-border shortest paths on the site's augmented
+    /// fragment.
+    SubQuery {
+        /// Correlation tag echoed in the response.
+        tag: u64,
+        sources: Vec<NodeId>,
+        targets: Vec<NodeId>,
+    },
+    /// Terminate the site thread.
+    Shutdown,
+}
+
+/// Site → coordinator: the "very small relation" of phase one plus
+/// accounting.
+#[derive(Clone, Debug)]
+pub struct SiteResponse {
+    pub site: usize,
+    pub tag: u64,
+    pub rows: Vec<PathTuple>,
+    /// Processing time at the site (the workload-balance measure of
+    /// §2.2).
+    pub busy: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_compare() {
+        let a = SiteRequest::SubQuery { tag: 1, sources: vec![NodeId(0)], targets: vec![] };
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, SiteRequest::Shutdown);
+    }
+}

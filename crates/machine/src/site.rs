@@ -1,0 +1,83 @@
+//! A site: one processor of the simulated database machine.
+//!
+//! A site owns its fragment (already augmented with the complementary
+//! shortcuts stored at it) and serves subqueries until shut down. It
+//! never reads shared state — the shared-nothing property is enforced by
+//! ownership: `run_site` moves the augmented graph into the thread.
+
+use std::sync::mpsc;
+use std::time::Instant;
+
+use ds_closure::local::border_matrix;
+use ds_graph::CsrGraph;
+
+use crate::protocol::{SiteRequest, SiteResponse};
+
+/// Site main loop. Returns when a `Shutdown` arrives or the request
+/// channel closes.
+pub fn run_site(
+    site: usize,
+    augmented: CsrGraph,
+    requests: mpsc::Receiver<SiteRequest>,
+    responses: mpsc::Sender<SiteResponse>,
+) {
+    while let Ok(req) = requests.recv() {
+        match req {
+            SiteRequest::SubQuery { tag, sources, targets } => {
+                let start = Instant::now();
+                let rel = border_matrix(&augmented, &sources, &targets);
+                let resp = SiteResponse {
+                    site,
+                    tag,
+                    rows: rel.rows().to_vec(),
+                    busy: start.elapsed(),
+                };
+                if responses.send(resp).is_err() {
+                    return; // coordinator gone
+                }
+            }
+            SiteRequest::Shutdown => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_graph::{Edge, NodeId};
+
+    #[test]
+    fn site_answers_and_shuts_down() {
+        let aug = CsrGraph::from_edges(
+            3,
+            &[Edge::unit(NodeId(0), NodeId(1)), Edge::unit(NodeId(1), NodeId(2))],
+        );
+        let (req_tx, req_rx) = mpsc::channel();
+        let (resp_tx, resp_rx) = mpsc::channel();
+        let h = std::thread::spawn(move || run_site(7, aug, req_rx, resp_tx));
+        req_tx
+            .send(SiteRequest::SubQuery {
+                tag: 42,
+                sources: vec![NodeId(0)],
+                targets: vec![NodeId(2)],
+            })
+            .unwrap();
+        let resp = resp_rx.recv().unwrap();
+        assert_eq!(resp.site, 7);
+        assert_eq!(resp.tag, 42);
+        assert_eq!(resp.rows.len(), 1);
+        assert_eq!(resp.rows[0].cost, 2);
+        req_tx.send(SiteRequest::Shutdown).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn site_exits_when_channel_closes() {
+        let aug = CsrGraph::from_edges(1, &[]);
+        let (req_tx, req_rx) = mpsc::channel::<SiteRequest>();
+        let (resp_tx, _resp_rx) = mpsc::channel();
+        let h = std::thread::spawn(move || run_site(0, aug, req_rx, resp_tx));
+        drop(req_tx);
+        h.join().unwrap();
+    }
+}

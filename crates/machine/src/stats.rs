@@ -1,0 +1,84 @@
+//! Machine-level accounting: the quantities the PRISMA experiments
+//! (ref [14]) would have measured.
+
+use std::time::Duration;
+
+/// Per-site counters.
+#[derive(Clone, Debug, Default)]
+pub struct SiteStats {
+    /// Subqueries served.
+    pub subqueries: usize,
+    /// Total processing time.
+    pub busy: Duration,
+    /// Tuples produced (size of the shipped relations).
+    pub tuples_produced: usize,
+}
+
+/// Whole-machine counters.
+#[derive(Clone, Debug, Default)]
+pub struct MachineStats {
+    /// Queries answered by the coordinator.
+    pub queries: usize,
+    /// Request messages coordinator → sites.
+    pub messages_sent: usize,
+    /// Response messages sites → coordinator.
+    pub messages_received: usize,
+    /// Total tuples shipped back for the final joins — small by design:
+    /// "These joins will have relatively small operands (since the
+    /// disconnection sets are small)" (§2.1).
+    pub tuples_shipped: usize,
+    /// Per-site breakdown.
+    pub sites: Vec<SiteStats>,
+}
+
+impl MachineStats {
+    /// Fresh counters for `site_count` sites.
+    pub fn new(site_count: usize) -> Self {
+        MachineStats { sites: vec![SiteStats::default(); site_count], ..Default::default() }
+    }
+
+    /// Imbalance measure: max site busy time over mean site busy time
+    /// (1.0 = perfectly balanced). The workload-balance goal of §2.2 made
+    /// measurable.
+    pub fn balance_ratio(&self) -> f64 {
+        let busies: Vec<f64> =
+            self.sites.iter().map(|s| s.busy.as_secs_f64()).filter(|&b| b > 0.0).collect();
+        if busies.is_empty() {
+            return 1.0;
+        }
+        let max = busies.iter().cloned().fold(0.0, f64::max);
+        let mean = busies.iter().sum::<f64>() / busies.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balance_ratio_of_equal_sites_is_one() {
+        let mut s = MachineStats::new(2);
+        s.sites[0].busy = Duration::from_millis(10);
+        s.sites[1].busy = Duration::from_millis(10);
+        assert!((s.balance_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balance_ratio_detects_skew() {
+        let mut s = MachineStats::new(2);
+        s.sites[0].busy = Duration::from_millis(30);
+        s.sites[1].busy = Duration::from_millis(10);
+        assert!(s.balance_ratio() > 1.4);
+    }
+
+    #[test]
+    fn empty_machine_is_balanced() {
+        assert_eq!(MachineStats::new(0).balance_ratio(), 1.0);
+        assert_eq!(MachineStats::new(3).balance_ratio(), 1.0);
+    }
+}

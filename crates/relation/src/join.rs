@@ -1,0 +1,117 @@
+//! Hash joins, including the min-plus path composition used by the
+//! closure engine's final assembly ("a sequence of binary joins between a
+//! number of very small relations", §2.1).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::relation::Relation;
+use crate::tuple::PathTuple;
+
+/// Generic hash equi-join: builds on the smaller-looking side (`right`),
+/// probes with `left`. For each matching pair, `merge` produces an output
+/// row.
+pub fn hash_join<L, R, K, O>(
+    left: &Relation<L>,
+    right: &Relation<R>,
+    left_key: impl Fn(&L) -> K,
+    right_key: impl Fn(&R) -> K,
+    merge: impl Fn(&L, &R) -> O,
+) -> Relation<O>
+where
+    K: Eq + Hash,
+{
+    let mut index: HashMap<K, Vec<&R>> = HashMap::with_capacity(right.len());
+    for r in right.rows() {
+        index.entry(right_key(r)).or_default().push(r);
+    }
+    let mut out = Vec::new();
+    for l in left.rows() {
+        if let Some(matches) = index.get(&left_key(l)) {
+            for r in matches {
+                out.push(merge(l, r));
+            }
+        }
+    }
+    Relation::from_rows(format!("({}⋈{})", left.name(), right.name()), out)
+}
+
+/// Min-plus composition of two path relations:
+/// `out(a, c) = min over b of left(a, b) + right(b, c)`.
+///
+/// This is the join `left ⋈_{left.dst = right.src} right` followed by the
+/// min-cost aggregation — one step of the final assembly along a chain of
+/// fragments.
+pub fn compose_min_plus(
+    left: &Relation<PathTuple>,
+    right: &Relation<PathTuple>,
+) -> Relation<PathTuple> {
+    hash_join(
+        left,
+        right,
+        |l| l.dst,
+        |r| r.src,
+        |l, r| PathTuple::new(l.src, r.dst, l.cost + r.cost),
+    )
+    .min_cost()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_graph::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn hash_join_matches_pairs() {
+        let l = Relation::from_rows("l", vec![(1u32, "a"), (2, "b")]);
+        let r = Relation::from_rows("r", vec![(1u32, 10i64), (1, 20), (3, 30)]);
+        let j = hash_join(&l, &r, |x| x.0, |y| y.0, |x, y| (x.1, y.1));
+        assert_eq!(j.rows(), &[("a", 10), ("a", 20)]);
+        assert!(j.name().contains('⋈'));
+    }
+
+    #[test]
+    fn compose_takes_minimum_over_midpoints() {
+        // Two routes from 0 to 2: via 1 (3+4=7) and via 3 (2+9=11).
+        let left = Relation::from_rows(
+            "l",
+            vec![PathTuple::new(n(0), n(1), 3), PathTuple::new(n(0), n(3), 2)],
+        );
+        let right = Relation::from_rows(
+            "r",
+            vec![PathTuple::new(n(1), n(2), 4), PathTuple::new(n(3), n(2), 9)],
+        );
+        let out = compose_min_plus(&left, &right);
+        assert_eq!(out.rows(), &[PathTuple::new(n(0), n(2), 7)]);
+    }
+
+    #[test]
+    fn compose_is_associative_on_chains() {
+        // (A∘B)∘C == A∘(B∘C) for a 4-hop chain with branches.
+        let a = Relation::from_rows(
+            "a",
+            vec![PathTuple::new(n(0), n(1), 1), PathTuple::new(n(0), n(2), 5)],
+        );
+        let b = Relation::from_rows(
+            "b",
+            vec![PathTuple::new(n(1), n(3), 2), PathTuple::new(n(2), n(3), 1)],
+        );
+        let c = Relation::from_rows("c", vec![PathTuple::new(n(3), n(4), 4)]);
+        let left_assoc = compose_min_plus(&compose_min_plus(&a, &b), &c);
+        let right_assoc = compose_min_plus(&a, &compose_min_plus(&b, &c));
+        assert_eq!(left_assoc.rows(), right_assoc.rows());
+        assert_eq!(left_assoc.cost_of(n(0), n(4)), Some(7));
+    }
+
+    #[test]
+    fn compose_with_empty_is_empty() {
+        let a = Relation::from_rows("a", vec![PathTuple::new(n(0), n(1), 1)]);
+        let e: Relation<PathTuple> = Relation::empty("e");
+        assert!(compose_min_plus(&a, &e).is_empty());
+        assert!(compose_min_plus(&e, &a).is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Typed in-memory relations with the classical unary operators.
+
+use std::collections::HashMap;
+
+use ds_graph::NodeId;
+
+use crate::tuple::PathTuple;
+
+/// A named, typed, in-memory relation (a bag of rows).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Relation<T> {
+    name: String,
+    rows: Vec<T>,
+}
+
+impl<T> Relation<T> {
+    /// An empty relation.
+    pub fn empty(name: impl Into<String>) -> Self {
+        Relation { name: name.into(), rows: Vec::new() }
+    }
+
+    /// Build from rows.
+    pub fn from_rows(name: impl Into<String>, rows: Vec<T>) -> Self {
+        Relation { name: name.into(), rows }
+    }
+
+    /// Relation name (for plan displays).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[T] {
+        &self.rows
+    }
+
+    /// Cardinality.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// σ — keep rows satisfying the predicate.
+    pub fn select(&self, pred: impl Fn(&T) -> bool) -> Relation<T>
+    where
+        T: Clone,
+    {
+        Relation {
+            name: format!("σ({})", self.name),
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+
+    /// π — map each row through a projection function.
+    pub fn project<U>(&self, f: impl Fn(&T) -> U) -> Relation<U> {
+        Relation { name: format!("π({})", self.name), rows: self.rows.iter().map(f).collect() }
+    }
+
+    /// ∪ — bag union (no dedup; call a dedup op when set semantics are
+    /// needed).
+    pub fn union(&self, other: &Relation<T>) -> Relation<T>
+    where
+        T: Clone,
+    {
+        let mut rows = self.rows.clone();
+        rows.extend(other.rows.iter().cloned());
+        Relation { name: format!("({}∪{})", self.name, other.name), rows }
+    }
+
+    /// Append rows in place.
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = T>) {
+        self.rows.extend(rows);
+    }
+}
+
+impl Relation<PathTuple> {
+    /// Group by `(src, dst)` and keep the cheapest tuple — the aggregation
+    /// that turns a bag of discovered paths into the shortest-path
+    /// relation. Output order is deterministic (sorted by key).
+    pub fn min_cost(&self) -> Relation<PathTuple> {
+        let mut best: HashMap<(NodeId, NodeId), u64> = HashMap::with_capacity(self.rows.len());
+        for t in &self.rows {
+            let e = best.entry(t.endpoints()).or_insert(t.cost);
+            if t.cost < *e {
+                *e = t.cost;
+            }
+        }
+        let mut rows: Vec<PathTuple> =
+            best.into_iter().map(|((s, d), c)| PathTuple::new(s, d, c)).collect();
+        rows.sort_unstable();
+        Relation { name: format!("min({})", self.name), rows }
+    }
+
+    /// Set-semantics dedup ignoring cost (reachability view).
+    pub fn distinct_pairs(&self) -> Relation<PathTuple> {
+        let mut seen = std::collections::HashSet::new();
+        let mut rows = Vec::new();
+        for t in &self.rows {
+            if seen.insert(t.endpoints()) {
+                rows.push(*t);
+            }
+        }
+        rows.sort_unstable();
+        Relation { name: format!("δ({})", self.name), rows }
+    }
+
+    /// Look up the cheapest cost for an exact `(src, dst)` pair.
+    pub fn cost_of(&self, src: NodeId, dst: NodeId) -> Option<u64> {
+        self.rows
+            .iter()
+            .filter(|t| t.src == src && t.dst == dst)
+            .map(|t| t.cost)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation<PathTuple> {
+        Relation::from_rows(
+            "r",
+            vec![
+                PathTuple::new(NodeId(0), NodeId(1), 5),
+                PathTuple::new(NodeId(0), NodeId(1), 3),
+                PathTuple::new(NodeId(1), NodeId(2), 7),
+            ],
+        )
+    }
+
+    #[test]
+    fn select_filters() {
+        let r = rel().select(|t| t.cost < 6);
+        assert_eq!(r.len(), 2);
+        assert!(r.name().contains('σ'));
+    }
+
+    #[test]
+    fn project_maps() {
+        let srcs = rel().project(|t| t.src);
+        assert_eq!(srcs.rows(), &[NodeId(0), NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn union_is_bag_semantics() {
+        let r = rel();
+        let u = r.union(&r);
+        assert_eq!(u.len(), 6);
+    }
+
+    #[test]
+    fn min_cost_groups_pairs() {
+        let m = rel().min_cost();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.cost_of(NodeId(0), NodeId(1)), Some(3));
+        assert_eq!(m.cost_of(NodeId(1), NodeId(2)), Some(7));
+        assert_eq!(m.cost_of(NodeId(2), NodeId(0)), None);
+    }
+
+    #[test]
+    fn distinct_pairs_keeps_first() {
+        let d = rel().distinct_pairs();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let e: Relation<PathTuple> = Relation::empty("e");
+        assert!(e.is_empty());
+        assert_eq!(e.min_cost().len(), 0);
+    }
+}

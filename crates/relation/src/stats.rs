@@ -1,0 +1,40 @@
+//! Execution statistics of the closure operators.
+//!
+//! The paper's performance arguments are about exactly these quantities:
+//! the number of iterations to the fixpoint ("given by the maximum
+//! diameter of the graph", §2.1) and the size of intermediate results
+//! ("the size of intermediate results depends on the connectivity",
+//! §2.2).
+
+/// Counters collected by one transitive-closure evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TcStats {
+    /// Join-and-merge rounds until the fixpoint.
+    pub iterations: usize,
+    /// Total tuples produced by joins (before dedup/min aggregation).
+    pub tuples_generated: usize,
+    /// Tuples in the final result.
+    pub result_tuples: usize,
+}
+
+impl TcStats {
+    /// Merge counters from another evaluation (e.g. across fragments).
+    pub fn absorb(&mut self, other: &TcStats) {
+        self.iterations = self.iterations.max(other.iterations);
+        self.tuples_generated += other.tuples_generated;
+        self.result_tuples += other.result_tuples;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_takes_max_iterations_and_sums_tuples() {
+        let mut a = TcStats { iterations: 3, tuples_generated: 10, result_tuples: 5 };
+        let b = TcStats { iterations: 7, tuples_generated: 1, result_tuples: 2 };
+        a.absorb(&b);
+        assert_eq!(a, TcStats { iterations: 7, tuples_generated: 11, result_tuples: 7 });
+    }
+}

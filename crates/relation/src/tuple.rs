@@ -1,0 +1,62 @@
+//! Tuple types of the connection and path relations.
+
+use std::fmt;
+
+use ds_graph::{Cost, Edge, NodeId};
+
+/// A tuple of the path relation: "there is a path from `src` to `dst` of
+/// total cost `cost`". The base relation `R` uses the same shape (a path
+/// of one edge), exactly as the paper's `R` does.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct PathTuple {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub cost: Cost,
+}
+
+impl PathTuple {
+    pub fn new(src: NodeId, dst: NodeId, cost: Cost) -> Self {
+        PathTuple { src, dst, cost }
+    }
+
+    /// The `(src, dst)` key the min-cost aggregation groups by.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.src, self.dst)
+    }
+}
+
+impl From<Edge> for PathTuple {
+    fn from(e: Edge) -> Self {
+        PathTuple { src: e.src, dst: e.dst, cost: e.cost }
+    }
+}
+
+impl From<PathTuple> for Edge {
+    fn from(t: PathTuple) -> Self {
+        Edge { src: t.src, dst: t.dst, cost: t.cost }
+    }
+}
+
+impl fmt::Display for PathTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} -> {} : {})", self.src, self.dst, self.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_roundtrip() {
+        let e = Edge::new(NodeId(1), NodeId(2), 9);
+        let t = PathTuple::from(e);
+        assert_eq!(t.endpoints(), (NodeId(1), NodeId(2)));
+        assert_eq!(Edge::from(t), e);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PathTuple::new(NodeId(0), NodeId(3), 7).to_string(), "(0 -> 3 : 7)");
+    }
+}

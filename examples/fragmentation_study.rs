@@ -1,0 +1,71 @@
+//! Compare the three fragmentation strategies on one transportation
+//! graph — a single-graph version of the paper's Table 1 study, with the
+//! per-goal commentary of §4.2.
+//!
+//! ```text
+//! cargo run --release --example fragmentation_study [seed]
+//! ```
+
+use discset::fragment::bond_energy::{bond_energy, BondEnergyConfig, SplitRule};
+use discset::fragment::center::{center_based, CenterConfig, CenterSelection};
+use discset::fragment::linear::{linear_sweep, LinearConfig};
+use discset::fragment::Fragmentation;
+use discset::gen::{generate_transportation, TransportationConfig};
+
+fn report(label: &str, goal: &str, frag: &Fragmentation) {
+    let m = frag.metrics();
+    println!("{label:<22} {m}");
+    println!("{:<22}   goal: {goal}", "");
+    let diams: Vec<u32> = frag.fragments().iter().map(|f| f.diameter()).collect();
+    println!("{:<22}   fragment diameters: {diams:?}", "");
+}
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7u64);
+    let cfg = TransportationConfig::table1();
+    let g = generate_transportation(&cfg, seed);
+    println!(
+        "transportation graph: {} nodes in {} clusters, {} connections (seed {seed})\n",
+        g.nodes,
+        cfg.clusters,
+        g.connection_count()
+    );
+    let el = g.edge_list();
+
+    let center = center_based(&el, &CenterConfig { fragments: 4, ..Default::default() })
+        .expect("non-empty graph");
+    report("center-based", "equally sized fragments (sec 3.1)", &center.fragmentation);
+
+    let distributed = center_based(
+        &el,
+        &CenterConfig {
+            fragments: 4,
+            selection: CenterSelection::Distributed { pool_factor: 8.0 },
+            ..Default::default()
+        },
+    )
+    .expect("non-empty graph");
+    report(
+        "distributed centers",
+        "spread centers via coordinates (sec 4.2.1)",
+        &distributed.fragmentation,
+    );
+
+    let bea = bond_energy(
+        &el,
+        &BondEnergyConfig {
+            split: SplitRule::CutBelowThreshold(4),
+            min_block_edges: 30,
+            ..Default::default()
+        },
+    )
+    .expect("non-empty graph");
+    report("bond-energy", "small disconnection sets (sec 3.2)", &bea.fragmentation);
+
+    let linear = linear_sweep(&el, &LinearConfig { fragments: 4, ..Default::default() })
+        .expect("coordinates present");
+    report("linear", "acyclic fragmentation graph (sec 3.3)", &linear.fragmentation);
+
+    println!("\nconclusion of sec 4.2.3: each algorithm meets the goal it was built for;");
+    println!("the paper expects small disconnection sets (bond-energy) to matter most.");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: fragment a small network, build the engine, ask questions.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use discset::closure::engine::{DisconnectionSetEngine, EngineConfig};
+use discset::fragment::linear::{linear_sweep, LinearConfig};
+use discset::gen::deterministic::grid;
+use discset::graph::NodeId;
+
+fn main() {
+    // A 12x4 grid road network (unit costs), nodes numbered row-major.
+    let network = grid(12, 4);
+    println!(
+        "network: {} nodes, {} connections",
+        network.nodes,
+        network.connection_count()
+    );
+
+    // Fragment it with the linear sweep (guaranteed acyclic fragmentation
+    // graph, sec 3.3 of the paper).
+    let outcome = linear_sweep(
+        &network.edge_list(),
+        &LinearConfig { fragments: 4, ..Default::default() },
+    )
+    .expect("grid has edges and coordinates");
+    let fragmentation = outcome.fragmentation;
+    println!("fragmentation: {}", fragmentation.metrics());
+    for (pair, nodes) in fragmentation.disconnection_sets() {
+        println!("  DS{pair:?} = {nodes:?}");
+    }
+
+    // Build the disconnection set engine (precomputes the complementary
+    // information) and query it.
+    let engine = DisconnectionSetEngine::build(
+        network.closure_graph(),
+        fragmentation,
+        true, // connections are symmetric
+        EngineConfig::default(),
+    )
+    .expect("engine builds");
+    println!(
+        "complementary info: {} border nodes, {} shortcut tuples",
+        engine.complementary().border_count(),
+        engine.complementary().pair_count()
+    );
+
+    let (a, b) = (NodeId(0), NodeId(47)); // opposite corners
+    let answer = engine.shortest_path(a, b);
+    println!(
+        "shortest path {}->{}: cost {:?} via fragment chain {:?}",
+        a, b, answer.cost, answer.best_chain
+    );
+    println!(
+        "  phase one: {} site subqueries, {} tuples shipped",
+        answer.stats.site_queries, answer.stats.tuples_shipped
+    );
+    assert!(engine.reachable(a, b));
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the full public API. See README.md.
+pub use ds_closure as closure;
+pub use ds_fragment as fragment;
+pub use ds_gen as gen;
+pub use ds_graph as graph;
+pub use ds_machine as machine;
+pub use ds_relation as relation;

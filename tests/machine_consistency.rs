@@ -1,0 +1,83 @@
+//! The simulated multiprocessor machine must agree with the in-process
+//! engine and the centralized baseline, and its accounting must reflect
+//! the paper's communication story.
+
+use discset::closure::baseline;
+use discset::closure::engine::{DisconnectionSetEngine, EngineConfig};
+use discset::fragment::{semantic, CrossingPolicy};
+use discset::gen::{generate_transportation, TransportationConfig};
+use discset::graph::NodeId;
+use discset::machine::Machine;
+
+fn setup(
+    clusters: usize,
+    seed: u64,
+) -> (discset::graph::CsrGraph, discset::fragment::Fragmentation) {
+    let cfg = TransportationConfig {
+        clusters,
+        nodes_per_cluster: 15,
+        target_edges_per_cluster: 40,
+        ..TransportationConfig::default()
+    };
+    let g = generate_transportation(&cfg, seed);
+    let labels = g.cluster_of.clone().unwrap();
+    let frag =
+        semantic::by_labels(g.nodes, &g.connections, &labels, clusters, CrossingPolicy::LowerBlock)
+            .unwrap();
+    (g.closure_graph(), frag)
+}
+
+#[test]
+fn machine_engine_and_baseline_agree() {
+    let (csr, frag) = setup(4, 3);
+    let engine =
+        DisconnectionSetEngine::build(csr.clone(), frag.clone(), true, EngineConfig::default())
+            .unwrap();
+    let mut machine = Machine::deploy(csr.clone(), frag, true).unwrap();
+    let n = csr.node_count() as u32;
+    for i in 0..20u32 {
+        let (x, y) = (NodeId((i * 7) % n), NodeId((i * 11 + 31) % n));
+        let want = baseline::shortest_path_cost(&csr, x, y);
+        assert_eq!(engine.shortest_path(x, y).cost, want, "engine {x}->{y}");
+        assert_eq!(machine.shortest_path(x, y), want, "machine {x}->{y}");
+    }
+    machine.shutdown();
+}
+
+#[test]
+fn machine_ships_only_small_relations() {
+    let (csr, frag) = setup(4, 1);
+    let ds_total: usize = frag.disconnection_sets().values().map(|v| v.len()).sum();
+    let mut machine = Machine::deploy(csr, frag, true).unwrap();
+    machine.shortest_path(NodeId(0), NodeId(59));
+    let stats = machine.stats();
+    // Each shipped relation is bounded by |entry DS| x |exit DS|; with the
+    // few border nodes of a chain transportation graph that stays tiny.
+    assert!(
+        stats.tuples_shipped <= ds_total * ds_total + 2 * ds_total + 2,
+        "tuples shipped {} vs DS total {}",
+        stats.tuples_shipped,
+        ds_total
+    );
+    assert_eq!(stats.messages_sent, stats.messages_received);
+    machine.shutdown();
+}
+
+#[test]
+fn machine_handles_many_queries_and_accumulates_stats() {
+    let (csr, frag) = setup(3, 7);
+    let mut machine = Machine::deploy(csr.clone(), frag, true).unwrap();
+    let n = csr.node_count() as u32;
+    let mut answered = 0;
+    for i in 0..30u32 {
+        let (x, y) = (NodeId(i % n), NodeId((i * 13 + 5) % n));
+        if machine.shortest_path(x, y).is_some() {
+            answered += 1;
+        }
+    }
+    assert!(answered > 0);
+    assert_eq!(machine.stats().queries, 30);
+    let busy: Vec<_> = machine.stats().sites.iter().filter(|s| s.subqueries > 0).collect();
+    assert!(!busy.is_empty(), "sites must have served subqueries");
+    machine.shutdown();
+}

@@ -1,0 +1,175 @@
+//! Property-based tests over the workspace invariants (proptest).
+
+use discset::closure::baseline;
+use discset::closure::engine::{DisconnectionSetEngine, EngineConfig};
+use discset::fragment::center::{center_based, CenterConfig};
+use discset::fragment::linear::{linear_sweep, LinearConfig};
+use discset::gen::{generate_general, GeneralConfig};
+use discset::graph::{Coord, CsrGraph, Edge, EdgeList, NodeId};
+use discset::relation::join::compose_min_plus;
+use discset::relation::{tc, PathTuple, Relation};
+use proptest::prelude::*;
+
+/// Strategy: a random connected-ish symmetric graph as (node_count,
+/// connection list, coords), by sampling edges over node pairs.
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<Edge>, Vec<Coord>)> {
+    (4usize..24).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 1u64..50),
+            n..(3 * n),
+        );
+        edges.prop_map(move |raw| {
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Vec::new();
+            for (a, b, c) in raw {
+                if a == b {
+                    continue;
+                }
+                let key = (a.min(b), a.max(b));
+                if seen.insert(key) {
+                    out.push(Edge::new(NodeId(key.0), NodeId(key.1), c));
+                }
+            }
+            // Back-bone path so the graph is connected (keeps reachability
+            // cases interesting rather than mostly-unreachable).
+            for i in 0..(n as u32 - 1) {
+                let key = (i, i + 1);
+                if seen.insert(key) {
+                    out.push(Edge::new(NodeId(i), NodeId(i + 1), 10));
+                }
+            }
+            let coords: Vec<Coord> =
+                (0..n).map(|i| Coord::new(i as f64 * 3.0, (i % 5) as f64)).collect();
+            (n, out, coords)
+        })
+    })
+}
+
+fn closure_graph(n: usize, connections: &[Edge]) -> CsrGraph {
+    let mut edges = Vec::with_capacity(connections.len() * 2);
+    for e in connections {
+        edges.push(*e);
+        edges.push(e.reversed());
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every fragmenter must partition the relation exactly.
+    #[test]
+    fn fragmenters_partition_the_relation((n, conns, coords) in arb_graph()) {
+        let el = EdgeList::new(n, conns.clone()).with_coords(coords);
+        let lin = linear_sweep(&el, &LinearConfig { fragments: 3, ..Default::default() })
+            .unwrap().fragmentation;
+        prop_assert!(lin.validate(&conns).is_ok());
+        let cen = center_based(&el, &CenterConfig { fragments: 2, ..Default::default() })
+            .unwrap().fragmentation;
+        prop_assert!(cen.validate(&conns).is_ok());
+    }
+
+    /// The linear sweep's fragmentation graph is always acyclic (§3.3).
+    #[test]
+    fn linear_sweep_always_loosely_connected((n, conns, coords) in arb_graph()) {
+        let el = EdgeList::new(n, conns).with_coords(coords);
+        for f in [2usize, 3, 5] {
+            let out = linear_sweep(&el, &LinearConfig { fragments: f, ..Default::default() })
+                .unwrap();
+            prop_assert!(out.fragmentation.fragmentation_graph().is_acyclic());
+        }
+    }
+
+    /// Disconnection sets are symmetric node intersections.
+    #[test]
+    fn disconnection_sets_are_intersections((n, conns, coords) in arb_graph()) {
+        let el = EdgeList::new(n, conns).with_coords(coords);
+        let frag = linear_sweep(&el, &LinearConfig { fragments: 3, ..Default::default() })
+            .unwrap().fragmentation;
+        for ((i, j), nodes) in frag.disconnection_sets() {
+            for v in nodes {
+                prop_assert!(frag.fragment(i).contains_node(v));
+                prop_assert!(frag.fragment(j).contains_node(v));
+            }
+        }
+    }
+
+    /// The crown jewel: disconnection-set answers equal global Dijkstra.
+    #[test]
+    fn engine_matches_global_dijkstra((n, conns, coords) in arb_graph()) {
+        let el = EdgeList::new(n, conns.clone()).with_coords(coords);
+        let frag = linear_sweep(&el, &LinearConfig { fragments: 3, ..Default::default() })
+            .unwrap().fragmentation;
+        let csr = closure_graph(n, &conns);
+        let engine = DisconnectionSetEngine::build(
+            csr.clone(), frag, true, EngineConfig::default()).unwrap();
+        for x in 0..(n as u32).min(6) {
+            for y in 0..(n as u32).min(6) {
+                let got = engine.shortest_path(NodeId(x), NodeId(y)).cost;
+                let want = baseline::shortest_path_cost(&csr, NodeId(x), NodeId(y));
+                prop_assert_eq!(got, want, "query {}->{}", x, y);
+            }
+        }
+    }
+
+    /// Complementary shortcut costs obey the triangle inequality with the
+    /// global metric (they ARE global distances).
+    #[test]
+    fn shortcut_costs_are_global_distances((n, conns, coords) in arb_graph()) {
+        let el = EdgeList::new(n, conns.clone()).with_coords(coords);
+        let frag = linear_sweep(&el, &LinearConfig { fragments: 3, ..Default::default() })
+            .unwrap().fragmentation;
+        let csr = closure_graph(n, &conns);
+        let comp = discset::closure::ComplementaryInfo::compute(
+            &csr, &frag, discset::closure::ComplementaryScope::PerFragmentBorder, false);
+        for f in 0..frag.fragment_count() {
+            for e in comp.shortcuts(f) {
+                prop_assert_eq!(
+                    Some(e.cost),
+                    baseline::shortest_path_cost(&csr, e.src, e.dst)
+                );
+            }
+        }
+    }
+
+    /// Min-plus composition is associative.
+    #[test]
+    fn min_plus_composition_is_associative(
+        a_rows in proptest::collection::vec((0u32..4, 4u32..8, 1u64..20), 1..12),
+        b_rows in proptest::collection::vec((4u32..8, 8u32..12, 1u64..20), 1..12),
+        c_rows in proptest::collection::vec((8u32..12, 12u32..16, 1u64..20), 1..12),
+    ) {
+        let rel = |name: &str, rows: &[(u32, u32, u64)]| {
+            Relation::from_rows(
+                name,
+                rows.iter().map(|&(s, d, c)| PathTuple::new(NodeId(s), NodeId(d), c)).collect(),
+            )
+        };
+        let (a, b, c) = (rel("a", &a_rows), rel("b", &b_rows), rel("c", &c_rows));
+        let left = compose_min_plus(&compose_min_plus(&a, &b), &c);
+        let right = compose_min_plus(&a, &compose_min_plus(&b, &c));
+        prop_assert_eq!(left.rows(), right.rows());
+    }
+
+    /// Semi-naive and naive closure agree.
+    #[test]
+    fn seminaive_equals_naive(rows in proptest::collection::vec((0u32..8, 0u32..8, 1u64..9), 1..20)) {
+        let rel = Relation::from_rows(
+            "R",
+            rows.iter().map(|&(s, d, c)| PathTuple::new(NodeId(s), NodeId(d), c)).collect::<Vec<_>>(),
+        );
+        let (a, _) = tc::seminaive_closure(&rel, None);
+        let (b, _) = tc::naive_closure(&rel, None);
+        prop_assert_eq!(a.rows(), b.rows());
+    }
+
+    /// Generators are deterministic per seed.
+    #[test]
+    fn generator_determinism(seed in 0u64..500) {
+        let cfg = GeneralConfig { nodes: 30, target_edges: 60, ..Default::default() };
+        let a = generate_general(&cfg, seed);
+        let b = generate_general(&cfg, seed);
+        prop_assert_eq!(a.connections, b.connections);
+        prop_assert_eq!(a.coords, b.coords);
+    }
+}
