@@ -1,8 +1,12 @@
 //! Query latency: disconnection set approach (sequential and parallel
 //! phase one) vs the centralized baseline — the end-to-end comparison
 //! behind the paper's speed-up claim.
+//!
+//! ```text
+//! cargo bench -p ds-bench --bench closure
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ds_bench::harness::{render, Bench};
 use ds_closure::baseline;
 use ds_closure::engine::{DisconnectionSetEngine, EngineConfig};
 use ds_closure::executor::ExecutionMode;
@@ -10,9 +14,8 @@ use ds_fragment::{semantic, CrossingPolicy};
 use ds_gen::{generate_transportation, TransportationConfig};
 use ds_graph::NodeId;
 
-fn bench_closure(c: &mut Criterion) {
-    let mut group = c.benchmark_group("closure");
-    group.sample_size(20);
+fn bench_closure(results: &mut Vec<ds_bench::harness::BenchResult>) {
+    let mut group = Bench::new("closure").sample_size(20);
     for clusters in [4usize, 8] {
         let nodes_per_cluster = 40;
         let cfg = TransportationConfig {
@@ -32,61 +35,64 @@ fn bench_closure(c: &mut Criterion) {
         )
         .unwrap();
         let csr = g.closure_graph();
-        let seq = DisconnectionSetEngine::build(
-            csr.clone(),
-            frag.clone(),
-            true,
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let seq =
+            DisconnectionSetEngine::build(csr.clone(), frag.clone(), true, EngineConfig::default())
+                .unwrap();
         let par = DisconnectionSetEngine::build(
             csr.clone(),
             frag,
             true,
-            EngineConfig { mode: ExecutionMode::Parallel, ..EngineConfig::default() },
+            EngineConfig {
+                mode: ExecutionMode::Parallel,
+                ..EngineConfig::default()
+            },
         )
         .unwrap();
         // First cluster to last cluster: the longest chain.
-        let (x, y) = (NodeId(0), NodeId((clusters as u32 - 1) * nodes_per_cluster as u32 + 7));
+        let (x, y) = (
+            NodeId(0),
+            NodeId((clusters as u32 - 1) * nodes_per_cluster as u32 + 7),
+        );
 
-        group.bench_with_input(BenchmarkId::new("centralized-dijkstra", clusters), &csr, |b, csr| {
-            b.iter(|| baseline::shortest_path_cost(csr, x, y))
+        group.run(&format!("centralized-dijkstra/{clusters}"), || {
+            baseline::shortest_path_cost(&csr, x, y)
         });
-        group.bench_with_input(BenchmarkId::new("ds-sequential", clusters), &seq, |b, e| {
-            b.iter(|| e.shortest_path(x, y).cost)
+        group.run(&format!("ds-sequential/{clusters}"), || {
+            seq.shortest_path(x, y).cost
         });
-        group.bench_with_input(BenchmarkId::new("ds-parallel", clusters), &par, |b, e| {
-            b.iter(|| e.shortest_path(x, y).cost)
+        group.run(&format!("ds-parallel/{clusters}"), || {
+            par.shortest_path(x, y).cost
         });
     }
-    group.finish();
+    results.extend(group.into_results());
 }
 
-fn bench_precompute(c: &mut Criterion) {
+fn bench_precompute(results: &mut Vec<ds_bench::harness::BenchResult>) {
     // The paper's acknowledged cost: "the pre-processing required for
     // building the complementary information".
-    let mut group = c.benchmark_group("precompute");
-    group.sample_size(10);
+    let mut group = Bench::new("precompute").sample_size(10);
     let cfg = TransportationConfig::table1();
     let g = generate_transportation(&cfg, 1);
     let labels = g.cluster_of.clone().unwrap();
-    let frag =
-        semantic::by_labels(g.nodes, &g.connections, &labels, 4, CrossingPolicy::LowerBlock)
-            .unwrap();
+    let frag = semantic::by_labels(
+        g.nodes,
+        &g.connections,
+        &labels,
+        4,
+        CrossingPolicy::LowerBlock,
+    )
+    .unwrap();
     let csr = g.closure_graph();
-    group.bench_function("engine-build-4x25", |b| {
-        b.iter(|| {
-            DisconnectionSetEngine::build(
-                csr.clone(),
-                frag.clone(),
-                true,
-                EngineConfig::default(),
-            )
+    group.run("engine-build-4x25", || {
+        DisconnectionSetEngine::build(csr.clone(), frag.clone(), true, EngineConfig::default())
             .unwrap()
-        })
     });
-    group.finish();
+    results.extend(group.into_results());
 }
 
-criterion_group!(benches, bench_closure, bench_precompute);
-criterion_main!(benches);
+fn main() {
+    let mut results = Vec::new();
+    bench_closure(&mut results);
+    bench_precompute(&mut results);
+    println!("{}", render(&results));
+}

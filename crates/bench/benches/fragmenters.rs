@@ -4,16 +4,19 @@
 //! growing size. The paper flags the k-connectivity idea as "very
 //! computation intensive"; this bench quantifies what its replacements
 //! cost instead.
+//!
+//! ```text
+//! cargo bench -p ds-bench --bench fragmenters
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ds_bench::harness::{render, Bench};
 use ds_fragment::bond_energy::{bond_energy, BondEnergyConfig, SplitRule};
 use ds_fragment::center::{center_based, CenterConfig, CenterSelection};
 use ds_fragment::linear::{linear_sweep, LinearConfig};
 use ds_gen::{generate_transportation, TransportationConfig};
 
-fn bench_fragmenters(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fragmenters");
-    group.sample_size(10);
+fn main() {
+    let mut group = Bench::new("fragmenters").sample_size(10);
     for nodes_per_cluster in [25usize, 50] {
         let cfg = TransportationConfig {
             clusters: 4,
@@ -25,48 +28,51 @@ fn bench_fragmenters(c: &mut Criterion) {
         let el = g.edge_list();
         let n = cfg.total_nodes();
 
-        group.bench_with_input(BenchmarkId::new("center-based", n), &el, |b, el| {
-            b.iter(|| {
-                center_based(el, &CenterConfig { fragments: 4, ..Default::default() }).unwrap()
-            })
+        group.run(&format!("center-based/{n}"), || {
+            center_based(
+                &el,
+                &CenterConfig {
+                    fragments: 4,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("distributed-centers", n), &el, |b, el| {
-            b.iter(|| {
-                center_based(
-                    el,
-                    &CenterConfig {
-                        fragments: 4,
-                        selection: CenterSelection::Distributed { pool_factor: 8.0 },
-                        ..Default::default()
-                    },
-                )
-                .unwrap()
-            })
+        group.run(&format!("distributed-centers/{n}"), || {
+            center_based(
+                &el,
+                &CenterConfig {
+                    fragments: 4,
+                    selection: CenterSelection::Distributed { pool_factor: 8.0 },
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("bond-energy", n), &el, |b, el| {
-            b.iter(|| {
-                bond_energy(
-                    el,
-                    &BondEnergyConfig {
-                        split: SplitRule::CutBelowThreshold(4),
-                        min_block_edges: 30,
-                        // Cap restarts so the bench scales; the tables use
-                        // the full restart loop.
-                        max_restarts: Some(8),
-                        ..Default::default()
-                    },
-                )
-                .unwrap()
-            })
+        group.run(&format!("bond-energy/{n}"), || {
+            bond_energy(
+                &el,
+                &BondEnergyConfig {
+                    split: SplitRule::CutBelowThreshold(4),
+                    min_block_edges: 30,
+                    // Cap restarts so the bench scales; the tables use
+                    // the full restart loop.
+                    max_restarts: Some(8),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("linear", n), &el, |b, el| {
-            b.iter(|| {
-                linear_sweep(el, &LinearConfig { fragments: 4, ..Default::default() }).unwrap()
-            })
+        group.run(&format!("linear/{n}"), || {
+            linear_sweep(
+                &el,
+                &LinearConfig {
+                    fragments: 4,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         });
     }
-    group.finish();
+    println!("{}", render(group.results()));
 }
-
-criterion_group!(benches, bench_fragmenters);
-criterion_main!(benches);

@@ -4,36 +4,33 @@
 //! Compares the per-fragment evaluator choices §2.1 leaves open ("any
 //! suitable single-processor algorithm may be chosen"): Dijkstra,
 //! bit-matrix Warshall, Floyd–Warshall and relational semi-naive.
+//!
+//! ```text
+//! cargo bench -p ds-bench --bench kernels
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ds_bench::harness::{render, Bench};
 use ds_gen::{generate_general, GeneralConfig};
 use ds_graph::{dijkstra, matrix, NodeId};
 use ds_relation::{tc, PathTuple, Relation};
 
-fn bench_kernels(c: &mut Criterion) {
+fn main() {
     let g = generate_general(&GeneralConfig::default(), 1); // 100 nodes, ~280 edges
     let csr = g.closure_graph();
-    let rel = Relation::from_rows(
-        "R",
-        csr.edges().map(PathTuple::from).collect::<Vec<_>>(),
-    );
+    let rel = Relation::from_rows("R", csr.edges().map(PathTuple::from).collect::<Vec<_>>());
 
-    let mut group = c.benchmark_group("kernels-100-nodes");
-    group.sample_size(20);
-    group.bench_function("dijkstra-single-source", |b| {
-        b.iter(|| dijkstra::single_source(&csr, NodeId(0)))
+    let mut group = Bench::new("kernels-100-nodes").sample_size(20);
+    group.run("dijkstra-single-source", || {
+        dijkstra::single_source(&csr, NodeId(0))
     });
-    group.bench_function("warshall-bitset-closure", |b| {
-        b.iter(|| matrix::reachability_closure(&csr))
+    group.run("warshall-bitset-closure", || {
+        matrix::reachability_closure(&csr)
     });
-    group.bench_function("floyd-warshall-costs", |b| b.iter(|| matrix::floyd_warshall(&csr)));
-    group.bench_function("seminaive-from-source", |b| {
-        b.iter(|| tc::seminaive_closure(&rel, Some(&[NodeId(0)])))
+    group.run("floyd-warshall-costs", || matrix::floyd_warshall(&csr));
+    group.run("seminaive-from-source", || {
+        tc::seminaive_closure(&rel, Some(&[NodeId(0)]))
     });
-    group.bench_function("seminaive-full", |b| b.iter(|| tc::seminaive_closure(&rel, None)));
-    group.bench_function("smart-squaring-full", |b| b.iter(|| tc::smart_closure(&rel)));
-    group.finish();
+    group.run("seminaive-full", || tc::seminaive_closure(&rel, None));
+    group.run("smart-squaring-full", || tc::smart_closure(&rel));
+    println!("{}", render(group.results()));
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

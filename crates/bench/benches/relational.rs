@@ -1,8 +1,12 @@
 //! Relational operator benches: naive vs semi-naive iteration (the
 //! intermediate-result blowup §2.2 worries about) and the min-plus join
 //! of the final assembly.
+//!
+//! ```text
+//! cargo bench -p ds-bench --bench relational
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ds_bench::harness::{render, Bench};
 use ds_gen::deterministic::{cycle, grid};
 use ds_graph::NodeId;
 use ds_relation::join::compose_min_plus;
@@ -11,39 +15,36 @@ use ds_relation::{tc, PathTuple, Relation};
 fn rel_of(g: &ds_gen::GeneratedGraph) -> Relation<PathTuple> {
     Relation::from_rows(
         "R",
-        g.closure_graph().edges().map(PathTuple::from).collect::<Vec<_>>(),
+        g.closure_graph()
+            .edges()
+            .map(PathTuple::from)
+            .collect::<Vec<_>>(),
     )
 }
 
-fn bench_tc_strategies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tc-strategy");
-    group.sample_size(10);
+fn main() {
+    let mut results = Vec::new();
+
+    let mut group = Bench::new("tc-strategy").sample_size(10);
     for n in [16usize, 32] {
         let rel = rel_of(&cycle(n));
-        group.bench_with_input(BenchmarkId::new("naive", n), &rel, |b, r| {
-            b.iter(|| tc::naive_closure(r, None))
-        });
-        group.bench_with_input(BenchmarkId::new("seminaive", n), &rel, |b, r| {
-            b.iter(|| tc::seminaive_closure(r, None))
+        group.run(&format!("naive/{n}"), || tc::naive_closure(&rel, None));
+        group.run(&format!("seminaive/{n}"), || {
+            tc::seminaive_closure(&rel, None)
         });
     }
-    group.finish();
-}
+    results.extend(group.into_results());
 
-fn bench_assembly_join(c: &mut Criterion) {
     // Small border matrices, as the final assembly sees them.
     let g = grid(12, 4);
     let rel = rel_of(&g);
     let left = rel.select(|t| t.src.0 < 8);
     let right = rel.select(|t| t.src.0 >= 8);
-    let mut group = c.benchmark_group("assembly");
-    group.bench_function("compose-min-plus", |b| b.iter(|| compose_min_plus(&left, &right)));
-    group.bench_function("min-cost-aggregate", |b| b.iter(|| rel.min_cost()));
-    group.bench_function("keyhole-selection", |b| {
-        b.iter(|| rel.select(|t| t.src == NodeId(0)))
-    });
-    group.finish();
-}
+    let mut group = Bench::new("assembly").sample_size(20);
+    group.run("compose-min-plus", || compose_min_plus(&left, &right));
+    group.run("min-cost-aggregate", || rel.min_cost());
+    group.run("keyhole-selection", || rel.select(|t| t.src == NodeId(0)));
+    results.extend(group.into_results());
 
-criterion_group!(benches, bench_tc_strategies, bench_assembly_join);
-criterion_main!(benches);
+    println!("{}", render(&results));
+}

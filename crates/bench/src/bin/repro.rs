@@ -5,16 +5,17 @@
 //! cargo run --release -p ds-bench --bin repro -- table1 [seeds]
 //! ```
 
-use ds_bench::experiments::{
-    ablation, figures, iters, phe_exp, render_rows, speedup, tables,
-};
+use ds_bench::experiments::{ablation, figures, iters, phe_exp, render_rows, speedup, tables};
 use ds_bench::table::{f1, f2, render};
 use ds_bench::DEFAULT_SEEDS;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
-    let seeds: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEEDS);
+    let seeds: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEEDS);
 
     let known = [
         "table1", "table2", "table3", "fig2", "fig5", "fig8", "speedup", "iters", "ablation",
@@ -49,7 +50,12 @@ fn main() {
         let body: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {
-                vec![r.sweep.clone(), f1(r.ds), f1(r.fragments), r.graphs.to_string()]
+                vec![
+                    r.sweep.clone(),
+                    f1(r.ds),
+                    f1(r.fragments),
+                    r.graphs.to_string(),
+                ]
             })
             .collect();
         println!("{}", render(&["Sweep", "DS", "#frag", "graphs"], &body));
@@ -89,7 +95,15 @@ fn main() {
         println!(
             "{}",
             render(
-                &["#frag", "central us", "DS seq us", "DS par us", "machine us", "ideal x", "queries"],
+                &[
+                    "#frag",
+                    "central us",
+                    "DS seq us",
+                    "DS par us",
+                    "machine us",
+                    "ideal x",
+                    "queries"
+                ],
                 &body
             )
         );
@@ -112,7 +126,13 @@ fn main() {
         println!(
             "{}",
             render(
-                &["#frag", "global iters", "frag iters", "global diam", "frag diam"],
+                &[
+                    "#frag",
+                    "global iters",
+                    "frag iters",
+                    "global diam",
+                    "frag diam"
+                ],
                 &body
             )
         );
@@ -134,7 +154,10 @@ fn main() {
                 ]
             })
             .collect();
-        println!("{}", render(&["Scope", "shortcut tuples", "correct"], &body));
+        println!(
+            "{}",
+            render(&["Scope", "shortcut tuples", "correct"], &body)
+        );
     }
     if run("phe") {
         println!("== Parallel Hierarchical Evaluation (sec 5 / ref [12]) ==");
@@ -150,6 +173,9 @@ fn main() {
                 ]
             })
             .collect();
-        println!("{}", render(&["Mode", "chains/query", "site queries", "correct"], &body));
+        println!(
+            "{}",
+            render(&["Mode", "chains/query", "site queries", "correct"], &body)
+        );
     }
 }

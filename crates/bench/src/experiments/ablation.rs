@@ -25,8 +25,13 @@ pub fn crossing_policy(seeds: u64) -> Vec<AveragedRow> {
             let frags: Vec<Fragmentation> = (0..seeds)
                 .map(|s| {
                     let g = generate_transportation(&cfg, s);
-                    let bea = BondEnergyConfig { crossing_policy: policy, ..bea_transportation() };
-                    bond_energy(&g.edge_list(), &bea).expect("non-empty").fragmentation
+                    let bea = BondEnergyConfig {
+                        crossing_policy: policy,
+                        ..bea_transportation()
+                    };
+                    bond_energy(&g.edge_list(), &bea)
+                        .expect("non-empty")
+                        .fragmentation
                 })
                 .collect();
             average_row(&format!("bond-energy / {policy:?}"), &frags)
@@ -45,7 +50,11 @@ pub fn center_growth(seeds: u64) -> Vec<AveragedRow> {
                     let g = generate_transportation(&cfg, s);
                     center_based(
                         &g.edge_list(),
-                        &CenterConfig { fragments: 4, growth, ..Default::default() },
+                        &CenterConfig {
+                            fragments: 4,
+                            growth,
+                            ..Default::default()
+                        },
                     )
                     .expect("non-empty")
                     .fragmentation
@@ -75,40 +84,50 @@ pub fn complementary_scope(seed: u64) -> Vec<ScopeRow> {
     let g = generate_transportation(&cfg, seed);
     let frag = linear_sweep(
         &g.edge_list(),
-        &LinearConfig { fragments: 4, ..Default::default() },
+        &LinearConfig {
+            fragments: 4,
+            ..Default::default()
+        },
     )
     .expect("coords present")
     .fragmentation;
     let csr = g.closure_graph();
 
-    let queries: Vec<(NodeId, NodeId)> =
-        (0..30u32).map(|i| (NodeId(i * 3 % 100), NodeId((i * 7 + 50) % 100))).collect();
+    let queries: Vec<(NodeId, NodeId)> = (0..30u32)
+        .map(|i| (NodeId(i * 3 % 100), NodeId((i * 7 + 50) % 100)))
+        .collect();
 
-    [ComplementaryScope::PerDisconnectionSet, ComplementaryScope::PerFragmentBorder]
-        .into_iter()
-        .map(|scope| {
-            let comp = ComplementaryInfo::compute(&csr, &frag, scope, false);
-            let engine = DisconnectionSetEngine::build(
-                csr.clone(),
-                frag.clone(),
-                true,
-                EngineConfig { scope, ..EngineConfig::default() },
-            )
-            .expect("engine builds");
-            let correct = queries
-                .iter()
-                .filter(|&&(x, y)| {
-                    engine.shortest_path(x, y).cost == baseline::shortest_path_cost(&csr, x, y)
-                })
-                .count();
-            ScopeRow {
-                scope: format!("{scope:?}"),
-                shortcut_tuples: comp.pair_count(),
-                correct,
-                queries: queries.len(),
-            }
-        })
-        .collect()
+    [
+        ComplementaryScope::PerDisconnectionSet,
+        ComplementaryScope::PerFragmentBorder,
+    ]
+    .into_iter()
+    .map(|scope| {
+        let comp = ComplementaryInfo::compute(&csr, &frag, scope, false);
+        let engine = DisconnectionSetEngine::build(
+            csr.clone(),
+            frag.clone(),
+            true,
+            EngineConfig {
+                scope,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("engine builds");
+        let correct = queries
+            .iter()
+            .filter(|&&(x, y)| {
+                engine.shortest_path(x, y).cost == baseline::shortest_path_cost(&csr, x, y)
+            })
+            .count();
+        ScopeRow {
+            scope: format!("{scope:?}"),
+            shortcut_tuples: comp.pair_count(),
+            correct,
+            queries: queries.len(),
+        }
+    })
+    .collect()
 }
 
 #[cfg(test)]

@@ -41,8 +41,12 @@ pub fn fig5() -> String {
     let b1234 = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
     let c123 = block_outside_connections(&g, &b123);
     let c1234 = block_outside_connections(&g, &b1234);
-    out.push_str(&format!("block {{1,2,3}}   -> {c123} outside connections (paper: 2)\n"));
-    out.push_str(&format!("block {{1,2,3,4}} -> {c1234} outside connections (paper: 3)\n"));
+    out.push_str(&format!(
+        "block {{1,2,3}}   -> {c123} outside connections (paper: 2)\n"
+    ));
+    out.push_str(&format!(
+        "block {{1,2,3,4}} -> {c1234} outside connections (paper: 3)\n"
+    ));
     out.push_str("=> the first split is preferred: smaller disconnection set\n");
     out
 }
@@ -73,7 +77,11 @@ pub fn fig8(seeds: u64) -> Vec<Fig8Row> {
             let g = generate_ellipse(&cfg, s);
             let out = linear_sweep(
                 &g.edge_list(),
-                &LinearConfig { fragments: 3, sweep, ..Default::default() },
+                &LinearConfig {
+                    fragments: 3,
+                    sweep,
+                    ..Default::default()
+                },
             )
             .expect("ellipse graphs are non-empty with coords");
             let m = out.fragmentation.metrics();
@@ -164,7 +172,11 @@ mod tests {
         let lin = rows.iter().find(|r| r.algorithm == "linear").unwrap();
         assert!((lin.acyclic_share - 1.0).abs() < 1e-9);
         for r in &rows {
-            assert!(r.links >= 1.0, "{} produced no fragmentation-graph links", r.algorithm);
+            assert!(
+                r.links >= 1.0,
+                "{} produced no fragmentation-graph links",
+                r.algorithm
+            );
         }
     }
 }

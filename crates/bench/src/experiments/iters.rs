@@ -28,7 +28,10 @@ pub struct ItersRow {
 /// Run the iteration experiment for each cluster count (chain topology,
 /// so the global diameter grows with the number of clusters).
 pub fn iterations(cluster_counts: &[usize], nodes_per_cluster: usize, seed: u64) -> Vec<ItersRow> {
-    cluster_counts.iter().map(|&k| one_row(k, nodes_per_cluster, seed)).collect()
+    cluster_counts
+        .iter()
+        .map(|&k| one_row(k, nodes_per_cluster, seed))
+        .collect()
 }
 
 fn one_row(clusters: usize, nodes_per_cluster: usize, seed: u64) -> ItersRow {
@@ -39,15 +42,22 @@ fn one_row(clusters: usize, nodes_per_cluster: usize, seed: u64) -> ItersRow {
         ..TransportationConfig::default()
     };
     let g = generate_transportation(&cfg, seed);
-    let labels = g.cluster_of.clone().expect("transportation graphs carry labels");
-    let frag =
-        semantic::by_labels(g.nodes, &g.connections, &labels, clusters, CrossingPolicy::LowerBlock)
-            .expect("non-empty");
+    let labels = g
+        .cluster_of
+        .clone()
+        .expect("transportation graphs carry labels");
+    let frag = semantic::by_labels(
+        g.nodes,
+        &g.connections,
+        &labels,
+        clusters,
+        CrossingPolicy::LowerBlock,
+    )
+    .expect("non-empty");
     let csr = g.closure_graph();
 
     // Global: full semi-naive closure of the whole relation.
-    let global_rel =
-        Relation::from_rows("R", csr.edges().map(PathTuple::from).collect::<Vec<_>>());
+    let global_rel = Relation::from_rows("R", csr.edges().map(PathTuple::from).collect::<Vec<_>>());
     let (_, global_stats) = tc::seminaive_closure(&global_rel, None);
 
     // Per fragment: full closure of the fragment's (symmetric) relation.
@@ -55,8 +65,7 @@ fn one_row(clusters: usize, nodes_per_cluster: usize, seed: u64) -> ItersRow {
     let mut max_frag_diam = 0;
     for f in frag.fragments() {
         let local = f.local_graph(g.nodes, true);
-        let rel =
-            Relation::from_rows("Rf", local.edges().map(PathTuple::from).collect::<Vec<_>>());
+        let rel = Relation::from_rows("Rf", local.edges().map(PathTuple::from).collect::<Vec<_>>());
         let (_, stats) = tc::seminaive_closure(&rel, None);
         max_frag_iters = max_frag_iters.max(stats.iterations);
         max_frag_diam = max_frag_diam.max(f.diameter());

@@ -74,7 +74,16 @@ pub fn render_rows(rows: &[AveragedRow]) -> String {
         })
         .collect();
     render(
-        &["Algorithm", "F", "DS", "dF", "dDS", "#frag", "acyclic", "graphs"],
+        &[
+            "Algorithm",
+            "F",
+            "DS",
+            "dF",
+            "dDS",
+            "#frag",
+            "acyclic",
+            "graphs",
+        ],
         &body,
     )
 }
@@ -87,7 +96,10 @@ mod tests {
     #[test]
     fn average_of_two_fragmentations() {
         let edges = |pairs: &[(u32, u32)]| -> Vec<Edge> {
-            pairs.iter().map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b))).collect()
+            pairs
+                .iter()
+                .map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b)))
+                .collect()
         };
         let a = Fragmentation::new(
             3,

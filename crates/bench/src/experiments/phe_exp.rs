@@ -36,19 +36,30 @@ pub fn phe(clusters: usize, nodes_per_cluster: usize, seed: u64) -> Vec<PheRow> 
     let labels = g.cluster_of.clone().expect("labels present");
     let csr = g.closure_graph();
     let n = g.nodes as u32;
-    let queries: Vec<(NodeId, NodeId)> =
-        (0..20u32).map(|i| (NodeId(i * 5 % n), NodeId((i * 11 + n / 2) % n))).collect();
+    let queries: Vec<(NodeId, NodeId)> = (0..20u32)
+        .map(|i| (NodeId(i * 5 % n), NodeId((i * 11 + n / 2) % n)))
+        .collect();
 
     let mut rows = Vec::new();
 
     // Plain semantic fragmentation: the fragmentation graph is the ring.
-    let plain =
-        semantic::by_labels(g.nodes, &g.connections, &labels, clusters, CrossingPolicy::LowerBlock)
-            .expect("non-empty");
+    let plain = semantic::by_labels(
+        g.nodes,
+        &g.connections,
+        &labels,
+        clusters,
+        CrossingPolicy::LowerBlock,
+    )
+    .expect("non-empty");
     let plain_engine =
         DisconnectionSetEngine::build(csr.clone(), plain, true, EngineConfig::default())
             .expect("engine builds");
-    rows.push(run_mode("chain enumeration (ring)", &plain_engine, &csr, &queries));
+    rows.push(run_mode(
+        "chain enumeration (ring)",
+        &plain_engine,
+        &csr,
+        &queries,
+    ));
 
     // PHE: hub fragmentation, star-shaped fragmentation graph.
     let (hub_frag, hub) =
@@ -57,7 +68,10 @@ pub fn phe(clusters: usize, nodes_per_cluster: usize, seed: u64) -> Vec<PheRow> 
         csr.clone(),
         hub_frag,
         true,
-        EngineConfig { hub: Some(hub), ..EngineConfig::default() },
+        EngineConfig {
+            hub: Some(hub),
+            ..EngineConfig::default()
+        },
     )
     .expect("engine builds");
     rows.push(run_mode("PHE hub routing", &hub_engine, &csr, &queries));

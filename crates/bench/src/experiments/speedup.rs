@@ -3,9 +3,12 @@
 //!
 //! We fragment chain transportation graphs by their ground-truth clusters
 //! (the "good fragmentation") and time end-to-end shortest-path queries
-//! three ways: the centralized baseline (global Dijkstra), the
-//! disconnection set approach on one processor, and with one thread per
-//! site. Two speed-up measures are reported:
+//! four ways: the centralized baseline (global Dijkstra) plus every
+//! `TcEngine` backend — the disconnection set approach on one processor,
+//! with one thread per site subquery, and on the message-passing machine
+//! simulation. All backends are deployed through the `System` facade and
+//! timed through one trait-driven code path. Two speed-up measures are
+//! reported:
 //!
 //! * the *ideal* speed-up `Σ site busy / max site busy` — what a
 //!   PRISMA-style machine with free threads would get from phase one
@@ -15,13 +18,13 @@
 
 use std::time::Instant;
 
+use discset::{Backend, Fragmenter, System, TcEngine};
 use ds_closure::baseline;
-use ds_closure::engine::{DisconnectionSetEngine, EngineConfig};
+use ds_closure::engine::EngineConfig;
 use ds_closure::executor::ExecutionMode;
-use ds_fragment::{semantic, CrossingPolicy};
+use ds_fragment::CrossingPolicy;
 use ds_gen::{generate_transportation, TransportationConfig};
 use ds_graph::NodeId;
-use ds_machine::Machine;
 
 /// One row of the speed-up experiment.
 #[derive(Clone, Debug)]
@@ -47,7 +50,10 @@ pub struct SpeedupRow {
 /// Queries go from the first cluster to the last (the longest chains —
 /// the case the approach is designed for).
 pub fn speedup(cluster_counts: &[usize], nodes_per_cluster: usize, seed: u64) -> Vec<SpeedupRow> {
-    cluster_counts.iter().map(|&k| one_row(k, nodes_per_cluster, seed)).collect()
+    cluster_counts
+        .iter()
+        .map(|&k| one_row(k, nodes_per_cluster, seed))
+        .collect()
 }
 
 fn one_row(clusters: usize, nodes_per_cluster: usize, seed: u64) -> SpeedupRow {
@@ -59,26 +65,38 @@ fn one_row(clusters: usize, nodes_per_cluster: usize, seed: u64) -> SpeedupRow {
         ..TransportationConfig::default()
     };
     let g = generate_transportation(&cfg, seed);
-    let labels = g.cluster_of.clone().expect("transportation graphs carry labels");
-    let frag = semantic::by_labels(g.nodes, &g.connections, &labels, clusters, CrossingPolicy::LowerBlock)
-        .expect("generated graphs are non-empty");
+    let labels = g
+        .cluster_of
+        .clone()
+        .expect("transportation graphs carry labels");
+    let fragmenter = Fragmenter::ByLabels {
+        labels,
+        parts: clusters,
+        policy: CrossingPolicy::LowerBlock,
+    };
     let csr = g.closure_graph();
 
-    let seq = DisconnectionSetEngine::build(
-        csr.clone(),
-        frag.clone(),
-        true,
-        EngineConfig { mode: ExecutionMode::Sequential, ..EngineConfig::default() },
-    )
-    .expect("engine builds");
-    let par = DisconnectionSetEngine::build(
-        csr.clone(),
-        frag.clone(),
-        true,
-        EngineConfig { mode: ExecutionMode::Parallel, ..EngineConfig::default() },
-    )
-    .expect("engine builds");
-    let mut machine = Machine::deploy(csr.clone(), frag, true).expect("machine deploys");
+    // Every backend variant, deployed through the System facade. The
+    // timing loop below drives them all through `&mut dyn TcEngine`.
+    let mut variants: Vec<System> = [
+        (Backend::Inline, ExecutionMode::Sequential),
+        (Backend::Inline, ExecutionMode::Parallel),
+        (Backend::SiteThreads, ExecutionMode::Sequential),
+    ]
+    .into_iter()
+    .map(|(backend, mode)| {
+        System::builder()
+            .graph(&g)
+            .fragmenter(fragmenter.clone())
+            .backend(backend)
+            .config(EngineConfig {
+                mode,
+                ..EngineConfig::default()
+            })
+            .build()
+            .expect("system deploys")
+    })
+    .collect();
 
     // End-to-end queries: first cluster -> last cluster.
     let m = nodes_per_cluster as u32;
@@ -92,42 +110,40 @@ fn one_row(clusters: usize, nodes_per_cluster: usize, seed: u64) -> SpeedupRow {
         .collect();
 
     let mut centralized_us = 0.0;
-    let mut ds_seq_us = 0.0;
-    let mut ds_par_us = 0.0;
-    let mut machine_us = 0.0;
+    let mut backend_us = [0.0f64; 3];
     let mut ideal = 0.0;
     for &(x, y) in &queries {
         let t = Instant::now();
         let want = baseline::shortest_path_cost(&csr, x, y);
         centralized_us += t.elapsed().as_secs_f64() * 1e6;
 
-        let t = Instant::now();
-        let a = seq.shortest_path(x, y);
-        ds_seq_us += t.elapsed().as_secs_f64() * 1e6;
-        assert_eq!(a.cost, want, "disconnection set answer must match baseline");
-        let max = a.stats.max_site_busy.as_secs_f64();
-        if max > 0.0 {
-            ideal += a.stats.total_site_busy.as_secs_f64() / max;
+        for (k, sys) in variants.iter_mut().enumerate() {
+            let t = Instant::now();
+            let a = sys.shortest_path(x, y);
+            backend_us[k] += t.elapsed().as_secs_f64() * 1e6;
+            assert_eq!(
+                a.cost,
+                want,
+                "{} answer must match baseline",
+                sys.backend_name()
+            );
+            if k == 0 {
+                // Ideal phase-one speedup from the sequential run's
+                // deterministic site accounting.
+                let max = a.stats.max_site_busy.as_secs_f64();
+                if max > 0.0 {
+                    ideal += a.stats.total_site_busy.as_secs_f64() / max;
+                }
+            }
         }
-
-        let t = Instant::now();
-        let b = par.shortest_path(x, y);
-        ds_par_us += t.elapsed().as_secs_f64() * 1e6;
-        assert_eq!(b.cost, want);
-
-        let t = Instant::now();
-        let m = machine.shortest_path(x, y);
-        machine_us += t.elapsed().as_secs_f64() * 1e6;
-        assert_eq!(m, want);
     }
-    machine.shutdown();
     let n = queries.len() as f64;
     SpeedupRow {
         fragments: clusters,
         centralized_us: centralized_us / n,
-        ds_sequential_us: ds_seq_us / n,
-        ds_parallel_us: ds_par_us / n,
-        machine_us: machine_us / n,
+        ds_sequential_us: backend_us[0] / n,
+        ds_parallel_us: backend_us[1] / n,
+        machine_us: backend_us[2] / n,
         ideal_speedup: ideal / n,
         queries: queries.len(),
     }
@@ -156,7 +172,7 @@ mod tests {
     #[test]
     fn all_query_answers_validated_against_baseline() {
         // one_row asserts equality internally; reaching here means all
-        // queries matched.
+        // queries matched on every backend.
         let rows = speedup(&[3], 15, 11);
         assert_eq!(rows[0].queries, 10);
     }

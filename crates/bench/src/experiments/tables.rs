@@ -16,8 +16,7 @@ use ds_fragment::center::{center_based, CenterConfig, CenterSelection};
 use ds_fragment::linear::{linear_sweep, LinearConfig};
 use ds_fragment::Fragmentation;
 use ds_gen::{
-    generate_general, generate_transportation, GeneralConfig, GeneratedGraph,
-    TransportationConfig,
+    generate_general, generate_transportation, GeneralConfig, GeneratedGraph, TransportationConfig,
 };
 
 use super::{average_row, AveragedRow};
@@ -47,31 +46,47 @@ impl Algo {
         let el = g.edge_list();
         let frag = match self {
             Algo::CenterBased { fragments } => {
-                center_based(&el, &CenterConfig { fragments: *fragments, ..Default::default() })
+                center_based(
+                    &el,
+                    &CenterConfig {
+                        fragments: *fragments,
+                        ..Default::default()
+                    },
+                )
+                .expect("generated graphs are non-empty")
+                .fragmentation
+            }
+            Algo::DistributedCenters { fragments } => {
+                center_based(
+                    &el,
+                    &CenterConfig {
+                        fragments: *fragments,
+                        selection: CenterSelection::Distributed { pool_factor: 8.0 },
+                        ..Default::default()
+                    },
+                )
+                .expect("generated graphs are non-empty")
+                .fragmentation
+            }
+            Algo::BondEnergy(cfg) => {
+                bond_energy(&el, cfg)
                     .expect("generated graphs are non-empty")
                     .fragmentation
             }
-            Algo::DistributedCenters { fragments } => center_based(
-                &el,
-                &CenterConfig {
-                    fragments: *fragments,
-                    selection: CenterSelection::Distributed { pool_factor: 8.0 },
-                    ..Default::default()
-                },
-            )
-            .expect("generated graphs are non-empty")
-            .fragmentation,
-            Algo::BondEnergy(cfg) => {
-                bond_energy(&el, cfg).expect("generated graphs are non-empty").fragmentation
+            Algo::Linear { fragments } => {
+                linear_sweep(
+                    &el,
+                    &LinearConfig {
+                        fragments: *fragments,
+                        ..Default::default()
+                    },
+                )
+                .expect("generated graphs carry coordinates")
+                .fragmentation
             }
-            Algo::Linear { fragments } => linear_sweep(
-                &el,
-                &LinearConfig { fragments: *fragments, ..Default::default() },
-            )
-            .expect("generated graphs carry coordinates")
-            .fragmentation,
         };
-        frag.validate(&g.connections).expect("algorithms must partition the relation");
+        frag.validate(&g.connections)
+            .expect("algorithms must partition the relation");
         frag
     }
 }
@@ -99,10 +114,7 @@ pub fn bea_general() -> BondEnergyConfig {
     }
 }
 
-fn run_table(
-    algos: &[Algo],
-    graphs: &[GeneratedGraph],
-) -> Vec<AveragedRow> {
+fn run_table(algos: &[Algo], graphs: &[GeneratedGraph]) -> Vec<AveragedRow> {
     algos
         .iter()
         .map(|a| {
@@ -116,8 +128,9 @@ fn run_table(
 /// The distributed-centers row is included for continuity with Table 2.
 pub fn table1(seeds: u64) -> Vec<AveragedRow> {
     let cfg = TransportationConfig::table1();
-    let graphs: Vec<GeneratedGraph> =
-        (0..seeds).map(|s| generate_transportation(&cfg, s)).collect();
+    let graphs: Vec<GeneratedGraph> = (0..seeds)
+        .map(|s| generate_transportation(&cfg, s))
+        .collect();
     run_table(
         &[
             Algo::CenterBased { fragments: 4 },
@@ -133,8 +146,9 @@ pub fn table1(seeds: u64) -> Vec<AveragedRow> {
 /// 4 clusters of 150 nodes.
 pub fn table2(seeds: u64) -> Vec<AveragedRow> {
     let cfg = TransportationConfig::table2();
-    let graphs: Vec<GeneratedGraph> =
-        (0..seeds).map(|s| generate_transportation(&cfg, s)).collect();
+    let graphs: Vec<GeneratedGraph> = (0..seeds)
+        .map(|s| generate_transportation(&cfg, s))
+        .collect();
     run_table(
         &[
             Algo::CenterBased { fragments: 4 },
@@ -189,14 +203,22 @@ mod tests {
         let plain = row(&rows, "center-based");
         let dist = row(&rows, "distributed centers");
         // Table 2's headline: same F̄, far lower ΔF and D̄S.
-        assert!((plain.f - dist.f).abs() < 1e-9, "both assign all edges over 4 fragments");
+        assert!(
+            (plain.f - dist.f).abs() < 1e-9,
+            "both assign all edges over 4 fragments"
+        );
         assert!(
             dist.df < plain.df,
             "distributed ΔF {} !< plain ΔF {}",
             dist.df,
             plain.df
         );
-        assert!(dist.ds < plain.ds, "distributed DS {} !< plain DS {}", dist.ds, plain.ds);
+        assert!(
+            dist.ds < plain.ds,
+            "distributed DS {} !< plain DS {}",
+            dist.ds,
+            plain.ds
+        );
     }
 
     #[test]
@@ -204,7 +226,10 @@ mod tests {
         let rows = table3(3);
         let bea = row(&rows, "bond-energy");
         let lin = row(&rows, "linear");
-        assert!(bea.ds < lin.ds, "BEA keeps DS smallest on general graphs too");
+        assert!(
+            bea.ds < lin.ds,
+            "BEA keeps DS smallest on general graphs too"
+        );
         assert!((lin.acyclic_share - 1.0).abs() < 1e-9);
         // §4.2.2: BEA's fragment sizes vary considerably.
         assert!(bea.df > 0.0);

@@ -21,6 +21,7 @@
 //! paper's *shape* claims) and the binary renders them as tables.
 
 pub mod experiments;
+pub mod harness;
 pub mod table;
 
 /// Number of random graphs each table row is averaged over when run from

@@ -1,0 +1,589 @@
+//! The backend-polymorphic query surface of the disconnection set
+//! approach.
+//!
+//! The paper's phase-one independence means the *same* pipeline —
+//! complementary information, chain planning, fragment-local evaluation,
+//! min-plus assembly — can execute on very different substrates: inside
+//! the calling process ([`crate::engine::DisconnectionSetEngine`]) or on a
+//! simulated shared-nothing machine with one thread per site
+//! (`ds_machine::Machine`). [`TcEngine`] captures that shared surface so
+//! examples, tests and benchmarks drive every backend through one code
+//! path, and so backends can be swapped declaratively (see the umbrella
+//! crate's `System` builder).
+//!
+//! The module also hosts the pieces both backends share:
+//!
+//! * [`build_parts`] — the one build path (complementary info, augmented
+//!   site graphs, planner) that both backends deploy from;
+//! * [`BatchPlanner`] — chain planning amortized across a batch: the
+//!   expensive chain enumeration runs once per (source-fragment,
+//!   target-fragment) pair instead of once per query;
+//! * [`run_batch`] — the batch driver: besides reusing plans, it caches
+//!   the *interior* segment relations of each fragment chain (those
+//!   depend only on the disconnection sets, not on the query endpoints),
+//!   so a batch of k queries along one chain of length L costs
+//!   `L - 2 + 2k` site subqueries instead of `L·k`.
+
+use std::collections::{HashMap, HashSet};
+
+use ds_fragment::{FragmentId, Fragmentation};
+use ds_graph::{Cost, CsrGraph, Edge, NodeId};
+use ds_relation::{PathTuple, Relation};
+
+use crate::assemble;
+use crate::complementary::ComplementaryInfo;
+use crate::engine::{EngineConfig, QueryAnswer, QueryStats, Route};
+use crate::error::ClosureError;
+use crate::local::augmented_graph;
+use crate::planner::{ChainPlan, Planner, QueryPlan};
+use crate::updates::UpdateReport;
+
+/// One shortest-path request of a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryRequest {
+    pub source: NodeId,
+    pub target: NodeId,
+}
+
+impl QueryRequest {
+    pub fn new(source: NodeId, target: NodeId) -> Self {
+        QueryRequest { source, target }
+    }
+}
+
+impl From<(NodeId, NodeId)> for QueryRequest {
+    fn from((source, target): (NodeId, NodeId)) -> Self {
+        QueryRequest { source, target }
+    }
+}
+
+/// Amortization accounting for one [`TcEngine::query_batch`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Requests in the batch.
+    pub queries: usize,
+    /// Chain enumerations actually performed — one per distinct
+    /// (source-fragments, target-fragments) pair.
+    pub plans_computed: usize,
+    /// Queries that reused a previously enumerated chain set.
+    pub plans_reused: usize,
+    /// Segment relations evaluated at a site.
+    pub segments_computed: usize,
+    /// Segment relations served from the interior cache (no site work).
+    pub segments_reused: usize,
+}
+
+impl BatchStats {
+    /// Fraction of per-query work avoided: reused / (computed + reused),
+    /// over plans and segments combined. 0.0 for a batch with no sharing.
+    pub fn amortization(&self) -> f64 {
+        let reused = (self.plans_reused + self.segments_reused) as f64;
+        let total = reused + (self.plans_computed + self.segments_computed) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            reused / total
+        }
+    }
+}
+
+/// Result of a batch: one [`QueryAnswer`] per request, in request order,
+/// plus the batch-level amortization stats. Per-answer [`QueryStats`]
+/// count only the site work actually performed *for that query* — work
+/// served from the batch caches shows up in [`BatchStats`] instead.
+#[derive(Clone, Debug)]
+pub struct BatchAnswer {
+    pub answers: Vec<QueryAnswer>,
+    pub stats: BatchStats,
+}
+
+impl BatchAnswer {
+    /// The costs, in request order.
+    pub fn costs(&self) -> Vec<Option<Cost>> {
+        self.answers.iter().map(|a| a.cost).collect()
+    }
+}
+
+/// A network change, expressed backend-independently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetworkUpdate {
+    /// Insert a connection into fragment `owner` (both endpoints must
+    /// already belong to it; see
+    /// [`crate::engine::DisconnectionSetEngine::insert_connection`]).
+    Insert { edge: Edge, owner: FragmentId },
+    /// Remove every connection `src -> dst` (and the reverse on symmetric
+    /// networks) from fragment `owner`.
+    Remove {
+        src: NodeId,
+        dst: NodeId,
+        owner: FragmentId,
+    },
+}
+
+/// The transitive closure query surface every execution backend offers.
+///
+/// Implementations answer exactly like the centralized baseline
+/// (`crate::baseline`) on the default complementary scope — that is the
+/// paper's correctness contract, and `tests/properties.rs` asserts it for
+/// every backend. Methods take `&mut self` because message-passing
+/// backends mutate coordinator state (correlation tags, accounting) even
+/// on reads.
+pub trait TcEngine {
+    /// Short backend identifier ("inline", "site-threads", …).
+    fn backend_name(&self) -> &'static str;
+
+    /// Number of sites (fragments = processors).
+    fn site_count(&self) -> usize;
+
+    /// The fragmentation this engine serves.
+    fn fragmentation(&self) -> &Fragmentation;
+
+    /// Shortest-path cost from `x` to `y`, with chain/stats detail.
+    /// Endpoints outside every fragment yield an unreachable answer.
+    fn shortest_path(&mut self, x: NodeId, y: NodeId) -> QueryAnswer;
+
+    /// Connection query — "is `x` connected to `y`?".
+    fn connected(&mut self, x: NodeId, y: NodeId) -> bool {
+        x == y || self.shortest_path(x, y).cost.is_some()
+    }
+
+    /// Reconstruct the full cheapest route. Backends that do not retain
+    /// shortcut paths return [`ClosureError::RoutesNotEnabled`].
+    fn route(&mut self, x: NodeId, y: NodeId) -> Result<Option<Route>, ClosureError>;
+
+    /// Apply a network update, keeping answers exact afterwards.
+    fn update(&mut self, update: &NetworkUpdate) -> Result<UpdateReport, ClosureError>;
+
+    /// Answer many shortest-path requests, amortizing chain planning (and
+    /// interior segment evaluation) across the batch. Semantically
+    /// equivalent to calling [`TcEngine::shortest_path`] per request.
+    fn query_batch(&mut self, requests: &[QueryRequest]) -> BatchAnswer;
+}
+
+/// The shared pre-processing outcome both backends deploy from: the
+/// paper's complementary information, the per-site augmented graphs, the
+/// real (non-shortcut) hops per site, and the chain planner.
+#[derive(Clone, Debug)]
+pub struct EngineParts {
+    pub comp: ComplementaryInfo,
+    pub augmented: Vec<CsrGraph>,
+    /// Per site: the real hops available locally, with costs — used to
+    /// tell shortcut hops apart during route expansion.
+    pub real_hops: Vec<HashSet<(NodeId, NodeId, Cost)>>,
+    pub planner: Planner,
+}
+
+/// Run the build path shared by every backend: validate, compute
+/// complementary information (the paper's pre-processing phase), build
+/// the per-site augmented graphs and the planner.
+pub fn build_parts(
+    graph: &CsrGraph,
+    frag: &Fragmentation,
+    symmetric: bool,
+    cfg: &EngineConfig,
+) -> Result<EngineParts, ClosureError> {
+    if graph.node_count() != frag.node_count() {
+        return Err(ClosureError::NodeCountMismatch {
+            graph: graph.node_count(),
+            fragmentation: frag.node_count(),
+        });
+    }
+    let comp = ComplementaryInfo::compute(graph, frag, cfg.scope, cfg.store_paths);
+    let n = graph.node_count();
+    let mut augmented = Vec::with_capacity(frag.fragment_count());
+    let mut real_hops = Vec::with_capacity(frag.fragment_count());
+    for f in frag.fragments() {
+        augmented.push(augmented_graph(
+            n,
+            f.edges(),
+            symmetric,
+            comp.shortcuts(f.id()),
+        ));
+        let mut hops = HashSet::with_capacity(f.edges().len() * 2);
+        for e in f.edges() {
+            hops.insert((e.src, e.dst, e.cost));
+            if symmetric {
+                hops.insert((e.dst, e.src, e.cost));
+            }
+        }
+        real_hops.push(hops);
+    }
+    let planner = Planner::new(frag, cfg.max_chains, cfg.max_chain_len, cfg.hub);
+    Ok(EngineParts {
+        comp,
+        augmented,
+        real_hops,
+        planner,
+    })
+}
+
+/// Validate a [`NetworkUpdate`] against `frag` and apply its structural
+/// half, shared by every backend: mutate the owner fragment and return
+/// the rebuilt global closure graph (`None` when a removal matched
+/// nothing). Backends follow up with their own refresh — the inline
+/// engine patches shortcut costs incrementally, the machine redeploys
+/// its sites.
+pub fn apply_update(
+    graph: &CsrGraph,
+    frag: &mut Fragmentation,
+    symmetric: bool,
+    update: &NetworkUpdate,
+) -> Result<Option<CsrGraph>, ClosureError> {
+    match *update {
+        NetworkUpdate::Insert { edge, owner } => {
+            if owner >= frag.fragment_count() {
+                return Err(ClosureError::NodeNotInAnyFragment(edge.src));
+            }
+            for v in [edge.src, edge.dst] {
+                if !frag.fragment(owner).contains_node(v) {
+                    return Err(ClosureError::NodeNotInAnyFragment(v));
+                }
+            }
+            frag.fragment_mut(owner).add_edge(edge);
+            let mut edges: Vec<Edge> = graph.edges().collect();
+            edges.push(edge);
+            if symmetric && !edge.is_loop() {
+                edges.push(edge.reversed());
+            }
+            Ok(Some(CsrGraph::from_edges(graph.node_count(), &edges)))
+        }
+        NetworkUpdate::Remove { src, dst, owner } => {
+            if owner >= frag.fragment_count() {
+                return Err(ClosureError::NodeNotInAnyFragment(src));
+            }
+            let matches = |e: &Edge| {
+                (e.src == src && e.dst == dst) || (symmetric && e.src == dst && e.dst == src)
+            };
+            if frag.fragment_mut(owner).remove_edges_matching(matches) == 0 {
+                return Ok(None);
+            }
+            let kept: Vec<Edge> = graph.edges().filter(|e| !matches(e)).collect();
+            Ok(Some(CsrGraph::from_edges(graph.node_count(), &kept)))
+        }
+    }
+}
+
+/// Chain planning with per-(source-fragments, target-fragments) caching.
+///
+/// [`Planner::plan`] does two things: enumerate the fragment chains
+/// (expensive — graph search over the fragmentation graph, possibly
+/// multi-chain on cyclic fragmentations) and instantiate site subqueries
+/// for the concrete endpoints (cheap). The chain enumeration depends only
+/// on the endpoints' fragment sets, so a batch caches it here.
+pub struct BatchPlanner<'a> {
+    planner: &'a Planner,
+    cache: HashMap<(Vec<FragmentId>, Vec<FragmentId>), CachedChains>,
+}
+
+struct CachedChains {
+    chains: Vec<Vec<FragmentId>>,
+    enumerated: bool,
+}
+
+impl<'a> BatchPlanner<'a> {
+    pub fn new(planner: &'a Planner) -> Self {
+        BatchPlanner {
+            planner,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Plan `x -> y`. The boolean reports whether the chain set was
+    /// served from cache (plan reuse).
+    pub fn plan(&mut self, x: NodeId, y: NodeId) -> Result<(QueryPlan, bool), ClosureError> {
+        let fx = self.planner.fragments_of(x);
+        if fx.is_empty() {
+            return Err(ClosureError::NodeNotInAnyFragment(x));
+        }
+        let fy = self.planner.fragments_of(y);
+        if fy.is_empty() {
+            return Err(ClosureError::NodeNotInAnyFragment(y));
+        }
+        let key = (fx, fy);
+        let reused = self.cache.contains_key(&key);
+        if !reused {
+            let (chains, enumerated) = self.planner.chain_sets(&key.0, &key.1);
+            self.cache
+                .insert(key.clone(), CachedChains { chains, enumerated });
+        }
+        let cached = &self.cache[&key];
+        let chains = cached
+            .chains
+            .iter()
+            .filter_map(|c| self.planner.instantiate_chain(c, x, y))
+            .collect();
+        Ok((
+            QueryPlan {
+                chains,
+                enumerated: cached.enumerated,
+            },
+            reused,
+        ))
+    }
+}
+
+/// How a backend evaluates site subqueries for the shared batch driver.
+///
+/// `positions` indexes into `chain.queries`; implementations return the
+/// segment relations in the same order and add the site accounting (site
+/// queries run, tuples produced, busy time) to `stats`. The inline
+/// backend runs them on the calling thread (or one thread each); the
+/// machine backend turns each position into a request message.
+pub trait SiteEvaluator {
+    fn eval_positions(
+        &mut self,
+        chain: &ChainPlan,
+        positions: &[usize],
+        stats: &mut QueryStats,
+    ) -> Vec<Relation<PathTuple>>;
+}
+
+/// The batch driver shared by every backend.
+///
+/// Per request: plan through the [`BatchPlanner`] (chain enumeration once
+/// per fragment-pair), then evaluate each chain. For chains of length
+/// ≥ 3 the interior subqueries — `DS(f_{i-1}, f_i) -> DS(f_i, f_{i+1})`,
+/// which do not mention the query endpoints — are evaluated once per
+/// distinct fragment chain and reused across the whole batch; only the
+/// first and last site subqueries are endpoint-specific.
+pub fn run_batch<E: SiteEvaluator>(
+    planner: &Planner,
+    eval: &mut E,
+    requests: &[QueryRequest],
+) -> BatchAnswer {
+    let mut bp = BatchPlanner::new(planner);
+    let mut interiors: HashMap<Vec<FragmentId>, Vec<Relation<PathTuple>>> = HashMap::new();
+    let mut stats = BatchStats {
+        queries: requests.len(),
+        ..BatchStats::default()
+    };
+    let mut answers = Vec::with_capacity(requests.len());
+    for req in requests {
+        answers.push(one_query(
+            planner,
+            eval,
+            &mut bp,
+            &mut interiors,
+            &mut stats,
+            req,
+        ));
+    }
+    BatchAnswer { answers, stats }
+}
+
+fn one_query<E: SiteEvaluator>(
+    planner: &Planner,
+    eval: &mut E,
+    bp: &mut BatchPlanner<'_>,
+    interiors: &mut HashMap<Vec<FragmentId>, Vec<Relation<PathTuple>>>,
+    bstats: &mut BatchStats,
+    req: &QueryRequest,
+) -> QueryAnswer {
+    let (x, y) = (req.source, req.target);
+    if x == y {
+        return QueryAnswer {
+            cost: Some(0),
+            best_chain: planner.fragments_of(x).first().map(|&f| vec![f]),
+            stats: QueryStats::default(),
+        };
+    }
+    let plan = match bp.plan(x, y) {
+        Ok((plan, reused)) => {
+            if reused {
+                bstats.plans_reused += 1;
+            } else {
+                bstats.plans_computed += 1;
+            }
+            plan
+        }
+        // Endpoint in no fragment: unreachable, like shortest_path.
+        Err(_) => {
+            return QueryAnswer {
+                cost: None,
+                best_chain: None,
+                stats: QueryStats::default(),
+            }
+        }
+    };
+    let mut qstats = QueryStats {
+        enumerated: plan.enumerated,
+        ..QueryStats::default()
+    };
+    let mut best: Option<(Cost, Vec<FragmentId>)> = None;
+    for chain in &plan.chains {
+        qstats.chains_evaluated += 1;
+        let l = chain.queries.len();
+        let cost = if l <= 2 {
+            // No interior: every subquery mentions an endpoint.
+            let positions: Vec<usize> = (0..l).collect();
+            let segs = eval.eval_positions(chain, &positions, &mut qstats);
+            bstats.segments_computed += segs.len();
+            assemble::chain_cost(&segs, x, y)
+        } else {
+            // The interior segments are assembled by reference from the
+            // batch cache — evaluated at most once per fragment chain,
+            // never cloned per query.
+            if !interiors.contains_key(&chain.fragments) {
+                let positions: Vec<usize> = (1..l - 1).collect();
+                let segs = eval.eval_positions(chain, &positions, &mut qstats);
+                bstats.segments_computed += segs.len();
+                interiors.insert(chain.fragments.clone(), segs);
+            } else {
+                bstats.segments_reused += l - 2;
+            }
+            let interior = &interiors[&chain.fragments];
+            let ends = eval.eval_positions(chain, &[0, l - 1], &mut qstats);
+            bstats.segments_computed += ends.len();
+            let mut segments: Vec<&Relation<PathTuple>> = Vec::with_capacity(l);
+            segments.push(&ends[0]);
+            segments.extend(interior.iter());
+            segments.push(&ends[1]);
+            assemble::chain_cost_refs(&segments, x, y)
+        };
+        if let Some(cost) = cost {
+            if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                best = Some((cost, chain.fragments.clone()));
+            }
+        }
+    }
+    let (cost, best_chain) = match best {
+        Some((c, ch)) => (Some(c), Some(ch)),
+        None => (None, None),
+    };
+    QueryAnswer {
+        cost,
+        best_chain,
+        stats: qstats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::SiteQuery;
+    use ds_graph::Edge;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn edges(pairs: &[(u32, u32)]) -> Vec<Edge> {
+        pairs
+            .iter()
+            .map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b)))
+            .collect()
+    }
+
+    /// Path 0-1-2-3-4-5-6 in three fragments sharing nodes 2 and 4.
+    fn three_fragment_path() -> Fragmentation {
+        Fragmentation::new(
+            7,
+            vec![
+                edges(&[(0, 1), (1, 2)]),
+                edges(&[(2, 3), (3, 4)]),
+                edges(&[(4, 5), (5, 6)]),
+            ],
+            vec![vec![], vec![], vec![]],
+        )
+    }
+
+    /// Counts evaluations; answers with the local border matrix over the
+    /// fragments' (symmetric) unit path graphs.
+    struct CountingEval {
+        augmented: Vec<CsrGraph>,
+        evaluated: usize,
+    }
+
+    impl SiteEvaluator for CountingEval {
+        fn eval_positions(
+            &mut self,
+            chain: &ChainPlan,
+            positions: &[usize],
+            stats: &mut QueryStats,
+        ) -> Vec<Relation<PathTuple>> {
+            positions
+                .iter()
+                .map(|&p| {
+                    let q: &SiteQuery = &chain.queries[p];
+                    self.evaluated += 1;
+                    stats.site_queries += 1;
+                    crate::local::border_matrix(&self.augmented[q.site], &q.sources, &q.targets)
+                })
+                .collect()
+        }
+    }
+
+    fn counting_eval(frag: &Fragmentation) -> CountingEval {
+        let augmented = frag
+            .fragments()
+            .iter()
+            .map(|f| augmented_graph(frag.node_count(), f.edges(), true, &[]))
+            .collect();
+        CountingEval {
+            augmented,
+            evaluated: 0,
+        }
+    }
+
+    #[test]
+    fn batch_planner_caches_chain_sets() {
+        let frag = three_fragment_path();
+        let planner = Planner::new(&frag, 16, 8, None);
+        let mut bp = BatchPlanner::new(&planner);
+        let (_, reused1) = bp.plan(n(0), n(6)).unwrap();
+        assert!(!reused1, "first plan computes");
+        let (_, reused2) = bp.plan(n(1), n(5)).unwrap();
+        assert!(reused2, "same fragment pair reuses the chain set");
+        let (_, reused3) = bp.plan(n(0), n(1)).unwrap();
+        assert!(!reused3, "different fragment pair computes");
+    }
+
+    #[test]
+    fn batch_reuses_interior_segments() {
+        let frag = three_fragment_path();
+        let planner = Planner::new(&frag, 16, 8, None);
+        let mut eval = counting_eval(&frag);
+        // Three cross-chain queries share the one interior subquery of the
+        // length-3 chain: 1 interior + 2 endpoints x 3 queries = 7 evals,
+        // not 9.
+        let requests: Vec<QueryRequest> = [(0, 6), (1, 5), (0, 5)]
+            .iter()
+            .map(|&(a, b)| (n(a), n(b)).into())
+            .collect();
+        let batch = run_batch(&planner, &mut eval, &requests);
+        assert_eq!(batch.answers.len(), 3);
+        for (i, a) in batch.answers.iter().enumerate() {
+            assert!(a.cost.is_some(), "query {i} reachable");
+        }
+        assert_eq!(batch.answers[0].cost, Some(6), "0->6 over the unit path");
+        assert_eq!(eval.evaluated, 7, "interior segment computed once");
+        assert_eq!(batch.stats.plans_computed, 1);
+        assert_eq!(batch.stats.plans_reused, 2);
+        assert_eq!(batch.stats.segments_reused, 2);
+        assert!(batch.stats.amortization() > 0.3);
+    }
+
+    #[test]
+    fn batch_same_node_and_unknown_node() {
+        let frag = Fragmentation::new(3, vec![edges(&[(0, 1)])], vec![vec![]]);
+        let planner = Planner::new(&frag, 16, 8, None);
+        let mut eval = counting_eval(&frag);
+        let requests = vec![QueryRequest::new(n(1), n(1)), QueryRequest::new(n(0), n(2))];
+        let batch = run_batch(&planner, &mut eval, &requests);
+        assert_eq!(batch.answers[0].cost, Some(0));
+        assert_eq!(
+            batch.answers[1].cost, None,
+            "node 2 in no fragment: unreachable"
+        );
+    }
+
+    #[test]
+    fn build_parts_rejects_node_count_mismatch() {
+        let frag = three_fragment_path();
+        let graph = CsrGraph::from_edges(9, &edges(&[(0, 1)]));
+        assert!(matches!(
+            build_parts(&graph, &frag, true, &EngineConfig::default()),
+            Err(ClosureError::NodeCountMismatch { .. })
+        ));
+    }
+}

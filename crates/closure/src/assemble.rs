@@ -15,7 +15,13 @@ use ds_relation::{PathTuple, Relation};
 /// Fold the chain's segment relations into an end-to-end relation and
 /// read the `(x, y)` cost.
 pub fn chain_cost(segments: &[Relation<PathTuple>], x: NodeId, y: NodeId) -> Option<Cost> {
-    let mut acc = segments.first()?.clone();
+    chain_cost_refs(&segments.iter().collect::<Vec<_>>(), x, y)
+}
+
+/// [`chain_cost`] over borrowed segments — lets batch evaluation fold
+/// cached interior relations without cloning them per query.
+pub fn chain_cost_refs(segments: &[&Relation<PathTuple>], x: NodeId, y: NodeId) -> Option<Cost> {
+    let mut acc = (*segments.first()?).clone();
     for seg in &segments[1..] {
         acc = compose_min_plus(&acc, seg);
         if acc.is_empty() {
@@ -47,7 +53,9 @@ pub fn best_waypoints(
     for seg in &segments[1..] {
         let mut next: HashMap<NodeId, (Cost, Vec<NodeId>)> = HashMap::new();
         for t in seg.rows() {
-            let Some((c0, path0)) = layer.get(&t.src) else { continue };
+            let Some((c0, path0)) = layer.get(&t.src) else {
+                continue;
+            };
             let cand = c0 + t.cost;
             match next.get_mut(&t.dst) {
                 Some(best) if best.0 <= cand => {}
@@ -87,7 +95,9 @@ mod tests {
     fn seg(name: &str, rows: &[(u32, u32, u64)]) -> Relation<PathTuple> {
         Relation::from_rows(
             name,
-            rows.iter().map(|&(s, d, c)| PathTuple::new(n(s), n(d), c)).collect(),
+            rows.iter()
+                .map(|&(s, d, c)| PathTuple::new(n(s), n(d), c))
+                .collect(),
         )
     }
 

@@ -28,10 +28,7 @@ pub fn all_pairs(graph: &CsrGraph) -> Vec<Vec<Cost>> {
 /// ("the number of iterations required before reaching a fixpoint is
 /// given by the maximum diameter of the graph", §2.1).
 pub fn seminaive_from(graph: &CsrGraph, source: NodeId) -> (Relation<PathTuple>, TcStats) {
-    let rel = Relation::from_rows(
-        "R",
-        graph.edges().map(PathTuple::from).collect::<Vec<_>>(),
-    );
+    let rel = Relation::from_rows("R", graph.edges().map(PathTuple::from).collect::<Vec<_>>());
     tc::seminaive_closure(&rel, Some(&[source]))
 }
 
@@ -62,7 +59,10 @@ mod tests {
             if y == NodeId(0) {
                 continue;
             }
-            assert_eq!(rel.cost_of(NodeId(0), y), shortest_path_cost(&g, NodeId(0), y));
+            assert_eq!(
+                rel.cost_of(NodeId(0), y),
+                shortest_path_cost(&g, NodeId(0), y)
+            );
         }
     }
 }

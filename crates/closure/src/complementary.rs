@@ -88,8 +88,10 @@ impl ComplementaryInfo {
         threads: usize,
     ) -> Self {
         let per_site_borders = site_border_sets(frag, scope);
-        let all_borders: BTreeSet<NodeId> =
-            per_site_borders.iter().flat_map(|sets| sets.iter().flatten().copied()).collect();
+        let all_borders: BTreeSet<NodeId> = per_site_borders
+            .iter()
+            .flat_map(|sets| sets.iter().flatten().copied())
+            .collect();
 
         // One global Dijkstra per border node, reused across all sets the
         // node appears in. This is the pre-processing cost the paper warns
@@ -103,24 +105,23 @@ impl ComplementaryInfo {
             }
         } else {
             let chunk = border_list.len().div_ceil(threads);
-            let results: Vec<Vec<(NodeId, dijkstra::ShortestPaths)>> =
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = border_list
-                        .chunks(chunk)
-                        .map(|nodes| {
-                            s.spawn(move || {
-                                nodes
-                                    .iter()
-                                    .map(|&b| (b, dijkstra::single_source(graph, b)))
-                                    .collect::<Vec<_>>()
-                            })
+            let results: Vec<Vec<(NodeId, dijkstra::ShortestPaths)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = border_list
+                    .chunks(chunk)
+                    .map(|nodes| {
+                        s.spawn(move || {
+                            nodes
+                                .iter()
+                                .map(|&b| (b, dijkstra::single_source(graph, b)))
+                                .collect::<Vec<_>>()
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("precompute thread panicked"))
-                        .collect()
-                });
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("precompute thread panicked"))
+                    .collect()
+            });
             for batch in results {
                 dist_from.extend(batch);
             }
@@ -152,7 +153,12 @@ impl ComplementaryInfo {
             }
         }
 
-        ComplementaryInfo { shortcuts, paths, border_count: all_borders.len(), pair_count }
+        ComplementaryInfo {
+            shortcuts,
+            paths,
+            border_count: all_borders.len(),
+            pair_count,
+        }
     }
 
     /// Shortcut edges stored at site `f`.
@@ -241,7 +247,10 @@ mod tests {
     fn setup() -> (CsrGraph, Fragmentation) {
         let g = path(5);
         let edges = |pairs: &[(u32, u32)]| -> Vec<GEdge> {
-            pairs.iter().map(|&(a, b)| GEdge::unit(NodeId(a), NodeId(b))).collect()
+            pairs
+                .iter()
+                .map(|&(a, b)| GEdge::unit(NodeId(a), NodeId(b)))
+                .collect()
         };
         let frag = Fragmentation::new(
             5,
@@ -254,12 +263,8 @@ mod tests {
     #[test]
     fn single_border_node_yields_no_pairs() {
         let (g, frag) = setup();
-        let comp = ComplementaryInfo::compute(
-            &g,
-            &frag,
-            ComplementaryScope::PerDisconnectionSet,
-            false,
-        );
+        let comp =
+            ComplementaryInfo::compute(&g, &frag, ComplementaryScope::PerDisconnectionSet, false);
         assert_eq!(comp.border_count(), 1);
         assert_eq!(comp.pair_count(), 0, "a singleton DS has no pairs");
         assert!(comp.shortcuts(0).is_empty());
@@ -270,11 +275,17 @@ mod tests {
         // Cycle of 6 split into two halves sharing nodes 0 and 3.
         let g = ds_gen::deterministic::cycle(6);
         let edges = |pairs: &[(u32, u32)]| -> Vec<GEdge> {
-            pairs.iter().map(|&(a, b)| GEdge::unit(NodeId(a), NodeId(b))).collect()
+            pairs
+                .iter()
+                .map(|&(a, b)| GEdge::unit(NodeId(a), NodeId(b)))
+                .collect()
         };
         let frag = Fragmentation::new(
             6,
-            vec![edges(&[(0, 1), (1, 2), (2, 3)]), edges(&[(3, 4), (4, 5), (5, 0)])],
+            vec![
+                edges(&[(0, 1), (1, 2), (2, 3)]),
+                edges(&[(3, 4), (4, 5), (5, 0)]),
+            ],
             vec![vec![], vec![]],
         );
         let csr = g.closure_graph();
@@ -284,7 +295,10 @@ mod tests {
         // Pairs (0,3) and (3,0) at both sites.
         assert_eq!(comp.pair_count(), 4);
         let s0 = comp.shortcuts(0);
-        let shortcut = s0.iter().find(|e| e.src == NodeId(0) && e.dst == NodeId(3)).unwrap();
+        let shortcut = s0
+            .iter()
+            .find(|e| e.src == NodeId(0) && e.dst == NodeId(3))
+            .unwrap();
         assert_eq!(shortcut.cost, 3, "global distance around the cycle");
         let p = comp.path(NodeId(0), NodeId(3)).unwrap();
         assert_eq!(p.len(), 4, "3 hops = 4 nodes");
@@ -301,7 +315,10 @@ mod tests {
             pairs
                 .iter()
                 .flat_map(|&(a, b)| {
-                    [GEdge::unit(NodeId(a), NodeId(b)), GEdge::unit(NodeId(b), NodeId(a))]
+                    [
+                        GEdge::unit(NodeId(a), NodeId(b)),
+                        GEdge::unit(NodeId(b), NodeId(a)),
+                    ]
                 })
                 .collect()
         };
@@ -309,7 +326,11 @@ mod tests {
         let g = CsrGraph::from_edges(5, &all);
         let frag = Fragmentation::new(
             5,
-            vec![edges(&[(0, 2), (4, 0)]), edges(&[(2, 3)]), edges(&[(3, 4), (2, 4)])],
+            vec![
+                edges(&[(0, 2), (4, 0)]),
+                edges(&[(2, 3)]),
+                edges(&[(3, 4), (2, 4)]),
+            ],
             vec![vec![], vec![], vec![]],
         );
         let per_ds =
@@ -317,18 +338,20 @@ mod tests {
         let per_border =
             ComplementaryInfo::compute(&g, &frag, ComplementaryScope::PerFragmentBorder, false);
         let has_cross = |c: &ComplementaryInfo| {
-            c.shortcuts(0).iter().any(|e| e.src == NodeId(2) && e.dst == NodeId(4))
+            c.shortcuts(0)
+                .iter()
+                .any(|e| e.src == NodeId(2) && e.dst == NodeId(4))
         };
         assert!(per_border.pair_count() >= per_ds.pair_count());
-        assert!(has_cross(&per_border), "fragment scope covers cross-DS border pairs");
+        assert!(
+            has_cross(&per_border),
+            "fragment scope covers cross-DS border pairs"
+        );
     }
 
     #[test]
     fn parallel_precompute_matches_sequential() {
-        let g = ds_gen::generate_transportation(
-            &ds_gen::TransportationConfig::table1(),
-            3,
-        );
+        let g = ds_gen::generate_transportation(&ds_gen::TransportationConfig::table1(), 3);
         let frag = ds_fragment::semantic::by_labels(
             g.nodes,
             &g.connections,
@@ -338,12 +361,8 @@ mod tests {
         )
         .unwrap();
         let csr = g.closure_graph();
-        let seq = ComplementaryInfo::compute(
-            &csr,
-            &frag,
-            ComplementaryScope::PerFragmentBorder,
-            false,
-        );
+        let seq =
+            ComplementaryInfo::compute(&csr, &frag, ComplementaryScope::PerFragmentBorder, false);
         let par = ComplementaryInfo::compute_with_threads(
             &csr,
             &frag,

@@ -6,12 +6,17 @@ use std::time::Duration;
 use ds_fragment::{FragmentId, Fragmentation};
 use ds_graph::{dijkstra, Cost, CsrGraph, NodeId};
 
+use ds_relation::{PathTuple, Relation};
+
+use crate::api::{
+    build_parts, run_batch, BatchAnswer, NetworkUpdate, QueryRequest, SiteEvaluator, TcEngine,
+};
 use crate::assemble;
 use crate::complementary::{ComplementaryInfo, ComplementaryScope};
 use crate::error::ClosureError;
 use crate::executor::{run_chain, ExecutionMode};
-use crate::local::augmented_graph;
-use crate::planner::Planner;
+use crate::planner::{ChainPlan, Planner};
+use crate::updates::UpdateReport;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -113,37 +118,18 @@ impl DisconnectionSetEngine {
         symmetric: bool,
         cfg: EngineConfig,
     ) -> Result<Self, ClosureError> {
-        if graph.node_count() != frag.node_count() {
-            return Err(ClosureError::NodeCountMismatch {
-                graph: graph.node_count(),
-                fragmentation: frag.node_count(),
-            });
-        }
-        let comp = ComplementaryInfo::compute(&graph, &frag, cfg.scope, cfg.store_paths);
-        let n = graph.node_count();
-        let mut augmented = Vec::with_capacity(frag.fragment_count());
-        let mut real_hops = Vec::with_capacity(frag.fragment_count());
-        for f in frag.fragments() {
-            augmented.push(augmented_graph(n, f.edges(), symmetric, comp.shortcuts(f.id())));
-            let mut hops = HashSet::with_capacity(f.edges().len() * 2);
-            for e in f.edges() {
-                hops.insert((e.src, e.dst, e.cost));
-                if symmetric {
-                    hops.insert((e.dst, e.src, e.cost));
-                }
-            }
-            real_hops.push(hops);
-        }
-        let planner = Planner::new(&frag, cfg.max_chains, cfg.max_chain_len, cfg.hub);
+        // The build path is shared with every other backend (the machine
+        // simulation deploys from the same parts).
+        let parts = build_parts(&graph, &frag, symmetric, &cfg)?;
         Ok(DisconnectionSetEngine {
             graph,
             frag,
             symmetric,
             cfg,
-            comp,
-            augmented,
-            real_hops,
-            planner,
+            comp: parts.comp,
+            augmented: parts.augmented,
+            real_hops: parts.real_hops,
+            planner: parts.planner,
         })
     }
 
@@ -188,7 +174,10 @@ impl DisconnectionSetEngine {
             });
         }
         let plan = self.planner.plan(x, y)?;
-        let mut stats = QueryStats { enumerated: plan.enumerated, ..QueryStats::default() };
+        let mut stats = QueryStats {
+            enumerated: plan.enumerated,
+            ..QueryStats::default()
+        };
         let mut best: Option<(Cost, Vec<FragmentId>)> = None;
         for chain in &plan.chains {
             let (segments, runs) = run_chain(&self.augmented, chain, self.cfg.mode);
@@ -209,7 +198,11 @@ impl DisconnectionSetEngine {
             Some((c, ch)) => (Some(c), Some(ch)),
             None => (None, None),
         };
-        Ok(QueryAnswer { cost, best_chain, stats })
+        Ok(QueryAnswer {
+            cost,
+            best_chain,
+            stats,
+        })
     }
 
     /// Connection query — "Is A connected to B?".
@@ -227,7 +220,12 @@ impl DisconnectionSetEngine {
             return Ok(Some(Route {
                 cost: 0,
                 nodes: vec![x],
-                chain: self.planner.fragments_of(x).first().map(|&f| vec![f]).unwrap_or_default(),
+                chain: self
+                    .planner
+                    .fragments_of(x)
+                    .first()
+                    .map(|&f| vec![f])
+                    .unwrap_or_default(),
                 waypoints: vec![x],
             }));
         }
@@ -253,46 +251,44 @@ impl DisconnectionSetEngine {
             let expanded = self.expand_leg(chain[k], leg[0], leg[1]);
             nodes.extend_from_slice(&expanded[1..]);
         }
-        Ok(Some(Route { cost, nodes, chain, waypoints }))
+        Ok(Some(Route {
+            cost,
+            nodes,
+            chain,
+            waypoints,
+        }))
     }
 
     // --- crate-internal mutation hooks for update maintenance ---
 
-    pub(crate) fn add_fragment_edge(&mut self, owner: FragmentId, edge: ds_graph::Edge) {
-        self.frag.fragment_mut(owner).add_edge(edge);
-        self.real_hops[owner].insert((edge.src, edge.dst, edge.cost));
-        if self.symmetric && !edge.is_loop() {
-            self.real_hops[owner].insert((edge.dst, edge.src, edge.cost));
-        }
-    }
-
-    pub(crate) fn remove_fragment_edges(
+    /// Apply the structural half of `update` through the shared
+    /// [`crate::api::apply_update`] path and resync the owner's real-hop
+    /// set. Returns `false` for a no-op removal.
+    pub(crate) fn apply_network_update(
         &mut self,
-        owner: FragmentId,
-        pred: &impl Fn(&ds_graph::Edge) -> bool,
-    ) -> usize {
-        let removed = self.frag.fragment_mut(owner).remove_edges_matching(pred);
-        if removed > 0 {
-            let mut hops = HashSet::new();
-            for e in self.frag.fragment(owner).edges() {
-                hops.insert((e.src, e.dst, e.cost));
-                if self.symmetric && !e.is_loop() {
-                    hops.insert((e.dst, e.src, e.cost));
-                }
+        update: &NetworkUpdate,
+    ) -> Result<bool, ClosureError> {
+        let Some(new_graph) =
+            crate::api::apply_update(&self.graph, &mut self.frag, self.symmetric, update)?
+        else {
+            return Ok(false);
+        };
+        self.graph = new_graph;
+        let owner = match *update {
+            NetworkUpdate::Insert { owner, .. } | NetworkUpdate::Remove { owner, .. } => owner,
+        };
+        let mut hops = HashSet::new();
+        for e in self.frag.fragment(owner).edges() {
+            hops.insert((e.src, e.dst, e.cost));
+            if self.symmetric && !e.is_loop() {
+                hops.insert((e.dst, e.src, e.cost));
             }
-            self.real_hops[owner] = hops;
         }
-        removed
+        self.real_hops[owner] = hops;
+        Ok(true)
     }
 
-    pub(crate) fn replace_graph(&mut self, graph: CsrGraph) {
-        self.graph = graph;
-    }
-
-    pub(crate) fn map_shortcuts(
-        &mut self,
-        f: impl Fn(&ds_graph::Edge) -> Option<Cost>,
-    ) -> usize {
+    pub(crate) fn map_shortcuts(&mut self, f: impl Fn(&ds_graph::Edge) -> Option<Cost>) -> usize {
         self.comp.map_costs(f)
     }
 
@@ -339,6 +335,75 @@ impl DisconnectionSetEngine {
     }
 }
 
+/// Site evaluation for the inline backend: subqueries run on the calling
+/// thread or one scoped thread each, per [`EngineConfig::mode`].
+struct InlineEval<'a> {
+    augmented: &'a [CsrGraph],
+    mode: ExecutionMode,
+}
+
+impl SiteEvaluator for InlineEval<'_> {
+    fn eval_positions(
+        &mut self,
+        chain: &ChainPlan,
+        positions: &[usize],
+        stats: &mut QueryStats,
+    ) -> Vec<Relation<PathTuple>> {
+        let sub = ChainPlan {
+            fragments: positions.iter().map(|&p| chain.queries[p].site).collect(),
+            queries: positions
+                .iter()
+                .map(|&p| chain.queries[p].clone())
+                .collect(),
+        };
+        let (segments, runs) = run_chain(self.augmented, &sub, self.mode);
+        for r in &runs {
+            stats.site_queries += 1;
+            stats.tuples_shipped += r.tuples;
+            stats.total_site_busy += r.busy;
+            stats.max_site_busy = stats.max_site_busy.max(r.busy);
+        }
+        segments
+    }
+}
+
+impl TcEngine for DisconnectionSetEngine {
+    fn backend_name(&self) -> &'static str {
+        "inline"
+    }
+
+    fn site_count(&self) -> usize {
+        self.frag.fragment_count()
+    }
+
+    fn fragmentation(&self) -> &Fragmentation {
+        &self.frag
+    }
+
+    fn shortest_path(&mut self, x: NodeId, y: NodeId) -> QueryAnswer {
+        DisconnectionSetEngine::shortest_path(self, x, y)
+    }
+
+    fn route(&mut self, x: NodeId, y: NodeId) -> Result<Option<Route>, ClosureError> {
+        DisconnectionSetEngine::route(self, x, y)
+    }
+
+    fn update(&mut self, update: &NetworkUpdate) -> Result<UpdateReport, ClosureError> {
+        match *update {
+            NetworkUpdate::Insert { edge, owner } => self.insert_connection(edge, owner),
+            NetworkUpdate::Remove { src, dst, owner } => self.remove_connection(src, dst, owner),
+        }
+    }
+
+    fn query_batch(&mut self, requests: &[QueryRequest]) -> BatchAnswer {
+        let mut eval = InlineEval {
+            augmented: &self.augmented,
+            mode: self.cfg.mode,
+        };
+        run_batch(&self.planner, &mut eval, requests)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,12 +419,14 @@ mod tests {
         let g = grid(10, 4);
         let frag = linear_sweep(
             &g.edge_list(),
-            &LinearConfig { fragments: 4, ..Default::default() },
+            &LinearConfig {
+                fragments: 4,
+                ..Default::default()
+            },
         )
         .unwrap()
         .fragmentation;
-        let engine =
-            DisconnectionSetEngine::build(g.closure_graph(), frag, true, cfg).unwrap();
+        let engine = DisconnectionSetEngine::build(g.closure_graph(), frag, true, cfg).unwrap();
         (g, engine)
     }
 
@@ -418,7 +485,10 @@ mod tests {
         });
         let csr = g.closure_graph();
         let route = engine.route(n(0), n(39)).unwrap().expect("reachable");
-        assert_eq!(Some(route.cost), baseline::shortest_path_cost(&csr, n(0), n(39)));
+        assert_eq!(
+            Some(route.cost),
+            baseline::shortest_path_cost(&csr, n(0), n(39))
+        );
         assert_eq!(*route.nodes.first().unwrap(), n(0));
         assert_eq!(*route.nodes.last().unwrap(), n(39));
         // Every hop must be a real edge; costs must sum to the total.
@@ -438,7 +508,10 @@ mod tests {
     #[test]
     fn route_requires_store_paths() {
         let (_, engine) = grid_engine(EngineConfig::default());
-        assert_eq!(engine.route(n(0), n(5)).unwrap_err(), ClosureError::RoutesNotEnabled);
+        assert_eq!(
+            engine.route(n(0), n(5)).unwrap_err(),
+            ClosureError::RoutesNotEnabled
+        );
     }
 
     #[test]
@@ -486,8 +559,14 @@ mod tests {
         // Corner to corner crosses all 4 sweep fragments.
         let a = engine.shortest_path(n(0), n(39));
         assert!(a.stats.chains_evaluated >= 1);
-        assert!(a.stats.site_queries >= 4, "at least one query per chain fragment");
+        assert!(
+            a.stats.site_queries >= 4,
+            "at least one query per chain fragment"
+        );
         assert!(a.stats.tuples_shipped > 0);
-        assert!(!a.stats.enumerated, "linear fragmentation is loosely connected");
+        assert!(
+            !a.stats.enumerated,
+            "linear fragmentation is loosely connected"
+        );
     }
 }

@@ -21,7 +21,10 @@ pub enum ClosureError {
 impl fmt::Display for ClosureError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ClosureError::NodeCountMismatch { graph, fragmentation } => write!(
+            ClosureError::NodeCountMismatch {
+                graph,
+                fragmentation,
+            } => write!(
                 f,
                 "graph has {graph} nodes but the fragmentation covers {fragmentation}"
             ),
@@ -29,7 +32,10 @@ impl fmt::Display for ClosureError {
                 write!(f, "node {v} belongs to no fragment")
             }
             ClosureError::RoutesNotEnabled => {
-                write!(f, "route reconstruction requires EngineConfig::store_paths = true")
+                write!(
+                    f,
+                    "route reconstruction requires EngineConfig::store_paths = true"
+                )
             }
         }
     }
@@ -43,9 +49,16 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = ClosureError::NodeCountMismatch { graph: 5, fragmentation: 4 };
+        let e = ClosureError::NodeCountMismatch {
+            graph: 5,
+            fragmentation: 4,
+        };
         assert!(e.to_string().contains('5'));
-        assert!(ClosureError::NodeNotInAnyFragment(NodeId(3)).to_string().contains('3'));
-        assert!(ClosureError::RoutesNotEnabled.to_string().contains("store_paths"));
+        assert!(ClosureError::NodeNotInAnyFragment(NodeId(3))
+            .to_string()
+            .contains('3'));
+        assert!(ClosureError::RoutesNotEnabled
+            .to_string()
+            .contains("store_paths"));
     }
 }

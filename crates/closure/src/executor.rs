@@ -54,7 +54,10 @@ pub fn run_chain(
                     .iter()
                     .map(|q| s.spawn(move || run_one(augmented, q)))
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("site thread panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("site thread panicked"))
+                    .collect()
             });
             results.into_iter().unzip()
         }
@@ -64,7 +67,11 @@ pub fn run_chain(
 fn run_one(augmented: &[CsrGraph], q: &SiteQuery) -> (Relation<PathTuple>, SiteRun) {
     let start = Instant::now();
     let rel = border_matrix(&augmented[q.site], &q.sources, &q.targets);
-    let run = SiteRun { site: q.site, busy: start.elapsed(), tuples: rel.len() };
+    let run = SiteRun {
+        site: q.site,
+        busy: start.elapsed(),
+        tuples: rel.len(),
+    };
     (rel, run)
 }
 
@@ -79,19 +86,21 @@ mod tests {
 
     fn setup() -> (Vec<CsrGraph>, ChainPlan) {
         // Two sites: site 0 owns 0-1-2 (unit path), site 1 owns 2-3-4.
-        let site0 = CsrGraph::from_edges(
-            5,
-            &[Edge::unit(n(0), n(1)), Edge::unit(n(1), n(2))],
-        );
-        let site1 = CsrGraph::from_edges(
-            5,
-            &[Edge::unit(n(2), n(3)), Edge::unit(n(3), n(4))],
-        );
+        let site0 = CsrGraph::from_edges(5, &[Edge::unit(n(0), n(1)), Edge::unit(n(1), n(2))]);
+        let site1 = CsrGraph::from_edges(5, &[Edge::unit(n(2), n(3)), Edge::unit(n(3), n(4))]);
         let chain = ChainPlan {
             fragments: vec![0, 1],
             queries: vec![
-                SiteQuery { site: 0, sources: vec![n(0)], targets: vec![n(2)] },
-                SiteQuery { site: 1, sources: vec![n(2)], targets: vec![n(4)] },
+                SiteQuery {
+                    site: 0,
+                    sources: vec![n(0)],
+                    targets: vec![n(2)],
+                },
+                SiteQuery {
+                    site: 1,
+                    sources: vec![n(2)],
+                    targets: vec![n(4)],
+                },
             ],
         };
         (vec![site0, site1], chain)

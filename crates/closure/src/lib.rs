@@ -21,6 +21,13 @@
 //! [`phe`] implements the Parallel Hierarchical Evaluation extension
 //! (ref [12]) for fragmentation graphs too complex to enumerate.
 //!
+//! [`api`] defines [`TcEngine`], the backend-polymorphic query surface
+//! (single queries, routes, updates, and the amortized
+//! [`TcEngine::query_batch`]) that both this crate's engine and
+//! `ds_machine::Machine` implement, plus the build path and batch driver
+//! the backends share. The umbrella crate's `System` builder deploys
+//! either backend behind it.
+//!
 //! ```
 //! use ds_closure::engine::{DisconnectionSetEngine, EngineConfig};
 //! use ds_fragment::linear::{linear_sweep, LinearConfig};
@@ -37,6 +44,7 @@
 //! assert_eq!(answer.cost, Some(11)); // corner to corner of the grid
 //! ```
 
+pub mod api;
 pub mod assemble;
 pub mod baseline;
 pub mod complementary;
@@ -48,6 +56,8 @@ pub mod phe;
 pub mod planner;
 pub mod updates;
 
+pub use api::{BatchAnswer, BatchStats, NetworkUpdate, QueryRequest, TcEngine};
 pub use complementary::{ComplementaryInfo, ComplementaryScope};
-pub use engine::{DisconnectionSetEngine, EngineConfig, QueryAnswer, QueryStats};
+pub use engine::{DisconnectionSetEngine, EngineConfig, QueryAnswer, QueryStats, Route};
 pub use error::ClosureError;
+pub use updates::UpdateReport;

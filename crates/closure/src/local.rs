@@ -75,7 +75,11 @@ mod tests {
         let aug = augmented_graph(3, &frag, true, &shortcuts);
         assert_eq!(aug.edge_count(), 3); // 0->1, 1->0, shortcut 1->2
         assert_eq!(point_query(&aug, n(0), n(2)), Some(9));
-        assert_eq!(point_query(&aug, n(2), n(0)), None, "shortcuts are directed");
+        assert_eq!(
+            point_query(&aug, n(2), n(0)),
+            None,
+            "shortcuts are directed"
+        );
     }
 
     #[test]

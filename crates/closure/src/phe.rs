@@ -42,7 +42,10 @@ pub fn hub_fragmentation(
     let hub = cluster_count;
     let mut sets: Vec<Vec<Edge>> = vec![Vec::new(); cluster_count + 1];
     for e in edges {
-        let (a, b) = (cluster_of[e.src.index()] as usize, cluster_of[e.dst.index()] as usize);
+        let (a, b) = (
+            cluster_of[e.src.index()] as usize,
+            cluster_of[e.dst.index()] as usize,
+        );
         let owner = if a == b { a } else { hub };
         sets[owner].push(*e);
     }
@@ -99,7 +102,10 @@ mod tests {
             csr.clone(),
             frag,
             true,
-            EngineConfig { hub: Some(hub), ..EngineConfig::default() },
+            EngineConfig {
+                hub: Some(hub),
+                ..EngineConfig::default()
+            },
         )
         .unwrap();
         for (x, y) in [(0u32, 40u32), (3, 25), (13, 47), (30, 2), (45, 20)] {

@@ -106,11 +106,29 @@ impl Planner {
         if fy.is_empty() {
             return Err(ClosureError::NodeNotInAnyFragment(y));
         }
+        let (fragment_chains, enumerated) = self.chain_sets(&fx, &fy);
+        let chains = fragment_chains
+            .into_iter()
+            .filter_map(|c| self.instantiate_chain(&c, x, y))
+            .collect();
+        Ok(QueryPlan { chains, enumerated })
+    }
 
+    /// Enumerate the fragment chains connecting any fragment of `fx` to
+    /// any fragment of `fy`, without instantiating site subqueries.
+    ///
+    /// This is the expensive half of [`Planner::plan`]: it depends only on
+    /// the endpoint *fragment sets*, so batch evaluation computes it once
+    /// per `(source-fragment, target-fragment)` pair and reuses it across
+    /// every query with those endpoints' fragments (see
+    /// [`crate::api::BatchPlanner`]). The second return value reports
+    /// whether multi-chain enumeration was needed (cyclic fragmentation
+    /// graph).
+    pub fn chain_sets(&self, fx: &[FragmentId], fy: &[FragmentId]) -> (Vec<Vec<FragmentId>>, bool) {
         let mut fragment_chains: BTreeSet<Vec<FragmentId>> = BTreeSet::new();
         let mut enumerated = false;
-        for &a in &fx {
-            for &b in &fy {
+        for &a in fx {
+            for &b in fy {
                 if let Some(hub) = self.hub {
                     // PHE: "a separate fragment that mandatorily has to be
                     // traversed when going to a non-adjacent fragment."
@@ -127,29 +145,35 @@ impl Planner {
                     fragment_chains.insert(chain);
                 } else {
                     enumerated = true;
-                    for chain in self.frag_graph.chains(a, b, self.max_chains, self.max_chain_len)
+                    for chain in self
+                        .frag_graph
+                        .chains(a, b, self.max_chains, self.max_chain_len)
                     {
                         fragment_chains.insert(chain);
                     }
                 }
             }
         }
-
-        let chains = fragment_chains
-            .into_iter()
-            .filter_map(|c| self.instantiate(&c, x, y))
-            .collect();
-        Ok(QueryPlan { chains, enumerated })
+        (fragment_chains.into_iter().collect(), enumerated)
     }
 
     /// Turn a fragment chain into site subqueries. Returns `None` when a
     /// junction disconnection set is empty (chain unusable).
-    fn instantiate(&self, chain: &[FragmentId], x: NodeId, y: NodeId) -> Option<ChainPlan> {
+    pub fn instantiate_chain(
+        &self,
+        chain: &[FragmentId],
+        x: NodeId,
+        y: NodeId,
+    ) -> Option<ChainPlan> {
         let l = chain.len();
         if l == 1 {
             return Some(ChainPlan {
                 fragments: chain.to_vec(),
-                queries: vec![SiteQuery { site: chain[0], sources: vec![x], targets: vec![y] }],
+                queries: vec![SiteQuery {
+                    site: chain[0],
+                    sources: vec![x],
+                    targets: vec![y],
+                }],
             });
         }
         let mut queries = Vec::with_capacity(l);
@@ -172,9 +196,16 @@ impl Planner {
                 }
                 ds.to_vec()
             };
-            queries.push(SiteQuery { site, sources, targets });
+            queries.push(SiteQuery {
+                site,
+                sources,
+                targets,
+            });
         }
-        Some(ChainPlan { fragments: chain.to_vec(), queries })
+        Some(ChainPlan {
+            fragments: chain.to_vec(),
+            queries,
+        })
     }
 }
 
@@ -207,7 +238,10 @@ mod tests {
     use ds_graph::Edge;
 
     fn edges(pairs: &[(u32, u32)]) -> Vec<Edge> {
-        pairs.iter().map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b))).collect()
+        pairs
+            .iter()
+            .map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b)))
+            .collect()
     }
 
     /// Path 0-1-2-3-4-5-6 in three fragments sharing nodes 2 and 4.
@@ -232,7 +266,11 @@ mod tests {
         assert_eq!(plan.chains[0].fragments, vec![0]);
         assert_eq!(
             plan.chains[0].queries,
-            vec![SiteQuery { site: 0, sources: vec![NodeId(0)], targets: vec![NodeId(1)] }]
+            vec![SiteQuery {
+                site: 0,
+                sources: vec![NodeId(0)],
+                targets: vec![NodeId(1)]
+            }]
         );
         assert!(!plan.enumerated);
     }
@@ -261,8 +299,7 @@ mod tests {
         let p = Planner::new(&frag, 16, 8, None);
         let plan = p.plan(NodeId(2), NodeId(6)).unwrap();
         assert!(plan.chains.len() >= 2);
-        let lens: BTreeSet<usize> =
-            plan.chains.iter().map(|c| c.fragments.len()).collect();
+        let lens: BTreeSet<usize> = plan.chains.iter().map(|c| c.fragments.len()).collect();
         assert!(lens.contains(&2), "direct chain from fragment 1");
         assert!(lens.contains(&3), "chain from fragment 0 through 1");
     }
@@ -294,7 +331,10 @@ mod tests {
         // that exists but is in no fragment.
         let frag2 = Fragmentation::new(
             8,
-            frag.fragments().iter().map(|f| f.edges().to_vec()).collect(),
+            frag.fragments()
+                .iter()
+                .map(|f| f.edges().to_vec())
+                .collect(),
             vec![vec![], vec![], vec![]],
         );
         let p = Planner::new(&frag2, 16, 8, None);

@@ -20,6 +20,7 @@
 use ds_fragment::FragmentId;
 use ds_graph::{dijkstra, Cost, CsrGraph, Edge, NodeId};
 
+use crate::api::NetworkUpdate;
 use crate::complementary::ComplementaryInfo;
 use crate::engine::DisconnectionSetEngine;
 use crate::error::ClosureError;
@@ -49,26 +50,10 @@ impl DisconnectionSetEngine {
         edge: Edge,
         owner: FragmentId,
     ) -> Result<UpdateReport, ClosureError> {
-        let frag = self.fragmentation();
-        if owner >= frag.fragment_count() {
-            return Err(ClosureError::NodeNotInAnyFragment(edge.src));
-        }
-        for v in [edge.src, edge.dst] {
-            if !frag.fragment(owner).contains_node(v) {
-                return Err(ClosureError::NodeNotInAnyFragment(v));
-            }
-        }
-
-        // 1. Grow the global graph and the owner's fragment.
+        // 1. Grow the global graph and the owner's fragment (the
+        //    validate+mutate path shared with every backend).
         let symmetric = self.is_symmetric();
-        let mut edges: Vec<Edge> = self.graph().edges().collect();
-        edges.push(edge);
-        if symmetric && !edge.is_loop() {
-            edges.push(edge.reversed());
-        }
-        let new_graph = CsrGraph::from_edges(self.graph().node_count(), &edges);
-        self.add_fragment_edge(owner, edge);
-        self.replace_graph(new_graph);
+        self.apply_network_update(&NetworkUpdate::Insert { edge, owner })?;
 
         // 2. Refresh shortcut costs with two Dijkstra sweeps per inserted
         //    direction.
@@ -85,7 +70,10 @@ impl DisconnectionSetEngine {
         } else {
             self.rebuild_augmented();
         }
-        Ok(UpdateReport { shortcuts_improved: improved, full_recompute: full })
+        Ok(UpdateReport {
+            shortcuts_improved: improved,
+            full_recompute: full,
+        })
     }
 
     /// Remove every connection `src -> dst` (and the reverse direction on
@@ -97,22 +85,17 @@ impl DisconnectionSetEngine {
         dst: NodeId,
         owner: FragmentId,
     ) -> Result<UpdateReport, ClosureError> {
-        if owner >= self.fragmentation().fragment_count() {
-            return Err(ClosureError::NodeNotInAnyFragment(src));
+        if !self.apply_network_update(&NetworkUpdate::Remove { src, dst, owner })? {
+            return Ok(UpdateReport {
+                shortcuts_improved: 0,
+                full_recompute: false,
+            });
         }
-        let symmetric = self.is_symmetric();
-        let matches = |e: &Edge| {
-            (e.src == src && e.dst == dst) || (symmetric && e.src == dst && e.dst == src)
-        };
-        let removed = self.remove_fragment_edges(owner, &matches);
-        if removed == 0 {
-            return Ok(UpdateReport { shortcuts_improved: 0, full_recompute: false });
-        }
-        let kept: Vec<Edge> = self.graph().edges().filter(|e| !matches(e)).collect();
-        let new_graph = CsrGraph::from_edges(self.graph().node_count(), &kept);
-        self.replace_graph(new_graph);
         self.recompute_complementary();
-        Ok(UpdateReport { shortcuts_improved: 0, full_recompute: true })
+        Ok(UpdateReport {
+            shortcuts_improved: 0,
+            full_recompute: true,
+        })
     }
 
     /// Lower every shortcut `(a, b)` to
@@ -143,7 +126,12 @@ impl DisconnectionSetEngine {
         frag.fragments()
             .iter()
             .map(|f| {
-                augmented_graph(graph.node_count(), f.edges(), symmetric, comp.shortcuts(f.id()))
+                augmented_graph(
+                    graph.node_count(),
+                    f.edges(),
+                    symmetric,
+                    comp.shortcuts(f.id()),
+                )
             })
             .collect()
     }
@@ -165,12 +153,16 @@ mod tests {
         let g = grid(8, 4);
         let frag = linear_sweep(
             &g.edge_list(),
-            &LinearConfig { fragments: 4, ..Default::default() },
+            &LinearConfig {
+                fragments: 4,
+                ..Default::default()
+            },
         )
         .unwrap()
         .fragmentation;
-        let e = DisconnectionSetEngine::build(g.closure_graph(), frag, true, EngineConfig::default())
-            .unwrap();
+        let e =
+            DisconnectionSetEngine::build(g.closure_graph(), frag, true, EngineConfig::default())
+                .unwrap();
         (g, e)
     }
 
@@ -210,7 +202,10 @@ mod tests {
         let after = engine.shortest_path(n(0), n(31)).cost.unwrap();
         assert!(after <= before, "insertion cannot lengthen paths");
         if after < before {
-            assert!(report.shortcuts_improved > 0, "improvement must flow via shortcuts");
+            assert!(
+                report.shortcuts_improved > 0,
+                "improvement must flow via shortcuts"
+            );
         }
         check_all(&engine);
     }
@@ -219,7 +214,9 @@ mod tests {
     fn insert_endpoint_outside_owner_rejected() {
         let (_, mut engine) = build();
         // Node 31 (last column) is not in fragment 0.
-        let err = engine.insert_connection(Edge::new(n(0), n(31), 1), 0).unwrap_err();
+        let err = engine
+            .insert_connection(Edge::new(n(0), n(31), 1), 0)
+            .unwrap_err();
         assert!(matches!(err, crate::ClosureError::NodeNotInAnyFragment(_)));
     }
 
@@ -249,7 +246,10 @@ mod tests {
         let g = grid(8, 4);
         let frag = linear_sweep(
             &g.edge_list(),
-            &LinearConfig { fragments: 4, ..Default::default() },
+            &LinearConfig {
+                fragments: 4,
+                ..Default::default()
+            },
         )
         .unwrap()
         .fragmentation;
@@ -257,7 +257,10 @@ mod tests {
             g.closure_graph(),
             frag,
             true,
-            EngineConfig { store_paths: true, ..EngineConfig::default() },
+            EngineConfig {
+                store_paths: true,
+                ..EngineConfig::default()
+            },
         )
         .unwrap();
         let f0 = engine.fragmentation().fragment(0).clone();
@@ -265,7 +268,10 @@ mod tests {
         engine.insert_connection(Edge::new(a, b, 1), 0).unwrap();
         let csr = engine.graph().clone();
         let route = engine.route(n(0), n(31)).unwrap().unwrap();
-        assert_eq!(Some(route.cost), baseline::shortest_path_cost(&csr, n(0), n(31)));
+        assert_eq!(
+            Some(route.cost),
+            baseline::shortest_path_cost(&csr, n(0), n(31))
+        );
         let mut total = 0;
         for hop in route.nodes.windows(2) {
             total += csr

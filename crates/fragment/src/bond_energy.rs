@@ -90,13 +90,18 @@ pub struct BondEnergyOutcome {
 }
 
 /// Run the bond-energy fragmentation.
-pub fn bond_energy(edges: &EdgeList, cfg: &BondEnergyConfig) -> Result<BondEnergyOutcome, FragError> {
+pub fn bond_energy(
+    edges: &EdgeList,
+    cfg: &BondEnergyConfig,
+) -> Result<BondEnergyOutcome, FragError> {
     if edges.remaining() == 0 {
         return Err(FragError::EmptyRelation);
     }
     if let SplitRule::CutQuantile(q) = cfg.split {
         if !(0.0..=1.0).contains(&q) {
-            return Err(FragError::InvalidConfig(format!("quantile {q} outside [0,1]")));
+            return Err(FragError::InvalidConfig(format!(
+                "quantile {q} outside [0,1]"
+            )));
         }
     }
     if matches!(cfg.max_restarts, Some(0)) {
@@ -136,7 +141,12 @@ pub fn bond_energy(edges: &EdgeList, cfg: &BondEnergyConfig) -> Result<BondEnerg
     let fragmentation =
         fragmentation_from_blocks(n, &all_edges, &block_of, block_count, cfg.crossing_policy)?;
     let order = order.into_iter().map(NodeId::from_index).collect();
-    Ok(BondEnergyOutcome { fragmentation, order, measure, cut_profile })
+    Ok(BondEnergyOutcome {
+        fragmentation,
+        order,
+        measure,
+        cut_profile,
+    })
 }
 
 /// Precomputed column inner products ("bonds") of the adjacency matrix.
@@ -195,8 +205,7 @@ fn place_from(bonds: &BondMatrix, s: usize) -> (Vec<usize>, u64) {
             // Between order[p-1] and order[p].
             for p in 1..order.len() {
                 let (l, r) = (order[p - 1], order[p]);
-                let gain =
-                    bonds.get(l, x) as i64 + bonds.get(x, r) as i64 - bonds.get(l, r) as i64;
+                let gain = bonds.get(l, x) as i64 + bonds.get(x, r) as i64 - bonds.get(l, r) as i64;
                 if gain > best_gain {
                     best_gain = gain;
                     best_col = x;
@@ -380,7 +389,13 @@ mod tests {
     /// with nodes 5 and 6."
     fn fig5_graph() -> EdgeList {
         let pairs = [(0u32, 1u32), (1, 2), (0, 4), (1, 4), (3, 5)];
-        EdgeList::new(6, pairs.iter().map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b))).collect())
+        EdgeList::new(
+            6,
+            pairs
+                .iter()
+                .map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b)))
+                .collect(),
+        )
     }
 
     #[test]
@@ -408,7 +423,10 @@ mod tests {
         .unwrap();
         let m = out.fragmentation.metrics();
         assert!(m.fragment_count >= 2, "must split: {m}");
-        assert!(m.avg_ds_nodes <= 1.0 + f64::EPSILON, "tiny disconnection sets: {m}");
+        assert!(
+            m.avg_ds_nodes <= 1.0 + f64::EPSILON,
+            "tiny disconnection sets: {m}"
+        );
     }
 
     #[test]
@@ -416,7 +434,10 @@ mod tests {
         let g = two_triangles_bridge();
         let out = bond_energy(
             &g.edge_list(),
-            &BondEnergyConfig { min_block_edges: 1, ..Default::default() },
+            &BondEnergyConfig {
+                min_block_edges: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         // In the winning order, the two triangles {0,1,2} and {3,4,5}
@@ -475,7 +496,10 @@ mod tests {
         )
         .unwrap();
         out.fragmentation.validate(&g.connections).unwrap();
-        assert!(out.fragmentation.fragment_count() >= 2, "quantile rule should split");
+        assert!(
+            out.fragmentation.fragment_count() >= 2,
+            "quantile rule should split"
+        );
     }
 
     #[test]
@@ -543,14 +567,20 @@ mod tests {
         assert!(matches!(
             bond_energy(
                 &g.edge_list(),
-                &BondEnergyConfig { split: SplitRule::CutQuantile(1.5), ..Default::default() }
+                &BondEnergyConfig {
+                    split: SplitRule::CutQuantile(1.5),
+                    ..Default::default()
+                }
             ),
             Err(FragError::InvalidConfig(_))
         ));
         assert!(matches!(
             bond_energy(
                 &g.edge_list(),
-                &BondEnergyConfig { max_restarts: Some(0), ..Default::default() }
+                &BondEnergyConfig {
+                    max_restarts: Some(0),
+                    ..Default::default()
+                }
             ),
             Err(FragError::InvalidConfig(_))
         ));
@@ -567,7 +597,10 @@ mod tests {
         // Huge guard: no split can ever close a block -> one fragment.
         let out = bond_energy(
             &el,
-            &BondEnergyConfig { min_block_edges: 100, ..Default::default() },
+            &BondEnergyConfig {
+                min_block_edges: 100,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(out.fragmentation.fragment_count(), 1);

@@ -109,7 +109,10 @@ pub fn center_based(edges: &EdgeList, cfg: &CenterConfig) -> Result<CenterOutcom
         return Err(FragError::InvalidConfig("fragments must be >= 1".into()));
     }
     if !(0.0..1.0).contains(&cfg.alpha) {
-        return Err(FragError::InvalidConfig(format!("alpha must be in [0,1), got {}", cfg.alpha)));
+        return Err(FragError::InvalidConfig(format!(
+            "alpha must be in [0,1), got {}",
+            cfg.alpha
+        )));
     }
     let alive_nodes = edges.alive_nodes();
     if cfg.fragments > alive_nodes.len() {
@@ -130,7 +133,13 @@ pub fn center_based(edges: &EdgeList, cfg: &CenterConfig) -> Result<CenterOutcom
     let mut frontier: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     for k in 0..n {
         let taken = work.take_incident_to([centers[k]]);
-        grow(&mut frag_edges[k], &mut v[k], &mut frontier[k], &work, &taken);
+        grow(
+            &mut frag_edges[k],
+            &mut v[k],
+            &mut frontier[k],
+            &work,
+            &taken,
+        );
     }
 
     let mut reseeds = 0usize;
@@ -154,7 +163,13 @@ pub fn center_based(edges: &EdgeList, cfg: &CenterConfig) -> Result<CenterOutcom
                     }
                 } else {
                     stalled = 0;
-                    grow(&mut frag_edges[k], &mut v[k], &mut frontier[k], &work, &taken);
+                    grow(
+                        &mut frag_edges[k],
+                        &mut v[k],
+                        &mut frontier[k],
+                        &work,
+                        &taken,
+                    );
                 }
                 k = (k + 1) % n;
             }
@@ -184,7 +199,13 @@ pub fn center_based(edges: &EdgeList, cfg: &CenterConfig) -> Result<CenterOutcom
                 if taken.is_empty() {
                     saturated[k] = true;
                 } else {
-                    grow(&mut frag_edges[k], &mut v[k], &mut frontier[k], &work, &taken);
+                    grow(
+                        &mut frag_edges[k],
+                        &mut v[k],
+                        &mut frontier[k],
+                        &work,
+                        &taken,
+                    );
                 }
             }
         }
@@ -192,7 +213,11 @@ pub fn center_based(edges: &EdgeList, cfg: &CenterConfig) -> Result<CenterOutcom
 
     let seeds: Vec<Vec<NodeId>> = centers.iter().map(|&c| vec![c]).collect();
     let fragmentation = Fragmentation::new(edges.node_count(), frag_edges, seeds);
-    Ok(CenterOutcome { fragmentation, centers, reseeds })
+    Ok(CenterOutcome {
+        fragmentation,
+        centers,
+        reseeds,
+    })
 }
 
 /// Add freshly taken edges to fragment `k`'s state and compute the new
@@ -233,7 +258,13 @@ fn reseed_smallest(
     let seed = work.min_alive_node_by(|n| n.0).expect("edges remain");
     let taken = work.take_incident_to([seed]);
     v[k].insert(seed);
-    grow(&mut frag_edges[k], &mut v[k], &mut frontier[k], work, &taken);
+    grow(
+        &mut frag_edges[k],
+        &mut v[k],
+        &mut frontier[k],
+        work,
+        &taken,
+    );
     *reseeds += 1;
 }
 
@@ -295,7 +326,11 @@ fn determine_centers(
         CenterSelection::TopScores => {
             let mut scored = status_scores(edges, cfg.alpha, cfg.depth);
             sort_by_score_desc(&mut scored);
-            Ok(scored.into_iter().take(cfg.fragments).map(|(v, _)| v).collect())
+            Ok(scored
+                .into_iter()
+                .take(cfg.fragments)
+                .map(|(v, _)| v)
+                .collect())
         }
         CenterSelection::Distributed { pool_factor } => {
             let coords = edges.coords().ok_or(FragError::MissingCoordinates)?;
@@ -323,9 +358,7 @@ fn determine_centers(
                         da.partial_cmp(&db)
                             .expect("finite coords")
                             // Ties: keep pool (score) order — smaller index wins.
-                            .then_with(|| {
-                                pool_pos(&pool, b).cmp(&pool_pos(&pool, a))
-                            })
+                            .then_with(|| pool_pos(&pool, b).cmp(&pool_pos(&pool, a)))
                     })
                     .expect("pool_size >= fragments");
                 centers.push(next);
@@ -337,7 +370,9 @@ fn determine_centers(
 
 fn sort_by_score_desc(scored: &mut [(NodeId, f64)]) {
     scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).expect("finite scores").then_with(|| a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .expect("finite scores")
+            .then_with(|| a.0.cmp(&b.0))
     });
 }
 
@@ -349,7 +384,9 @@ fn min_dist(coords: &[ds_graph::Coord], v: NodeId, chosen: &[NodeId]) -> f64 {
 }
 
 fn pool_pos(pool: &[NodeId], v: NodeId) -> usize {
-    pool.iter().position(|&p| p == v).expect("candidate from pool")
+    pool.iter()
+        .position(|&p| p == v)
+        .expect("candidate from pool")
 }
 
 #[cfg(test)]
@@ -384,7 +421,10 @@ mod tests {
         let g = grid(8, 8);
         let out = center_based(
             &g.edge_list(),
-            &CenterConfig { fragments: 4, ..Default::default() },
+            &CenterConfig {
+                fragments: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         out.fragmentation.validate(&g.connections).unwrap();
@@ -403,7 +443,11 @@ mod tests {
         let g = grid(8, 8);
         let out = center_based(
             &g.edge_list(),
-            &CenterConfig { fragments: 4, growth: Growth::SmallestFirst, ..Default::default() },
+            &CenterConfig {
+                fragments: 4,
+                growth: Growth::SmallestFirst,
+                ..Default::default()
+            },
         )
         .unwrap();
         out.fragmentation.validate(&g.connections).unwrap();
@@ -435,7 +479,10 @@ mod tests {
         let el = g.edge_list();
         let plain = center_based(
             &el,
-            &CenterConfig { fragments: 4, ..Default::default() },
+            &CenterConfig {
+                fragments: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         let spread = center_based(
@@ -495,15 +542,33 @@ mod tests {
         let g = path(5);
         let el = g.edge_list();
         assert!(matches!(
-            center_based(&el, &CenterConfig { fragments: 0, ..Default::default() }),
+            center_based(
+                &el,
+                &CenterConfig {
+                    fragments: 0,
+                    ..Default::default()
+                }
+            ),
             Err(FragError::InvalidConfig(_))
         ));
         assert!(matches!(
-            center_based(&el, &CenterConfig { alpha: 1.5, ..Default::default() }),
+            center_based(
+                &el,
+                &CenterConfig {
+                    alpha: 1.5,
+                    ..Default::default()
+                }
+            ),
             Err(FragError::InvalidConfig(_))
         ));
         assert!(matches!(
-            center_based(&el, &CenterConfig { fragments: 99, ..Default::default() }),
+            center_based(
+                &el,
+                &CenterConfig {
+                    fragments: 99,
+                    ..Default::default()
+                }
+            ),
             Err(FragError::TooManyFragments { .. })
         ));
         assert!(matches!(
@@ -524,11 +589,17 @@ mod tests {
         let g = grid(7, 7);
         let out = center_based(
             &g.edge_list(),
-            &CenterConfig { fragments: 3, ..Default::default() },
+            &CenterConfig {
+                fragments: 3,
+                ..Default::default()
+            },
         )
         .unwrap();
         for (k, &c) in out.centers.iter().enumerate() {
-            assert!(out.fragmentation.fragment(k).contains_node(c), "fragment {k} lost center {c}");
+            assert!(
+                out.fragmentation.fragment(k).contains_node(c),
+                "fragment {k} lost center {c}"
+            );
         }
     }
 }

@@ -53,10 +53,18 @@ mod tests {
     #[test]
     fn messages_are_descriptive() {
         assert!(FragError::EmptyRelation.to_string().contains("no edges"));
-        let e = FragError::TooManyFragments { requested: 9, available: 3 };
+        let e = FragError::TooManyFragments {
+            requested: 9,
+            available: 3,
+        };
         assert!(e.to_string().contains('9') && e.to_string().contains('3'));
-        let e = FragError::NotAPartition { missing: 1, duplicated: 2 };
+        let e = FragError::NotAPartition {
+            missing: 1,
+            duplicated: 2,
+        };
         assert!(e.to_string().contains("1 edges missing"));
-        assert!(FragError::InvalidConfig("x".into()).to_string().contains('x'));
+        assert!(FragError::InvalidConfig("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

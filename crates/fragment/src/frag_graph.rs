@@ -179,7 +179,11 @@ mod tests {
     fn cycle_detected_and_both_chains_found() {
         let fg = FragmentationGraph::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
         assert!(!fg.is_acyclic());
-        assert_eq!(fg.unique_chain(0, 2), None, "no unique chain in a cyclic graph");
+        assert_eq!(
+            fg.unique_chain(0, 2),
+            None,
+            "no unique chain in a cyclic graph"
+        );
         let mut chains = fg.chains(0, 2, 10, 10);
         chains.sort();
         assert_eq!(chains, vec![vec![0, 1, 2], vec![0, 3, 2]]);

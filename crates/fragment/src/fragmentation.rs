@@ -39,7 +39,11 @@ impl Fragment {
             set.insert(e.src);
             set.insert(e.dst);
         }
-        Fragment { id, edges, nodes: set.into_iter().collect() }
+        Fragment {
+            id,
+            edges,
+            nodes: set.into_iter().collect(),
+        }
     }
 
     /// Fragment id.
@@ -94,8 +98,12 @@ impl Fragment {
     pub fn local_graph(&self, node_count: usize, symmetric: bool) -> CsrGraph {
         let mut edges = self.edges.clone();
         if symmetric {
-            let rev: Vec<Edge> =
-                self.edges.iter().filter(|e| !e.is_loop()).map(|e| e.reversed()).collect();
+            let rev: Vec<Edge> = self
+                .edges
+                .iter()
+                .filter(|e| !e.is_loop())
+                .map(|e| e.reversed())
+                .collect();
             edges.extend(rev);
         }
         CsrGraph::from_edges(node_count, &edges)
@@ -140,11 +148,7 @@ pub struct Fragmentation {
 impl Fragmentation {
     /// Assemble from per-fragment edge vectors and seed nodes.
     /// `seeds[i]` may be empty.
-    pub fn new(
-        node_count: usize,
-        edge_sets: Vec<Vec<Edge>>,
-        seeds: Vec<Vec<NodeId>>,
-    ) -> Self {
+    pub fn new(node_count: usize, edge_sets: Vec<Vec<Edge>>, seeds: Vec<Vec<NodeId>>) -> Self {
         assert_eq!(edge_sets.len(), seeds.len(), "one seed list per fragment");
         let fragments = edge_sets
             .into_iter()
@@ -152,7 +156,10 @@ impl Fragmentation {
             .enumerate()
             .map(|(id, (edges, s))| Fragment::new(id, edges, &s))
             .collect();
-        Fragmentation { node_count, fragments }
+        Fragmentation {
+            node_count,
+            fragments,
+        }
     }
 
     /// Number of nodes in the underlying graph.
@@ -193,11 +200,21 @@ impl Fragmentation {
                 *counts.entry(*e).or_insert(0) -= 1;
             }
         }
-        let missing = counts.values().filter(|&&c| c > 0).map(|&c| c as usize).sum();
-        let duplicated =
-            counts.values().filter(|&&c| c < 0).map(|&c| (-c) as usize).sum();
+        let missing = counts
+            .values()
+            .filter(|&&c| c > 0)
+            .map(|&c| c as usize)
+            .sum();
+        let duplicated = counts
+            .values()
+            .filter(|&&c| c < 0)
+            .map(|&c| (-c) as usize)
+            .sum();
         if missing > 0 || duplicated > 0 {
-            return Err(FragError::NotAPartition { missing, duplicated });
+            return Err(FragError::NotAPartition {
+                missing,
+                duplicated,
+            });
         }
         Ok(())
     }
@@ -205,7 +222,11 @@ impl Fragmentation {
     /// All fragments containing node `v` (≥ 2 entries means `v` is a
     /// border node).
     pub fn fragments_of_node(&self, v: NodeId) -> Vec<FragmentId> {
-        self.fragments.iter().filter(|f| f.contains_node(v)).map(|f| f.id()).collect()
+        self.fragments
+            .iter()
+            .filter(|f| f.contains_node(v))
+            .map(|f| f.id())
+            .collect()
     }
 
     /// The disconnection sets `DS_ij = V_i ∩ V_j` for `i < j`, non-empty
@@ -270,7 +291,10 @@ mod tests {
     use super::*;
 
     fn edges(pairs: &[(u32, u32)]) -> Vec<Edge> {
-        pairs.iter().map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b))).collect()
+        pairs
+            .iter()
+            .map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b)))
+            .collect()
     }
 
     /// Path 0-1-2-3-4 split into [0-1, 1-2] and [2-3, 3-4]: DS_01 = {2}.
@@ -312,7 +336,13 @@ mod tests {
         let frag = path_split();
         let with_extra = edges(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
         let err = frag.validate(&with_extra).unwrap_err();
-        assert_eq!(err, FragError::NotAPartition { missing: 1, duplicated: 0 });
+        assert_eq!(
+            err,
+            FragError::NotAPartition {
+                missing: 1,
+                duplicated: 0
+            }
+        );
 
         let dup = Fragmentation::new(
             5,
@@ -321,7 +351,13 @@ mod tests {
         );
         let all = edges(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let err = dup.validate(&all).unwrap_err();
-        assert_eq!(err, FragError::NotAPartition { missing: 0, duplicated: 1 });
+        assert_eq!(
+            err,
+            FragError::NotAPartition {
+                missing: 0,
+                duplicated: 1
+            }
+        );
     }
 
     #[test]

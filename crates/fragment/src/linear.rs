@@ -70,7 +70,11 @@ pub struct LinearConfig {
 
 impl Default for LinearConfig {
     fn default() -> Self {
-        LinearConfig { fragments: 4, start_nodes: 1, sweep: Sweep::XAscending }
+        LinearConfig {
+            fragments: 4,
+            start_nodes: 1,
+            sweep: Sweep::XAscending,
+        }
     }
 }
 
@@ -99,7 +103,10 @@ pub fn linear_sweep(edges: &EdgeList, cfg: &LinearConfig) -> Result<LinearOutcom
     if cfg.start_nodes == 0 {
         return Err(FragError::InvalidConfig("start_nodes must be >= 1".into()));
     }
-    let coords = edges.coords().ok_or(FragError::MissingCoordinates)?.to_vec();
+    let coords = edges
+        .coords()
+        .ok_or(FragError::MissingCoordinates)?
+        .to_vec();
     let key = |v: NodeId| cfg.sweep.key(coords[v.index()]);
 
     let mut work = edges.clone();
@@ -176,7 +183,11 @@ pub fn linear_sweep(edges: &EdgeList, cfg: &LinearConfig) -> Result<LinearOutcom
     }
 
     let fragmentation = Fragmentation::new(node_count, edge_sets, seed_sets);
-    Ok(LinearOutcome { fragmentation, recorded_ds, reseeds })
+    Ok(LinearOutcome {
+        fragmentation,
+        recorded_ds,
+        reseeds,
+    })
 }
 
 /// Total-order wrapper for finite f64 sweep keys.
@@ -192,8 +203,14 @@ mod tests {
     fn path_split_in_two_at_midpoint() {
         // 0-1-2-3-4-5-6-7 (7 edges), f=2 -> threshold 3.
         let g = path(8);
-        let out = linear_sweep(&g.edge_list(), &LinearConfig { fragments: 2, ..Default::default() })
-            .unwrap();
+        let out = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig {
+                fragments: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let frag = &out.fragmentation;
         frag.validate(&g.connections).unwrap();
         assert!(frag.fragment_count() >= 2);
@@ -207,8 +224,14 @@ mod tests {
     #[test]
     fn recorded_ds_equals_true_ds() {
         let g = grid(10, 4);
-        let out = linear_sweep(&g.edge_list(), &LinearConfig { fragments: 4, ..Default::default() })
-            .unwrap();
+        let out = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig {
+                fragments: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let frag = &out.fragmentation;
         let true_ds = frag.disconnection_sets();
         // Consecutive fragments only; recorded boundary must equal the
@@ -232,7 +255,10 @@ mod tests {
             let g = grid(12, 5);
             let out = linear_sweep(
                 &g.edge_list(),
-                &LinearConfig { fragments: f, ..Default::default() },
+                &LinearConfig {
+                    fragments: f,
+                    ..Default::default()
+                },
             )
             .unwrap();
             assert!(
@@ -248,7 +274,11 @@ mod tests {
         let g = grid(6, 3); // wider than tall
         let left = linear_sweep(
             &g.edge_list(),
-            &LinearConfig { fragments: 3, sweep: Sweep::XAscending, ..Default::default() },
+            &LinearConfig {
+                fragments: 3,
+                sweep: Sweep::XAscending,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Leftmost node is id 0 (coord 0,0) or 6/12 — all x=0.
@@ -257,7 +287,11 @@ mod tests {
 
         let right = linear_sweep(
             &g.edge_list(),
-            &LinearConfig { fragments: 3, sweep: Sweep::XDescending, ..Default::default() },
+            &LinearConfig {
+                fragments: 3,
+                sweep: Sweep::XDescending,
+                ..Default::default()
+            },
         )
         .unwrap();
         let f0 = right.fragmentation.fragment(0);
@@ -267,10 +301,19 @@ mod tests {
     #[test]
     fn single_fragment_takes_everything() {
         let g = grid(4, 4);
-        let out = linear_sweep(&g.edge_list(), &LinearConfig { fragments: 1, ..Default::default() })
-            .unwrap();
+        let out = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig {
+                fragments: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(out.fragmentation.fragment_count(), 1);
-        assert_eq!(out.fragmentation.fragment(0).edge_count(), g.connection_count());
+        assert_eq!(
+            out.fragmentation.fragment(0).edge_count(),
+            g.connection_count()
+        );
         assert!(out.recorded_ds.is_empty());
     }
 
@@ -293,8 +336,14 @@ mod tests {
             g.coords.push(ds_graph::Coord::new(c.x + 10.0, c.y));
         }
         g.nodes = 8;
-        let out = linear_sweep(&g.edge_list(), &LinearConfig { fragments: 2, ..Default::default() })
-            .unwrap();
+        let out = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig {
+                fragments: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(out.reseeds >= 1, "disconnected graph must re-seed");
         assert!(out.fragmentation.fragmentation_graph().is_acyclic());
         out.fragmentation.validate(&g.connections).unwrap();
@@ -322,7 +371,13 @@ mod tests {
     fn zero_fragments_rejected() {
         let g = path(4);
         assert!(matches!(
-            linear_sweep(&g.edge_list(), &LinearConfig { fragments: 0, ..Default::default() }),
+            linear_sweep(
+                &g.edge_list(),
+                &LinearConfig {
+                    fragments: 0,
+                    ..Default::default()
+                }
+            ),
             Err(FragError::InvalidConfig(_))
         ));
     }
@@ -332,7 +387,11 @@ mod tests {
         let g = grid(8, 4);
         let out = linear_sweep(
             &g.edge_list(),
-            &LinearConfig { fragments: 4, start_nodes: 4, ..Default::default() },
+            &LinearConfig {
+                fragments: 4,
+                start_nodes: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         // All four leftmost (x=0) nodes seed fragment 0.

@@ -34,7 +34,11 @@ pub struct FragmentationMetrics {
 impl FragmentationMetrics {
     /// Compute the metrics of a fragmentation.
     pub fn compute(frag: &Fragmentation) -> Self {
-        let sizes: Vec<f64> = frag.fragments().iter().map(|f| f.edge_count() as f64).collect();
+        let sizes: Vec<f64> = frag
+            .fragments()
+            .iter()
+            .map(|f| f.edge_count() as f64)
+            .collect();
         let ds = frag.disconnection_sets();
         let ds_sizes: Vec<f64> = ds.values().map(|v| v.len() as f64).collect();
 
@@ -67,7 +71,11 @@ impl fmt::Display for FragmentationMetrics {
             self.dev_ds_nodes,
             self.fragment_count,
             self.ds_count,
-            if self.loosely_connected { "acyclic" } else { "cyclic" },
+            if self.loosely_connected {
+                "acyclic"
+            } else {
+                "cyclic"
+            },
         )
     }
 }
@@ -95,7 +103,10 @@ mod tests {
     use ds_graph::{Edge, NodeId};
 
     fn edges(pairs: &[(u32, u32)]) -> Vec<Edge> {
-        pairs.iter().map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b))).collect()
+        pairs
+            .iter()
+            .map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b)))
+            .collect()
     }
 
     #[test]

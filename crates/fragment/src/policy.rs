@@ -49,7 +49,10 @@ pub fn fragmentation_from_blocks(
     }
     let mut sets: Vec<Vec<Edge>> = vec![Vec::new(); block_count];
     for e in edges {
-        let (ba, bb) = (block_of[e.src.index()] as usize, block_of[e.dst.index()] as usize);
+        let (ba, bb) = (
+            block_of[e.src.index()] as usize,
+            block_of[e.dst.index()] as usize,
+        );
         let owner = if ba == bb {
             ba
         } else {
@@ -81,14 +84,17 @@ mod tests {
     use super::*;
 
     fn edges(pairs: &[(u32, u32)]) -> Vec<Edge> {
-        pairs.iter().map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b))).collect()
+        pairs
+            .iter()
+            .map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b)))
+            .collect()
     }
 
     #[test]
     fn in_block_edges_stay_home() {
         let e = edges(&[(0, 1), (2, 3)]);
-        let frag = fragmentation_from_blocks(4, &e, &[0, 0, 1, 1], 2, CrossingPolicy::LowerBlock)
-            .unwrap();
+        let frag =
+            fragmentation_from_blocks(4, &e, &[0, 0, 1, 1], 2, CrossingPolicy::LowerBlock).unwrap();
         assert_eq!(frag.fragment(0).edge_count(), 1);
         assert_eq!(frag.fragment(1).edge_count(), 1);
         assert!(frag.disconnection_sets().is_empty());
@@ -98,8 +104,8 @@ mod tests {
     fn lower_block_policy_creates_shared_node_on_high_side() {
         // Crossing edge 1-2 goes to block 0; node 2 becomes shared.
         let e = edges(&[(0, 1), (1, 2), (2, 3)]);
-        let frag = fragmentation_from_blocks(4, &e, &[0, 0, 1, 1], 2, CrossingPolicy::LowerBlock)
-            .unwrap();
+        let frag =
+            fragmentation_from_blocks(4, &e, &[0, 0, 1, 1], 2, CrossingPolicy::LowerBlock).unwrap();
         let ds = frag.disconnection_sets();
         assert_eq!(ds[&(0, 1)], vec![NodeId(2)]);
         frag.validate(&e).unwrap();
@@ -120,9 +126,14 @@ mod tests {
 
     #[test]
     fn isolated_nodes_seeded_into_their_block() {
-        let frag =
-            fragmentation_from_blocks(3, &edges(&[(0, 1)]), &[0, 0, 1], 2, CrossingPolicy::LowerBlock)
-                .unwrap();
+        let frag = fragmentation_from_blocks(
+            3,
+            &edges(&[(0, 1)]),
+            &[0, 0, 1],
+            2,
+            CrossingPolicy::LowerBlock,
+        )
+        .unwrap();
         assert!(frag.fragment(1).contains_node(NodeId(2)));
     }
 

@@ -48,8 +48,14 @@ mod tests {
         let cfg = TransportationConfig::table1();
         let g = generate_transportation(&cfg, 11);
         let labels = g.cluster_of.clone().unwrap();
-        let frag = by_labels(g.nodes, &g.connections, &labels, 4, CrossingPolicy::LowerBlock)
-            .unwrap();
+        let frag = by_labels(
+            g.nodes,
+            &g.connections,
+            &labels,
+            4,
+            CrossingPolicy::LowerBlock,
+        )
+        .unwrap();
         frag.validate(&g.connections).unwrap();
         let m = frag.metrics();
         assert_eq!(m.fragment_count, 4);
@@ -61,7 +67,9 @@ mod tests {
     #[test]
     fn crossing_edges_create_borders() {
         // Two labelled halves of a path share exactly the boundary node.
-        let edges: Vec<Edge> = (0..4u32).map(|i| Edge::unit(NodeId(i), NodeId(i + 1))).collect();
+        let edges: Vec<Edge> = (0..4u32)
+            .map(|i| Edge::unit(NodeId(i), NodeId(i + 1)))
+            .collect();
         let frag = by_labels(5, &edges, &[0, 0, 0, 1, 1], 2, CrossingPolicy::LowerBlock).unwrap();
         let ds = frag.disconnection_sets();
         assert_eq!(ds[&(0, 1)], vec![NodeId(3)]);

@@ -169,7 +169,14 @@ pub struct EllipseConfig {
 
 impl Default for EllipseConfig {
     fn default() -> Self {
-        EllipseConfig { nodes: 120, target_edges: 360, c2: 0.05, a: 150.0, b: 40.0, unit_costs: false }
+        EllipseConfig {
+            nodes: 120,
+            target_edges: 360,
+            c2: 0.05,
+            a: 150.0,
+            b: 40.0,
+            unit_costs: false,
+        }
     }
 }
 
@@ -179,7 +186,11 @@ mod tests {
 
     #[test]
     fn chain_links() {
-        let cfg = TransportationConfig { clusters: 4, connections_per_link: 3, ..Default::default() };
+        let cfg = TransportationConfig {
+            clusters: 4,
+            connections_per_link: 3,
+            ..Default::default()
+        };
         assert_eq!(cfg.links(), vec![(0, 1, 3), (1, 2, 3), (2, 3, 3)]);
     }
 

@@ -7,8 +7,9 @@ use crate::output::GeneratedGraph;
 
 /// A path `0 - 1 - … - n-1` with unit costs, nodes on the x-axis.
 pub fn path(n: usize) -> GeneratedGraph {
-    let connections =
-        (0..n.saturating_sub(1)).map(|i| Edge::unit(NodeId(i as u32), NodeId(i as u32 + 1))).collect();
+    let connections = (0..n.saturating_sub(1))
+        .map(|i| Edge::unit(NodeId(i as u32), NodeId(i as u32 + 1)))
+        .collect();
     GeneratedGraph {
         nodes: n,
         connections,
@@ -30,7 +31,13 @@ pub fn cycle(n: usize) -> GeneratedGraph {
             Coord::new(t.cos() * 10.0, t.sin() * 10.0)
         })
         .collect();
-    GeneratedGraph { nodes: n, connections, coords, cluster_of: None, symmetric: true }
+    GeneratedGraph {
+        nodes: n,
+        connections,
+        coords,
+        cluster_of: None,
+        symmetric: true,
+    }
 }
 
 /// A `w × h` grid with unit costs; node `(r, c)` has id `r·w + c` and
@@ -52,7 +59,13 @@ pub fn grid(w: usize, h: usize) -> GeneratedGraph {
     let coords = (0..h)
         .flat_map(|r| (0..w).map(move |c| Coord::new(c as f64, r as f64)))
         .collect();
-    GeneratedGraph { nodes: w * h, connections, coords, cluster_of: None, symmetric: true }
+    GeneratedGraph {
+        nodes: w * h,
+        connections,
+        coords,
+        cluster_of: None,
+        symmetric: true,
+    }
 }
 
 /// The complete graph on `n` nodes, unit costs, nodes on a circle.
@@ -69,7 +82,13 @@ pub fn complete(n: usize) -> GeneratedGraph {
             Coord::new(t.cos() * 10.0, t.sin() * 10.0)
         })
         .collect();
-    GeneratedGraph { nodes: n, connections, coords, cluster_of: None, symmetric: true }
+    GeneratedGraph {
+        nodes: n,
+        connections,
+        coords,
+        cluster_of: None,
+        symmetric: true,
+    }
 }
 
 /// The archetype of Fig. 1: two triangle clusters joined by one bridge
@@ -78,7 +97,10 @@ pub fn complete(n: usize) -> GeneratedGraph {
 /// ownership).
 pub fn two_triangles_bridge() -> GeneratedGraph {
     let pairs = [(0u32, 1u32), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)];
-    let connections = pairs.iter().map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b))).collect();
+    let connections = pairs
+        .iter()
+        .map(|&(a, b)| Edge::unit(NodeId(a), NodeId(b)))
+        .collect();
     let coords = vec![
         Coord::new(0.0, 0.0),
         Coord::new(0.0, 2.0),
@@ -87,7 +109,13 @@ pub fn two_triangles_bridge() -> GeneratedGraph {
         Coord::new(4.0, 0.0),
         Coord::new(4.0, 2.0),
     ];
-    GeneratedGraph { nodes: 6, connections, coords, cluster_of: Some(vec![0, 0, 0, 1, 1, 1]), symmetric: true }
+    GeneratedGraph {
+        nodes: 6,
+        connections,
+        coords,
+        cluster_of: Some(vec![0, 0, 0, 1, 1, 1]),
+        symmetric: true,
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,13 @@ pub fn generate_ellipse(cfg: &EllipseConfig, seed: u64) -> GeneratedGraph {
     let coords = uniform_ellipse(&mut rng, cfg.nodes, cfg.a, cfg.b);
     let c1 = calibrate_c1(&coords, cfg.c2, cfg.target_edges);
     let connections = draw_edges(&mut rng, &coords, c1, cfg.c2, cfg.unit_costs, 0);
-    GeneratedGraph { nodes: cfg.nodes, connections, coords, cluster_of: None, symmetric: true }
+    GeneratedGraph {
+        nodes: cfg.nodes,
+        connections,
+        coords,
+        cluster_of: None,
+        symmetric: true,
+    }
 }
 
 #[cfg(test)]
@@ -39,7 +45,11 @@ mod tests {
 
     #[test]
     fn edge_count_near_target() {
-        let cfg = EllipseConfig { nodes: 120, target_edges: 360, ..Default::default() };
+        let cfg = EllipseConfig {
+            nodes: 120,
+            target_edges: 360,
+            ..Default::default()
+        };
         let mean: f64 = (0..8)
             .map(|s| generate_ellipse(&cfg, s).connection_count() as f64)
             .sum::<f64>()

@@ -81,18 +81,29 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = GeneralConfig { nodes: 40, target_edges: 100, ..Default::default() };
+        let cfg = GeneralConfig {
+            nodes: 40,
+            target_edges: 100,
+            ..Default::default()
+        };
         let a = generate_general(&cfg, 11);
         let b = generate_general(&cfg, 11);
         assert_eq!(a.connections, b.connections);
         assert_eq!(a.coords, b.coords);
         let c = generate_general(&cfg, 12);
-        assert_ne!(a.connections, c.connections, "different seed, different graph");
+        assert_ne!(
+            a.connections, c.connections,
+            "different seed, different graph"
+        );
     }
 
     #[test]
     fn edge_count_near_target() {
-        let cfg = GeneralConfig { nodes: 100, target_edges: 280, ..Default::default() };
+        let cfg = GeneralConfig {
+            nodes: 100,
+            target_edges: 280,
+            ..Default::default()
+        };
         // Average over seeds: expectation is exactly 280, so the mean of
         // 10 draws should be well within 15%.
         let mean: f64 = (0..10)
@@ -109,7 +120,12 @@ mod tests {
     fn locality_bias() {
         // With strong decay, generated edges should be on average much
         // shorter than random pairs.
-        let cfg = GeneralConfig { nodes: 120, target_edges: 300, c2: 0.2, ..Default::default() };
+        let cfg = GeneralConfig {
+            nodes: 120,
+            target_edges: 300,
+            c2: 0.2,
+            ..Default::default()
+        };
         let g = generate_general(&cfg, 5);
         let mean_edge_len: f64 = g
             .connections
@@ -118,12 +134,19 @@ mod tests {
             .sum::<f64>()
             / g.connection_count().max(1) as f64;
         // Mean distance of uniform pairs in a 100x100 square is ~52.
-        assert!(mean_edge_len < 35.0, "edges not local: mean length {mean_edge_len}");
+        assert!(
+            mean_edge_len < 35.0,
+            "edges not local: mean length {mean_edge_len}"
+        );
     }
 
     #[test]
     fn costs_are_distances() {
-        let cfg = GeneralConfig { nodes: 50, target_edges: 120, ..Default::default() };
+        let cfg = GeneralConfig {
+            nodes: 50,
+            target_edges: 120,
+            ..Default::default()
+        };
         let g = generate_general(&cfg, 3);
         for e in &g.connections {
             let d = g.coords[e.src.index()].distance(&g.coords[e.dst.index()]);
@@ -133,21 +156,35 @@ mod tests {
 
     #[test]
     fn unit_cost_mode() {
-        let cfg = GeneralConfig { nodes: 50, target_edges: 120, unit_costs: true, ..Default::default() };
+        let cfg = GeneralConfig {
+            nodes: 50,
+            target_edges: 120,
+            unit_costs: true,
+            ..Default::default()
+        };
         let g = generate_general(&cfg, 3);
         assert!(g.connections.iter().all(|e| e.cost == 1));
     }
 
     #[test]
     fn raw_c1_mode_respected() {
-        let cfg = GeneralConfig { nodes: 30, target_edges: 0, c1: 0.0, ..Default::default() };
+        let cfg = GeneralConfig {
+            nodes: 30,
+            target_edges: 0,
+            c1: 0.0,
+            ..Default::default()
+        };
         let g = generate_general(&cfg, 3);
         assert_eq!(g.connection_count(), 0, "c1 = 0 generates nothing");
     }
 
     #[test]
     fn no_self_loops_or_duplicate_pairs() {
-        let cfg = GeneralConfig { nodes: 60, target_edges: 200, ..Default::default() };
+        let cfg = GeneralConfig {
+            nodes: 60,
+            target_edges: 200,
+            ..Default::default()
+        };
         let g = generate_general(&cfg, 8);
         let mut seen = std::collections::HashSet::new();
         for e in &g.connections {

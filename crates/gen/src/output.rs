@@ -83,7 +83,10 @@ mod tests {
     fn sample() -> GeneratedGraph {
         GeneratedGraph {
             nodes: 3,
-            connections: vec![Edge::new(NodeId(0), NodeId(1), 5), Edge::new(NodeId(1), NodeId(2), 7)],
+            connections: vec![
+                Edge::new(NodeId(0), NodeId(1), 5),
+                Edge::new(NodeId(1), NodeId(2), 7),
+            ],
             coords: vec![Coord::default(); 3],
             cluster_of: None,
             symmetric: true,

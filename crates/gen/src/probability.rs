@@ -67,8 +67,9 @@ mod tests {
     fn calibration_hits_expected_count() {
         // Grid of 20 points; calibrate for 30 expected edges, then verify
         // the analytic expectation is 30.
-        let coords: Vec<Coord> =
-            (0..20).map(|i| Coord::new((i % 5) as f64 * 10.0, (i / 5) as f64 * 10.0)).collect();
+        let coords: Vec<Coord> = (0..20)
+            .map(|i| Coord::new((i % 5) as f64 * 10.0, (i / 5) as f64 * 10.0))
+            .collect();
         let c2 = 0.05;
         let c1 = calibrate_c1(&coords, c2, 30);
         let n = coords.len();
@@ -78,7 +79,10 @@ mod tests {
                 expected += edge_probability(c1, c2, n, coords[i].distance(&coords[j]));
             }
         }
-        assert!((expected - 30.0).abs() < 1e-6, "expected {expected}, want 30");
+        assert!(
+            (expected - 30.0).abs() < 1e-6,
+            "expected {expected}, want 30"
+        );
     }
 
     #[test]

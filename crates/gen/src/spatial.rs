@@ -9,7 +9,12 @@ use rand::Rng;
 /// `n` coordinates uniform over the square `[x0, x0+extent] × [y0, y0+extent]`.
 pub fn uniform_square(rng: &mut StdRng, n: usize, x0: f64, y0: f64, extent: f64) -> Vec<Coord> {
     (0..n)
-        .map(|_| Coord::new(x0 + rng.gen::<f64>() * extent, y0 + rng.gen::<f64>() * extent))
+        .map(|_| {
+            Coord::new(
+                x0 + rng.gen::<f64>() * extent,
+                y0 + rng.gen::<f64>() * extent,
+            )
+        })
         .collect()
 }
 

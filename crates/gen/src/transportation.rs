@@ -21,7 +21,10 @@ use crate::spatial::{cluster_origins, uniform_square};
 /// `nodes_per_cluster`. The returned `cluster_of` records that.
 pub fn generate_transportation(cfg: &TransportationConfig, seed: u64) -> GeneratedGraph {
     assert!(cfg.clusters > 0, "need at least one cluster");
-    assert!(cfg.nodes_per_cluster > 1, "clusters need at least two nodes");
+    assert!(
+        cfg.nodes_per_cluster > 1,
+        "clusters need at least two nodes"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let m = cfg.nodes_per_cluster;
     let origins = cluster_origins(cfg.clusters, cfg.cluster_extent, cfg.cluster_gap);
@@ -52,7 +55,10 @@ pub fn generate_transportation(cfg: &TransportationConfig, seed: u64) -> Generat
     // border cities sit on facing edges of the two patches, as in a real
     // transportation network.
     for (a, b, k) in cfg.links() {
-        assert!(a < cfg.clusters && b < cfg.clusters && a != b, "bad link ({a},{b})");
+        assert!(
+            a < cfg.clusters && b < cfg.clusters && a != b,
+            "bad link ({a},{b})"
+        );
         connections.extend(closest_cross_pairs(&coords, m, a, b, k, cfg.unit_costs));
     }
 
@@ -89,7 +95,11 @@ fn closest_cross_pairs(
         .into_iter()
         .take(k)
         .map(|(d, i, j)| {
-            Edge::new(NodeId(i as u32), NodeId(j as u32), connection_cost(d, unit_costs))
+            Edge::new(
+                NodeId(i as u32),
+                NodeId(j as u32),
+                connection_cost(d, unit_costs),
+            )
         })
         .collect()
 }
@@ -144,7 +154,11 @@ mod tests {
         assert_eq!(crossing.len(), 6);
         for e in crossing {
             let (ca, cb) = (labels[e.src.index()], labels[e.dst.index()]);
-            assert_eq!((ca as i32 - cb as i32).abs(), 1, "chain links only adjacent clusters");
+            assert_eq!(
+                (ca as i32 - cb as i32).abs(),
+                1,
+                "chain links only adjacent clusters"
+            );
         }
     }
 
@@ -156,7 +170,10 @@ mod tests {
             .map(|s| generate_transportation(&cfg, s).connection_count() as f64)
             .sum::<f64>()
             / 10.0;
-        assert!((mean - 426.0).abs() < 45.0, "mean {mean} not near 426 (=4×105+6)");
+        assert!(
+            (mean - 426.0).abs() < 45.0,
+            "mean {mean} not near 426 (=4×105+6)"
+        );
     }
 
     #[test]

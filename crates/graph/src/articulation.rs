@@ -74,7 +74,10 @@ pub fn articulation_points(g: &CsrGraph) -> Vec<NodeId> {
         }
     }
 
-    (0..n).filter(|&i| is_ap[i]).map(NodeId::from_index).collect()
+    (0..n)
+        .filter(|&i| is_ap[i])
+        .map(NodeId::from_index)
+        .collect()
 }
 
 #[cfg(test)]
@@ -108,7 +111,19 @@ mod tests {
         // Clusters {0,1,2} and {4,5,6} joined through node 3: the
         // transportation-graph archetype. Node 3 and its neighbours on
         // each side are the cut nodes.
-        let g = sym(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6), (6, 4)], 7);
+        let g = sym(
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 4),
+            ],
+            7,
+        );
         let aps = articulation_points(&g);
         assert!(aps.contains(&NodeId(3)), "bridge node is relevant");
         assert!(aps.contains(&NodeId(2)));

@@ -15,7 +15,10 @@ pub struct BitSet {
 impl BitSet {
     /// An empty bit set with capacity for `len` bits, all zero.
     pub fn new(len: usize) -> Self {
-        BitSet { bits: vec![0u64; len.div_ceil(64)], len }
+        BitSet {
+            bits: vec![0u64; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Number of addressable bits.

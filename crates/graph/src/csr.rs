@@ -37,10 +37,16 @@ impl CsrGraph {
     pub fn try_from_edges(node_count: usize, edges: &[Edge]) -> Result<Self, GraphError> {
         for e in edges {
             if e.src.index() >= node_count {
-                return Err(GraphError::NodeOutOfRange { node: e.src, node_count });
+                return Err(GraphError::NodeOutOfRange {
+                    node: e.src,
+                    node_count,
+                });
             }
             if e.dst.index() >= node_count {
-                return Err(GraphError::NodeOutOfRange { node: e.dst, node_count });
+                return Err(GraphError::NodeOutOfRange {
+                    node: e.dst,
+                    node_count,
+                });
             }
         }
         let mut offsets = vec![0u32; node_count + 1];
@@ -59,7 +65,12 @@ impl CsrGraph {
             costs[slot] = e.cost;
             cursor[e.src.index()] += 1;
         }
-        Ok(CsrGraph { offsets, targets, costs, coords: None })
+        Ok(CsrGraph {
+            offsets,
+            targets,
+            costs,
+            coords: None,
+        })
     }
 
     /// Attach node coordinates. Fails if the table length differs from the
@@ -98,7 +109,10 @@ impl CsrGraph {
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Cost)> + '_ {
         let lo = self.offsets[v.index()] as usize;
         let hi = self.offsets[v.index() + 1] as usize;
-        self.targets[lo..hi].iter().copied().zip(self.costs[lo..hi].iter().copied())
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.costs[lo..hi].iter().copied())
     }
 
     /// Outgoing target nodes of `v` (no costs).
@@ -117,7 +131,8 @@ impl CsrGraph {
     /// All edges, grouped by source.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         self.nodes().flat_map(move |v| {
-            self.neighbors(v).map(move |(dst, cost)| Edge { src: v, dst, cost })
+            self.neighbors(v)
+                .map(move |(dst, cost)| Edge { src: v, dst, cost })
         })
     }
 
@@ -198,7 +213,13 @@ mod tests {
     #[test]
     fn out_of_range_edge_rejected() {
         let err = CsrGraph::try_from_edges(2, &[Edge::unit(NodeId(0), NodeId(2))]).unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfRange { node: NodeId(2), node_count: 2 });
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: NodeId(2),
+                node_count: 2
+            }
+        );
     }
 
     #[test]
@@ -230,13 +251,19 @@ mod tests {
         assert!(!asym.is_symmetric());
         let sym = CsrGraph::from_edges(
             2,
-            &[Edge::new(NodeId(0), NodeId(1), 4), Edge::new(NodeId(1), NodeId(0), 4)],
+            &[
+                Edge::new(NodeId(0), NodeId(1), 4),
+                Edge::new(NodeId(1), NodeId(0), 4),
+            ],
         );
         assert!(sym.is_symmetric());
         // Symmetry requires matching costs.
         let cost_mismatch = CsrGraph::from_edges(
             2,
-            &[Edge::new(NodeId(0), NodeId(1), 4), Edge::new(NodeId(1), NodeId(0), 5)],
+            &[
+                Edge::new(NodeId(0), NodeId(1), 4),
+                Edge::new(NodeId(1), NodeId(0), 5),
+            ],
         );
         assert!(!cost_mismatch.is_symmetric());
     }

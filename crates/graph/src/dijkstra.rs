@@ -94,7 +94,11 @@ pub fn multi_source(g: &CsrGraph, seeds: &[(NodeId, Cost)]) -> ShortestPaths {
             }
         }
     }
-    ShortestPaths { source, dist, parent }
+    ShortestPaths {
+        source,
+        dist,
+        parent,
+    }
 }
 
 /// Dijkstra with early exit: stops as soon as `dst` is settled.
@@ -204,7 +208,10 @@ mod tests {
     fn zero_cost_edges_are_fine() {
         let g = CsrGraph::from_edges(
             3,
-            &[Edge::new(NodeId(0), NodeId(1), 0), Edge::new(NodeId(1), NodeId(2), 0)],
+            &[
+                Edge::new(NodeId(0), NodeId(1), 0),
+                Edge::new(NodeId(1), NodeId(2), 0),
+            ],
         );
         let sp = single_source(&g, NodeId(0));
         assert_eq!(sp.cost(NodeId(2)), Some(0));

@@ -57,7 +57,11 @@ impl EdgeList {
 
     /// Attach coordinates (must match node count).
     pub fn with_coords(mut self, coords: Vec<Coord>) -> Self {
-        assert_eq!(coords.len(), self.node_count, "coordinate table length mismatch");
+        assert_eq!(
+            coords.len(),
+            self.node_count,
+            "coordinate table length mismatch"
+        );
         self.coords = Some(coords);
         self
     }
@@ -94,7 +98,10 @@ impl EdgeList {
 
     /// Indices of alive edges incident to `v` (either direction).
     pub fn alive_incident(&self, v: NodeId) -> impl Iterator<Item = u32> + '_ {
-        self.incidence[v.index()].iter().copied().filter(move |&i| self.alive[i as usize])
+        self.incidence[v.index()]
+            .iter()
+            .copied()
+            .filter(move |&i| self.alive[i as usize])
     }
 
     /// Remove edge `i` from the working set. Returns the edge.
@@ -179,8 +186,10 @@ pub fn dedup_symmetric(edges: &[Edge]) -> Vec<Edge> {
             *entry = e.cost;
         }
     }
-    let mut out: Vec<Edge> =
-        best.into_iter().map(|((s, d), c)| Edge::new(s, d, c)).collect();
+    let mut out: Vec<Edge> = best
+        .into_iter()
+        .map(|((s, d), c)| Edge::new(s, d, c))
+        .collect();
     out.sort_unstable();
     out
 }
@@ -259,7 +268,10 @@ mod tests {
     fn from_graph_roundtrip() {
         let g = CsrGraph::from_edges(
             3,
-            &[Edge::unit(NodeId(0), NodeId(1)), Edge::unit(NodeId(1), NodeId(2))],
+            &[
+                Edge::unit(NodeId(0), NodeId(1)),
+                Edge::unit(NodeId(1), NodeId(2)),
+            ],
         );
         let el = EdgeList::from_graph(&g);
         assert_eq!(el.remaining(), 2);

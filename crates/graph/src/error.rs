@@ -23,13 +23,22 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "edge references node {node} but the graph has {node_count} nodes")
+                write!(
+                    f,
+                    "edge references node {node} but the graph has {node_count} nodes"
+                )
             }
             GraphError::CoordLengthMismatch { coords, node_count } => {
-                write!(f, "coordinate table has {coords} entries for {node_count} nodes")
+                write!(
+                    f,
+                    "coordinate table has {coords} entries for {node_count} nodes"
+                )
             }
             GraphError::MissingCoordinates => {
-                write!(f, "operation requires node coordinates but the graph has none")
+                write!(
+                    f,
+                    "operation requires node coordinates but the graph has none"
+                )
             }
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
         }
@@ -44,12 +53,20 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::NodeOutOfRange { node: NodeId(9), node_count: 5 };
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId(9),
+            node_count: 5,
+        };
         assert!(e.to_string().contains("node 9"));
         assert!(e.to_string().contains("5 nodes"));
-        let e = GraphError::CoordLengthMismatch { coords: 3, node_count: 5 };
+        let e = GraphError::CoordLengthMismatch {
+            coords: 3,
+            node_count: 5,
+        };
         assert!(e.to_string().contains("3 entries"));
-        assert!(GraphError::MissingCoordinates.to_string().contains("coordinates"));
+        assert!(GraphError::MissingCoordinates
+            .to_string()
+            .contains("coordinates"));
         assert!(GraphError::EmptyGraph.to_string().contains("non-empty"));
     }
 }

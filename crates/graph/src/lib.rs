@@ -44,5 +44,5 @@ pub use csr::CsrGraph;
 pub use edgelist::EdgeList;
 pub use error::GraphError;
 pub use matrix::AdjacencyMatrix;
-pub use types::{Cost, Coord, Edge, NodeId, INFINITE_COST};
+pub use types::{Coord, Cost, Edge, NodeId, INFINITE_COST};
 pub use unionfind::UnionFind;

@@ -25,7 +25,10 @@ pub struct AdjacencyMatrix {
 impl AdjacencyMatrix {
     /// All-zero matrix (no implicit diagonal).
     pub fn zero(n: usize) -> Self {
-        AdjacencyMatrix { n, rows: vec![BitSet::new(n); n] }
+        AdjacencyMatrix {
+            n,
+            rows: vec![BitSet::new(n); n],
+        }
     }
 
     /// Build from a graph, setting the diagonal as the paper prescribes.
@@ -213,8 +216,7 @@ mod tests {
         // Explicit double loop definition.
         for j in 0..4 {
             for k in 0..4 {
-                let brute: usize =
-                    (0..4).filter(|&i| m.get(i, j) && m.get(i, k)).count();
+                let brute: usize = (0..4).filter(|&i| m.get(i, j) && m.get(i, k)).count();
                 assert_eq!(m.column_inner_product(j, k), brute);
                 assert_eq!(m.column(j).intersection_count(&m.column(k)), brute);
             }
@@ -240,7 +242,10 @@ mod tests {
     fn warshall_closure_on_path() {
         let g = CsrGraph::from_edges(
             3,
-            &[Edge::unit(NodeId(0), NodeId(1)), Edge::unit(NodeId(1), NodeId(2))],
+            &[
+                Edge::unit(NodeId(0), NodeId(1)),
+                Edge::unit(NodeId(1), NodeId(2)),
+            ],
         );
         let m = reachability_closure(&g);
         assert!(m.get(0, 2), "transitive edge present after closure");
@@ -264,7 +269,10 @@ mod tests {
     fn floyd_warshall_parallel_edges_take_min() {
         let g = CsrGraph::from_edges(
             2,
-            &[Edge::new(NodeId(0), NodeId(1), 9), Edge::new(NodeId(0), NodeId(1), 2)],
+            &[
+                Edge::new(NodeId(0), NodeId(1), 9),
+                Edge::new(NodeId(0), NodeId(1), 2),
+            ],
         );
         let fw = floyd_warshall(&g);
         assert_eq!(fw_cost(&fw, NodeId(0), NodeId(1)), Some(2));

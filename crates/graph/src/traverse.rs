@@ -95,7 +95,11 @@ pub fn weak_components(g: &CsrGraph) -> (Vec<u32>, usize) {
 /// Unreachable nodes are ignored (so this is the eccentricity within the
 /// reachable component).
 pub fn eccentricity(g: &CsrGraph, src: NodeId) -> u32 {
-    hop_distances(g, src).into_iter().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+    hop_distances(g, src)
+        .into_iter()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Exact diameter in hops: max over all nodes of [`eccentricity`].
@@ -165,7 +169,10 @@ mod tests {
         assert!(is_reachable(&g, NodeId(0), NodeId(3)));
         assert!(is_reachable(&g, NodeId(3), NodeId(0)));
         assert!(!is_reachable(&g, NodeId(0), NodeId(4)));
-        assert!(is_reachable(&g, NodeId(4), NodeId(4)), "trivially reachable from self");
+        assert!(
+            is_reachable(&g, NodeId(4), NodeId(4)),
+            "trivially reachable from self"
+        );
         let set = reachable_set(&g, NodeId(1));
         assert_eq!(set.count_ones(), 4);
         assert!(!set.contains(4));
@@ -192,7 +199,11 @@ mod tests {
         let g = path4();
         assert_eq!(diameter(&g), 3);
         assert_eq!(eccentricity(&g, NodeId(1)), 2);
-        assert_eq!(diameter_double_sweep(&g, NodeId(1)), 3, "double sweep exact on trees");
+        assert_eq!(
+            diameter_double_sweep(&g, NodeId(1)),
+            3,
+            "double sweep exact on trees"
+        );
     }
 
     #[test]

@@ -99,7 +99,11 @@ impl Edge {
 
     /// The same connection in the opposite direction.
     pub fn reversed(&self) -> Edge {
-        Edge { src: self.dst, dst: self.src, cost: self.cost }
+        Edge {
+            src: self.dst,
+            dst: self.src,
+            cost: self.cost,
+        }
     }
 
     /// The unordered endpoint pair, smaller id first. Two directed edges

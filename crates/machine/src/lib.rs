@@ -11,18 +11,24 @@
 //! the communication that does happen measurable: every request/response
 //! and every shipped tuple is counted in [`MachineStats`].
 //!
+//! [`Machine`] implements [`TcEngine`], the backend-polymorphic query
+//! surface shared with the in-process `DisconnectionSetEngine`, and
+//! deploys from the same build parts (`ds_closure::api::build_parts`) —
+//! the two backends differ only in *where* phase one runs.
+//!
 //! ```
-//! use ds_machine::Machine;
+//! use ds_closure::TcEngine;
 //! use ds_fragment::linear::{linear_sweep, LinearConfig};
 //! use ds_gen::deterministic::grid;
 //! use ds_graph::NodeId;
+//! use ds_machine::Machine;
 //!
 //! let g = grid(8, 3);
 //! let frag = linear_sweep(&g.edge_list(), &LinearConfig { fragments: 3, ..Default::default() })
 //!     .unwrap()
 //!     .fragmentation;
 //! let mut machine = Machine::deploy(g.closure_graph(), frag, true).unwrap();
-//! assert_eq!(machine.shortest_path(NodeId(0), NodeId(23)), Some(9));
+//! assert_eq!(machine.shortest_path(NodeId(0), NodeId(23)).cost, Some(9));
 //! let stats = machine.stats();
 //! assert!(stats.messages_sent > 0);
 //! machine.shutdown();
@@ -36,20 +42,29 @@ use std::collections::HashMap;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 
-use ds_closure::assemble;
-use ds_closure::complementary::{ComplementaryInfo, ComplementaryScope};
-use ds_closure::local::augmented_graph;
-use ds_closure::planner::Planner;
-use ds_closure::ClosureError;
+use ds_closure::api::{apply_update, build_parts, run_batch, SiteEvaluator};
+use ds_closure::planner::{ChainPlan, Planner};
+use ds_closure::{
+    BatchAnswer, ClosureError, EngineConfig, NetworkUpdate, QueryAnswer, QueryRequest, QueryStats,
+    Route, TcEngine, UpdateReport,
+};
 use ds_fragment::Fragmentation;
-use ds_graph::{Cost, CsrGraph, NodeId};
-use ds_relation::Relation;
+use ds_graph::{CsrGraph, NodeId};
+use ds_relation::{PathTuple, Relation};
 
 use protocol::{SiteRequest, SiteResponse};
 pub use stats::{MachineStats, SiteStats};
 
 /// The deployed machine: running site threads plus the coordinator state.
+///
+/// The coordinator retains the global graph and fragmentation solely for
+/// update maintenance (redeployment); query processing touches only the
+/// planner and the message channels — sites never see global state.
 pub struct Machine {
+    graph: CsrGraph,
+    frag: Fragmentation,
+    symmetric: bool,
+    cfg: EngineConfig,
     senders: Vec<mpsc::Sender<SiteRequest>>,
     responses: mpsc::Receiver<SiteResponse>,
     handles: Vec<JoinHandle<()>>,
@@ -59,49 +74,40 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Deploy one site per fragment. Precomputes complementary
-    /// information (fragment-border scope) and ships each site its
-    /// augmented local graph — after this, sites never see global state.
+    /// Deploy one site per fragment with the default engine
+    /// configuration. Precomputes complementary information and ships
+    /// each site its augmented local graph — after this, sites never see
+    /// global state.
     pub fn deploy(
         graph: CsrGraph,
         frag: Fragmentation,
         symmetric: bool,
     ) -> Result<Self, ClosureError> {
-        if graph.node_count() != frag.node_count() {
-            return Err(ClosureError::NodeCountMismatch {
-                graph: graph.node_count(),
-                fragmentation: frag.node_count(),
-            });
-        }
-        let comp = ComplementaryInfo::compute(
-            &graph,
-            &frag,
-            ComplementaryScope::PerFragmentBorder,
-            false,
-        );
-        let (resp_tx, responses) = mpsc::channel();
-        let mut senders = Vec::with_capacity(frag.fragment_count());
-        let mut handles = Vec::with_capacity(frag.fragment_count());
-        for f in frag.fragments() {
-            let aug = augmented_graph(
-                graph.node_count(),
-                f.edges(),
-                symmetric,
-                comp.shortcuts(f.id()),
-            );
-            let (req_tx, req_rx) = mpsc::channel();
-            let tx = resp_tx.clone();
-            let site_id = f.id();
-            handles.push(std::thread::spawn(move || site::run_site(site_id, aug, req_rx, tx)));
-            senders.push(req_tx);
-        }
+        Self::deploy_with_config(graph, frag, symmetric, EngineConfig::default())
+    }
+
+    /// Deploy with an explicit [`EngineConfig`] (complementary scope,
+    /// chain enumeration caps, PHE hub). `store_paths` is ignored: sites
+    /// ship only cost tuples, so this backend cannot reconstruct routes.
+    pub fn deploy_with_config(
+        graph: CsrGraph,
+        frag: Fragmentation,
+        symmetric: bool,
+        cfg: EngineConfig,
+    ) -> Result<Self, ClosureError> {
+        // Shared build path with the inline backend.
+        let parts = build_parts(&graph, &frag, symmetric, &cfg)?;
+        let (senders, responses, handles) = spawn_sites(parts.augmented);
         let site_count = senders.len();
-        let planner = Planner::new(&frag, 64, 16, None);
         Ok(Machine {
+            graph,
+            frag,
+            symmetric,
+            cfg,
             senders,
             responses,
             handles,
-            planner,
+            planner: parts.planner,
             stats: MachineStats::new(site_count),
             next_tag: 0,
         })
@@ -110,60 +116,6 @@ impl Machine {
     /// Number of sites (processors).
     pub fn site_count(&self) -> usize {
         self.senders.len()
-    }
-
-    /// Shortest-path cost from `x` to `y` (None = unreachable). All site
-    /// subqueries of a chain are dispatched before any response is read —
-    /// the sites genuinely work concurrently.
-    pub fn shortest_path(&mut self, x: NodeId, y: NodeId) -> Option<Cost> {
-        if x == y {
-            return Some(0);
-        }
-        let plan = self.planner.plan(x, y).ok()?;
-        let mut best: Option<Cost> = None;
-        for chain in &plan.chains {
-            // Dispatch phase: one message per site subquery.
-            let mut tag_to_pos = HashMap::new();
-            for (pos, q) in chain.queries.iter().enumerate() {
-                let tag = self.next_tag;
-                self.next_tag += 1;
-                tag_to_pos.insert(tag, pos);
-                self.stats.messages_sent += 1;
-                self.senders[q.site]
-                    .send(SiteRequest::SubQuery {
-                        tag,
-                        sources: q.sources.clone(),
-                        targets: q.targets.clone(),
-                    })
-                    .expect("site thread alive");
-            }
-            // Collect phase: the final joins' communication.
-            let mut segments: Vec<Option<Relation<ds_relation::PathTuple>>> =
-                vec![None; chain.queries.len()];
-            for _ in 0..chain.queries.len() {
-                let resp = self.responses.recv().expect("site thread alive");
-                self.stats.messages_received += 1;
-                self.stats.tuples_shipped += resp.rows.len();
-                let s = &mut self.stats.sites[resp.site];
-                s.subqueries += 1;
-                s.busy += resp.busy;
-                s.tuples_produced += resp.rows.len();
-                let pos = tag_to_pos[&resp.tag];
-                segments[pos] = Some(Relation::from_rows("segment", resp.rows));
-            }
-            let segments: Vec<_> =
-                segments.into_iter().map(|s| s.expect("every tag answered")).collect();
-            if let Some(cost) = assemble::chain_cost(&segments, x, y) {
-                best = Some(best.map_or(cost, |b: Cost| b.min(cost)));
-            }
-        }
-        self.stats.queries += 1;
-        best
-    }
-
-    /// Connection query.
-    pub fn reachable(&mut self, x: NodeId, y: NodeId) -> bool {
-        x == y || self.shortest_path(x, y).is_some()
     }
 
     /// Accumulated statistics.
@@ -181,6 +133,168 @@ impl Machine {
             let _ = h.join();
         }
     }
+
+    /// Tear the sites down and redeploy them from the coordinator's
+    /// (updated) graph and fragmentation. Accumulated statistics are
+    /// kept; in-flight state is not (there is none between queries).
+    fn redeploy(&mut self) -> Result<(), ClosureError> {
+        self.shutdown();
+        let parts = build_parts(&self.graph, &self.frag, self.symmetric, &self.cfg)?;
+        let (senders, responses, handles) = spawn_sites(parts.augmented);
+        self.senders = senders;
+        self.responses = responses;
+        self.handles = handles;
+        self.planner = parts.planner;
+        Ok(())
+    }
+}
+
+/// Spawn one site thread per augmented fragment graph.
+fn spawn_sites(
+    augmented: Vec<CsrGraph>,
+) -> (
+    Vec<mpsc::Sender<SiteRequest>>,
+    mpsc::Receiver<SiteResponse>,
+    Vec<JoinHandle<()>>,
+) {
+    let (resp_tx, responses) = mpsc::channel();
+    let mut senders = Vec::with_capacity(augmented.len());
+    let mut handles = Vec::with_capacity(augmented.len());
+    for (site_id, aug) in augmented.into_iter().enumerate() {
+        let (req_tx, req_rx) = mpsc::channel();
+        let tx = resp_tx.clone();
+        handles.push(std::thread::spawn(move || {
+            site::run_site(site_id, aug, req_rx, tx)
+        }));
+        senders.push(req_tx);
+    }
+    (senders, responses, handles)
+}
+
+/// Site evaluation over the message channels: all requested subqueries of
+/// a chain are dispatched before any response is read — the sites
+/// genuinely work concurrently.
+struct ChannelEval<'a> {
+    senders: &'a [mpsc::Sender<SiteRequest>],
+    responses: &'a mpsc::Receiver<SiteResponse>,
+    stats: &'a mut MachineStats,
+    next_tag: &'a mut u64,
+}
+
+impl SiteEvaluator for ChannelEval<'_> {
+    fn eval_positions(
+        &mut self,
+        chain: &ChainPlan,
+        positions: &[usize],
+        qstats: &mut QueryStats,
+    ) -> Vec<Relation<PathTuple>> {
+        // Dispatch phase: one message per site subquery.
+        let mut tag_to_slot = HashMap::with_capacity(positions.len());
+        for (slot, &pos) in positions.iter().enumerate() {
+            let q = &chain.queries[pos];
+            let tag = *self.next_tag;
+            *self.next_tag += 1;
+            tag_to_slot.insert(tag, slot);
+            self.stats.messages_sent += 1;
+            self.senders[q.site]
+                .send(SiteRequest::SubQuery {
+                    tag,
+                    sources: q.sources.clone(),
+                    targets: q.targets.clone(),
+                })
+                .expect("site thread alive");
+        }
+        // Collect phase: the final joins' communication.
+        let mut segments: Vec<Option<Relation<PathTuple>>> = vec![None; positions.len()];
+        for _ in 0..positions.len() {
+            let resp = self.responses.recv().expect("site thread alive");
+            self.stats.messages_received += 1;
+            self.stats.tuples_shipped += resp.rows.len();
+            let s = &mut self.stats.sites[resp.site];
+            s.subqueries += 1;
+            s.busy += resp.busy;
+            s.tuples_produced += resp.rows.len();
+            qstats.site_queries += 1;
+            qstats.tuples_shipped += resp.rows.len();
+            qstats.total_site_busy += resp.busy;
+            qstats.max_site_busy = qstats.max_site_busy.max(resp.busy);
+            let slot = tag_to_slot[&resp.tag];
+            segments[slot] = Some(Relation::from_rows("segment", resp.rows));
+        }
+        segments
+            .into_iter()
+            .map(|s| s.expect("every tag answered"))
+            .collect()
+    }
+}
+
+impl TcEngine for Machine {
+    fn backend_name(&self) -> &'static str {
+        "site-threads"
+    }
+
+    fn site_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn fragmentation(&self) -> &Fragmentation {
+        &self.frag
+    }
+
+    /// A single-request batch: same planning and dispatch path as
+    /// [`TcEngine::query_batch`].
+    fn shortest_path(&mut self, x: NodeId, y: NodeId) -> QueryAnswer {
+        let mut batch = self.query_batch(&[QueryRequest::new(x, y)]);
+        batch.answers.pop().expect("one answer per request")
+    }
+
+    /// Sites ship only cost tuples, never concrete paths — route
+    /// reconstruction is not available on this backend.
+    fn route(&mut self, _x: NodeId, _y: NodeId) -> Result<Option<Route>, ClosureError> {
+        Err(ClosureError::RoutesNotEnabled)
+    }
+
+    /// Updates redeploy the machine: the coordinator applies the change
+    /// to its retained graph and fragmentation, recomputes the shared
+    /// parts and restarts the sites. (The inline backend patches
+    /// shortcuts incrementally; a message-passing deployment would ship
+    /// deltas — simulated here as a full redeploy, the paper's
+    /// "careful treatment of updates".)
+    fn update(&mut self, update: &NetworkUpdate) -> Result<UpdateReport, ClosureError> {
+        let Some(new_graph) = apply_update(&self.graph, &mut self.frag, self.symmetric, update)?
+        else {
+            return Ok(UpdateReport {
+                shortcuts_improved: 0,
+                full_recompute: false,
+            });
+        };
+        self.graph = new_graph;
+        self.redeploy()?;
+        Ok(UpdateReport {
+            shortcuts_improved: 0,
+            full_recompute: true,
+        })
+    }
+
+    fn query_batch(&mut self, requests: &[QueryRequest]) -> BatchAnswer {
+        let Machine {
+            ref planner,
+            ref senders,
+            ref responses,
+            ref mut stats,
+            ref mut next_tag,
+            ..
+        } = *self;
+        let mut eval = ChannelEval {
+            senders,
+            responses,
+            stats,
+            next_tag,
+        };
+        let batch = run_batch(planner, &mut eval, requests);
+        self.stats.queries += requests.len();
+        batch
+    }
 }
 
 impl Drop for Machine {
@@ -195,6 +309,7 @@ mod tests {
     use ds_closure::baseline;
     use ds_fragment::linear::{linear_sweep, LinearConfig};
     use ds_gen::deterministic::grid;
+    use ds_graph::Edge;
 
     fn n(i: u32) -> NodeId {
         NodeId(i)
@@ -204,7 +319,10 @@ mod tests {
         let g = grid(9, 4);
         let frag = linear_sweep(
             &g.edge_list(),
-            &LinearConfig { fragments: 3, ..Default::default() },
+            &LinearConfig {
+                fragments: 3,
+                ..Default::default()
+            },
         )
         .unwrap()
         .fragmentation;
@@ -218,7 +336,7 @@ mod tests {
         let csr = g.closure_graph();
         for (x, y) in [(0u32, 35u32), (8, 27), (20, 3), (0, 0), (17, 18)] {
             assert_eq!(
-                m.shortest_path(n(x), n(y)),
+                m.shortest_path(n(x), n(y)).cost,
                 baseline::shortest_path_cost(&csr, n(x), n(y)),
                 "query {x}->{y}"
             );
@@ -241,6 +359,98 @@ mod tests {
     }
 
     #[test]
+    fn answers_carry_chain_and_stats() {
+        let (_, mut m) = machine();
+        let a = m.shortest_path(n(0), n(35));
+        assert!(a.cost.is_some());
+        let chain = a.best_chain.expect("cross-grid chain");
+        assert_eq!(
+            chain.len(),
+            3,
+            "corner to corner crosses all 3 sweep fragments"
+        );
+        assert!(a.stats.site_queries >= 3);
+        assert!(a.stats.tuples_shipped > 0);
+        m.shutdown();
+    }
+
+    #[test]
+    fn batch_amortizes_and_matches_singles() {
+        let (g, mut m) = machine();
+        let csr = g.closure_graph();
+        let requests: Vec<QueryRequest> = (0..8u32)
+            .map(|i| QueryRequest::new(n(i % 9), n(35 - (i * 3) % 9)))
+            .collect();
+        let batch = m.query_batch(&requests);
+        assert_eq!(batch.answers.len(), requests.len());
+        for (req, ans) in requests.iter().zip(&batch.answers) {
+            assert_eq!(
+                ans.cost,
+                baseline::shortest_path_cost(&csr, req.source, req.target),
+                "batch {}->{}",
+                req.source,
+                req.target
+            );
+        }
+        assert!(
+            batch.stats.plans_reused > 0,
+            "same fragment pair appears repeatedly: {:?}",
+            batch.stats
+        );
+        assert!(
+            batch.stats.segments_reused > 0,
+            "interior segments shared: {:?}",
+            batch.stats
+        );
+        m.shutdown();
+    }
+
+    #[test]
+    fn update_insert_keeps_answers_exact() {
+        let (_, mut m) = machine();
+        let before = m.shortest_path(n(0), n(35)).cost.unwrap();
+        // A cheap diagonal inside fragment 0 shortens cross-grid routes.
+        let f0 = m.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        let report = m
+            .update(&NetworkUpdate::Insert {
+                edge: Edge::new(a, b, 1),
+                owner: 0,
+            })
+            .unwrap();
+        assert!(report.full_recompute, "machine updates redeploy");
+        let after = m.shortest_path(n(0), n(35)).cost.unwrap();
+        assert!(after <= before, "insertion cannot lengthen paths");
+        let csr = m.graph.clone();
+        assert_eq!(Some(after), baseline::shortest_path_cost(&csr, n(0), n(35)));
+        m.shutdown();
+    }
+
+    #[test]
+    fn update_remove_missing_is_noop() {
+        let (_, mut m) = machine();
+        let report = m
+            .update(&NetworkUpdate::Remove {
+                src: n(0),
+                dst: n(0),
+                owner: 0,
+            })
+            .unwrap();
+        assert!(!report.full_recompute);
+        m.shutdown();
+    }
+
+    #[test]
+    fn routes_not_available_on_this_backend() {
+        let (_, mut m) = machine();
+        assert_eq!(
+            m.route(n(0), n(5)).unwrap_err(),
+            ClosureError::RoutesNotEnabled
+        );
+        m.shutdown();
+    }
+
+    #[test]
     fn shutdown_is_idempotent() {
         let (_, mut m) = machine();
         m.shutdown();
@@ -256,7 +466,7 @@ mod tests {
     #[test]
     fn reachability_via_machine() {
         let (_, mut m) = machine();
-        assert!(m.reachable(n(0), n(35)));
-        assert!(m.reachable(n(12), n(12)));
+        assert!(m.connected(n(0), n(35)));
+        assert!(m.connected(n(12), n(12)));
     }
 }

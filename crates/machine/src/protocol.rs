@@ -44,7 +44,11 @@ mod tests {
 
     #[test]
     fn requests_compare() {
-        let a = SiteRequest::SubQuery { tag: 1, sources: vec![NodeId(0)], targets: vec![] };
+        let a = SiteRequest::SubQuery {
+            tag: 1,
+            sources: vec![NodeId(0)],
+            targets: vec![],
+        };
         let b = a.clone();
         assert_eq!(a, b);
         assert_ne!(a, SiteRequest::Shutdown);

@@ -23,7 +23,11 @@ pub fn run_site(
 ) {
     while let Ok(req) = requests.recv() {
         match req {
-            SiteRequest::SubQuery { tag, sources, targets } => {
+            SiteRequest::SubQuery {
+                tag,
+                sources,
+                targets,
+            } => {
                 let start = Instant::now();
                 let rel = border_matrix(&augmented, &sources, &targets);
                 let resp = SiteResponse {
@@ -50,7 +54,10 @@ mod tests {
     fn site_answers_and_shuts_down() {
         let aug = CsrGraph::from_edges(
             3,
-            &[Edge::unit(NodeId(0), NodeId(1)), Edge::unit(NodeId(1), NodeId(2))],
+            &[
+                Edge::unit(NodeId(0), NodeId(1)),
+                Edge::unit(NodeId(1), NodeId(2)),
+            ],
         );
         let (req_tx, req_rx) = mpsc::channel();
         let (resp_tx, resp_rx) = mpsc::channel();

@@ -34,15 +34,22 @@ pub struct MachineStats {
 impl MachineStats {
     /// Fresh counters for `site_count` sites.
     pub fn new(site_count: usize) -> Self {
-        MachineStats { sites: vec![SiteStats::default(); site_count], ..Default::default() }
+        MachineStats {
+            sites: vec![SiteStats::default(); site_count],
+            ..Default::default()
+        }
     }
 
     /// Imbalance measure: max site busy time over mean site busy time
     /// (1.0 = perfectly balanced). The workload-balance goal of §2.2 made
     /// measurable.
     pub fn balance_ratio(&self) -> f64 {
-        let busies: Vec<f64> =
-            self.sites.iter().map(|s| s.busy.as_secs_f64()).filter(|&b| b > 0.0).collect();
+        let busies: Vec<f64> = self
+            .sites
+            .iter()
+            .map(|s| s.busy.as_secs_f64())
+            .filter(|&b| b > 0.0)
+            .collect();
         if busies.is_empty() {
             return 1.0;
         }

@@ -16,12 +16,18 @@ pub struct Relation<T> {
 impl<T> Relation<T> {
     /// An empty relation.
     pub fn empty(name: impl Into<String>) -> Self {
-        Relation { name: name.into(), rows: Vec::new() }
+        Relation {
+            name: name.into(),
+            rows: Vec::new(),
+        }
     }
 
     /// Build from rows.
     pub fn from_rows(name: impl Into<String>, rows: Vec<T>) -> Self {
-        Relation { name: name.into(), rows }
+        Relation {
+            name: name.into(),
+            rows,
+        }
     }
 
     /// Relation name (for plan displays).
@@ -57,7 +63,10 @@ impl<T> Relation<T> {
 
     /// π — map each row through a projection function.
     pub fn project<U>(&self, f: impl Fn(&T) -> U) -> Relation<U> {
-        Relation { name: format!("π({})", self.name), rows: self.rows.iter().map(f).collect() }
+        Relation {
+            name: format!("π({})", self.name),
+            rows: self.rows.iter().map(f).collect(),
+        }
     }
 
     /// ∪ — bag union (no dedup; call a dedup op when set semantics are
@@ -68,7 +77,10 @@ impl<T> Relation<T> {
     {
         let mut rows = self.rows.clone();
         rows.extend(other.rows.iter().cloned());
-        Relation { name: format!("({}∪{})", self.name, other.name), rows }
+        Relation {
+            name: format!("({}∪{})", self.name, other.name),
+            rows,
+        }
     }
 
     /// Append rows in place.
@@ -89,10 +101,15 @@ impl Relation<PathTuple> {
                 *e = t.cost;
             }
         }
-        let mut rows: Vec<PathTuple> =
-            best.into_iter().map(|((s, d), c)| PathTuple::new(s, d, c)).collect();
+        let mut rows: Vec<PathTuple> = best
+            .into_iter()
+            .map(|((s, d), c)| PathTuple::new(s, d, c))
+            .collect();
         rows.sort_unstable();
-        Relation { name: format!("min({})", self.name), rows }
+        Relation {
+            name: format!("min({})", self.name),
+            rows,
+        }
     }
 
     /// Set-semantics dedup ignoring cost (reachability view).
@@ -105,7 +122,10 @@ impl Relation<PathTuple> {
             }
         }
         rows.sort_unstable();
-        Relation { name: format!("δ({})", self.name), rows }
+        Relation {
+            name: format!("δ({})", self.name),
+            rows,
+        }
     }
 
     /// Look up the cheapest cost for an exact `(src, dst)` pair.

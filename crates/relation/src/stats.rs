@@ -32,9 +32,24 @@ mod tests {
 
     #[test]
     fn absorb_takes_max_iterations_and_sums_tuples() {
-        let mut a = TcStats { iterations: 3, tuples_generated: 10, result_tuples: 5 };
-        let b = TcStats { iterations: 7, tuples_generated: 1, result_tuples: 2 };
+        let mut a = TcStats {
+            iterations: 3,
+            tuples_generated: 10,
+            result_tuples: 5,
+        };
+        let b = TcStats {
+            iterations: 7,
+            tuples_generated: 1,
+            result_tuples: 2,
+        };
         a.absorb(&b);
-        assert_eq!(a, TcStats { iterations: 7, tuples_generated: 11, result_tuples: 7 });
+        assert_eq!(
+            a,
+            TcStats {
+                iterations: 7,
+                tuples_generated: 11,
+                result_tuples: 7
+            }
+        );
     }
 }

@@ -167,8 +167,10 @@ fn improves(best: &mut HashMap<(NodeId, NodeId), Cost>, t: &PathTuple) -> bool {
 }
 
 fn collect(best: HashMap<(NodeId, NodeId), Cost>) -> Relation<PathTuple> {
-    let mut rows: Vec<PathTuple> =
-        best.into_iter().map(|((s, d), c)| PathTuple::new(s, d, c)).collect();
+    let mut rows: Vec<PathTuple> = best
+        .into_iter()
+        .map(|((s, d), c)| PathTuple::new(s, d, c))
+        .collect();
     rows.sort_unstable();
     Relation::from_rows("tc", rows)
 }
@@ -184,7 +186,9 @@ mod tests {
     fn path_edges(len: u32) -> Relation<PathTuple> {
         Relation::from_rows(
             "edge",
-            (0..len).map(|i| PathTuple::new(n(i), n(i + 1), 1)).collect(),
+            (0..len)
+                .map(|i| PathTuple::new(n(i), n(i + 1), 1))
+                .collect(),
         )
     }
 
@@ -284,7 +288,11 @@ mod tests {
             ],
         );
         let (tc, stats) = seminaive_closure(&edges, None);
-        assert_eq!(tc.len(), 9, "all ordered pairs incl. self-loops via the cycle");
+        assert_eq!(
+            tc.len(),
+            9,
+            "all ordered pairs incl. self-loops via the cycle"
+        );
         assert_eq!(tc.cost_of(n(0), n(0)), Some(3));
         assert!(stats.iterations < 10, "must converge quickly");
     }

@@ -27,13 +27,21 @@ impl PathTuple {
 
 impl From<Edge> for PathTuple {
     fn from(e: Edge) -> Self {
-        PathTuple { src: e.src, dst: e.dst, cost: e.cost }
+        PathTuple {
+            src: e.src,
+            dst: e.dst,
+            cost: e.cost,
+        }
     }
 }
 
 impl From<PathTuple> for Edge {
     fn from(t: PathTuple) -> Self {
-        Edge { src: t.src, dst: t.dst, cost: t.cost }
+        Edge {
+            src: t.src,
+            dst: t.dst,
+            cost: t.cost,
+        }
     }
 }
 
@@ -57,6 +65,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(PathTuple::new(NodeId(0), NodeId(3), 7).to_string(), "(0 -> 3 : 7)");
+        assert_eq!(
+            PathTuple::new(NodeId(0), NodeId(3), 7).to_string(),
+            "(0 -> 3 : 7)"
+        );
     }
 }

@@ -10,18 +10,60 @@ use discset::fragment::bond_energy::{bond_energy, BondEnergyConfig, SplitRule};
 use discset::fragment::center::{center_based, CenterConfig, CenterSelection};
 use discset::fragment::linear::{linear_sweep, LinearConfig};
 use discset::fragment::Fragmentation;
-use discset::gen::{generate_transportation, TransportationConfig};
+use discset::gen::{generate_transportation, GeneratedGraph, TransportationConfig};
+use discset::graph::NodeId;
+use discset::{Backend, Fragmenter, System, TcEngine};
 
-fn report(label: &str, goal: &str, frag: &Fragmentation) {
+fn report(label: &str, goal: &str, frag: &Fragmentation, g: &GeneratedGraph) {
     let m = frag.metrics();
     println!("{label:<22} {m}");
     println!("{:<22}   goal: {goal}", "");
     let diams: Vec<u32> = frag.fragments().iter().map(|f| f.diameter()).collect();
     println!("{:<22}   fragment diameters: {diams:?}", "");
+
+    // Run the same query workload over this fragmentation on both
+    // execution backends through the System facade: the per-query site
+    // accounting shows how the fragmentation shape plays out at query
+    // time, and the backends must agree query by query.
+    let queries: Vec<(NodeId, NodeId)> = (0..8u32)
+        .map(|i| {
+            (
+                NodeId(i * 11 % g.nodes as u32),
+                NodeId((i * 17 + 50) % g.nodes as u32),
+            )
+        })
+        .collect();
+    for backend in [Backend::Inline, Backend::SiteThreads] {
+        let mut sys = System::builder()
+            .graph(g)
+            .fragmenter(Fragmenter::Prebuilt(frag.clone()))
+            .backend(backend)
+            .build()
+            .expect("system deploys");
+        let mut site_queries = 0;
+        let mut tuples = 0;
+        let mut reachable = 0;
+        for &(x, y) in &queries {
+            let a = sys.shortest_path(x, y);
+            site_queries += a.stats.site_queries;
+            tuples += a.stats.tuples_shipped;
+            reachable += usize::from(a.cost.is_some());
+        }
+        println!(
+            "{:<22}   {}: {reachable}/{} reachable, {site_queries} site subqueries, \
+             {tuples} tuples shipped",
+            "",
+            sys.backend_name(),
+            queries.len()
+        );
+    }
 }
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7u64);
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7u64);
     let cfg = TransportationConfig::table1();
     let g = generate_transportation(&cfg, seed);
     println!(
@@ -32,9 +74,20 @@ fn main() {
     );
     let el = g.edge_list();
 
-    let center = center_based(&el, &CenterConfig { fragments: 4, ..Default::default() })
-        .expect("non-empty graph");
-    report("center-based", "equally sized fragments (sec 3.1)", &center.fragmentation);
+    let center = center_based(
+        &el,
+        &CenterConfig {
+            fragments: 4,
+            ..Default::default()
+        },
+    )
+    .expect("non-empty graph");
+    report(
+        "center-based",
+        "equally sized fragments (sec 3.1)",
+        &center.fragmentation,
+        &g,
+    );
 
     let distributed = center_based(
         &el,
@@ -49,6 +102,7 @@ fn main() {
         "distributed centers",
         "spread centers via coordinates (sec 4.2.1)",
         &distributed.fragmentation,
+        &g,
     );
 
     let bea = bond_energy(
@@ -60,11 +114,27 @@ fn main() {
         },
     )
     .expect("non-empty graph");
-    report("bond-energy", "small disconnection sets (sec 3.2)", &bea.fragmentation);
+    report(
+        "bond-energy",
+        "small disconnection sets (sec 3.2)",
+        &bea.fragmentation,
+        &g,
+    );
 
-    let linear = linear_sweep(&el, &LinearConfig { fragments: 4, ..Default::default() })
-        .expect("coordinates present");
-    report("linear", "acyclic fragmentation graph (sec 3.3)", &linear.fragmentation);
+    let linear = linear_sweep(
+        &el,
+        &LinearConfig {
+            fragments: 4,
+            ..Default::default()
+        },
+    )
+    .expect("coordinates present");
+    report(
+        "linear",
+        "acyclic fragmentation graph (sec 3.3)",
+        &linear.fragmentation,
+        &g,
+    );
 
     println!("\nconclusion of sec 4.2.3: each algorithm meets the goal it was built for;");
     println!("the paper expects small disconnection sets (bond-energy) to matter most.");

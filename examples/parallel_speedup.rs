@@ -1,6 +1,9 @@
-//! Demonstrate the parallel evaluation on the simulated multiprocessor
-//! database machine (the PRISMA/DB stand-in) and the phase-one
-//! independence the paper's speed-up rests on.
+//! Demonstrate the parallel evaluation on every execution backend and
+//! the phase-one independence the paper's speed-up rests on.
+//!
+//! All backends — sequential inline, thread-per-subquery inline, and the
+//! PRISMA/DB-style message-passing machine — are deployed through the
+//! `System` builder and timed through the one `TcEngine` code path.
 //!
 //! ```text
 //! cargo run --release --example parallel_speedup
@@ -9,12 +12,12 @@
 use std::time::Instant;
 
 use discset::closure::baseline;
-use discset::closure::engine::{DisconnectionSetEngine, EngineConfig};
+use discset::closure::engine::EngineConfig;
 use discset::closure::executor::ExecutionMode;
-use discset::fragment::{semantic, CrossingPolicy};
+use discset::fragment::CrossingPolicy;
 use discset::gen::{generate_transportation, TransportationConfig};
 use discset::graph::NodeId;
-use discset::machine::Machine;
+use discset::{Backend, Fragmenter, QueryRequest, System, TcEngine};
 
 fn main() {
     for clusters in [2usize, 4, 8] {
@@ -27,66 +30,76 @@ fn main() {
         };
         let g = generate_transportation(&cfg, 1);
         let labels = g.cluster_of.clone().expect("labels");
-        let frag = semantic::by_labels(
-            g.nodes,
-            &g.connections,
-            &labels,
-            clusters,
-            CrossingPolicy::LowerBlock,
-        )
-        .expect("non-empty");
+        let fragmenter = Fragmenter::ByLabels {
+            labels,
+            parts: clusters,
+            policy: CrossingPolicy::LowerBlock,
+        };
         let csr = g.closure_graph();
 
         // End-to-end query across the whole chain.
         let (x, y) = (NodeId(0), NodeId((g.nodes - 3) as u32));
         let want = baseline::shortest_path_cost(&csr, x, y);
+        println!("{clusters} fragments: query {x}->{y}, cost {want:?}");
 
-        let seq = DisconnectionSetEngine::build(
-            csr.clone(),
-            frag.clone(),
-            true,
-            EngineConfig::default(),
-        )
-        .expect("engine builds");
-        let par = DisconnectionSetEngine::build(
-            csr.clone(),
-            frag.clone(),
-            true,
-            EngineConfig { mode: ExecutionMode::Parallel, ..EngineConfig::default() },
-        )
-        .expect("engine builds");
+        // One deployment per backend; the query loop never changes.
+        let variants: [(&str, Backend, ExecutionMode); 3] = [
+            (
+                "inline sequential",
+                Backend::Inline,
+                ExecutionMode::Sequential,
+            ),
+            ("inline parallel", Backend::Inline, ExecutionMode::Parallel),
+            (
+                "site threads",
+                Backend::SiteThreads,
+                ExecutionMode::Sequential,
+            ),
+        ];
+        for (name, backend, mode) in variants {
+            let mut sys = System::builder()
+                .graph(&g)
+                .fragmenter(fragmenter.clone())
+                .backend(backend)
+                .config(EngineConfig {
+                    mode,
+                    ..EngineConfig::default()
+                })
+                .build()
+                .expect("system deploys");
 
-        let t = Instant::now();
-        let a = seq.shortest_path(x, y);
-        let t_seq = t.elapsed();
-        let t = Instant::now();
-        let b = par.shortest_path(x, y);
-        let t_par = t.elapsed();
-        assert_eq!(a.cost, want);
-        assert_eq!(b.cost, want);
+            let t = Instant::now();
+            let a = sys.shortest_path(x, y);
+            let elapsed = t.elapsed();
+            assert_eq!(a.cost, want, "{name} must match the baseline");
 
-        let ideal = a.stats.total_site_busy.as_secs_f64()
-            / a.stats.max_site_busy.as_secs_f64().max(1e-12);
+            // Ideal phase-one speedup from the answer's site accounting:
+            // total site work over the longest single site subquery.
+            let ideal = a.stats.total_site_busy.as_secs_f64()
+                / a.stats.max_site_busy.as_secs_f64().max(1e-12);
+            println!(
+                "  {name:<18} {elapsed:>10?}  {} site subqueries, {} tuples shipped, \
+                 ideal phase-one speedup {ideal:.2}x",
+                a.stats.site_queries, a.stats.tuples_shipped
+            );
 
-        // And the full message-passing machine.
-        let mut machine = Machine::deploy(csr.clone(), frag, true).expect("deploys");
-        let m_cost = machine.shortest_path(x, y);
-        assert_eq!(m_cost, want);
-        let stats = machine.stats();
-
-        println!("{clusters} fragments:");
-        println!("  query {x}->{y}: cost {want:?}");
-        println!(
-            "  engine: sequential {:?}, parallel {:?}, ideal phase-one speedup {:.2}x",
-            t_seq, t_par, ideal
-        );
-        println!(
-            "  machine: {} messages, {} tuples shipped, busy-balance ratio {:.2}",
-            stats.messages_sent + stats.messages_received,
-            stats.tuples_shipped,
-            stats.balance_ratio()
-        );
-        machine.shutdown();
+            // Batch the same chain 16 times: planning and interior
+            // segments amortize, only the endpoint subqueries repeat.
+            let requests: Vec<QueryRequest> = (0..16u32)
+                .map(|i| {
+                    QueryRequest::new(NodeId(i % 5), NodeId((g.nodes - 3 - i as usize % 5) as u32))
+                })
+                .collect();
+            let t = Instant::now();
+            let batch = sys.query_batch(&requests);
+            println!(
+                "  {:<18} {:>10?}  batch of {}: {:.0}% of planning/segment work amortized",
+                "",
+                t.elapsed(),
+                batch.stats.queries,
+                batch.stats.amortization() * 100.0
+            );
+        }
     }
     println!("\nphase one needs no communication; tuples move only for the final joins.");
 }

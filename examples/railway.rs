@@ -6,17 +6,20 @@
 //! sets, the in-country fast path ("queries about the shortest path of
 //! two cities in Holland can be answered by the Dutch railway computer
 //! system alone"), multi-chain planning on a cyclic fragmentation graph
-//! (two routes over the Alps), and full route reconstruction.
+//! (two routes over the Alps), full route reconstruction — and backend
+//! swapping through the `System` builder: the same queries run unchanged
+//! on the in-process engine and the one-thread-per-country machine.
 //!
 //! ```text
 //! cargo run --example railway
 //! ```
 
 use discset::closure::baseline;
-use discset::closure::engine::{DisconnectionSetEngine, EngineConfig};
-use discset::fragment::{semantic, CrossingPolicy};
+use discset::closure::engine::EngineConfig;
+use discset::fragment::CrossingPolicy;
 use discset::gen::output::expand_connections;
 use discset::graph::{CsrGraph, Edge, NodeId};
+use discset::{Backend, Fragmenter, System, TcEngine};
 
 const CITIES: &[(&str, u32)] = &[
     // Holland (country 0)
@@ -89,7 +92,12 @@ const LINES: &[(&str, &str, u64)] = &[
 const COUNTRIES: &[&str] = &["Holland", "Germany", "Switzerland", "Italy", "Austria"];
 
 fn id_of(name: &str) -> NodeId {
-    NodeId(CITIES.iter().position(|(c, _)| *c == name).expect("known city") as u32)
+    NodeId(
+        CITIES
+            .iter()
+            .position(|(c, _)| *c == name)
+            .expect("known city") as u32,
+    )
 }
 
 fn name_of(v: NodeId) -> &'static str {
@@ -103,50 +111,70 @@ fn main() {
         .collect();
     let labels: Vec<u32> = CITIES.iter().map(|&(_, c)| c).collect();
 
-    // "Assume that data are naturally fragmented by country."
-    let frag = semantic::by_labels(
-        CITIES.len(),
-        &connections,
-        &labels,
-        COUNTRIES.len(),
-        CrossingPolicy::LowerBlock,
-    )
-    .expect("network is non-empty");
-    println!("fragmentation by country: {}", frag.metrics());
-    for ((i, j), cities) in frag.disconnection_sets() {
+    // "Assume that data are naturally fragmented by country." Each
+    // country's railway computer system is one site of the System.
+    let mut sys = System::builder()
+        .network(CITIES.len(), connections.clone())
+        .fragmenter(Fragmenter::ByLabels {
+            labels: labels.clone(),
+            parts: COUNTRIES.len(),
+            policy: CrossingPolicy::LowerBlock,
+        })
+        .backend(Backend::Inline)
+        .config(EngineConfig {
+            store_paths: true,
+            ..EngineConfig::default()
+        })
+        .build()
+        .expect("network is non-empty");
+
+    println!(
+        "fragmentation by country: {}",
+        sys.fragmentation().metrics()
+    );
+    for ((i, j), cities) in sys.fragmentation().disconnection_sets() {
         let names: Vec<&str> = cities.iter().map(|&v| name_of(v)).collect();
         println!("  border {} - {}: {:?}", COUNTRIES[i], COUNTRIES[j], names);
     }
-    let fg = frag.fragmentation_graph();
+    let fg = sys.fragmentation().fragmentation_graph();
     println!(
         "fragmentation graph acyclic: {} (two alpine routes make it cyclic)",
         fg.is_acyclic()
     );
 
     let graph = CsrGraph::from_edges(CITIES.len(), &expand_connections(&connections, true));
-    let engine = DisconnectionSetEngine::build(
-        graph.clone(),
-        frag,
-        true,
-        EngineConfig { store_paths: true, ..EngineConfig::default() },
-    )
-    .expect("engine builds");
 
     // The paper's headline query.
     let (ams, mil) = (id_of("Amsterdam"), id_of("Milan"));
-    let route = engine.route(ams, mil).expect("routes enabled").expect("connected");
+    let route = sys
+        .route(ams, mil)
+        .expect("routes enabled")
+        .expect("connected");
     println!("\nAmsterdam -> Milan: {} km", route.cost);
     println!(
         "  fragment chain: {:?}",
-        route.chain.iter().map(|&f| COUNTRIES[f]).collect::<Vec<_>>()
+        route
+            .chain
+            .iter()
+            .map(|&f| COUNTRIES[f])
+            .collect::<Vec<_>>()
     );
     println!(
         "  border crossings: {:?}",
-        route.waypoints.iter().map(|&w| name_of(w)).collect::<Vec<_>>()
+        route
+            .waypoints
+            .iter()
+            .map(|&w| name_of(w))
+            .collect::<Vec<_>>()
     );
     println!(
         "  full route: {}",
-        route.nodes.iter().map(|&v| name_of(v)).collect::<Vec<_>>().join(" - ")
+        route
+            .nodes
+            .iter()
+            .map(|&v| name_of(v))
+            .collect::<Vec<_>>()
+            .join(" - ")
     );
     assert_eq!(
         Some(route.cost),
@@ -156,17 +184,21 @@ fn main() {
 
     // The in-country fast path.
     let (utr, ehv) = (id_of("Utrecht"), id_of("Eindhoven"));
-    let answer = engine.shortest_path(utr, ehv);
+    let answer = sys.shortest_path(utr, ehv);
     println!(
         "\nUtrecht -> Eindhoven: {:?} km, answered by {:?} alone ({} site subquery)",
         answer.cost.expect("connected"),
-        answer.best_chain.as_ref().map(|c| COUNTRIES[c[0]]).expect("single fragment"),
+        answer
+            .best_chain
+            .as_ref()
+            .map(|c| COUNTRIES[c[0]])
+            .expect("single fragment"),
         answer.stats.site_queries
     );
 
     // A query that must compare the Gotthard and Brenner chains.
     let (ffm, ver) = (id_of("Frankfurt"), id_of("Verona"));
-    let a = engine.shortest_path(ffm, ver);
+    let a = sys.shortest_path(ffm, ver);
     println!(
         "\nFrankfurt -> Verona: {:?} km via {:?} ({} chains compared)",
         a.cost.expect("connected"),
@@ -177,4 +209,25 @@ fn main() {
         a.stats.chains_evaluated
     );
     assert_eq!(a.cost, baseline::shortest_path_cost(&graph, ffm, ver));
+
+    // The same railway network on the message-passing backend: one
+    // thread per national railway system, identical answers. Only the
+    // builder line changes.
+    let mut machine_sys = System::builder()
+        .network(CITIES.len(), connections)
+        .fragmenter(Fragmenter::ByLabels {
+            labels,
+            parts: COUNTRIES.len(),
+            policy: CrossingPolicy::LowerBlock,
+        })
+        .backend(Backend::SiteThreads)
+        .build()
+        .expect("network is non-empty");
+    let m = machine_sys.shortest_path(ams, mil);
+    println!(
+        "\nsite-threads backend ({} national computer systems): Amsterdam -> Milan {} km",
+        machine_sys.site_count(),
+        m.cost.expect("connected")
+    );
+    assert_eq!(m.cost, Some(route.cost), "backends must agree");
 }

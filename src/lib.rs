@@ -1,7 +1,19 @@
 //! Umbrella crate re-exporting the full public API. See README.md.
+//!
+//! The highest-level entry point is [`System`]: a builder that picks
+//! graph × fragmenter × execution backend and yields one [`TcEngine`] —
+//! the backend-polymorphic query surface (`shortest_path`, `connected`,
+//! `route`, `update`, `query_batch`) both execution substrates implement.
+
 pub use ds_closure as closure;
 pub use ds_fragment as fragment;
 pub use ds_gen as gen;
 pub use ds_graph as graph;
 pub use ds_machine as machine;
 pub use ds_relation as relation;
+
+pub mod system;
+
+pub use ds_closure::api::{BatchAnswer, BatchStats, NetworkUpdate, QueryRequest, TcEngine};
+pub use ds_closure::{QueryAnswer, QueryStats, Route, UpdateReport};
+pub use system::{Backend, Fragmenter, System, SystemBuilder, SystemError};

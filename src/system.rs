@@ -1,0 +1,461 @@
+//! The `System` facade: pick generator output × fragmenter × execution
+//! backend declaratively, get back one [`TcEngine`].
+//!
+//! The paper's phase-one independence means the same disconnection-set
+//! pipeline runs identically whether sites are simulated in-process or as
+//! message-passing threads. `System` makes that a one-liner:
+//!
+//! ```
+//! use discset::fragment::linear::LinearConfig;
+//! use discset::gen::deterministic::grid;
+//! use discset::graph::NodeId;
+//! use discset::{Backend, Fragmenter, System, TcEngine};
+//!
+//! let g = grid(10, 3);
+//! for backend in [Backend::Inline, Backend::SiteThreads] {
+//!     let mut sys = System::builder()
+//!         .graph(&g)
+//!         .fragmenter(Fragmenter::Linear(LinearConfig { fragments: 3, ..Default::default() }))
+//!         .backend(backend)
+//!         .build()
+//!         .unwrap();
+//!     assert_eq!(sys.shortest_path(NodeId(0), NodeId(29)).cost, Some(11));
+//! }
+//! ```
+
+use std::fmt;
+
+use ds_closure::api::{BatchAnswer, NetworkUpdate, QueryRequest, TcEngine};
+use ds_closure::{
+    ClosureError, DisconnectionSetEngine, EngineConfig, QueryAnswer, Route, UpdateReport,
+};
+use ds_fragment::bond_energy::{bond_energy, BondEnergyConfig};
+use ds_fragment::center::{center_based, CenterConfig};
+use ds_fragment::linear::{linear_sweep, LinearConfig};
+use ds_fragment::{semantic, CrossingPolicy, FragError, Fragmentation};
+use ds_gen::output::expand_connections;
+use ds_gen::GeneratedGraph;
+use ds_graph::{Coord, CsrGraph, Edge, EdgeList};
+use ds_machine::Machine;
+
+/// Which execution substrate evaluates phase one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// `DisconnectionSetEngine` — sites simulated inside the calling
+    /// process (sequentially or with scoped threads, per
+    /// [`EngineConfig::mode`]).
+    Inline,
+    /// `Machine` — one OS thread per site, message-passing coordinator
+    /// (the PRISMA/DB stand-in). Route reconstruction is unavailable.
+    SiteThreads,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::Inline => "inline",
+            Backend::SiteThreads => "site-threads",
+        })
+    }
+}
+
+/// Which §3 fragmentation strategy splits the relation.
+#[derive(Clone, Debug)]
+pub enum Fragmenter {
+    /// Coordinate sweep (§3.3) — guaranteed acyclic fragmentation graph.
+    Linear(LinearConfig),
+    /// Center-based growth (§3.1) — balanced fragment sizes.
+    Center(CenterConfig),
+    /// Bond-energy clustering (§3.2) — small disconnection sets.
+    BondEnergy(BondEnergyConfig),
+    /// Semantic fragmentation from per-node labels (countries, clusters).
+    ByLabels {
+        labels: Vec<u32>,
+        parts: usize,
+        policy: CrossingPolicy,
+    },
+    /// Use an existing fragmentation as-is.
+    Prebuilt(Fragmentation),
+}
+
+/// Errors from [`SystemBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SystemError {
+    /// No graph was supplied (`SystemBuilder::graph` / `network`).
+    MissingGraph,
+    /// No fragmenter was supplied (`SystemBuilder::fragmenter`).
+    MissingFragmenter,
+    /// The coordinate table length does not match the node count.
+    CoordinateCountMismatch { coords: usize, nodes: usize },
+    /// The fragmenter failed on this graph.
+    Fragmentation(FragError),
+    /// Engine construction failed.
+    Closure(ClosureError),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::MissingGraph => {
+                write!(
+                    f,
+                    "no graph supplied: call .graph(..) or .network(..) before .build()"
+                )
+            }
+            SystemError::MissingFragmenter => {
+                write!(
+                    f,
+                    "no fragmenter supplied: call .fragmenter(..) before .build()"
+                )
+            }
+            SystemError::CoordinateCountMismatch { coords, nodes } => {
+                write!(
+                    f,
+                    "coordinate table covers {coords} nodes but the graph has {nodes}"
+                )
+            }
+            SystemError::Fragmentation(e) => write!(f, "fragmentation failed: {e}"),
+            SystemError::Closure(e) => write!(f, "engine construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<FragError> for SystemError {
+    fn from(e: FragError) -> Self {
+        SystemError::Fragmentation(e)
+    }
+}
+
+impl From<ClosureError> for SystemError {
+    fn from(e: ClosureError) -> Self {
+        SystemError::Closure(e)
+    }
+}
+
+/// Fluent construction of a [`System`]. Obtain via [`System::builder`].
+#[derive(Clone, Debug)]
+pub struct SystemBuilder {
+    nodes: usize,
+    connections: Vec<Edge>,
+    coords: Option<Vec<Coord>>,
+    symmetric: bool,
+    has_graph: bool,
+    fragmenter: Option<Fragmenter>,
+    backend: Backend,
+    config: EngineConfig,
+}
+
+impl SystemBuilder {
+    fn new() -> Self {
+        SystemBuilder {
+            nodes: 0,
+            connections: Vec::new(),
+            coords: None,
+            symmetric: true,
+            has_graph: false,
+            fragmenter: None,
+            backend: Backend::Inline,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Use a generated graph (connections, coordinates and symmetry are
+    /// taken from it).
+    pub fn graph(mut self, g: &GeneratedGraph) -> Self {
+        self.nodes = g.nodes;
+        self.connections = g.connections.clone();
+        self.coords = Some(g.coords.clone());
+        self.symmetric = g.symmetric;
+        self.has_graph = true;
+        self
+    }
+
+    /// Use a raw connection relation over nodes `0..nodes` (one tuple per
+    /// link; see [`SystemBuilder::symmetric`]). Coordinate-driven
+    /// fragmenters ([`Fragmenter::Linear`], distributed centers) need
+    /// [`SystemBuilder::coords`] as well.
+    pub fn network(mut self, nodes: usize, connections: Vec<Edge>) -> Self {
+        self.nodes = nodes;
+        self.connections = connections;
+        self.has_graph = true;
+        self
+    }
+
+    /// Attach node coordinates (for coordinate-driven fragmenters).
+    pub fn coords(mut self, coords: Vec<Coord>) -> Self {
+        self.coords = Some(coords);
+        self
+    }
+
+    /// Whether each connection tuple stands for both travel directions
+    /// (default `true`; transportation networks).
+    pub fn symmetric(mut self, symmetric: bool) -> Self {
+        self.symmetric = symmetric;
+        self
+    }
+
+    /// Choose the fragmentation strategy (required).
+    pub fn fragmenter(mut self, fragmenter: Fragmenter) -> Self {
+        self.fragmenter = Some(fragmenter);
+        self
+    }
+
+    /// Choose the execution backend (default [`Backend::Inline`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Engine tuning: complementary scope, stored paths, chain caps,
+    /// phase-one execution mode, PHE hub.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Fragment the relation and deploy the chosen backend.
+    pub fn build(mut self) -> Result<System, SystemError> {
+        if !self.has_graph {
+            return Err(SystemError::MissingGraph);
+        }
+        if let Some(c) = &self.coords {
+            if c.len() != self.nodes {
+                return Err(SystemError::CoordinateCountMismatch {
+                    coords: c.len(),
+                    nodes: self.nodes,
+                });
+            }
+        }
+        let fragmenter = self
+            .fragmenter
+            .take()
+            .ok_or(SystemError::MissingFragmenter)?;
+        let frag = match fragmenter {
+            Fragmenter::Linear(cfg) => linear_sweep(&self.edge_list(), &cfg)?.fragmentation,
+            Fragmenter::Center(cfg) => center_based(&self.edge_list(), &cfg)?.fragmentation,
+            Fragmenter::BondEnergy(cfg) => bond_energy(&self.edge_list(), &cfg)?.fragmentation,
+            Fragmenter::ByLabels {
+                labels,
+                parts,
+                policy,
+            } => semantic::by_labels(self.nodes, &self.connections, &labels, parts, policy)?,
+            Fragmenter::Prebuilt(frag) => frag,
+        };
+        let graph = self.closure_graph();
+        let engine: Box<dyn TcEngine> = match self.backend {
+            Backend::Inline => Box::new(DisconnectionSetEngine::build(
+                graph,
+                frag,
+                self.symmetric,
+                self.config,
+            )?),
+            Backend::SiteThreads => Box::new(Machine::deploy_with_config(
+                graph,
+                frag,
+                self.symmetric,
+                self.config,
+            )?),
+        };
+        Ok(System {
+            backend: self.backend,
+            engine,
+        })
+    }
+
+    fn edge_list(&self) -> EdgeList {
+        let el = EdgeList::new(self.nodes, self.connections.clone());
+        match &self.coords {
+            Some(c) => el.with_coords(c.clone()),
+            None => el,
+        }
+    }
+
+    fn closure_graph(&self) -> CsrGraph {
+        let g = CsrGraph::from_edges(
+            self.nodes,
+            &expand_connections(&self.connections, self.symmetric),
+        );
+        match &self.coords {
+            Some(c) => g
+                .with_coords(c.clone())
+                .expect("coords validated against node count"),
+            None => g,
+        }
+    }
+}
+
+/// A deployed query system: a fragmented relation behind one execution
+/// backend, driven through [`TcEngine`].
+pub struct System {
+    backend: Backend,
+    engine: Box<dyn TcEngine>,
+}
+
+impl System {
+    /// Start building a system.
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::new()
+    }
+
+    /// The backend this system deployed.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Borrow the underlying engine.
+    pub fn engine(&self) -> &dyn TcEngine {
+        &*self.engine
+    }
+
+    /// Mutably borrow the underlying engine.
+    pub fn engine_mut(&mut self) -> &mut dyn TcEngine {
+        &mut *self.engine
+    }
+
+    /// Take the engine out of the facade.
+    pub fn into_engine(self) -> Box<dyn TcEngine> {
+        self.engine
+    }
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("backend", &self.backend)
+            .field("sites", &self.engine.site_count())
+            .finish()
+    }
+}
+
+impl TcEngine for System {
+    fn backend_name(&self) -> &'static str {
+        self.engine.backend_name()
+    }
+
+    fn site_count(&self) -> usize {
+        self.engine.site_count()
+    }
+
+    fn fragmentation(&self) -> &Fragmentation {
+        self.engine.fragmentation()
+    }
+
+    fn shortest_path(&mut self, x: ds_graph::NodeId, y: ds_graph::NodeId) -> QueryAnswer {
+        self.engine.shortest_path(x, y)
+    }
+
+    fn route(
+        &mut self,
+        x: ds_graph::NodeId,
+        y: ds_graph::NodeId,
+    ) -> Result<Option<Route>, ClosureError> {
+        self.engine.route(x, y)
+    }
+
+    fn update(&mut self, update: &NetworkUpdate) -> Result<UpdateReport, ClosureError> {
+        self.engine.update(update)
+    }
+
+    fn query_batch(&mut self, requests: &[QueryRequest]) -> BatchAnswer {
+        self.engine.query_batch(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_gen::deterministic::grid;
+    use ds_graph::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn linear_system(backend: Backend) -> System {
+        System::builder()
+            .graph(&grid(10, 3))
+            .fragmenter(Fragmenter::Linear(LinearConfig {
+                fragments: 3,
+                ..Default::default()
+            }))
+            .backend(backend)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn both_backends_answer_identically() {
+        let mut inline = linear_system(Backend::Inline);
+        let mut threads = linear_system(Backend::SiteThreads);
+        assert_eq!(inline.backend_name(), "inline");
+        assert_eq!(threads.backend_name(), "site-threads");
+        for (x, y) in [(0u32, 29u32), (5, 17), (12, 12), (29, 0)] {
+            assert_eq!(
+                inline.shortest_path(n(x), n(y)).cost,
+                threads.shortest_path(n(x), n(y)).cost,
+                "query {x}->{y}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_through_the_facade() {
+        let mut sys = linear_system(Backend::Inline);
+        let reqs: Vec<QueryRequest> = (0..6u32)
+            .map(|i| QueryRequest::new(n(i), n(29 - i)))
+            .collect();
+        let batch = sys.query_batch(&reqs);
+        assert_eq!(batch.answers.len(), 6);
+        assert!(batch.stats.plans_reused > 0);
+    }
+
+    #[test]
+    fn coordinate_mismatch_is_an_error_not_a_panic() {
+        use ds_graph::{Coord, Edge};
+        let err = System::builder()
+            .network(5, vec![Edge::unit(NodeId(0), NodeId(1))])
+            .coords(vec![Coord::new(0.0, 0.0); 3])
+            .fragmenter(Fragmenter::Linear(LinearConfig::default()))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SystemError::CoordinateCountMismatch {
+                coords: 3,
+                nodes: 5
+            }
+        );
+    }
+
+    #[test]
+    fn missing_pieces_are_reported() {
+        assert_eq!(
+            System::builder().build().unwrap_err(),
+            SystemError::MissingGraph
+        );
+        assert_eq!(
+            System::builder().graph(&grid(4, 2)).build().unwrap_err(),
+            SystemError::MissingFragmenter
+        );
+    }
+
+    #[test]
+    fn prebuilt_fragmentation_and_labels() {
+        let g = grid(6, 2);
+        let labels: Vec<u32> = (0..12u32).map(|i| i / 6).collect();
+        let mut sys = System::builder()
+            .graph(&g)
+            .fragmenter(Fragmenter::ByLabels {
+                labels,
+                parts: 2,
+                policy: CrossingPolicy::LowerBlock,
+            })
+            .backend(Backend::SiteThreads)
+            .build()
+            .unwrap();
+        assert_eq!(sys.site_count(), 2);
+        assert!(sys.connected(n(0), n(11)));
+    }
+}

@@ -1,6 +1,7 @@
 //! The simulated multiprocessor machine must agree with the in-process
-//! engine and the centralized baseline, and its accounting must reflect
-//! the paper's communication story.
+//! engine and the centralized baseline, its accounting must reflect the
+//! paper's communication story, and its batch path must amortize
+//! planning exactly like the inline backend's.
 
 use discset::closure::baseline;
 use discset::closure::engine::{DisconnectionSetEngine, EngineConfig};
@@ -8,6 +9,7 @@ use discset::fragment::{semantic, CrossingPolicy};
 use discset::gen::{generate_transportation, TransportationConfig};
 use discset::graph::NodeId;
 use discset::machine::Machine;
+use discset::{QueryRequest, TcEngine};
 
 fn setup(
     clusters: usize,
@@ -21,25 +23,39 @@ fn setup(
     };
     let g = generate_transportation(&cfg, seed);
     let labels = g.cluster_of.clone().unwrap();
-    let frag =
-        semantic::by_labels(g.nodes, &g.connections, &labels, clusters, CrossingPolicy::LowerBlock)
-            .unwrap();
+    let frag = semantic::by_labels(
+        g.nodes,
+        &g.connections,
+        &labels,
+        clusters,
+        CrossingPolicy::LowerBlock,
+    )
+    .unwrap();
     (g.closure_graph(), frag)
 }
 
 #[test]
 fn machine_engine_and_baseline_agree() {
     let (csr, frag) = setup(4, 3);
-    let engine =
+    let mut engine =
         DisconnectionSetEngine::build(csr.clone(), frag.clone(), true, EngineConfig::default())
             .unwrap();
     let mut machine = Machine::deploy(csr.clone(), frag, true).unwrap();
+    // Both backends behind one trait-object slice: the code path every
+    // experiment uses.
+    let backends: [&mut dyn TcEngine; 2] = [&mut engine, &mut machine];
     let n = csr.node_count() as u32;
-    for i in 0..20u32 {
-        let (x, y) = (NodeId((i * 7) % n), NodeId((i * 11 + 31) % n));
-        let want = baseline::shortest_path_cost(&csr, x, y);
-        assert_eq!(engine.shortest_path(x, y).cost, want, "engine {x}->{y}");
-        assert_eq!(machine.shortest_path(x, y), want, "machine {x}->{y}");
+    for backend in backends {
+        for i in 0..20u32 {
+            let (x, y) = (NodeId((i * 7) % n), NodeId((i * 11 + 31) % n));
+            let want = baseline::shortest_path_cost(&csr, x, y);
+            assert_eq!(
+                backend.shortest_path(x, y).cost,
+                want,
+                "{} {x}->{y}",
+                backend.backend_name()
+            );
+        }
     }
     machine.shutdown();
 }
@@ -71,13 +87,56 @@ fn machine_handles_many_queries_and_accumulates_stats() {
     let mut answered = 0;
     for i in 0..30u32 {
         let (x, y) = (NodeId(i % n), NodeId((i * 13 + 5) % n));
-        if machine.shortest_path(x, y).is_some() {
+        if machine.shortest_path(x, y).cost.is_some() {
             answered += 1;
         }
     }
     assert!(answered > 0);
     assert_eq!(machine.stats().queries, 30);
-    let busy: Vec<_> = machine.stats().sites.iter().filter(|s| s.subqueries > 0).collect();
+    let busy: Vec<_> = machine
+        .stats()
+        .sites
+        .iter()
+        .filter(|s| s.subqueries > 0)
+        .collect();
     assert!(!busy.is_empty(), "sites must have served subqueries");
     machine.shutdown();
+}
+
+#[test]
+fn batch_saves_messages_over_single_queries() {
+    // The communication argument for query_batch: interior segments are
+    // shipped once per chain, not once per query.
+    let (csr, frag) = setup(4, 5);
+    let n = csr.node_count() as u32;
+    let requests: Vec<QueryRequest> = (0..12u32)
+        .map(|i| QueryRequest::new(NodeId(i % 8), NodeId(n - 1 - (i * 3) % 8)))
+        .collect();
+
+    let mut singles = Machine::deploy(csr.clone(), frag.clone(), true).unwrap();
+    for req in &requests {
+        singles.shortest_path(req.source, req.target);
+    }
+    let singles_sent = singles.stats().messages_sent;
+    singles.shutdown();
+
+    let mut batched = Machine::deploy(csr.clone(), frag, true).unwrap();
+    let batch = batched.query_batch(&requests);
+    let batched_sent = batched.stats().messages_sent;
+    for (req, ans) in requests.iter().zip(&batch.answers) {
+        assert_eq!(
+            ans.cost,
+            baseline::shortest_path_cost(&csr, req.source, req.target),
+            "batch {}->{}",
+            req.source,
+            req.target
+        );
+    }
+    assert!(
+        batched_sent < singles_sent,
+        "batch must ship fewer messages: {batched_sent} vs {singles_sent}"
+    );
+    assert!(batch.stats.plans_reused > 0, "{:?}", batch.stats);
+    assert!(batch.stats.segments_reused > 0, "{:?}", batch.stats);
+    batched.shutdown();
 }
