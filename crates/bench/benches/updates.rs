@@ -1,0 +1,180 @@
+//! Incremental update maintenance vs rebuild-per-update.
+//!
+//! The paper's acknowledged weakness is "the careful treatment of
+//! updates" (§2.1). This bench quantifies what incremental maintenance
+//! buys: a mixed delete/insert workload applied through the engine's
+//! affected-set repair (`ds_closure::updates::maintain`) against the
+//! naive strategy of recomputing the complementary information after
+//! every update, on the transportation and spatial (general random)
+//! generators.
+//!
+//! The workload is a sequence of delete/re-insert pairs over
+//! incremental-safe fragment edges, so the engine returns to its initial
+//! state after every iteration — no per-iteration rebuild distorts the
+//! measurement. A pre-flight pass asserts that no update in the workload
+//! falls back to a full recompute.
+//!
+//! Emits a committed perf snapshot to `BENCH_updates.json` (repo root).
+//!
+//! ```text
+//! cargo bench -p ds-bench --bench updates
+//! ```
+
+use ds_bench::harness::{render, write_json, Bench};
+use ds_closure::api::{apply_update, NetworkUpdate, TcEngine};
+use ds_closure::{ComplementaryInfo, DisconnectionSetEngine, EngineConfig};
+use ds_fragment::linear::{linear_sweep, LinearConfig};
+use ds_fragment::{semantic, CrossingPolicy, Fragmentation};
+use ds_gen::{generate_general, generate_transportation, GeneralConfig, TransportationConfig};
+use ds_graph::CsrGraph;
+
+/// Up to `pairs` delete/re-insert pairs over fragment edges whose
+/// deletion stays incremental (verified on a scratch engine).
+fn safe_updates(engine: &DisconnectionSetEngine, pairs: usize) -> Vec<NetworkUpdate> {
+    let frag = engine.fragmentation().clone();
+    let border = |v| frag.fragments_of_node(v).len() >= 2;
+    let mut out = Vec::new();
+    'outer: for f in frag.fragments() {
+        for e in f.edges() {
+            if out.len() / 2 >= pairs {
+                break 'outer;
+            }
+            if border(e.src) && border(e.dst) {
+                continue; // DS-crossing deletions fall back by design
+            }
+            // The pair must match exactly one tuple, so delete + insert
+            // restores the fragment verbatim.
+            let matched = f
+                .edges()
+                .iter()
+                .filter(|x| {
+                    (x.src == e.src && x.dst == e.dst) || (x.src == e.dst && x.dst == e.src)
+                })
+                .count();
+            if matched != 1 {
+                continue;
+            }
+            let remove = NetworkUpdate::Remove {
+                src: e.src,
+                dst: e.dst,
+                owner: f.id(),
+            };
+            let mut scratch = engine.clone();
+            if scratch
+                .update(&remove)
+                .expect("valid update")
+                .full_recompute
+            {
+                continue; // bridge: deletion would disconnect a border pair
+            }
+            out.push(remove);
+            out.push(NetworkUpdate::Insert {
+                edge: *e,
+                owner: f.id(),
+            });
+        }
+    }
+    out
+}
+
+fn bench_workload(group: &mut Bench, label: &str, csr: CsrGraph, frag: Fragmentation) {
+    let cfg = EngineConfig::default();
+    let engine =
+        DisconnectionSetEngine::build(csr.clone(), frag.clone(), true, cfg.clone()).unwrap();
+    let updates = safe_updates(&engine, 8);
+    assert!(
+        updates.len() >= 8,
+        "{label}: workload too small ({} updates)",
+        updates.len()
+    );
+
+    // Pre-flight: the whole sequence must stay incremental.
+    let mut check = engine.clone();
+    let mut shipped = 0usize;
+    for u in &updates {
+        let report = check.update(u).expect("valid update");
+        assert!(
+            !report.full_recompute,
+            "{label}: workload update fell back: {report:?}"
+        );
+        shipped += report.tuples_shipped;
+    }
+    println!(
+        "{label}: {} updates, {} shortcut tuples shipped incrementally",
+        updates.len(),
+        shipped
+    );
+
+    let mut incremental = engine.clone();
+    group.run(&format!("{label}/incremental"), || {
+        let mut shipped = 0usize;
+        for u in &updates {
+            shipped += incremental.update(u).expect("valid update").tuples_shipped;
+        }
+        shipped
+    });
+
+    let mut graph = csr.clone();
+    let mut rebuild_frag = frag.clone();
+    group.run(&format!("{label}/rebuild-per-update"), || {
+        let mut pairs = 0usize;
+        for u in &updates {
+            if let Some(g) = apply_update(&graph, &mut rebuild_frag, true, u).expect("valid") {
+                graph = g;
+            }
+            let comp =
+                ComplementaryInfo::compute(&graph, &rebuild_frag, cfg.scope, cfg.store_paths);
+            pairs += comp.pair_count();
+        }
+        pairs
+    });
+}
+
+fn main() {
+    let mut group = Bench::new("updates").sample_size(12);
+
+    // Transportation workload: clustered country networks, semantic
+    // fragmentation (one site per country).
+    let clusters = 10usize;
+    let tcfg = TransportationConfig {
+        clusters,
+        nodes_per_cluster: 40,
+        target_edges_per_cluster: 150,
+        ..TransportationConfig::default()
+    };
+    let g = generate_transportation(&tcfg, 1);
+    let labels = g.cluster_of.clone().unwrap();
+    let frag = semantic::by_labels(
+        g.nodes,
+        &g.connections,
+        &labels,
+        clusters,
+        CrossingPolicy::LowerBlock,
+    )
+    .unwrap();
+    bench_workload(&mut group, "transportation", g.closure_graph(), frag);
+
+    // Spatial workload: uniform random graph in the plane, coordinate
+    // sweep fragmentation.
+    let scfg = GeneralConfig {
+        nodes: 160,
+        target_edges: 520,
+        ..Default::default()
+    };
+    let g = generate_general(&scfg, 2);
+    let frag = linear_sweep(
+        &g.edge_list(),
+        &LinearConfig {
+            fragments: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .fragmentation;
+    bench_workload(&mut group, "spatial", g.closure_graph(), frag);
+
+    println!("{}", render(group.results()));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_updates.json");
+    write_json(path, group.results()).expect("write perf snapshot");
+    println!("\nwrote {path}");
+}

@@ -36,7 +36,7 @@ use crate::engine::{EngineConfig, QueryAnswer, QueryStats, Route};
 use crate::error::ClosureError;
 use crate::local::augmented_graph;
 use crate::planner::{ChainPlan, Planner, QueryPlan};
-use crate::updates::UpdateReport;
+use crate::updates::{UpdateBatchReport, UpdateReport};
 
 /// One shortest-path request of a batch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -154,6 +154,20 @@ pub trait TcEngine {
     /// Apply a network update, keeping answers exact afterwards.
     fn update(&mut self, update: &NetworkUpdate) -> Result<UpdateReport, ClosureError>;
 
+    /// Apply a sequence of updates in order, collecting per-update
+    /// reports. Stops at (and returns) the first error; updates applied
+    /// before it remain applied.
+    fn update_batch(
+        &mut self,
+        updates: &[NetworkUpdate],
+    ) -> Result<UpdateBatchReport, ClosureError> {
+        let mut reports = Vec::with_capacity(updates.len());
+        for u in updates {
+            reports.push(self.update(u)?);
+        }
+        Ok(UpdateBatchReport { reports })
+    }
+
     /// Answer many shortest-path requests, amortizing chain planning (and
     /// interior segment evaluation) across the batch. Semantically
     /// equivalent to calling [`TcEngine::shortest_path`] per request.
@@ -220,9 +234,16 @@ pub fn build_parts(
 /// Validate a [`NetworkUpdate`] against `frag` and apply its structural
 /// half, shared by every backend: mutate the owner fragment and return
 /// the rebuilt global closure graph (`None` when a removal matched
-/// nothing). Backends follow up with their own refresh — the inline
-/// engine patches shortcut costs incrementally, the machine redeploys
-/// its sites.
+/// nothing). Backends follow up through `crate::updates::maintain` —
+/// the inline engine patches its shortcut tables and augmented graphs,
+/// the machine ships `Delta` messages to the touched sites.
+///
+/// Update maintenance assumes the partition invariant the fragmenters
+/// guarantee (see `Fragmentation::validate`): the closure graph equals
+/// the symmetric expansion of the fragment-edge union. Removals rebuild
+/// the graph from that union, so a caller that paired a `Prebuilt`
+/// fragmentation with a *different* connection relation would see the
+/// first removal re-derive the graph from the fragments.
 pub fn apply_update(
     graph: &CsrGraph,
     frag: &mut Fragmentation,
@@ -251,13 +272,22 @@ pub fn apply_update(
             if owner >= frag.fragment_count() {
                 return Err(ClosureError::NodeNotInAnyFragment(src));
             }
-            let matches = |e: &Edge| {
-                (e.src == src && e.dst == dst) || (symmetric && e.src == dst && e.dst == src)
-            };
+            let matches = |e: &Edge| e.connects(src, dst, symmetric);
             if frag.fragment_mut(owner).remove_edges_matching(matches) == 0 {
                 return Ok(None);
             }
-            let kept: Vec<Edge> = graph.edges().filter(|e| !matches(e)).collect();
+            // Rebuild from the fragment union rather than filtering the old
+            // graph: another fragment may own an identical (src, dst) tuple
+            // that must survive the removal.
+            let mut kept = Vec::with_capacity(graph.edge_count());
+            for f in frag.fragments() {
+                for e in f.edges() {
+                    kept.push(*e);
+                    if symmetric && !e.is_loop() {
+                        kept.push(e.reversed());
+                    }
+                }
+            }
             Ok(Some(CsrGraph::from_edges(graph.node_count(), &kept)))
         }
     }

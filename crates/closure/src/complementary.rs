@@ -186,24 +186,76 @@ impl ComplementaryInfo {
         self.pair_count
     }
 
-    /// Apply a cost refinement to every shortcut tuple: `f` returns the
-    /// improved cost or `None` to keep the current one. Returns how many
-    /// tuples changed. Used by incremental insert maintenance
+    /// Apply a refinement to every shortcut tuple: `f` returns the new
+    /// cost (plus, when paths are stored, the new concrete path) or `None`
+    /// to keep the current tuple. Returns per-site counts of tuples that
+    /// changed. Used by incremental insert maintenance
     /// (`dist' = min(dist, dist(a,u) + c + dist(v,b))`).
-    pub fn map_costs(&mut self, f: impl Fn(&Edge) -> Option<u64>) -> usize {
-        let mut changed = 0;
-        for site in &mut self.shortcuts {
-            for e in site {
-                if let Some(new_cost) = f(e) {
+    pub fn refine(
+        &mut self,
+        f: impl Fn(&Edge) -> Option<(u64, Option<Vec<NodeId>>)>,
+    ) -> Vec<usize> {
+        let mut changed = vec![0usize; self.shortcuts.len()];
+        for (site, tuples) in self.shortcuts.iter_mut().enumerate() {
+            for e in tuples {
+                if let Some((new_cost, new_path)) = f(e) {
                     debug_assert!(new_cost <= e.cost, "insertions only shorten paths");
                     if new_cost != e.cost {
+                        if let (Some(map), Some(p)) = (self.paths.as_mut(), new_path) {
+                            map.insert((e.src, e.dst), p);
+                        }
                         e.cost = new_cost;
-                        changed += 1;
+                        changed[site] += 1;
                     }
                 }
             }
         }
         changed
+    }
+
+    /// Re-derive every shortcut rooted at one of `sources` from the
+    /// post-update `graph` (deletion repair: distances may have grown).
+    /// One Dijkstra per distinct source, shared across all sites storing
+    /// its tuples. Returns per-site counts of tuples changed, or the first
+    /// border pair that became unreachable — the caller must then fall
+    /// back to a full recompute (`self` may be partially updated when
+    /// that happens; the recompute overwrites it wholesale).
+    pub fn repair_sources(
+        &mut self,
+        graph: &CsrGraph,
+        sources: &BTreeSet<NodeId>,
+    ) -> Result<Vec<usize>, (NodeId, NodeId)> {
+        let mut changed = vec![0usize; self.shortcuts.len()];
+        if sources.is_empty() {
+            return Ok(changed);
+        }
+        let mut sweeps: HashMap<NodeId, dijkstra::ShortestPaths> = HashMap::new();
+        for (site, tuples) in self.shortcuts.iter_mut().enumerate() {
+            for e in tuples {
+                if !sources.contains(&e.src) {
+                    continue;
+                }
+                let sp = sweeps
+                    .entry(e.src)
+                    .or_insert_with(|| dijkstra::single_source(graph, e.src));
+                let Some(cost) = sp.cost(e.dst) else {
+                    return Err((e.src, e.dst));
+                };
+                if cost != e.cost {
+                    e.cost = cost;
+                    changed[site] += 1;
+                    if let Some(map) = self.paths.as_mut() {
+                        map.insert((e.src, e.dst), sp.path_to(e.dst).expect("cost is finite"));
+                    }
+                } else if let Some(map) = self.paths.as_mut() {
+                    // Cost unchanged, but the stored path may have used the
+                    // deleted connection (it was *a* shortest path); replace
+                    // it with a currently valid one.
+                    map.insert((e.src, e.dst), sp.path_to(e.dst).expect("cost is finite"));
+                }
+            }
+        }
+        Ok(changed)
     }
 }
 

@@ -259,24 +259,63 @@ impl DisconnectionSetEngine {
         }))
     }
 
-    // --- crate-internal mutation hooks for update maintenance ---
+    // --- update maintenance (see crate::updates for the algorithms) ---
 
-    /// Apply the structural half of `update` through the shared
-    /// [`crate::api::apply_update`] path and resync the owner's real-hop
-    /// set. Returns `false` for a no-op removal.
-    pub(crate) fn apply_network_update(
+    /// Insert a connection into fragment `owner`. For symmetric engines
+    /// the reverse direction is inserted too.
+    ///
+    /// Both endpoints must already belong to the owner fragment —
+    /// inserting within a region never changes the fragmentation's node
+    /// sets, so disconnection sets (and the set of shortcut *pairs*) stay
+    /// fixed and only shortcut *costs* can improve. Growing a fragment's
+    /// node set is a re-fragmentation concern, out of scope for an
+    /// engine-level update.
+    pub fn insert_connection(
         &mut self,
-        update: &NetworkUpdate,
-    ) -> Result<bool, ClosureError> {
-        let Some(new_graph) =
-            crate::api::apply_update(&self.graph, &mut self.frag, self.symmetric, update)?
-        else {
-            return Ok(false);
+        edge: ds_graph::Edge,
+        owner: FragmentId,
+    ) -> Result<UpdateReport, ClosureError> {
+        self.apply_maintenance(&NetworkUpdate::Insert { edge, owner })
+    }
+
+    /// Remove every connection `src -> dst` (and the reverse direction on
+    /// symmetric engines) from fragment `owner`. Repaired incrementally
+    /// via the deletion repair rule; falls back to a full recompute only
+    /// under the conditions listed in [`crate::updates`].
+    pub fn remove_connection(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        owner: FragmentId,
+    ) -> Result<UpdateReport, ClosureError> {
+        self.apply_maintenance(&NetworkUpdate::Remove { src, dst, owner })
+    }
+
+    /// Run the shared maintenance path, then refresh the touched sites'
+    /// augmented graphs and the owner's real-hop set.
+    fn apply_maintenance(&mut self, update: &NetworkUpdate) -> Result<UpdateReport, ClosureError> {
+        let m = crate::updates::maintain(
+            &mut self.graph,
+            &mut self.frag,
+            self.symmetric,
+            &self.cfg,
+            &mut self.comp,
+            update,
+        )?;
+        let Some(owner) = m.owner else {
+            return Ok(m.report);
         };
-        self.graph = new_graph;
-        let owner = match *update {
-            NetworkUpdate::Insert { owner, .. } | NetworkUpdate::Remove { owner, .. } => owner,
-        };
+        let mut sites: std::collections::BTreeSet<FragmentId> =
+            m.shortcut_sites.iter().copied().collect();
+        sites.insert(owner);
+        for f in sites {
+            self.augmented[f] = crate::local::augmented_graph(
+                self.graph.node_count(),
+                self.frag.fragment(f).edges(),
+                self.symmetric,
+                self.comp.shortcuts(f),
+            );
+        }
         let mut hops = HashSet::new();
         for e in self.frag.fragment(owner).edges() {
             hops.insert((e.src, e.dst, e.cost));
@@ -285,26 +324,7 @@ impl DisconnectionSetEngine {
             }
         }
         self.real_hops[owner] = hops;
-        Ok(true)
-    }
-
-    pub(crate) fn map_shortcuts(&mut self, f: impl Fn(&ds_graph::Edge) -> Option<Cost>) -> usize {
-        self.comp.map_costs(f)
-    }
-
-    pub(crate) fn recompute_complementary(&mut self) {
-        self.comp = ComplementaryInfo::compute(
-            &self.graph,
-            &self.frag,
-            self.cfg.scope,
-            self.cfg.store_paths,
-        );
-        self.rebuild_augmented();
-    }
-
-    pub(crate) fn rebuild_augmented(&mut self) {
-        self.augmented =
-            Self::rebuild_augmented_for(&self.graph, &self.frag, self.symmetric, &self.comp);
+        Ok(m.report)
     }
 
     /// Expand one leg `a -> b` at `site` into real graph nodes, splicing
@@ -389,10 +409,7 @@ impl TcEngine for DisconnectionSetEngine {
     }
 
     fn update(&mut self, update: &NetworkUpdate) -> Result<UpdateReport, ClosureError> {
-        match *update {
-            NetworkUpdate::Insert { edge, owner } => self.insert_connection(edge, owner),
-            NetworkUpdate::Remove { src, dst, owner } => self.remove_connection(src, dst, owner),
-        }
+        self.apply_maintenance(update)
     }
 
     fn query_batch(&mut self, requests: &[QueryRequest]) -> BatchAnswer {

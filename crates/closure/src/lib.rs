@@ -60,4 +60,4 @@ pub use api::{BatchAnswer, BatchStats, NetworkUpdate, QueryRequest, TcEngine};
 pub use complementary::{ComplementaryInfo, ComplementaryScope};
 pub use engine::{DisconnectionSetEngine, EngineConfig, QueryAnswer, QueryStats, Route};
 pub use error::ClosureError;
-pub use updates::UpdateReport;
+pub use updates::{FallbackReason, UpdateBatchReport, UpdateReport};

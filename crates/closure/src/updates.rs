@@ -5,145 +5,400 @@
 //! too frequent, the pre-processing costs may be amortized over many
 //! queries." (§2.1)
 //!
-//! This module makes that treatment concrete:
+//! This module makes that treatment concrete — and *incremental* for both
+//! insertions and deletions:
 //!
-//! * **Insertions** are truly incremental. Adding a connection can only
-//!   *decrease* global distances, and any improved shortest path uses the
-//!   new edge; so two Dijkstra runs — one on the reverse graph from the
-//!   new edge's source, one forward from its target — refresh every
-//!   shortcut: `dist'(a,b) = min(dist(a,b), dist(a,u) + c + dist(v,b))`.
-//!   Cost: O(2·(V log V + E)) instead of one Dijkstra per border node.
+//! * **Insertions** add a connection, which can only *decrease* global
+//!   distances, and any improved shortest path uses the new edge; so two
+//!   Dijkstra runs — one on the reverse graph from the new edge's source,
+//!   one forward from its target — refresh every shortcut:
+//!   `dist'(a,b) = min(dist(a,b), dist(a,u) + c + dist(v,b))`. Stored
+//!   shortcut paths are patched from the same two sweeps
+//!   (`path(a,u) ++ path(v,b)`), so inserts never recompute in full.
 //! * **Deletions** can increase distances, which per-pair minima cannot
-//!   repair locally; the engine falls back to a full complementary
-//!   recompute (the paper's amortization argument applies).
+//!   repair locally — but only for shortcuts whose shortest path *used*
+//!   the deleted edge. The **deletion repair rule**: a shortcut `(a, b)`
+//!   is affected by removing `u -> v` with cost `c` iff, over the
+//!   pre-deletion distances, `dist(a,u) + c + dist(v,b) == dist(a,b)`
+//!   (any shortest path through the edge achieves exactly that sum, and
+//!   the stored cost *is* `dist(a,b)`). The engine detects the affected
+//!   border sources with two Dijkstra sweeps per removed direction, then
+//!   re-runs Dijkstra on the post-deletion graph only from those sources.
+//!
+//! The repair stays within the incremental regime unless one of two
+//! fallback conditions holds, in which case the complementary information
+//! is recomputed in full and the report says why
+//! ([`UpdateReport::fallback_reason`]):
+//!
+//! * [`FallbackReason::DisconnectionSetCrossing`] — the deleted edge
+//!   joins two border nodes (it lies *in* a disconnection-set crossing),
+//!   so it may itself support shortcut pairs whose set membership the
+//!   per-source repair cannot re-derive.
+//! * [`FallbackReason::Disconnected`] — the deletion made a previously
+//!   reachable border pair unreachable (e.g. a bridge edge); shortcut
+//!   tuples must then be *dropped*, not re-costed, which is the
+//!   recompute's job.
+//!
+//! [`maintain`] is the shared maintenance path: both backends (the inline
+//! engine and the message-passing machine) drive their updates through
+//! it, so both produce identical [`UpdateReport`] accounting; the machine
+//! additionally turns the returned touched-site set into `Delta` messages
+//! (see `ds_machine::protocol`).
 
-use ds_fragment::FragmentId;
+use std::collections::BTreeSet;
+
+use ds_fragment::{FragmentId, Fragmentation};
 use ds_graph::{dijkstra, Cost, CsrGraph, Edge, NodeId};
 
-use crate::api::NetworkUpdate;
+use crate::api::{apply_update, NetworkUpdate};
 use crate::complementary::ComplementaryInfo;
-use crate::engine::DisconnectionSetEngine;
+use crate::engine::EngineConfig;
 use crate::error::ClosureError;
-use crate::local::augmented_graph;
 
-/// Outcome of an incremental update.
+/// Why an update fell back to a full complementary recompute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The deleted edge connects two border nodes — it lies in a
+    /// disconnection-set crossing, outside the repair rule's regime.
+    DisconnectionSetCrossing,
+    /// The deletion disconnected a previously reachable border pair
+    /// (e.g. a bridge edge between fragments' borders).
+    Disconnected,
+}
+
+/// Outcome of one update, with the accounting both backends populate
+/// through the shared [`maintain`] path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct UpdateReport {
-    /// Shortcut tuples whose cost improved.
+    /// Shortcut tuples whose cost improved (insert maintenance).
     pub shortcuts_improved: usize,
+    /// Shortcut tuples whose cost was repaired upward (deletion repair).
+    pub shortcuts_repaired: usize,
     /// Whether the engine had to fall back to a full recompute.
     pub full_recompute: bool,
+    /// Why the fallback happened; `None` on the incremental path
+    /// (invariant: `full_recompute == fallback_reason.is_some()`).
+    pub fallback_reason: Option<FallbackReason>,
+    /// Sites whose state (fragment edges or shortcut table) changed —
+    /// the sites a message-passing backend must ship a delta to.
+    pub sites_touched: usize,
+    /// Shortcut tuples shipped to refresh the touched sites' tables.
+    pub tuples_shipped: usize,
 }
 
-impl DisconnectionSetEngine {
-    /// Insert a connection into fragment `owner`. For symmetric engines
-    /// the reverse direction is inserted too.
-    ///
-    /// Both endpoints must already belong to the owner fragment —
-    /// inserting within a region never changes the fragmentation's node
-    /// sets, so disconnection sets (and the set of shortcut *pairs*) stay
-    /// fixed and only shortcut *costs* can improve. Growing a fragment's
-    /// node set is a re-fragmentation concern, out of scope for an
-    /// engine-level update.
-    pub fn insert_connection(
-        &mut self,
-        edge: Edge,
-        owner: FragmentId,
-    ) -> Result<UpdateReport, ClosureError> {
-        // 1. Grow the global graph and the owner's fragment (the
-        //    validate+mutate path shared with every backend).
-        let symmetric = self.is_symmetric();
-        self.apply_network_update(&NetworkUpdate::Insert { edge, owner })?;
-
-        // 2. Refresh shortcut costs with two Dijkstra sweeps per inserted
-        //    direction.
-        let mut improved = self.improve_shortcuts(edge.src, edge.dst, edge.cost);
-        if symmetric && !edge.is_loop() {
-            improved += self.improve_shortcuts(edge.dst, edge.src, edge.cost);
-        }
-
-        // 3. Stored shortcut paths cannot be patched pair-locally; if the
-        //    engine keeps them (route reconstruction), recompute in full.
-        let full = self.complementary().has_paths() && improved > 0;
-        if full {
-            self.recompute_complementary();
-        } else {
-            self.rebuild_augmented();
-        }
-        Ok(UpdateReport {
-            shortcuts_improved: improved,
-            full_recompute: full,
-        })
-    }
-
-    /// Remove every connection `src -> dst` (and the reverse direction on
-    /// symmetric engines) from fragment `owner`. Distances may grow, so
-    /// complementary information is recomputed in full.
-    pub fn remove_connection(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        owner: FragmentId,
-    ) -> Result<UpdateReport, ClosureError> {
-        if !self.apply_network_update(&NetworkUpdate::Remove { src, dst, owner })? {
-            return Ok(UpdateReport {
-                shortcuts_improved: 0,
-                full_recompute: false,
-            });
-        }
-        self.recompute_complementary();
-        Ok(UpdateReport {
+impl UpdateReport {
+    /// A report for an update that changed nothing (no-op removal).
+    pub fn noop() -> Self {
+        UpdateReport {
             shortcuts_improved: 0,
-            full_recompute: true,
-        })
-    }
-
-    /// Lower every shortcut `(a, b)` to
-    /// `min(cost, dist(a, u) + c + dist(v, b))` after inserting `u -> v`
-    /// with cost `c`. Exact because improved paths must use the new edge.
-    fn improve_shortcuts(&mut self, u: NodeId, v: NodeId, c: Cost) -> usize {
-        let to_u = dijkstra::single_source(&self.graph().reversed(), u);
-        let from_v = dijkstra::single_source(self.graph(), v);
-        self.map_shortcuts(|e| {
-            let (Some(a_u), Some(v_b)) = (to_u.cost(e.src), from_v.cost(e.dst)) else {
-                return None;
-            };
-            let cand = a_u + c + v_b;
-            (cand < e.cost).then_some(cand)
-        })
+            shortcuts_repaired: 0,
+            full_recompute: false,
+            fallback_reason: None,
+            sites_touched: 0,
+            tuples_shipped: 0,
+        }
     }
 }
 
-/// Crate-internal mutation hooks for the engine (kept out of the public
-/// surface; update flows are the only callers).
-impl DisconnectionSetEngine {
-    pub(crate) fn rebuild_augmented_for(
-        graph: &CsrGraph,
-        frag: &ds_fragment::Fragmentation,
-        symmetric: bool,
+/// Aggregate outcome of [`crate::api::TcEngine::update_batch`].
+#[derive(Clone, Debug, Default)]
+pub struct UpdateBatchReport {
+    /// One report per update, in application order.
+    pub reports: Vec<UpdateReport>,
+}
+
+impl UpdateBatchReport {
+    /// Updates that fell back to a full recompute.
+    pub fn full_recomputes(&self) -> usize {
+        self.reports.iter().filter(|r| r.full_recompute).count()
+    }
+
+    /// Total shortcut tuples shipped across the batch.
+    pub fn tuples_shipped(&self) -> usize {
+        self.reports.iter().map(|r| r.tuples_shipped).sum()
+    }
+
+    /// Total site touches across the batch.
+    pub fn sites_touched(&self) -> usize {
+        self.reports.iter().map(|r| r.sites_touched).sum()
+    }
+
+    /// Fraction of updates that stayed incremental (1.0 when none fell
+    /// back; 1.0 for an empty batch).
+    pub fn incremental_fraction(&self) -> f64 {
+        if self.reports.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.full_recomputes() as f64 / self.reports.len() as f64
+    }
+}
+
+/// What a backend must do after [`maintain`] returns: refresh the listed
+/// sites. The inline engine rebuilds their augmented graphs; the machine
+/// ships them `Delta` messages.
+#[derive(Clone, Debug)]
+pub struct Maintenance {
+    pub report: UpdateReport,
+    /// Sites whose shortcut tables changed (all sites after a fallback).
+    pub shortcut_sites: Vec<FragmentId>,
+    /// The fragment whose edge set changed; `None` for a no-op removal.
+    pub owner: Option<FragmentId>,
+}
+
+impl Maintenance {
+    fn noop() -> Self {
+        Maintenance {
+            report: UpdateReport::noop(),
+            shortcut_sites: Vec::new(),
+            owner: None,
+        }
+    }
+
+    fn incremental(
         comp: &ComplementaryInfo,
-    ) -> Vec<CsrGraph> {
-        frag.fragments()
+        owner: FragmentId,
+        shortcut_sites: Vec<FragmentId>,
+        improved: usize,
+        repaired: usize,
+    ) -> Self {
+        let mut touched: BTreeSet<FragmentId> = shortcut_sites.iter().copied().collect();
+        touched.insert(owner);
+        let tuples_shipped = shortcut_sites
             .iter()
-            .map(|f| {
-                augmented_graph(
-                    graph.node_count(),
-                    f.edges(),
-                    symmetric,
-                    comp.shortcuts(f.id()),
-                )
-            })
-            .collect()
+            .map(|&f| comp.shortcuts(f).len())
+            .sum();
+        Maintenance {
+            report: UpdateReport {
+                shortcuts_improved: improved,
+                shortcuts_repaired: repaired,
+                full_recompute: false,
+                fallback_reason: None,
+                sites_touched: touched.len(),
+                tuples_shipped,
+            },
+            shortcut_sites,
+            owner: Some(owner),
+        }
+    }
+}
+
+/// The shared maintenance path: validate and apply the structural change,
+/// then keep `comp` exact — incrementally when possible, by full
+/// recompute otherwise. Both backends call this with their retained
+/// state; they differ only in how they act on the returned touched sites.
+pub fn maintain(
+    graph: &mut CsrGraph,
+    frag: &mut Fragmentation,
+    symmetric: bool,
+    cfg: &EngineConfig,
+    comp: &mut ComplementaryInfo,
+    update: &NetworkUpdate,
+) -> Result<Maintenance, ClosureError> {
+    match *update {
+        NetworkUpdate::Insert { edge, owner } => {
+            let new_graph = apply_update(graph, frag, symmetric, update)?
+                .expect("insertions always change the graph");
+            *graph = new_graph;
+            let rev = graph.reversed();
+            let mut per_site = improve(comp, graph, &rev, edge.src, edge.dst, edge.cost);
+            if symmetric && !edge.is_loop() {
+                let second = improve(comp, graph, &rev, edge.dst, edge.src, edge.cost);
+                for (a, b) in per_site.iter_mut().zip(second) {
+                    *a += b;
+                }
+            }
+            let improved = per_site.iter().sum();
+            let shortcut_sites = nonzero_sites(&per_site);
+            Ok(Maintenance::incremental(
+                comp,
+                owner,
+                shortcut_sites,
+                improved,
+                0,
+            ))
+        }
+        NetworkUpdate::Remove { src, dst, owner } => {
+            if owner >= frag.fragment_count() {
+                return Err(ClosureError::NodeNotInAnyFragment(src));
+            }
+            let matches = |e: &Edge| e.connects(src, dst, symmetric);
+            if !frag.fragment(owner).edges().iter().any(&matches) {
+                return Ok(Maintenance::noop());
+            }
+            // The removed connections as directed edges of the global
+            // closure graph (deduplicated — parallel edges of equal cost
+            // need one sweep, not two).
+            let removed: BTreeSet<(NodeId, NodeId, Cost)> = frag
+                .fragment(owner)
+                .edges()
+                .iter()
+                .filter(|e| matches(e))
+                .flat_map(|e| {
+                    let mut dirs = vec![(e.src, e.dst, e.cost)];
+                    if symmetric && !e.is_loop() {
+                        dirs.push((e.dst, e.src, e.cost));
+                    }
+                    dirs
+                })
+                .collect();
+            let crossing = is_border(frag, src) && is_border(frag, dst);
+            // Affected-set detection runs on the *pre-deletion* graph: the
+            // repair rule compares against the stored (old) distances.
+            let affected = if crossing {
+                BTreeSet::new()
+            } else {
+                affected_sources(graph, comp, frag.fragment_count(), &removed)
+            };
+            let new_graph =
+                apply_update(graph, frag, symmetric, update)?.expect("matched edges exist");
+            *graph = new_graph;
+            if crossing {
+                return Ok(full_recompute(
+                    graph,
+                    frag,
+                    cfg,
+                    comp,
+                    owner,
+                    FallbackReason::DisconnectionSetCrossing,
+                ));
+            }
+            match comp.repair_sources(graph, &affected) {
+                Ok(per_site) => {
+                    let repaired = per_site.iter().sum();
+                    let shortcut_sites = nonzero_sites(&per_site);
+                    Ok(Maintenance::incremental(
+                        comp,
+                        owner,
+                        shortcut_sites,
+                        0,
+                        repaired,
+                    ))
+                }
+                Err(_) => Ok(full_recompute(
+                    graph,
+                    frag,
+                    cfg,
+                    comp,
+                    owner,
+                    FallbackReason::Disconnected,
+                )),
+            }
+        }
+    }
+}
+
+/// Lower every shortcut `(a, b)` to
+/// `min(cost, dist(a, u) + c + dist(v, b))` after inserting `u -> v` with
+/// cost `c` — exact because improved paths must use the new edge. When
+/// paths are stored, the improved path is spliced from the same sweeps.
+fn improve(
+    comp: &mut ComplementaryInfo,
+    graph: &CsrGraph,
+    rev: &CsrGraph,
+    u: NodeId,
+    v: NodeId,
+    c: Cost,
+) -> Vec<usize> {
+    let to_u = dijkstra::single_source(rev, u);
+    let from_v = dijkstra::single_source(graph, v);
+    let store = comp.has_paths();
+    comp.refine(|e| {
+        let (Some(a_u), Some(v_b)) = (to_u.cost(e.src), from_v.cost(e.dst)) else {
+            return None;
+        };
+        let cand = a_u + c + v_b;
+        if cand >= e.cost {
+            return None;
+        }
+        let path = store.then(|| {
+            // `to_u` runs on the reversed graph, so its path u..a reads
+            // backwards; flip it to a..u and append v..b.
+            let mut p = to_u.path_to(e.src).expect("cost is finite");
+            p.reverse();
+            p.extend(from_v.path_to(e.dst).expect("cost is finite"));
+            p
+        });
+        Some((cand, path))
+    })
+}
+
+/// Border sources whose shortcuts could have routed through a removed
+/// edge (the deletion repair rule, evaluated on pre-deletion distances).
+fn affected_sources(
+    graph: &CsrGraph,
+    comp: &ComplementaryInfo,
+    site_count: usize,
+    removed: &BTreeSet<(NodeId, NodeId, Cost)>,
+) -> BTreeSet<NodeId> {
+    let rev = graph.reversed();
+    let mut out = BTreeSet::new();
+    for &(u, v, c) in removed {
+        let to_u = dijkstra::single_source(&rev, u);
+        let from_v = dijkstra::single_source(graph, v);
+        for site in 0..site_count {
+            for e in comp.shortcuts(site) {
+                if out.contains(&e.src) {
+                    continue;
+                }
+                if let (Some(a_u), Some(v_b)) = (to_u.cost(e.src), from_v.cost(e.dst)) {
+                    if a_u + c + v_b == e.cost {
+                        out.insert(e.src);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn nonzero_sites(per_site: &[usize]) -> Vec<FragmentId> {
+    per_site
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(f, _)| f)
+        .collect()
+}
+
+fn is_border(frag: &Fragmentation, v: NodeId) -> bool {
+    frag.fragments_of_node(v).len() >= 2
+}
+
+fn full_recompute(
+    graph: &CsrGraph,
+    frag: &Fragmentation,
+    cfg: &EngineConfig,
+    comp: &mut ComplementaryInfo,
+    owner: FragmentId,
+    reason: FallbackReason,
+) -> Maintenance {
+    *comp = ComplementaryInfo::compute(graph, frag, cfg.scope, cfg.store_paths);
+    let shortcut_sites: Vec<FragmentId> = (0..frag.fragment_count()).collect();
+    let tuples_shipped = shortcut_sites
+        .iter()
+        .map(|&f| comp.shortcuts(f).len())
+        .sum();
+    Maintenance {
+        report: UpdateReport {
+            shortcuts_improved: 0,
+            shortcuts_repaired: 0,
+            full_recompute: true,
+            fallback_reason: Some(reason),
+            sites_touched: shortcut_sites.len(),
+            tuples_shipped,
+        },
+        shortcut_sites,
+        owner: Some(owner),
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::baseline;
-    use crate::engine::{DisconnectionSetEngine, EngineConfig};
+    use crate::engine::DisconnectionSetEngine;
     use ds_fragment::linear::{linear_sweep, LinearConfig};
     use ds_gen::deterministic::grid;
-    use ds_graph::{Edge, NodeId};
 
     fn n(i: u32) -> NodeId {
         NodeId(i)
@@ -179,6 +434,14 @@ mod tests {
         }
     }
 
+    fn consistent(report: &UpdateReport) {
+        assert_eq!(
+            report.full_recompute,
+            report.fallback_reason.is_some(),
+            "{report:?}"
+        );
+    }
+
     #[test]
     fn insert_within_fragment_stays_exact() {
         let (_, mut engine) = build();
@@ -188,6 +451,7 @@ mod tests {
         let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
         let report = engine.insert_connection(Edge::new(a, b, 1), 0).unwrap();
         assert!(!report.full_recompute);
+        consistent(&report);
         check_all(&engine);
     }
 
@@ -206,6 +470,8 @@ mod tests {
                 report.shortcuts_improved > 0,
                 "improvement must flow via shortcuts"
             );
+            assert!(report.sites_touched >= 1);
+            assert!(report.tuples_shipped > 0);
         }
         check_all(&engine);
     }
@@ -221,13 +487,36 @@ mod tests {
     }
 
     #[test]
+    fn remove_interior_edge_repairs_incrementally() {
+        let (_, mut engine) = build();
+        // Pick a fragment-0 edge with at least one non-border endpoint:
+        // its deletion stays within the repair rule's regime (the grid is
+        // 2-edge-connected, so nothing disconnects either).
+        let frag = engine.fragmentation().clone();
+        let e = *frag
+            .fragment(0)
+            .edges()
+            .iter()
+            .find(|e| {
+                frag.fragments_of_node(e.src).len() < 2 || frag.fragments_of_node(e.dst).len() < 2
+            })
+            .expect("grid fragment has interior edges");
+        let report = engine.remove_connection(e.src, e.dst, 0).unwrap();
+        assert!(!report.full_recompute, "{report:?}");
+        assert_eq!(report.fallback_reason, None);
+        consistent(&report);
+        check_all(&engine);
+    }
+
+    #[test]
     fn remove_connection_stays_exact() {
         let (_, mut engine) = build();
-        // Remove a real in-fragment connection.
+        // Remove a real in-fragment connection (whichever comes first —
+        // incremental or fallback, answers must stay exact).
         let f0 = engine.fragmentation().fragment(0).clone();
         let e = f0.edges()[0];
         let report = engine.remove_connection(e.src, e.dst, 0).unwrap();
-        assert!(report.full_recompute);
+        consistent(&report);
         check_all(&engine);
     }
 
@@ -236,9 +525,28 @@ mod tests {
         let (_, mut engine) = build();
         let before = engine.shortest_path(n(0), n(31)).cost;
         let report = engine.remove_connection(n(0), n(0), 0).unwrap();
-        assert_eq!(report.shortcuts_improved, 0);
-        assert!(!report.full_recompute);
+        assert_eq!(report, UpdateReport::noop());
         assert_eq!(engine.shortest_path(n(0), n(31)).cost, before);
+    }
+
+    fn routes_real(engine: &DisconnectionSetEngine, x: NodeId, y: NodeId) {
+        let csr = engine.graph().clone();
+        let route = engine.route(x, y).unwrap().unwrap();
+        assert_eq!(
+            Some(route.cost),
+            baseline::shortest_path_cost(&csr, x, y),
+            "route cost {x}->{y}"
+        );
+        let mut total = 0;
+        for hop in route.nodes.windows(2) {
+            total += csr
+                .neighbors(hop[0])
+                .filter(|(t, _)| *t == hop[1])
+                .map(|(_, c)| c)
+                .min()
+                .expect("real hop");
+        }
+        assert_eq!(total, route.cost);
     }
 
     #[test]
@@ -265,22 +573,49 @@ mod tests {
         .unwrap();
         let f0 = engine.fragmentation().fragment(0).clone();
         let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
-        engine.insert_connection(Edge::new(a, b, 1), 0).unwrap();
-        let csr = engine.graph().clone();
-        let route = engine.route(n(0), n(31)).unwrap().unwrap();
-        assert_eq!(
-            Some(route.cost),
-            baseline::shortest_path_cost(&csr, n(0), n(31))
+        let report = engine.insert_connection(Edge::new(a, b, 1), 0).unwrap();
+        assert!(
+            !report.full_recompute,
+            "insert maintenance patches stored paths incrementally"
         );
-        let mut total = 0;
-        for hop in route.nodes.windows(2) {
-            total += csr
-                .neighbors(hop[0])
-                .filter(|(t, _)| *t == hop[1])
-                .map(|(_, c)| c)
-                .min()
-                .expect("real hop");
-        }
-        assert_eq!(total, route.cost);
+        routes_real(&engine, n(0), n(31));
+
+        // Now delete the shortcut edge again: stored paths that used it
+        // must be repaired too.
+        let report = engine.remove_connection(a, b, 0).unwrap();
+        consistent(&report);
+        routes_real(&engine, n(0), n(31));
+        check_all(&engine);
+    }
+
+    #[test]
+    fn update_batch_report_aggregates() {
+        let (_, mut engine) = build();
+        use crate::api::TcEngine;
+        let f0 = engine.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        let updates = vec![
+            NetworkUpdate::Insert {
+                edge: Edge::new(a, b, 1),
+                owner: 0,
+            },
+            NetworkUpdate::Remove {
+                src: a,
+                dst: b,
+                owner: 0,
+            },
+        ];
+        let batch = engine.update_batch(&updates).unwrap();
+        assert_eq!(batch.reports.len(), 2);
+        assert!(batch.incremental_fraction() >= 0.0);
+        assert_eq!(
+            batch.tuples_shipped(),
+            batch
+                .reports
+                .iter()
+                .map(|r| r.tuples_shipped)
+                .sum::<usize>()
+        );
+        check_all(&engine);
     }
 }

@@ -120,6 +120,14 @@ impl Edge {
     pub fn is_loop(&self) -> bool {
         self.src == self.dst
     }
+
+    /// Whether this edge represents the connection `src -> dst` — in
+    /// either direction when `symmetric`. The one matching rule every
+    /// update path shares (coordinator fragmentation, deletion repair,
+    /// machine sites), so removals can never desynchronize them.
+    pub fn connects(&self, src: NodeId, dst: NodeId, symmetric: bool) -> bool {
+        (self.src == src && self.dst == dst) || (symmetric && self.src == dst && self.dst == src)
+    }
 }
 
 impl fmt::Display for Edge {

@@ -38,12 +38,14 @@ pub mod protocol;
 pub mod site;
 pub mod stats;
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 
-use ds_closure::api::{apply_update, build_parts, run_batch, SiteEvaluator};
+use ds_closure::api::{build_parts, run_batch, SiteEvaluator};
+use ds_closure::complementary::ComplementaryInfo;
 use ds_closure::planner::{ChainPlan, Planner};
+use ds_closure::updates::maintain;
 use ds_closure::{
     BatchAnswer, ClosureError, EngineConfig, NetworkUpdate, QueryAnswer, QueryRequest, QueryStats,
     Route, TcEngine, UpdateReport,
@@ -52,19 +54,23 @@ use ds_fragment::Fragmentation;
 use ds_graph::{CsrGraph, NodeId};
 use ds_relation::{PathTuple, Relation};
 
-use protocol::{SiteRequest, SiteResponse};
+use protocol::{EdgeChange, SiteDelta, SiteRequest, SiteResponse};
+use site::SiteInit;
 pub use stats::{MachineStats, SiteStats};
 
 /// The deployed machine: running site threads plus the coordinator state.
 ///
-/// The coordinator retains the global graph and fragmentation solely for
-/// update maintenance (redeployment); query processing touches only the
-/// planner and the message channels — sites never see global state.
+/// The coordinator retains the global graph, fragmentation and
+/// complementary information solely for update maintenance (running the
+/// shared `maintain` path and deriving the deltas to ship); query
+/// processing touches only the planner and the message channels — sites
+/// never see global state.
 pub struct Machine {
     graph: CsrGraph,
     frag: Fragmentation,
     symmetric: bool,
     cfg: EngineConfig,
+    comp: ComplementaryInfo,
     senders: Vec<mpsc::Sender<SiteRequest>>,
     responses: mpsc::Receiver<SiteResponse>,
     handles: Vec<JoinHandle<()>>,
@@ -97,13 +103,25 @@ impl Machine {
     ) -> Result<Self, ClosureError> {
         // Shared build path with the inline backend.
         let parts = build_parts(&graph, &frag, symmetric, &cfg)?;
-        let (senders, responses, handles) = spawn_sites(parts.augmented);
+        let inits: Vec<SiteInit> = frag
+            .fragments()
+            .iter()
+            .map(|f| SiteInit {
+                site: f.id(),
+                node_count: graph.node_count(),
+                symmetric,
+                frag_edges: f.edges().to_vec(),
+                shortcuts: parts.comp.shortcuts(f.id()).to_vec(),
+            })
+            .collect();
+        let (senders, responses, handles) = spawn_sites(inits);
         let site_count = senders.len();
         Ok(Machine {
             graph,
             frag,
             symmetric,
             cfg,
+            comp: parts.comp,
             senders,
             responses,
             handles,
@@ -133,39 +151,23 @@ impl Machine {
             let _ = h.join();
         }
     }
-
-    /// Tear the sites down and redeploy them from the coordinator's
-    /// (updated) graph and fragmentation. Accumulated statistics are
-    /// kept; in-flight state is not (there is none between queries).
-    fn redeploy(&mut self) -> Result<(), ClosureError> {
-        self.shutdown();
-        let parts = build_parts(&self.graph, &self.frag, self.symmetric, &self.cfg)?;
-        let (senders, responses, handles) = spawn_sites(parts.augmented);
-        self.senders = senders;
-        self.responses = responses;
-        self.handles = handles;
-        self.planner = parts.planner;
-        Ok(())
-    }
 }
 
-/// Spawn one site thread per augmented fragment graph.
+/// Spawn one site thread per fragment, each owning its [`SiteInit`].
 fn spawn_sites(
-    augmented: Vec<CsrGraph>,
+    inits: Vec<SiteInit>,
 ) -> (
     Vec<mpsc::Sender<SiteRequest>>,
     mpsc::Receiver<SiteResponse>,
     Vec<JoinHandle<()>>,
 ) {
     let (resp_tx, responses) = mpsc::channel();
-    let mut senders = Vec::with_capacity(augmented.len());
-    let mut handles = Vec::with_capacity(augmented.len());
-    for (site_id, aug) in augmented.into_iter().enumerate() {
+    let mut senders = Vec::with_capacity(inits.len());
+    let mut handles = Vec::with_capacity(inits.len());
+    for init in inits {
         let (req_tx, req_rx) = mpsc::channel();
         let tx = resp_tx.clone();
-        handles.push(std::thread::spawn(move || {
-            site::run_site(site_id, aug, req_rx, tx)
-        }));
+        handles.push(std::thread::spawn(move || site::run_site(init, req_rx, tx)));
         senders.push(req_tx);
     }
     (senders, responses, handles)
@@ -207,7 +209,10 @@ impl SiteEvaluator for ChannelEval<'_> {
         // Collect phase: the final joins' communication.
         let mut segments: Vec<Option<Relation<PathTuple>>> = vec![None; positions.len()];
         for _ in 0..positions.len() {
-            let resp = self.responses.recv().expect("site thread alive");
+            let SiteResponse::SubQuery(resp) = self.responses.recv().expect("site thread alive")
+            else {
+                unreachable!("no deltas are in flight during query evaluation")
+            };
             self.stats.messages_received += 1;
             self.stats.tuples_shipped += resp.rows.len();
             let s = &mut self.stats.sites[resp.site];
@@ -254,26 +259,71 @@ impl TcEngine for Machine {
         Err(ClosureError::RoutesNotEnabled)
     }
 
-    /// Updates redeploy the machine: the coordinator applies the change
-    /// to its retained graph and fragmentation, recomputes the shared
-    /// parts and restarts the sites. (The inline backend patches
-    /// shortcuts incrementally; a message-passing deployment would ship
-    /// deltas — simulated here as a full redeploy, the paper's
-    /// "careful treatment of updates".)
+    /// Updates are incremental: the coordinator runs the shared
+    /// maintenance path (`ds_closure::updates::maintain`) on its retained
+    /// state, then ships one [`SiteDelta`] to each touched site — the
+    /// owner gets the fragment edge change, every site whose shortcut
+    /// table changed gets the refreshed tuples. Untouched sites see no
+    /// message at all; site threads are never torn down, so accumulated
+    /// statistics survive updates by construction.
     fn update(&mut self, update: &NetworkUpdate) -> Result<UpdateReport, ClosureError> {
-        let Some(new_graph) = apply_update(&self.graph, &mut self.frag, self.symmetric, update)?
-        else {
-            return Ok(UpdateReport {
-                shortcuts_improved: 0,
-                full_recompute: false,
-            });
+        let m = maintain(
+            &mut self.graph,
+            &mut self.frag,
+            self.symmetric,
+            &self.cfg,
+            &mut self.comp,
+            update,
+        )?;
+        let Some(owner) = m.owner else {
+            return Ok(m.report); // no-op removal: nothing to ship
         };
-        self.graph = new_graph;
-        self.redeploy()?;
-        Ok(UpdateReport {
-            shortcuts_improved: 0,
-            full_recompute: true,
-        })
+        let mut targets: BTreeSet<usize> = m.shortcut_sites.iter().copied().collect();
+        targets.insert(owner);
+        let mut pending: HashMap<u64, usize> = HashMap::with_capacity(targets.len());
+        for &f in &targets {
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            pending.insert(tag, f);
+            let shortcuts = m
+                .shortcut_sites
+                .contains(&f)
+                .then(|| self.comp.shortcuts(f).to_vec());
+            self.stats.update_tuples_shipped += shortcuts.as_ref().map_or(0, Vec::len);
+            let delta = SiteDelta {
+                tag,
+                edge_change: (f == owner).then_some(match *update {
+                    NetworkUpdate::Insert { edge, .. } => EdgeChange::Insert(edge),
+                    NetworkUpdate::Remove { src, dst, .. } => EdgeChange::Remove { src, dst },
+                }),
+                shortcuts,
+            };
+            self.stats.messages_sent += 1;
+            self.stats.update_messages_sent += 1;
+            self.senders[f]
+                .send(SiteRequest::Delta(delta))
+                .expect("site thread alive");
+        }
+        for _ in 0..targets.len() {
+            match self.responses.recv().expect("site thread alive") {
+                SiteResponse::DeltaApplied { site, tag, busy } => {
+                    assert_eq!(
+                        pending.remove(&tag),
+                        Some(site),
+                        "delta ack does not match a shipped delta"
+                    );
+                    self.stats.messages_received += 1;
+                    let s = &mut self.stats.sites[site];
+                    s.deltas_applied += 1;
+                    s.busy += busy;
+                }
+                SiteResponse::SubQuery(_) => {
+                    unreachable!("no subqueries are in flight during an update")
+                }
+            }
+        }
+        self.stats.updates += 1;
+        Ok(m.report)
     }
 
     fn query_batch(&mut self, requests: &[QueryRequest]) -> BatchAnswer {
@@ -418,11 +468,46 @@ mod tests {
                 owner: 0,
             })
             .unwrap();
-        assert!(report.full_recompute, "machine updates redeploy");
+        assert!(!report.full_recompute, "insert maintenance is incremental");
+        assert!(report.sites_touched >= 1, "{report:?}");
         let after = m.shortest_path(n(0), n(35)).cost.unwrap();
         assert!(after <= before, "insertion cannot lengthen paths");
         let csr = m.graph.clone();
         assert_eq!(Some(after), baseline::shortest_path_cost(&csr, n(0), n(35)));
+        m.shutdown();
+    }
+
+    #[test]
+    fn update_remove_keeps_answers_exact() {
+        let (_, mut m) = machine();
+        let f1 = m.fragmentation().fragment(1).clone();
+        let e = *f1
+            .edges()
+            .iter()
+            .find(|e| {
+                let frag = m.fragmentation();
+                frag.fragments_of_node(e.src).len() < 2 || frag.fragments_of_node(e.dst).len() < 2
+            })
+            .expect("grid fragment has interior edges");
+        let report = m
+            .update(&NetworkUpdate::Remove {
+                src: e.src,
+                dst: e.dst,
+                owner: 1,
+            })
+            .unwrap();
+        assert!(
+            !report.full_recompute,
+            "interior grid edge repairs: {report:?}"
+        );
+        let csr = m.graph.clone();
+        for (x, y) in [(0u32, 35u32), (8, 27), (20, 3)] {
+            assert_eq!(
+                m.shortest_path(n(x), n(y)).cost,
+                baseline::shortest_path_cost(&csr, n(x), n(y)),
+                "post-delete {x}->{y}"
+            );
+        }
         m.shutdown();
     }
 
@@ -437,6 +522,34 @@ mod tests {
             })
             .unwrap();
         assert!(!report.full_recompute);
+        assert_eq!(report.sites_touched, 0);
+        assert_eq!(m.stats().updates, 0, "no-op ships nothing");
+        m.shutdown();
+    }
+
+    #[test]
+    fn update_ships_deltas_only_to_touched_sites() {
+        let (_, mut m) = machine();
+        let sent_before = m.stats().messages_sent;
+        let f0 = m.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        let report = m
+            .update(&NetworkUpdate::Insert {
+                edge: Edge::new(a, b, 1),
+                owner: 0,
+            })
+            .unwrap();
+        let s = m.stats();
+        assert_eq!(s.updates, 1);
+        assert_eq!(s.messages_sent - sent_before, report.sites_touched);
+        assert_eq!(s.update_messages_sent, report.sites_touched);
+        assert_eq!(s.update_tuples_shipped, report.tuples_shipped);
+        assert!(
+            report.sites_touched <= m.site_count(),
+            "never more deltas than sites"
+        );
+        let deltas: usize = s.sites.iter().map(|x| x.deltas_applied).sum();
+        assert_eq!(deltas, report.sites_touched);
         m.shutdown();
     }
 

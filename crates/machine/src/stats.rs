@@ -3,12 +3,15 @@
 
 use std::time::Duration;
 
-/// Per-site counters.
+/// Per-site counters. All counters accumulate monotonically for the
+/// lifetime of the machine — updates (delta messages) never reset them.
 #[derive(Clone, Debug, Default)]
 pub struct SiteStats {
     /// Subqueries served.
     pub subqueries: usize,
-    /// Total processing time.
+    /// Update deltas applied (edge changes / shortcut refreshes).
+    pub deltas_applied: usize,
+    /// Total processing time (subqueries + delta application).
     pub busy: Duration,
     /// Tuples produced (size of the shipped relations).
     pub tuples_produced: usize,
@@ -19,7 +22,9 @@ pub struct SiteStats {
 pub struct MachineStats {
     /// Queries answered by the coordinator.
     pub queries: usize,
-    /// Request messages coordinator → sites.
+    /// Network updates applied by the coordinator.
+    pub updates: usize,
+    /// Request messages coordinator → sites (subqueries and deltas).
     pub messages_sent: usize,
     /// Response messages sites → coordinator.
     pub messages_received: usize,
@@ -27,6 +32,11 @@ pub struct MachineStats {
     /// "These joins will have relatively small operands (since the
     /// disconnection sets are small)" (§2.1).
     pub tuples_shipped: usize,
+    /// Delta messages shipped for updates (subset of `messages_sent`).
+    pub update_messages_sent: usize,
+    /// Shortcut tuples shipped in deltas (the update maintenance
+    /// communication volume — compare against `tuples_shipped`).
+    pub update_tuples_shipped: usize,
     /// Per-site breakdown.
     pub sites: Vec<SiteStats>,
 }

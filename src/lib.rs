@@ -15,5 +15,7 @@ pub use ds_relation as relation;
 pub mod system;
 
 pub use ds_closure::api::{BatchAnswer, BatchStats, NetworkUpdate, QueryRequest, TcEngine};
-pub use ds_closure::{QueryAnswer, QueryStats, Route, UpdateReport};
+pub use ds_closure::{
+    FallbackReason, QueryAnswer, QueryStats, Route, UpdateBatchReport, UpdateReport,
+};
 pub use system::{Backend, Fragmenter, System, SystemBuilder, SystemError};

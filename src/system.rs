@@ -27,7 +27,8 @@ use std::fmt;
 
 use ds_closure::api::{BatchAnswer, NetworkUpdate, QueryRequest, TcEngine};
 use ds_closure::{
-    ClosureError, DisconnectionSetEngine, EngineConfig, QueryAnswer, Route, UpdateReport,
+    ClosureError, DisconnectionSetEngine, EngineConfig, QueryAnswer, Route, UpdateBatchReport,
+    UpdateReport,
 };
 use ds_fragment::bond_energy::{bond_energy, BondEnergyConfig};
 use ds_fragment::center::{center_based, CenterConfig};
@@ -358,6 +359,13 @@ impl TcEngine for System {
         self.engine.update(update)
     }
 
+    fn update_batch(
+        &mut self,
+        updates: &[NetworkUpdate],
+    ) -> Result<UpdateBatchReport, ClosureError> {
+        self.engine.update_batch(updates)
+    }
+
     fn query_batch(&mut self, requests: &[QueryRequest]) -> BatchAnswer {
         self.engine.query_batch(requests)
     }
@@ -409,6 +417,31 @@ mod tests {
         let batch = sys.query_batch(&reqs);
         assert_eq!(batch.answers.len(), 6);
         assert!(batch.stats.plans_reused > 0);
+    }
+
+    #[test]
+    fn update_batch_through_the_facade_on_both_backends() {
+        use ds_graph::Edge;
+        for backend in [Backend::Inline, Backend::SiteThreads] {
+            let mut sys = linear_system(backend);
+            let f0 = sys.fragmentation().fragment(0).clone();
+            let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+            let updates = vec![
+                NetworkUpdate::Insert {
+                    edge: Edge::new(a, b, 1),
+                    owner: 0,
+                },
+                NetworkUpdate::Remove {
+                    src: a,
+                    dst: b,
+                    owner: 0,
+                },
+            ];
+            let batch = sys.update_batch(&updates).unwrap();
+            assert_eq!(batch.reports.len(), 2, "{backend:?}");
+            assert!(batch.incremental_fraction() > 0.0, "{backend:?}");
+            assert!(sys.connected(n(0), n(29)), "{backend:?} still answers");
+        }
     }
 
     #[test]

@@ -104,6 +104,101 @@ fn machine_handles_many_queries_and_accumulates_stats() {
 }
 
 #[test]
+fn stats_accumulate_across_updates() {
+    // Regression: the old update path redeployed the machine, losing the
+    // continuity of per-site accounting. With the delta protocol, site
+    // threads survive updates, so every counter accumulates monotonically
+    // — across incremental updates and fallback updates alike.
+    use discset::graph::Edge;
+    use discset::NetworkUpdate;
+    let (csr, frag) = setup(3, 11);
+    let mut m = Machine::deploy(csr.clone(), frag, true).unwrap();
+    let n = csr.node_count() as u32;
+    for i in 0..10u32 {
+        m.shortest_path(NodeId(i % n), NodeId((i * 13 + 5) % n));
+    }
+    let before = m.stats().clone();
+    assert!(before.messages_sent > 0);
+    assert_eq!(before.updates, 0);
+
+    // An incremental insert followed by its (incremental or fallback)
+    // removal — both travel as deltas, never a teardown.
+    let f0 = m.fragmentation().fragment(0).clone();
+    let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+    let r1 = m
+        .update(&NetworkUpdate::Insert {
+            edge: Edge::new(a, b, 1),
+            owner: 0,
+        })
+        .unwrap();
+    assert!(!r1.full_recompute, "inserts are incremental: {r1:?}");
+    let r2 = m
+        .update(&NetworkUpdate::Remove {
+            src: a,
+            dst: b,
+            owner: 0,
+        })
+        .unwrap();
+    for i in 0..10u32 {
+        m.shortest_path(NodeId((i * 3) % n), NodeId((i * 7 + 2) % n));
+    }
+
+    let after = m.stats();
+    assert_eq!(after.queries, 20, "query counter accumulated");
+    assert_eq!(after.updates, 2);
+    assert_eq!(
+        after.update_messages_sent,
+        r1.sites_touched + r2.sites_touched
+    );
+    assert_eq!(
+        after.update_tuples_shipped,
+        r1.tuples_shipped + r2.tuples_shipped
+    );
+    assert_eq!(after.messages_sent, after.messages_received);
+    let deltas: usize = after.sites.iter().map(|s| s.deltas_applied).sum();
+    assert_eq!(deltas, r1.sites_touched + r2.sites_touched);
+    // Per-site counters from before the updates are still there.
+    for (i, (pre, post)) in before.sites.iter().zip(&after.sites).enumerate() {
+        assert!(
+            post.subqueries >= pre.subqueries,
+            "site {i} lost subquery accounting"
+        );
+        assert!(post.busy >= pre.busy, "site {i} lost busy accounting");
+        assert!(
+            post.tuples_produced >= pre.tuples_produced,
+            "site {i} lost tuple accounting"
+        );
+    }
+    assert!(
+        after.sites.iter().map(|s| s.subqueries).sum::<usize>()
+            > before.sites.iter().map(|s| s.subqueries).sum::<usize>(),
+        "post-update queries kept counting"
+    );
+    // Answers stay exact after the in-place updates.
+    let now = {
+        let connections: Vec<Edge> = m
+            .fragmentation()
+            .fragments()
+            .iter()
+            .flat_map(|f| f.edges().iter().copied())
+            .collect();
+        discset::graph::CsrGraph::from_edges(
+            m.fragmentation().node_count(),
+            &discset::gen::output::expand_connections(&connections, true),
+        )
+    };
+    for i in 0..15u32 {
+        let (x, y) = (NodeId((i * 5) % n), NodeId((i * 11 + 3) % n));
+        assert_eq!(
+            m.shortest_path(x, y).cost,
+            baseline::shortest_path_cost(&now, x, y),
+            "post-update {x}->{y}"
+        );
+    }
+    m.shutdown();
+}
+
+#[test]
 fn batch_saves_messages_over_single_queries() {
     // The communication argument for query_batch: interior segments are
     // shipped once per chain, not once per query.

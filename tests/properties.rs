@@ -270,6 +270,211 @@ fn all_backends_match_baseline_on_random_workloads() {
     }
 }
 
+/// Draw a random in-fragment update against the engine's *current*
+/// fragmentation: mostly inserts between random fragment nodes, plus
+/// deletions of random fragment edges.
+fn arb_update(
+    rng: &mut StdRng,
+    frag: &discset::fragment::Fragmentation,
+) -> Option<discset::NetworkUpdate> {
+    use discset::NetworkUpdate;
+    let owner = rng.gen_index(frag.fragment_count());
+    if rng.gen_index(5) < 3 {
+        let nodes = frag.fragment(owner).nodes();
+        if nodes.len() < 2 {
+            return None;
+        }
+        let a = nodes[rng.gen_index(nodes.len())];
+        let b = nodes[rng.gen_index(nodes.len())];
+        let cost = 1 + rng.gen_index(30) as u64;
+        Some(NetworkUpdate::Insert {
+            edge: Edge::new(a, b, cost),
+            owner,
+        })
+    } else {
+        let edges = frag.fragment(owner).edges();
+        if edges.is_empty() {
+            return None;
+        }
+        let e = edges[rng.gen_index(edges.len())];
+        Some(NetworkUpdate::Remove {
+            src: e.src,
+            dst: e.dst,
+            owner,
+        })
+    }
+}
+
+/// Update-equivalence: an engine maintained through ≥ 20 random mixed
+/// inserts/deletes answers every `shortest_path`/`connected` query
+/// identically to an engine rebuilt from scratch on the final graph —
+/// for every generator × fragmenter × backend.
+#[test]
+fn maintained_engine_equals_rebuilt_from_scratch() {
+    use discset::gen::output::expand_connections;
+    let mut case = 0u64;
+    for seed in 0..6u64 {
+        let g = if seed % 2 == 0 {
+            generate_general(
+                &GeneralConfig {
+                    nodes: 26,
+                    target_edges: 60,
+                    ..Default::default()
+                },
+                seed,
+            )
+        } else {
+            generate_transportation(
+                &TransportationConfig {
+                    clusters: 3,
+                    nodes_per_cluster: 9,
+                    target_edges_per_cluster: 22,
+                    ..TransportationConfig::default()
+                },
+                seed,
+            )
+        };
+        let mut fragmenters = vec![
+            Fragmenter::Linear(LinearConfig {
+                fragments: 3,
+                ..Default::default()
+            }),
+            Fragmenter::Center(CenterConfig {
+                fragments: 3,
+                ..Default::default()
+            }),
+        ];
+        if let Some(labels) = &g.cluster_of {
+            fragmenters.push(Fragmenter::ByLabels {
+                labels: labels.clone(),
+                parts: (*labels.iter().max().unwrap() + 1) as usize,
+                policy: discset::fragment::CrossingPolicy::LowerBlock,
+            });
+        }
+        for fragmenter in fragmenters {
+            for backend in [Backend::Inline, Backend::SiteThreads] {
+                case += 1;
+                let mut rng = StdRng::seed_from_u64(0xA11CE ^ case);
+                let mut sys = System::builder()
+                    .graph(&g)
+                    .fragmenter(fragmenter.clone())
+                    .backend(backend)
+                    .build()
+                    .unwrap();
+                let mut applied = 0;
+                for _ in 0..300 {
+                    if applied >= 20 {
+                        break;
+                    }
+                    let Some(update) = arb_update(&mut rng, sys.fragmentation()) else {
+                        continue;
+                    };
+                    let report = sys.update(&update).unwrap();
+                    assert_eq!(
+                        report.full_recompute,
+                        report.fallback_reason.is_some(),
+                        "seed {seed} case {case}: report invariant ({report:?})"
+                    );
+                    applied += 1;
+                }
+                assert!(applied >= 20, "seed {seed}: not enough applicable updates");
+
+                // Rebuild from scratch on the final graph: the maintained
+                // fragmentation *is* the final network.
+                let final_frag = sys.fragmentation().clone();
+                let connections: Vec<Edge> = final_frag
+                    .fragments()
+                    .iter()
+                    .flat_map(|f| f.edges().iter().copied())
+                    .collect();
+                let csr = CsrGraph::from_edges(g.nodes, &expand_connections(&connections, true));
+                let mut fresh = System::builder()
+                    .network(g.nodes, connections)
+                    .fragmenter(Fragmenter::Prebuilt(final_frag))
+                    .backend(Backend::Inline)
+                    .build()
+                    .unwrap();
+                for _ in 0..40 {
+                    let x = NodeId(rng.gen_index(g.nodes) as u32);
+                    let y = NodeId(rng.gen_index(g.nodes) as u32);
+                    let want = baseline::shortest_path_cost(&csr, x, y);
+                    assert_eq!(
+                        sys.shortest_path(x, y).cost,
+                        want,
+                        "seed {seed} case {case} {}: maintained {x}->{y}",
+                        sys.backend_name()
+                    );
+                    assert_eq!(
+                        fresh.shortest_path(x, y).cost,
+                        want,
+                        "seed {seed} case {case}: rebuilt {x}->{y}"
+                    );
+                    assert_eq!(
+                        sys.connected(x, y),
+                        x == y || want.is_some(),
+                        "seed {seed} case {case}: connected {x}->{y}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Pure-insert sequences never fall back to a full recompute, on either
+/// backend (the acceptance contract of incremental insert maintenance).
+#[test]
+fn pure_insert_sequences_never_recompute() {
+    for seed in 0..6u64 {
+        let g = generate_general(
+            &GeneralConfig {
+                nodes: 24,
+                target_edges: 50,
+                ..Default::default()
+            },
+            seed,
+        );
+        for backend in [Backend::Inline, Backend::SiteThreads] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sys = System::builder()
+                .graph(&g)
+                .fragmenter(Fragmenter::Linear(LinearConfig {
+                    fragments: 3,
+                    ..Default::default()
+                }))
+                .backend(backend)
+                .build()
+                .unwrap();
+            let mut applied = 0;
+            for _ in 0..200 {
+                if applied >= 15 {
+                    break;
+                }
+                let frag = sys.fragmentation();
+                let owner = rng.gen_index(frag.fragment_count());
+                let nodes = frag.fragment(owner).nodes();
+                if nodes.len() < 2 {
+                    continue;
+                }
+                let a = nodes[rng.gen_index(nodes.len())];
+                let b = nodes[rng.gen_index(nodes.len())];
+                let report = sys
+                    .update(&discset::NetworkUpdate::Insert {
+                        edge: Edge::new(a, b, 1 + rng.gen_index(20) as u64),
+                        owner,
+                    })
+                    .unwrap();
+                assert!(
+                    !report.full_recompute,
+                    "seed {seed} {}: inserts are always incremental ({report:?})",
+                    sys.backend_name()
+                );
+                applied += 1;
+            }
+            assert!(applied >= 15, "seed {seed}: not enough inserts");
+        }
+    }
+}
+
 /// Complementary shortcut costs obey the triangle inequality with the
 /// global metric (they ARE global distances).
 #[test]
