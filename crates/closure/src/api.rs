@@ -31,7 +31,7 @@ use ds_graph::{Cost, CsrGraph, Edge, NodeId};
 use ds_relation::{PathTuple, Relation};
 
 use crate::assemble;
-use crate::complementary::ComplementaryInfo;
+use crate::complementary::{ComplementaryInfo, PrecomputeStats};
 use crate::engine::{EngineConfig, QueryAnswer, QueryStats, Route};
 use crate::error::ClosureError;
 use crate::local::augmented_graph;
@@ -153,6 +153,12 @@ pub trait TcEngine {
 
     /// Apply a network update, keeping answers exact afterwards.
     fn update(&mut self, update: &NetworkUpdate) -> Result<UpdateReport, ClosureError>;
+
+    /// Per-phase timing of the pre-processing that deployed this engine
+    /// (the paper's dominant cost): local sweeps, skeleton closure, table
+    /// assembly. After a fallback full recompute, reflects the latest
+    /// recompute.
+    fn precompute_stats(&self) -> PrecomputeStats;
 
     /// Apply a sequence of updates in order, collecting per-update
     /// reports. Stops at (and returns) the first error; updates applied

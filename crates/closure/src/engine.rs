@@ -4,7 +4,7 @@ use std::collections::HashSet;
 use std::time::Duration;
 
 use ds_fragment::{FragmentId, Fragmentation};
-use ds_graph::{dijkstra, Cost, CsrGraph, NodeId};
+use ds_graph::{Cost, CsrGraph, NodeId, ScratchDijkstra, ScratchStats};
 
 use ds_relation::{PathTuple, Relation};
 
@@ -12,7 +12,7 @@ use crate::api::{
     build_parts, run_batch, BatchAnswer, NetworkUpdate, QueryRequest, SiteEvaluator, TcEngine,
 };
 use crate::assemble;
-use crate::complementary::{ComplementaryInfo, ComplementaryScope};
+use crate::complementary::{ComplementaryInfo, ComplementaryScope, PrecomputeStats};
 use crate::error::ClosureError;
 use crate::executor::{run_chain, ExecutionMode};
 use crate::planner::{ChainPlan, Planner};
@@ -103,6 +103,10 @@ pub struct DisconnectionSetEngine {
     /// costs — used to tell shortcut hops apart during route expansion.
     real_hops: Vec<HashSet<(NodeId, NodeId, Cost)>>,
     planner: Planner,
+    /// The reusable Dijkstra kernel the batch path and update repair
+    /// sweeps run on — persists across calls, so the steady state is
+    /// allocation-free (see [`DisconnectionSetEngine::scratch_stats`]).
+    scratch: ScratchDijkstra,
 }
 
 impl DisconnectionSetEngine {
@@ -130,7 +134,14 @@ impl DisconnectionSetEngine {
             augmented: parts.augmented,
             real_hops: parts.real_hops,
             planner: parts.planner,
+            scratch: ScratchDijkstra::new(),
         })
+    }
+
+    /// Reuse accounting of the engine's persistent scratch kernel: after
+    /// warmup, batches run with zero array growths.
+    pub fn scratch_stats(&self) -> ScratchStats {
+        self.scratch.stats()
     }
 
     /// Whether fragment tuples stand for both travel directions.
@@ -178,9 +189,13 @@ impl DisconnectionSetEngine {
             enumerated: plan.enumerated,
             ..QueryStats::default()
         };
+        // One scratch per query (`&self` receiver), reused across every
+        // chain and subquery of the query; the batch path reuses the
+        // engine's persistent scratch instead.
+        let mut scratch = ScratchDijkstra::new();
         let mut best: Option<(Cost, Vec<FragmentId>)> = None;
         for chain in &plan.chains {
-            let (segments, runs) = run_chain(&self.augmented, chain, self.cfg.mode);
+            let (segments, runs) = run_chain(&self.augmented, chain, self.cfg.mode, &mut scratch);
             stats.chains_evaluated += 1;
             stats.site_queries += runs.len();
             for r in &runs {
@@ -230,9 +245,10 @@ impl DisconnectionSetEngine {
             }));
         }
         let plan = self.planner.plan(x, y)?;
+        let mut scratch = ScratchDijkstra::new();
         let mut best: Option<(Cost, Vec<NodeId>, Vec<FragmentId>)> = None;
         for chain in &plan.chains {
-            let (segments, _) = run_chain(&self.augmented, chain, self.cfg.mode);
+            let (segments, _) = run_chain(&self.augmented, chain, self.cfg.mode, &mut scratch);
             if let Some((cost, waypoints)) = assemble::best_waypoints(&segments, x, y) {
                 if best.as_ref().is_none_or(|(b, _, _)| cost < *b) {
                     best = Some((cost, waypoints, chain.fragments.clone()));
@@ -243,12 +259,13 @@ impl DisconnectionSetEngine {
             return Ok(None);
         };
 
-        // Expand each junction-to-junction leg within its site.
+        // Expand each junction-to-junction leg within its site, on the
+        // same scratch the chain evaluation used.
         // waypoints = [x, w1, …, y]; leg k runs at site chain[k].
         debug_assert_eq!(waypoints.len(), chain.len() + 1);
         let mut nodes = vec![x];
         for (k, leg) in waypoints.windows(2).enumerate() {
-            let expanded = self.expand_leg(chain[k], leg[0], leg[1]);
+            let expanded = self.expand_leg(chain[k], leg[0], leg[1], &mut scratch);
             nodes.extend_from_slice(&expanded[1..]);
         }
         Ok(Some(Route {
@@ -301,6 +318,7 @@ impl DisconnectionSetEngine {
             &self.cfg,
             &mut self.comp,
             update,
+            &mut self.scratch,
         )?;
         let Some(owner) = m.owner else {
             return Ok(m.report);
@@ -329,18 +347,24 @@ impl DisconnectionSetEngine {
 
     /// Expand one leg `a -> b` at `site` into real graph nodes, splicing
     /// complementary shortcut hops with their stored global paths.
-    fn expand_leg(&self, site: FragmentId, a: NodeId, b: NodeId) -> Vec<NodeId> {
+    fn expand_leg(
+        &self,
+        site: FragmentId,
+        a: NodeId,
+        b: NodeId,
+        scratch: &mut ScratchDijkstra,
+    ) -> Vec<NodeId> {
         if a == b {
             return vec![a];
         }
-        let sp = dijkstra::single_source(&self.augmented[site], a);
-        let local = sp
+        scratch.sweep_to_targets(&self.augmented[site], &[(a, 0)], &[b]);
+        let local = scratch
             .path_to(b)
             .expect("assembly proved this leg reachable at this site");
         let mut out = vec![a];
         for hop in local.windows(2) {
             let (p, q) = (hop[0], hop[1]);
-            let hop_cost = sp.cost(q).expect("on path") - sp.cost(p).expect("on path");
+            let hop_cost = scratch.cost(q).expect("on path") - scratch.cost(p).expect("on path");
             if self.real_hops[site].contains(&(p, q, hop_cost)) {
                 out.push(q);
             } else {
@@ -356,10 +380,13 @@ impl DisconnectionSetEngine {
 }
 
 /// Site evaluation for the inline backend: subqueries run on the calling
-/// thread or one scoped thread each, per [`EngineConfig::mode`].
+/// thread or one scoped thread each, per [`EngineConfig::mode`]. Borrows
+/// the engine's persistent scratch, so a batch's sequential subqueries
+/// are allocation-free in the steady state.
 struct InlineEval<'a> {
     augmented: &'a [CsrGraph],
     mode: ExecutionMode,
+    scratch: &'a mut ScratchDijkstra,
 }
 
 impl SiteEvaluator for InlineEval<'_> {
@@ -376,7 +403,7 @@ impl SiteEvaluator for InlineEval<'_> {
                 .map(|&p| chain.queries[p].clone())
                 .collect(),
         };
-        let (segments, runs) = run_chain(self.augmented, &sub, self.mode);
+        let (segments, runs) = run_chain(self.augmented, &sub, self.mode, self.scratch);
         for r in &runs {
             stats.site_queries += 1;
             stats.tuples_shipped += r.tuples;
@@ -412,12 +439,24 @@ impl TcEngine for DisconnectionSetEngine {
         self.apply_maintenance(update)
     }
 
+    fn precompute_stats(&self) -> PrecomputeStats {
+        self.comp.precompute_stats()
+    }
+
     fn query_batch(&mut self, requests: &[QueryRequest]) -> BatchAnswer {
+        let DisconnectionSetEngine {
+            ref augmented,
+            ref cfg,
+            ref planner,
+            ref mut scratch,
+            ..
+        } = *self;
         let mut eval = InlineEval {
-            augmented: &self.augmented,
-            mode: self.cfg.mode,
+            augmented,
+            mode: cfg.mode,
+            scratch,
         };
-        run_batch(&self.planner, &mut eval, requests)
+        run_batch(planner, &mut eval, requests)
     }
 }
 
@@ -476,6 +515,52 @@ mod tests {
         let a = engine.shortest_path(n(17), n(17));
         assert_eq!(a.cost, Some(0));
         assert!(engine.reachable(n(17), n(17)));
+    }
+
+    /// The steady-state `query_batch` path performs zero O(V) heap
+    /// allocations: the engine's persistent scratch grows once (on the
+    /// first batch) and is only reused from then on.
+    #[test]
+    fn query_batch_steady_state_is_allocation_free() {
+        use crate::api::QueryRequest;
+        let (_, mut engine) = grid_engine(EngineConfig::default());
+        let requests: Vec<QueryRequest> = (0..8u32)
+            .map(|i| QueryRequest::new(n(i), n(39 - i)))
+            .collect();
+        assert_eq!(engine.scratch_stats(), ds_graph::ScratchStats::default());
+        let first = engine.query_batch(&requests);
+        let warm = engine.scratch_stats();
+        assert_eq!(warm.grows, 1, "arrays grow exactly once, on first use");
+        assert!(warm.sweeps > 0);
+        let second = engine.query_batch(&requests);
+        let steady = engine.scratch_stats();
+        assert_eq!(steady.grows, warm.grows, "steady state: no allocations");
+        assert!(
+            steady.sweeps > warm.sweeps,
+            "batches really use the scratch"
+        );
+        assert_eq!(first.costs(), second.costs());
+    }
+
+    /// Per-phase precompute timing is exposed through the engine (and the
+    /// `TcEngine` trait) so callers can see where build time goes.
+    #[test]
+    fn precompute_stats_exposed_through_the_trait() {
+        let (_, mut engine) = grid_engine(EngineConfig::default());
+        let stats = TcEngine::precompute_stats(&engine);
+        assert_eq!(
+            stats.strategy,
+            crate::complementary::PrecomputeStrategy::Skeleton
+        );
+        assert!(stats.local_sweeps_ns > 0, "{stats:?}");
+        assert!(stats.total_ns() >= stats.local_sweeps_ns);
+        // Stats survive (and reflect) update maintenance.
+        let f0 = engine.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        engine
+            .insert_connection(ds_graph::Edge::new(a, b, 1), 0)
+            .unwrap();
+        assert!(TcEngine::precompute_stats(&engine).total_ns() > 0);
     }
 
     #[test]

@@ -9,10 +9,10 @@
 
 use std::time::{Duration, Instant};
 
-use ds_graph::CsrGraph;
+use ds_graph::{CsrGraph, ScratchDijkstra};
 use ds_relation::{PathTuple, Relation};
 
-use crate::local::border_matrix;
+use crate::local::border_matrix_with;
 use crate::planner::{ChainPlan, SiteQuery};
 
 /// Sequential or site-parallel phase one.
@@ -40,19 +40,35 @@ pub struct SiteRun {
 
 /// Evaluate every subquery of a chain. Returns the segment relations (in
 /// chain order) and per-site accounting.
+///
+/// Sequential mode runs every subquery on `scratch`, so a caller that
+/// keeps one scratch across chains/queries performs no per-subquery O(V)
+/// allocations. Parallel mode gives each site thread its own fresh
+/// scratch (stamped arrays cannot be shared across threads — exactly as
+/// each real site owns its memory).
 pub fn run_chain(
     augmented: &[CsrGraph],
     chain: &ChainPlan,
     mode: ExecutionMode,
+    scratch: &mut ScratchDijkstra,
 ) -> (Vec<Relation<PathTuple>>, Vec<SiteRun>) {
     match mode {
-        ExecutionMode::Sequential => chain.queries.iter().map(|q| run_one(augmented, q)).unzip(),
+        ExecutionMode::Sequential => chain
+            .queries
+            .iter()
+            .map(|q| run_one(augmented, q, scratch))
+            .unzip(),
         ExecutionMode::Parallel => {
             let results: Vec<(Relation<PathTuple>, SiteRun)> = std::thread::scope(|s| {
                 let handles: Vec<_> = chain
                     .queries
                     .iter()
-                    .map(|q| s.spawn(move || run_one(augmented, q)))
+                    .map(|q| {
+                        s.spawn(move || {
+                            let mut local = ScratchDijkstra::new();
+                            run_one(augmented, q, &mut local)
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -64,9 +80,13 @@ pub fn run_chain(
     }
 }
 
-fn run_one(augmented: &[CsrGraph], q: &SiteQuery) -> (Relation<PathTuple>, SiteRun) {
+fn run_one(
+    augmented: &[CsrGraph],
+    q: &SiteQuery,
+    scratch: &mut ScratchDijkstra,
+) -> (Relation<PathTuple>, SiteRun) {
     let start = Instant::now();
-    let rel = border_matrix(&augmented[q.site], &q.sources, &q.targets);
+    let rel = border_matrix_with(&augmented[q.site], &q.sources, &q.targets, scratch);
     let run = SiteRun {
         site: q.site,
         busy: start.elapsed(),
@@ -109,8 +129,9 @@ mod tests {
     #[test]
     fn sequential_and_parallel_agree() {
         let (aug, chain) = setup();
-        let (seq, seq_runs) = run_chain(&aug, &chain, ExecutionMode::Sequential);
-        let (par, par_runs) = run_chain(&aug, &chain, ExecutionMode::Parallel);
+        let mut scratch = ScratchDijkstra::new();
+        let (seq, seq_runs) = run_chain(&aug, &chain, ExecutionMode::Sequential, &mut scratch);
+        let (par, par_runs) = run_chain(&aug, &chain, ExecutionMode::Parallel, &mut scratch);
         assert_eq!(seq.len(), 2);
         assert_eq!(seq[0].rows(), par[0].rows());
         assert_eq!(seq[1].rows(), par[1].rows());
@@ -124,7 +145,8 @@ mod tests {
     #[test]
     fn segment_costs_are_local_shortest_paths() {
         let (aug, chain) = setup();
-        let (segs, _) = run_chain(&aug, &chain, ExecutionMode::Sequential);
+        let mut scratch = ScratchDijkstra::new();
+        let (segs, _) = run_chain(&aug, &chain, ExecutionMode::Sequential, &mut scratch);
         assert_eq!(segs[0].cost_of(n(0), n(2)), Some(2));
         assert_eq!(segs[1].cost_of(n(2), n(4)), Some(2));
     }

@@ -57,7 +57,9 @@ pub mod planner;
 pub mod updates;
 
 pub use api::{BatchAnswer, BatchStats, NetworkUpdate, QueryRequest, TcEngine};
-pub use complementary::{ComplementaryInfo, ComplementaryScope};
+pub use complementary::{
+    ComplementaryInfo, ComplementaryScope, PrecomputeStats, PrecomputeStrategy,
+};
 pub use engine::{DisconnectionSetEngine, EngineConfig, QueryAnswer, QueryStats, Route};
 pub use error::ClosureError;
 pub use updates::{FallbackReason, UpdateBatchReport, UpdateReport};

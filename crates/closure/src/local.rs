@@ -10,7 +10,7 @@
 //! The output of one subquery is a *very small relation* of
 //! `(entry, exit, cost)` tuples, ready for the final binary joins.
 
-use ds_graph::{dijkstra, Cost, CsrGraph, Edge, NodeId};
+use ds_graph::{dijkstra, Cost, CsrGraph, Edge, NodeId, ScratchDijkstra};
 use ds_relation::{PathTuple, Relation};
 
 /// A site's augmented local graph: fragment edges (symmetric expansion if
@@ -35,17 +35,31 @@ pub fn augmented_graph(
 /// Evaluate one local subquery: shortest distances from every node of
 /// `sources` to every node of `targets` on the augmented graph.
 /// One Dijkstra per source; the result relation has at most
-/// `|sources| · |targets|` tuples.
+/// `|sources| · |targets|` tuples. Allocates a fresh sweep per call —
+/// hot paths hold a [`ScratchDijkstra`] and use [`border_matrix_with`].
 pub fn border_matrix(
     aug: &CsrGraph,
     sources: &[NodeId],
     targets: &[NodeId],
 ) -> Relation<PathTuple> {
+    let mut scratch = ScratchDijkstra::new();
+    border_matrix_with(aug, sources, targets, &mut scratch)
+}
+
+/// [`border_matrix`] on a reusable scratch kernel: sweeps early-exit once
+/// every target is settled and reuse the caller's stamped arrays, so the
+/// steady-state per-query path performs no O(V) allocations.
+pub fn border_matrix_with(
+    aug: &CsrGraph,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    scratch: &mut ScratchDijkstra,
+) -> Relation<PathTuple> {
     let mut rows = Vec::new();
     for &u in sources {
-        let sp = dijkstra::single_source(aug, u);
+        scratch.sweep_to_targets(aug, &[(u, 0)], targets);
         for &v in targets {
-            if let Some(cost) = sp.cost(v) {
+            if let Some(cost) = scratch.cost(v) {
                 rows.push(PathTuple::new(u, v, cost));
             }
         }

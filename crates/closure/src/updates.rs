@@ -48,7 +48,7 @@
 use std::collections::BTreeSet;
 
 use ds_fragment::{FragmentId, Fragmentation};
-use ds_graph::{dijkstra, Cost, CsrGraph, Edge, NodeId};
+use ds_graph::{dijkstra, Cost, CsrGraph, Edge, NodeId, ScratchDijkstra};
 
 use crate::api::{apply_update, NetworkUpdate};
 use crate::complementary::ComplementaryInfo;
@@ -185,7 +185,9 @@ impl Maintenance {
 /// The shared maintenance path: validate and apply the structural change,
 /// then keep `comp` exact — incrementally when possible, by full
 /// recompute otherwise. Both backends call this with their retained
-/// state; they differ only in how they act on the returned touched sites.
+/// state (including a persistent `scratch` that the deletion repair
+/// sweeps reuse); they differ only in how they act on the returned
+/// touched sites.
 pub fn maintain(
     graph: &mut CsrGraph,
     frag: &mut Fragmentation,
@@ -193,6 +195,7 @@ pub fn maintain(
     cfg: &EngineConfig,
     comp: &mut ComplementaryInfo,
     update: &NetworkUpdate,
+    scratch: &mut ScratchDijkstra,
 ) -> Result<Maintenance, ClosureError> {
     match *update {
         NetworkUpdate::Insert { edge, owner } => {
@@ -262,7 +265,7 @@ pub fn maintain(
                     FallbackReason::DisconnectionSetCrossing,
                 ));
             }
-            match comp.repair_sources(graph, &affected) {
+            match comp.repair_sources(graph, &affected, scratch) {
                 Ok(per_site) => {
                     let repaired = per_site.iter().sum();
                     let shortcut_sites = nonzero_sites(&per_site);

@@ -4,6 +4,17 @@
 //! single-processor algorithm" may be chosen per §2.1), the global
 //! baseline the disconnection set engine is validated against, and the
 //! precomputation kernel for complementary information.
+//!
+//! Two forms are provided:
+//!
+//! * the one-shot functions [`single_source`] / [`multi_source`] /
+//!   [`point_to_point`], which return an owned [`ShortestPaths`] tree —
+//!   convenient, but each call allocates O(V);
+//! * the reusable [`ScratchDijkstra`] kernel, whose generation-stamped
+//!   arrays and heap persist across sweeps. Hot paths (per-query site
+//!   subqueries, batch evaluation, update repair sweeps, the skeleton
+//!   precompute) hold one scratch and run allocation-free in the steady
+//!   state; [`ScratchStats`] counts reuse so tests can assert it.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -17,12 +28,13 @@ pub struct ShortestPaths {
     source: NodeId,
     dist: Vec<Cost>,
     /// `parent[v]` is the predecessor of `v` on a shortest path from the
-    /// source, or `u32::MAX` if `v` is the source / unreachable.
+    /// source, or `u32::MAX` if `v` is a seed / unreachable.
     parent: Vec<u32>,
 }
 
 impl ShortestPaths {
-    /// The source node this tree is rooted at.
+    /// A representative source node of this tree (for multi-seed sweeps,
+    /// the last seed; every seed is a root of the forest).
     pub fn source(&self) -> NodeId {
         self.source
     }
@@ -38,22 +50,218 @@ impl ShortestPaths {
         &self.dist
     }
 
-    /// The shortest path from the source to `v` as a node sequence
+    /// The shortest path from the nearest seed to `v` as a node sequence
     /// (inclusive of both endpoints), or `None` if unreachable.
+    ///
+    /// For multi-seed sweeps the walk stops at whichever seed reached `v`
+    /// cheapest — seeds are the parentless roots of the forest — not at
+    /// the representative [`ShortestPaths::source`].
     pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
         if self.dist[v.index()] >= INFINITE_COST {
             return None;
         }
         let mut path = vec![v];
         let mut cur = v;
-        while cur != self.source {
+        loop {
             let p = self.parent[cur.index()];
-            debug_assert_ne!(p, u32::MAX, "reachable node must have a parent");
+            if p == u32::MAX {
+                break; // reached a seed
+            }
             cur = NodeId(p);
             path.push(cur);
         }
         path.reverse();
         Some(path)
+    }
+}
+
+/// Reuse accounting for a [`ScratchDijkstra`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Sweeps run on this scratch.
+    pub sweeps: u64,
+    /// Times the stamped arrays had to grow (0 growths between two
+    /// readings = every sweep in between ran allocation-free).
+    pub grows: u64,
+}
+
+/// A reusable Dijkstra kernel: generation-stamped `dist`/`parent` arrays
+/// plus a persistent binary heap.
+///
+/// Resetting between sweeps costs O(1) — the generation counter is bumped
+/// and stale entries are simply ignored — so a scratch held across many
+/// sweeps performs zero heap allocations once its arrays have grown to
+/// the largest graph seen. [`ScratchDijkstra::sweep_to_targets`] adds a
+/// target-set early exit: the sweep stops as soon as every target node is
+/// settled, which is what fragment-local border sweeps and site
+/// subqueries need.
+#[derive(Clone, Debug, Default)]
+pub struct ScratchDijkstra {
+    dist: Vec<Cost>,
+    parent: Vec<u32>,
+    /// `dist[v]`/`parent[v]` are valid iff `stamp[v] == generation`.
+    stamp: Vec<u32>,
+    /// Target membership for the current sweep (same stamping scheme;
+    /// cleared to 0 as each target settles).
+    target_stamp: Vec<u32>,
+    generation: u32,
+    heap: BinaryHeap<Reverse<(Cost, u32)>>,
+    stats: ScratchStats,
+}
+
+impl ScratchDijkstra {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reuse accounting (sweeps run, array growths).
+    pub fn stats(&self) -> ScratchStats {
+        self.stats
+    }
+
+    /// Grow the arrays to cover `n` nodes and start a new generation.
+    fn prepare(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, 0);
+            self.parent.resize(n, u32::MAX);
+            self.stamp.resize(n, 0);
+            self.target_stamp.resize(n, 0);
+            self.stats.grows += 1;
+        }
+        if self.generation == u32::MAX {
+            // Generation wrap: clear the stamps once, then restart.
+            self.stamp.fill(0);
+            self.target_stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.heap.clear();
+        self.stats.sweeps += 1;
+    }
+
+    /// Full sweep from the `(node, initial_cost)` seed frontier.
+    pub fn sweep(&mut self, g: &CsrGraph, seeds: &[(NodeId, Cost)]) {
+        self.sweep_inner(g, seeds, &[], false);
+    }
+
+    /// Sweep with early exit: stops as soon as every node of `targets`
+    /// is settled (or the reachable set is exhausted). Costs and paths of
+    /// the targets are final; other nodes may be left half-relaxed.
+    pub fn sweep_to_targets(&mut self, g: &CsrGraph, seeds: &[(NodeId, Cost)], targets: &[NodeId]) {
+        self.sweep_inner(g, seeds, targets, false);
+    }
+
+    /// Like [`ScratchDijkstra::sweep_to_targets`], but targets are
+    /// *absorbing*: when one settles, its outgoing edges are not relaxed.
+    /// The resulting target costs are the shortest distances over paths
+    /// whose interior avoids every target — the building block of
+    /// skeleton/overlay constructions, where paths *through* another
+    /// border node are recovered by composition instead. Seeds must not
+    /// appear in `targets` (a seed's own edges must expand).
+    pub fn sweep_to_targets_absorbing(
+        &mut self,
+        g: &CsrGraph,
+        seeds: &[(NodeId, Cost)],
+        targets: &[NodeId],
+    ) {
+        self.sweep_inner(g, seeds, targets, true);
+    }
+
+    fn sweep_inner(
+        &mut self,
+        g: &CsrGraph,
+        seeds: &[(NodeId, Cost)],
+        targets: &[NodeId],
+        absorbing: bool,
+    ) {
+        self.prepare(g.node_count());
+        let gen = self.generation;
+        let early_exit = !targets.is_empty();
+        let mut remaining = 0usize;
+        for &t in targets {
+            let ti = t.index();
+            if self.target_stamp[ti] != gen {
+                self.target_stamp[ti] = gen;
+                remaining += 1;
+            }
+        }
+        for &(s, c) in seeds {
+            let si = s.index();
+            if self.stamp[si] != gen || c < self.dist[si] {
+                self.stamp[si] = gen;
+                self.dist[si] = c;
+                self.parent[si] = u32::MAX;
+                self.heap.push(Reverse((c, s.0)));
+            }
+        }
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            let vi = v as usize;
+            if d > self.dist[vi] {
+                continue; // stale heap entry
+            }
+            if early_exit && self.target_stamp[vi] == gen {
+                self.target_stamp[vi] = 0;
+                remaining -= 1;
+                if remaining == 0 {
+                    break; // all targets settled; their entries are final
+                }
+                if absorbing {
+                    continue; // settle the target but do not expand it
+                }
+            }
+            for (t, w) in g.neighbors(NodeId(v)) {
+                let ti = t.index();
+                let nd = d + w;
+                if self.stamp[ti] != gen || nd < self.dist[ti] {
+                    self.stamp[ti] = gen;
+                    self.dist[ti] = nd;
+                    self.parent[ti] = v;
+                    self.heap.push(Reverse((nd, t.0)));
+                }
+            }
+        }
+    }
+
+    /// Cost to `v` in the latest sweep, or `None` if unreached.
+    pub fn cost(&self, v: NodeId) -> Option<Cost> {
+        let i = v.index();
+        (i < self.dist.len() && self.stamp[i] == self.generation && self.dist[i] < INFINITE_COST)
+            .then(|| self.dist[i])
+    }
+
+    /// Path from the nearest seed to `v` in the latest sweep. Only valid
+    /// for nodes whose cost is final (any node after a full sweep; the
+    /// targets after [`ScratchDijkstra::sweep_to_targets`]).
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        self.cost(v)?;
+        let mut path = vec![v];
+        let mut cur = v;
+        loop {
+            let p = self.parent[cur.index()];
+            if p == u32::MAX {
+                break;
+            }
+            cur = NodeId(p);
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Snapshot the parent pointers of the latest sweep over nodes
+    /// `0..n` (`u32::MAX` for seeds and unreached nodes). Parent chains
+    /// of settled nodes are final even after an early-exited sweep —
+    /// every parent points at a node settled earlier.
+    pub fn snapshot_parents(&self, n: usize) -> Vec<u32> {
+        (0..n)
+            .map(|i| {
+                if i < self.stamp.len() && self.stamp[i] == self.generation {
+                    self.parent[i]
+                } else {
+                    u32::MAX
+                }
+            })
+            .collect()
     }
 }
 
@@ -67,6 +275,10 @@ pub fn single_source(g: &CsrGraph, src: NodeId) -> ShortestPaths {
 /// This is what a fragment subquery runs: the entry disconnection set is
 /// the seed frontier, each border node carrying the best cost found so far
 /// upstream ("disconnection sets act as some sort of keyhole", §2.2).
+///
+/// Deliberately a direct implementation rather than a throwaway
+/// [`ScratchDijkstra`]: the one-shot form allocates exactly the two
+/// arrays the returned tree owns.
 pub fn multi_source(g: &CsrGraph, seeds: &[(NodeId, Cost)]) -> ShortestPaths {
     let n = g.node_count();
     let mut dist = vec![INFINITE_COST; n];
@@ -78,7 +290,7 @@ pub fn multi_source(g: &CsrGraph, seeds: &[(NodeId, Cost)]) -> ShortestPaths {
             dist[s.index()] = c;
             heap.push(Reverse((c, s.0)));
         }
-        source = s; // representative source for path reconstruction roots
+        source = s; // representative source
     }
     while let Some(Reverse((d, v))) = heap.pop() {
         let v = NodeId(v);
@@ -204,6 +416,22 @@ mod tests {
         assert_eq!(sp.cost(NodeId(3)), Some(6));
     }
 
+    /// Regression: `path_to` for a node reached from a seed other than
+    /// the representative source must stop at *that* seed instead of
+    /// walking past a `u32::MAX` parent.
+    #[test]
+    fn multi_source_path_stops_at_nearest_seed() {
+        let g = diamond();
+        // Representative source is the last seed (node 1, cost 10), but
+        // node 3 is reached from seed 2 at cost 1.
+        let sp = multi_source(&g, &[(NodeId(2), 0), (NodeId(1), 10)]);
+        assert_eq!(sp.source(), NodeId(1));
+        assert_eq!(sp.cost(NodeId(3)), Some(1));
+        assert_eq!(sp.path_to(NodeId(3)).unwrap(), vec![NodeId(2), NodeId(3)]);
+        // A seed is its own (single-node) path.
+        assert_eq!(sp.path_to(NodeId(2)).unwrap(), vec![NodeId(2)]);
+    }
+
     #[test]
     fn zero_cost_edges_are_fine() {
         let g = CsrGraph::from_edges(
@@ -215,5 +443,59 @@ mod tests {
         );
         let sp = single_source(&g, NodeId(0));
         assert_eq!(sp.cost(NodeId(2)), Some(0));
+    }
+
+    #[test]
+    fn scratch_matches_one_shot_across_reuses() {
+        let g = diamond();
+        let mut scratch = ScratchDijkstra::new();
+        for src in 0..4u32 {
+            scratch.sweep(&g, &[(NodeId(src), 0)]);
+            let sp = single_source(&g, NodeId(src));
+            for v in 0..4u32 {
+                assert_eq!(scratch.cost(NodeId(v)), sp.cost(NodeId(v)), "{src}->{v}");
+                assert_eq!(
+                    scratch.path_to(NodeId(v)),
+                    sp.path_to(NodeId(v)),
+                    "{src}->{v}"
+                );
+            }
+        }
+        let stats = scratch.stats();
+        assert_eq!(stats.sweeps, 4);
+        assert_eq!(stats.grows, 1, "arrays grow once, then are reused");
+    }
+
+    #[test]
+    fn scratch_early_exit_settles_targets() {
+        let g = diamond();
+        let mut scratch = ScratchDijkstra::new();
+        scratch.sweep_to_targets(&g, &[(NodeId(0), 0)], &[NodeId(1), NodeId(2)]);
+        assert_eq!(scratch.cost(NodeId(1)), Some(1));
+        assert_eq!(scratch.cost(NodeId(2)), Some(3));
+        assert_eq!(
+            scratch.path_to(NodeId(2)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+        // Unreachable target: the sweep exhausts and reports None.
+        let h = CsrGraph::from_edges(3, &[Edge::unit(NodeId(0), NodeId(1))]);
+        scratch.sweep_to_targets(&h, &[(NodeId(0), 0)], &[NodeId(2)]);
+        assert_eq!(scratch.cost(NodeId(2)), None);
+        // The previous generation's entries are invisible now.
+        assert_eq!(scratch.cost(NodeId(1)), Some(1));
+    }
+
+    #[test]
+    fn scratch_shrinking_graphs_reuse_arrays() {
+        let big = diamond();
+        let small = CsrGraph::from_edges(2, &[Edge::unit(NodeId(0), NodeId(1))]);
+        let mut scratch = ScratchDijkstra::new();
+        scratch.sweep(&big, &[(NodeId(0), 0)]);
+        scratch.sweep(&small, &[(NodeId(0), 0)]);
+        assert_eq!(scratch.cost(NodeId(1)), Some(1));
+        assert_eq!(scratch.stats().grows, 1, "smaller graph reuses arrays");
+        // Entries of the bigger graph's generation are invisible now.
+        assert_eq!(scratch.cost(NodeId(3)), None);
+        assert_eq!(scratch.snapshot_parents(2), vec![u32::MAX, 0]);
     }
 }

@@ -35,14 +35,17 @@ pub mod dijkstra;
 pub mod edgelist;
 pub mod error;
 pub mod matrix;
+pub mod subgraph;
 pub mod traverse;
 pub mod types;
 pub mod unionfind;
 
 pub use bitset::BitSet;
 pub use csr::CsrGraph;
+pub use dijkstra::{ScratchDijkstra, ScratchStats};
 pub use edgelist::EdgeList;
 pub use error::GraphError;
 pub use matrix::AdjacencyMatrix;
+pub use subgraph::SubgraphView;
 pub use types::{Coord, Cost, Edge, NodeId, INFINITE_COST};
 pub use unionfind::UnionFind;

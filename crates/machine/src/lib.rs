@@ -47,11 +47,11 @@ use ds_closure::complementary::ComplementaryInfo;
 use ds_closure::planner::{ChainPlan, Planner};
 use ds_closure::updates::maintain;
 use ds_closure::{
-    BatchAnswer, ClosureError, EngineConfig, NetworkUpdate, QueryAnswer, QueryRequest, QueryStats,
-    Route, TcEngine, UpdateReport,
+    BatchAnswer, ClosureError, EngineConfig, NetworkUpdate, PrecomputeStats, QueryAnswer,
+    QueryRequest, QueryStats, Route, TcEngine, UpdateReport,
 };
 use ds_fragment::Fragmentation;
-use ds_graph::{CsrGraph, NodeId};
+use ds_graph::{CsrGraph, NodeId, ScratchDijkstra};
 use ds_relation::{PathTuple, Relation};
 
 use protocol::{EdgeChange, SiteDelta, SiteRequest, SiteResponse};
@@ -77,6 +77,8 @@ pub struct Machine {
     planner: Planner,
     stats: MachineStats,
     next_tag: u64,
+    /// Coordinator-side scratch kernel for update repair sweeps.
+    scratch: ScratchDijkstra,
 }
 
 impl Machine {
@@ -128,6 +130,7 @@ impl Machine {
             planner: parts.planner,
             stats: MachineStats::new(site_count),
             next_tag: 0,
+            scratch: ScratchDijkstra::new(),
         })
     }
 
@@ -259,6 +262,10 @@ impl TcEngine for Machine {
         Err(ClosureError::RoutesNotEnabled)
     }
 
+    fn precompute_stats(&self) -> PrecomputeStats {
+        self.comp.precompute_stats()
+    }
+
     /// Updates are incremental: the coordinator runs the shared
     /// maintenance path (`ds_closure::updates::maintain`) on its retained
     /// state, then ships one [`SiteDelta`] to each touched site — the
@@ -274,6 +281,7 @@ impl TcEngine for Machine {
             &self.cfg,
             &mut self.comp,
             update,
+            &mut self.scratch,
         )?;
         let Some(owner) = m.owner else {
             return Ok(m.report); // no-op removal: nothing to ship

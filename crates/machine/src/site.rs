@@ -10,8 +10,8 @@
 use std::sync::mpsc;
 use std::time::Instant;
 
-use ds_closure::local::{augmented_graph, border_matrix};
-use ds_graph::{CsrGraph, Edge};
+use ds_closure::local::{augmented_graph, border_matrix_with};
+use ds_graph::{CsrGraph, Edge, ScratchDijkstra};
 
 use crate::protocol::{EdgeChange, SiteDelta, SiteRequest, SiteResponse, SubQueryResult};
 
@@ -56,12 +56,17 @@ impl SiteInit {
 
 /// Site main loop. Returns when a `Shutdown` arrives or the request
 /// channel closes.
+///
+/// The site owns one [`ScratchDijkstra`] for its whole lifetime: every
+/// subquery message reuses its stamped arrays, so steady-state message
+/// processing performs no per-query O(V) allocations.
 pub fn run_site(
     mut state: SiteInit,
     requests: mpsc::Receiver<SiteRequest>,
     responses: mpsc::Sender<SiteResponse>,
 ) {
     let mut augmented = state.augmented();
+    let mut scratch = ScratchDijkstra::new();
     while let Ok(req) = requests.recv() {
         match req {
             SiteRequest::SubQuery {
@@ -70,7 +75,7 @@ pub fn run_site(
                 targets,
             } => {
                 let start = Instant::now();
-                let rel = border_matrix(&augmented, &sources, &targets);
+                let rel = border_matrix_with(&augmented, &sources, &targets, &mut scratch);
                 let resp = SiteResponse::SubQuery(SubQueryResult {
                     site: state.site,
                     tag,

@@ -16,6 +16,7 @@ pub mod system;
 
 pub use ds_closure::api::{BatchAnswer, BatchStats, NetworkUpdate, QueryRequest, TcEngine};
 pub use ds_closure::{
-    FallbackReason, QueryAnswer, QueryStats, Route, UpdateBatchReport, UpdateReport,
+    FallbackReason, PrecomputeStats, PrecomputeStrategy, QueryAnswer, QueryStats, Route,
+    UpdateBatchReport, UpdateReport,
 };
 pub use system::{Backend, Fragmenter, System, SystemBuilder, SystemError};

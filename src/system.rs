@@ -27,8 +27,8 @@ use std::fmt;
 
 use ds_closure::api::{BatchAnswer, NetworkUpdate, QueryRequest, TcEngine};
 use ds_closure::{
-    ClosureError, DisconnectionSetEngine, EngineConfig, QueryAnswer, Route, UpdateBatchReport,
-    UpdateReport,
+    ClosureError, DisconnectionSetEngine, EngineConfig, PrecomputeStats, QueryAnswer, Route,
+    UpdateBatchReport, UpdateReport,
 };
 use ds_fragment::bond_energy::{bond_energy, BondEnergyConfig};
 use ds_fragment::center::{center_based, CenterConfig};
@@ -359,6 +359,10 @@ impl TcEngine for System {
         self.engine.update(update)
     }
 
+    fn precompute_stats(&self) -> PrecomputeStats {
+        self.engine.precompute_stats()
+    }
+
     fn update_batch(
         &mut self,
         updates: &[NetworkUpdate],
@@ -405,6 +409,20 @@ mod tests {
                 threads.shortest_path(n(x), n(y)).cost,
                 "query {x}->{y}"
             );
+        }
+    }
+
+    /// Both backends deploy through the same skeleton precompute and
+    /// report where their build time went.
+    #[test]
+    fn precompute_stats_through_the_facade_on_both_backends() {
+        use ds_closure::PrecomputeStrategy;
+        for backend in [Backend::Inline, Backend::SiteThreads] {
+            let sys = linear_system(backend);
+            let stats = sys.precompute_stats();
+            assert_eq!(stats.strategy, PrecomputeStrategy::Skeleton, "{backend}");
+            assert!(stats.local_sweeps_ns > 0, "{backend}: {stats:?}");
+            assert!(stats.total_ns() >= stats.local_sweeps_ns, "{backend}");
         }
     }
 

@@ -475,6 +475,144 @@ fn pure_insert_sequences_never_recompute() {
     }
 }
 
+/// The skeleton-overlay precompute (fragment-local sweeps + border
+/// skeleton closure) produces *identical* complementary information to
+/// the global-sweep reference — same `pair_count`, same per-site
+/// shortcut tables, tuple for tuple — for every generator × fragmenter ×
+/// scope.
+#[test]
+fn skeleton_precompute_equals_global_sweep() {
+    use discset::closure::{ComplementaryInfo, ComplementaryScope};
+    use discset::fragment::Fragmentation;
+
+    fn assert_equal(csr: &CsrGraph, frag: &Fragmentation, label: &str) {
+        for scope in [
+            ComplementaryScope::PerDisconnectionSet,
+            ComplementaryScope::PerFragmentBorder,
+        ] {
+            let skel = ComplementaryInfo::compute(csr, frag, scope, false);
+            let glob = ComplementaryInfo::compute_global_sweep(csr, frag, scope, false);
+            assert_eq!(
+                skel.border_count(),
+                glob.border_count(),
+                "{label} {scope:?}: border count"
+            );
+            assert_eq!(
+                skel.pair_count(),
+                glob.pair_count(),
+                "{label} {scope:?}: pair count"
+            );
+            for f in 0..frag.fragment_count() {
+                assert_eq!(
+                    skel.shortcuts(f),
+                    glob.shortcuts(f),
+                    "{label} {scope:?}: site {f} table"
+                );
+            }
+        }
+    }
+
+    for seed in 0..8u64 {
+        let g = if seed % 2 == 0 {
+            generate_general(
+                &GeneralConfig {
+                    nodes: 30,
+                    target_edges: 70,
+                    ..Default::default()
+                },
+                seed,
+            )
+        } else {
+            generate_transportation(
+                &TransportationConfig {
+                    clusters: 3,
+                    nodes_per_cluster: 10,
+                    target_edges_per_cluster: 25,
+                    ..TransportationConfig::default()
+                },
+                seed,
+            )
+        };
+        let csr = g.closure_graph();
+        let el = g.edge_list();
+        let lin = linear_sweep(
+            &el,
+            &LinearConfig {
+                fragments: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .fragmentation;
+        assert_equal(&csr, &lin, &format!("seed {seed} linear"));
+        let cen = center_based(
+            &el,
+            &CenterConfig {
+                fragments: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .fragmentation;
+        assert_equal(&csr, &cen, &format!("seed {seed} center"));
+        if let Some(labels) = &g.cluster_of {
+            let sem = discset::fragment::semantic::by_labels(
+                g.nodes,
+                &g.connections,
+                labels,
+                (*labels.iter().max().unwrap() + 1) as usize,
+                discset::fragment::CrossingPolicy::LowerBlock,
+            )
+            .unwrap();
+            assert_equal(&csr, &sem, &format!("seed {seed} semantic"));
+        }
+    }
+
+    // A *cyclic* fragmentation graph (three fragments in a triangle):
+    // border pairs can be locally disconnected yet globally connected
+    // through the third fragment — the skeleton closure, not a global
+    // re-sweep, must supply those distances under `PerFragmentBorder`.
+    let edges = |pairs: &[(u32, u32)]| -> Vec<Edge> {
+        pairs
+            .iter()
+            .flat_map(|&(a, b)| {
+                [
+                    Edge::unit(NodeId(a), NodeId(b)),
+                    Edge::unit(NodeId(b), NodeId(a)),
+                ]
+            })
+            .collect()
+    };
+    let all = edges(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+    let csr = CsrGraph::from_edges(6, &all);
+    let tri = Fragmentation::new(
+        6,
+        vec![
+            edges(&[(0, 1), (1, 2)]),
+            edges(&[(2, 3), (3, 4)]),
+            edges(&[(4, 5), (5, 0)]),
+        ],
+        vec![vec![], vec![], vec![]],
+    );
+    assert!(
+        !tri.fragmentation_graph().is_acyclic(),
+        "triangle fragmentation graph is cyclic"
+    );
+    assert_equal(&csr, &tri, "triangle");
+    // And the deployed engine still answers exactly on it.
+    let engine =
+        DisconnectionSetEngine::build(csr.clone(), tri, true, EngineConfig::default()).unwrap();
+    for x in 0..6u32 {
+        for y in 0..6u32 {
+            assert_eq!(
+                engine.shortest_path(NodeId(x), NodeId(y)).cost,
+                baseline::shortest_path_cost(&csr, NodeId(x), NodeId(y)),
+                "triangle {x}->{y}"
+            );
+        }
+    }
+}
+
 /// Complementary shortcut costs obey the triangle inequality with the
 /// global metric (they ARE global distances).
 #[test]
