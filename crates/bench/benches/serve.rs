@@ -1,0 +1,455 @@
+//! Serving throughput vs worker count × read/write mix.
+//!
+//! A **closed-loop load test with think time** — the standard load-model
+//! of TPC-style benchmarks — of the `ds_serve` subsystem. A deployment
+//! with `W` pool workers fronts `4·W` synchronous connections (listener
+//! pools are sized against executor pools); each connection issues one
+//! job at a time from a hot-route-skewed read stream (optionally with a
+//! 5% update mix) and then "thinks" for `THINK_US` before its next
+//! request, capping every connection at ≈ 1/THINK_US requests per
+//! second, the way real clients do.
+//!
+//! The question the sweep answers is the operational one: *how much
+//! aggregate traffic does the deployment serve as the worker pool (and
+//! the connection population it carries) grows?* Small pools are
+//! offered-load-bound; larger pools push the serving core toward
+//! saturation, where queue depth converts into micro-batch size and
+//! micro-batch size into work elimination — identical in-flight requests
+//! coalesce (single-flight), queries between the same fragment pair
+//! share one chain plan and one set of interior segments per batch
+//! (`run_batch`) — and, on many-core hardware, into genuine phase-one
+//! parallelism on top.
+//!
+//! Each configuration serves a fixed operation count, so the reported
+//! per-iteration time is inversely proportional to aggregate throughput
+//! and the `workers-1` / `workers-4` time ratio *is* the multi-worker
+//! throughput speedup.
+//!
+//! Workloads: transportation (10 country clusters in a chain, semantic
+//! fragmentation), spatial ellipse (coordinate sweep strips), general
+//! random (center growth — the adversarial case: cyclic fragmentation
+//! graph, fat borders, expensive queries that saturate any pool size).
+//!
+//! After measuring, the bench **fails** (non-zero exit, failing the CI
+//! job) if the 4-worker deployment does not reach the required speedup
+//! over 1 worker on the transportation workload at the 95/5 mix.
+//!
+//! Emits a committed perf snapshot to `BENCH_serve.json` (repo root).
+//!
+//! ```text
+//! cargo bench -p ds-bench --bench serve
+//! ```
+
+use ds_bench::harness::{render, write_json, Bench};
+use ds_closure::api::{NetworkUpdate, QueryRequest};
+use ds_closure::{EngineConfig, EngineSnapshot};
+use ds_fragment::center::{center_based, CenterConfig};
+use ds_fragment::linear::{linear_sweep, LinearConfig};
+use ds_fragment::{semantic, CrossingPolicy};
+use ds_gen::{
+    generate_ellipse, generate_general, generate_transportation, EllipseConfig, GeneralConfig,
+    TransportationConfig,
+};
+use ds_graph::{NodeId, ScratchDijkstra};
+use ds_serve::{ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synchronous connections per pool worker (closed loop).
+const CLIENTS_PER_WORKER: usize = 4;
+/// Per-connection think time between jobs (closed-loop client model:
+/// ≈ 1.6k requests/s per connection at most).
+const THINK_US: u64 = 600;
+/// Hot exact routes per workload.
+const HOT_ROUTES: usize = 6;
+/// Worker counts swept per workload.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+/// Required 4-worker speedup over 1 worker, transportation @ 95/5.
+const GATE_SPEEDUP: f64 = 2.0;
+
+#[derive(Clone)]
+enum Op {
+    Read(QueryRequest),
+    Write(NetworkUpdate),
+}
+
+/// One benchmark workload: a snapshot plus the node pools the traffic
+/// generator draws from.
+struct Workload {
+    label: &'static str,
+    snapshot: EngineSnapshot,
+    /// Hot exact routes — the head of the traffic distribution, shared
+    /// by every client (that sharing is what coalescing exploits).
+    hot: Vec<QueryRequest>,
+    /// Endpoint pools of the hot fragment pair (random endpoints, same
+    /// chain — shares interior segments with the hot routes).
+    pool_a: Vec<NodeId>,
+    pool_b: Vec<NodeId>,
+    nodes: usize,
+    /// Delete/re-insert pairs that stay incremental, one per writing
+    /// client (disjoint ownership keeps updates conflict-free).
+    update_pairs: Vec<(NetworkUpdate, NetworkUpdate)>,
+    /// Operations served per configuration (divisible by every client
+    /// count; smaller for workloads with expensive queries).
+    ops_total: usize,
+}
+
+/// Interior fragment edges whose delete stays incremental, probed on a
+/// private snapshot clone (same recipe as `benches/updates.rs`).
+fn safe_update_pairs(snap: &EngineSnapshot, want: usize) -> Vec<(NetworkUpdate, NetworkUpdate)> {
+    let frag = snap.fragmentation().clone();
+    let border = |v: NodeId| frag.fragments_of_node(v).len() >= 2;
+    let mut scratch = ScratchDijkstra::new();
+    let mut out = Vec::new();
+    'outer: for f in frag.fragments() {
+        for e in f.edges() {
+            if out.len() >= want {
+                break 'outer;
+            }
+            if border(e.src) && border(e.dst) {
+                continue; // DS-crossing deletions fall back by design
+            }
+            let matched = f
+                .edges()
+                .iter()
+                .filter(|x| {
+                    (x.src == e.src && x.dst == e.dst) || (x.src == e.dst && x.dst == e.src)
+                })
+                .count();
+            if matched != 1 {
+                continue;
+            }
+            let remove = NetworkUpdate::Remove {
+                src: e.src,
+                dst: e.dst,
+                owner: f.id(),
+            };
+            let mut probe = snap.clone();
+            match probe.maintain(&remove, &mut scratch) {
+                Ok(report) if !report.full_recompute => {}
+                _ => continue, // bridge or otherwise fallback-prone
+            }
+            out.push((
+                remove,
+                NetworkUpdate::Insert {
+                    edge: *e,
+                    owner: f.id(),
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Pre-generate one client's operation stream. Reads: 70% a hot exact
+/// route, 15% random endpoints on the hot fragment pair, 15% uniform.
+/// Writes (when `write_permille > 0`): the client's private delete /
+/// re-insert pair, strictly alternating.
+fn client_stream(w: &Workload, client: usize, ops: usize, write_permille: u32) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(0xC11E27 ^ (client as u64) << 3);
+    let pair = &w.update_pairs[client % w.update_pairs.len()];
+    let mut removed = false;
+    let mut out = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        if (rng.gen_index(1000) as u32) < write_permille {
+            let u = if removed { pair.1 } else { pair.0 };
+            removed = !removed;
+            out.push(Op::Write(u));
+            continue;
+        }
+        let d = rng.gen_index(100);
+        let req = if d < 70 {
+            w.hot[rng.gen_index(w.hot.len())]
+        } else if d < 85 {
+            QueryRequest::new(
+                w.pool_a[rng.gen_index(w.pool_a.len())],
+                w.pool_b[rng.gen_index(w.pool_b.len())],
+            )
+        } else {
+            QueryRequest::new(
+                NodeId(rng.gen_index(w.nodes) as u32),
+                NodeId(rng.gen_index(w.nodes) as u32),
+            )
+        };
+        out.push(Op::Read(req));
+    }
+    out
+}
+
+/// Serve `w.ops_total` operations through a fresh server with `workers`
+/// workers; returns requests answered (for the optimizer).
+fn run_config(w: &Workload, workers: usize, write_permille: u32) -> u64 {
+    let clients = workers * CLIENTS_PER_WORKER;
+    let ops_per_client = w.ops_total / clients;
+    let streams: Vec<Vec<Op>> = (0..clients)
+        .map(|c| client_stream(w, c, ops_per_client, write_permille))
+        .collect();
+    let server = Server::start(
+        w.snapshot.clone(),
+        ServeConfig {
+            workers,
+            queue_capacity: 4096,
+            batch_max: 128,
+            write_batch_max: 16,
+        },
+    );
+    std::thread::scope(|s| {
+        for stream in &streams {
+            let server = &server;
+            s.spawn(move || {
+                let think = std::time::Duration::from_micros(THINK_US);
+                for op in stream {
+                    match op {
+                        Op::Read(r) => {
+                            server.query(r.source, r.target);
+                        }
+                        Op::Write(u) => {
+                            let _ = server.update(u);
+                        }
+                    }
+                    // Closed-loop think time: the connection processes
+                    // the reply before asking again.
+                    std::thread::sleep(think);
+                }
+            });
+        }
+    });
+    let stats = server.shutdown();
+    if std::env::var_os("SERVE_BENCH_VERBOSE").is_some() {
+        eprintln!(
+            "[serve]     w={workers}: req={} batches={} avg_batch={:.1} evaluated={} coalesced={:.0}% \
+             plans r/c={}/{} segs r/c={}/{} updates={} pubs={} p50={:.0}us p99={:.0}us",
+            stats.requests,
+            stats.batches,
+            stats.requests as f64 / stats.batches.max(1) as f64,
+            stats.evaluated,
+            100.0 * stats.coalesced_fraction(),
+            stats.batch.plans_reused,
+            stats.batch.plans_computed,
+            stats.batch.segments_reused,
+            stats.batch.segments_computed,
+            stats.updates,
+            stats.publications,
+            stats.latency.p50_us,
+            stats.latency.p99_us,
+        );
+    }
+    stats.requests + stats.updates
+}
+
+/// Build the hot/pool structure from two far-apart node sets.
+fn make_workload(
+    label: &'static str,
+    snapshot: EngineSnapshot,
+    pool_a: Vec<NodeId>,
+    pool_b: Vec<NodeId>,
+    nodes: usize,
+    ops_total: usize,
+) -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x407E5);
+    let hot = (0..HOT_ROUTES)
+        .map(|_| {
+            QueryRequest::new(
+                pool_a[rng.gen_index(pool_a.len())],
+                pool_b[rng.gen_index(pool_b.len())],
+            )
+        })
+        .collect();
+    let update_pairs = safe_update_pairs(&snapshot, WORKER_COUNTS[2] * CLIENTS_PER_WORKER + 8);
+    assert!(
+        update_pairs.len() >= WORKER_COUNTS[2] * CLIENTS_PER_WORKER,
+        "{label}: only {} disjoint incremental update pairs",
+        update_pairs.len()
+    );
+    Workload {
+        label,
+        snapshot,
+        hot,
+        pool_a,
+        pool_b,
+        nodes,
+        update_pairs,
+        ops_total,
+    }
+}
+
+fn transportation_workload() -> Workload {
+    let clusters = 10usize;
+    let cfg = TransportationConfig {
+        clusters,
+        nodes_per_cluster: 40,
+        target_edges_per_cluster: 150,
+        ..TransportationConfig::default()
+    };
+    let g = generate_transportation(&cfg, 1);
+    let labels = g.cluster_of.clone().unwrap();
+    let frag = semantic::by_labels(
+        g.nodes,
+        &g.connections,
+        &labels,
+        clusters,
+        CrossingPolicy::LowerBlock,
+    )
+    .unwrap();
+    let snap =
+        EngineSnapshot::build(g.closure_graph(), frag, true, EngineConfig::default()).unwrap();
+    // Hot traffic crosses the whole cluster chain: first ↔ last country.
+    let pool_a: Vec<NodeId> = (0..40u32).map(NodeId).collect();
+    let pool_b: Vec<NodeId> = ((g.nodes as u32 - 40)..g.nodes as u32)
+        .map(NodeId)
+        .collect();
+    make_workload("transportation", snap, pool_a, pool_b, g.nodes, 1920)
+}
+
+fn spatial_workload() -> Workload {
+    let cfg = EllipseConfig {
+        nodes: 700,
+        target_edges: 2100,
+        c2: 0.15,
+        a: 900.0,
+        b: 40.0,
+        ..Default::default()
+    };
+    let g = generate_ellipse(&cfg, 2);
+    let frag = linear_sweep(
+        &g.edge_list(),
+        &LinearConfig {
+            fragments: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .fragmentation;
+    let snap =
+        EngineSnapshot::build(g.closure_graph(), frag, true, EngineConfig::default()).unwrap();
+    // Hot traffic runs the long axis: leftmost decile ↔ rightmost decile.
+    let mut by_x: Vec<u32> = (0..g.nodes as u32).collect();
+    by_x.sort_by(|&i, &j| g.coords[i as usize].x.total_cmp(&g.coords[j as usize].x));
+    let decile = g.nodes / 10;
+    let pool_a: Vec<NodeId> = by_x[..decile].iter().map(|&i| NodeId(i)).collect();
+    let pool_b: Vec<NodeId> = by_x[g.nodes - decile..]
+        .iter()
+        .map(|&i| NodeId(i))
+        .collect();
+    make_workload("spatial", snap, pool_a, pool_b, g.nodes, 1920)
+}
+
+fn general_workload() -> Workload {
+    let cfg = GeneralConfig {
+        nodes: 200,
+        target_edges: 550,
+        c2: 0.15,
+        ..Default::default()
+    };
+    let g = generate_general(&cfg, 3);
+    let frag = center_based(
+        &g.edge_list(),
+        &CenterConfig {
+            fragments: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .fragmentation;
+    // Center growth yields a cyclic fragmentation graph with fat
+    // borders; cap the chain enumeration so a single query stays
+    // serving-sized (the adversarial point here is batching behaviour,
+    // not exhaustive chain coverage).
+    let snap = EngineSnapshot::build(
+        g.closure_graph(),
+        frag,
+        true,
+        EngineConfig {
+            max_chains: 8,
+            max_chain_len: 5,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    // No exploitable geometry: hot routes between two random node pools.
+    let mut rng = StdRng::seed_from_u64(7);
+    let pool_a: Vec<NodeId> = (0..30)
+        .map(|_| NodeId(rng.gen_index(g.nodes) as u32))
+        .collect();
+    let pool_b: Vec<NodeId> = (0..30)
+        .map(|_| NodeId(rng.gen_index(g.nodes) as u32))
+        .collect();
+    make_workload("general", snap, pool_a, pool_b, g.nodes, 240)
+}
+
+fn main() {
+    let mut group = Bench::new("serve").sample_size(5);
+    let mut medians: Vec<(String, f64)> = Vec::new();
+
+    let transportation = transportation_workload();
+    eprintln!("[serve] transportation workload ready");
+    let spatial = spatial_workload();
+    eprintln!("[serve] spatial workload ready");
+    let general = general_workload();
+    eprintln!("[serve] general workload ready");
+
+    // Transportation runs both mixes; the other workloads run the
+    // gate-relevant 95/5 mix only.
+    let configs: [(&Workload, u32); 4] = [
+        (&transportation, 0),
+        (&transportation, 50),
+        (&spatial, 50),
+        (&general, 50),
+    ];
+    for (w, write_permille) in configs {
+        let mix = format!("{}r-{}w", (1000 - write_permille) / 10, write_permille / 10);
+        for workers in WORKER_COUNTS {
+            let name = format!("{}/{mix}/workers-{workers}", w.label);
+            eprintln!("[serve] measuring {name}");
+            let t = std::time::Instant::now();
+            let median = group
+                .run(&name, || run_config(w, workers, write_permille))
+                .median_ns;
+            eprintln!(
+                "[serve]   {name}: median {:.0} ms, row took {:.1}s",
+                median / 1e6,
+                t.elapsed().as_secs_f64()
+            );
+            medians.push((name, median));
+        }
+    }
+
+    println!("{}", render(group.results()));
+    println!("aggregate throughput (closed loop, {CLIENTS_PER_WORKER} connections/worker, {THINK_US}us think time):");
+    let ns_of = |name: &str| {
+        medians
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, ns)| ns)
+            .expect("measured")
+    };
+    let mut gate_speedup = 0.0f64;
+    for (w, write_permille) in configs {
+        let mix = format!("{}r-{}w", (1000 - write_permille) / 10, write_permille / 10);
+        let base = ns_of(&format!("{}/{mix}/workers-1", w.label));
+        for workers in WORKER_COUNTS {
+            let ns = ns_of(&format!("{}/{mix}/workers-{workers}", w.label));
+            let qps = w.ops_total as f64 / (ns / 1e9);
+            let speedup = base / ns;
+            println!(
+                "  {}/{mix}: {workers} workers = {qps:>9.0} ops/s ({speedup:.2}x vs 1 worker)",
+                w.label
+            );
+            if w.label == "transportation" && write_permille == 50 && workers == 4 {
+                gate_speedup = speedup;
+            }
+        }
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    write_json(path, group.results()).expect("write perf snapshot");
+    println!("\nwrote {path}");
+
+    // Regression gate (fails the CI job): the pool must convert
+    // concurrency into throughput on the paper's headline workload.
+    assert!(
+        gate_speedup >= GATE_SPEEDUP,
+        "transportation 95r-5w: 4 workers reached only {gate_speedup:.2}x the \
+         1-worker throughput (floor {GATE_SPEEDUP}x)"
+    );
+}

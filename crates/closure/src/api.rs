@@ -36,6 +36,7 @@ use crate::engine::{EngineConfig, QueryAnswer, QueryStats, Route};
 use crate::error::ClosureError;
 use crate::local::augmented_graph;
 use crate::planner::{ChainPlan, Planner, QueryPlan};
+use crate::snapshot::EngineSnapshot;
 use crate::updates::{UpdateBatchReport, UpdateReport};
 
 /// One shortest-path request of a batch.
@@ -159,6 +160,13 @@ pub trait TcEngine {
     /// assembly. After a fallback full recompute, reflects the latest
     /// recompute.
     fn precompute_stats(&self) -> PrecomputeStats;
+
+    /// An immutable, `Send + Sync` snapshot of this engine's current
+    /// state (tables, augmented graphs, planner), ready to be shared
+    /// across reader threads — the input to the `ds_serve` worker pool.
+    /// The snapshot is independent of the engine: later updates to either
+    /// side do not affect the other.
+    fn snapshot(&self) -> EngineSnapshot;
 
     /// Apply a sequence of updates in order, collecting per-update
     /// reports. Stops at (and returns) the first error; updates applied

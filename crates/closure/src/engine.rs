@@ -1,21 +1,21 @@
 //! The disconnection set engine: precompute once, query many times.
+//!
+//! Since the snapshot split (see [`crate::snapshot`]) the engine is a
+//! thin pairing of the immutable [`EngineSnapshot`] — tables, augmented
+//! graphs, planner — with one persistent [`ScratchDijkstra`]: exactly the
+//! single-threaded special case of the serve subsystem's
+//! one-snapshot-many-scratches architecture.
 
-use std::collections::HashSet;
 use std::time::Duration;
 
 use ds_fragment::{FragmentId, Fragmentation};
 use ds_graph::{Cost, CsrGraph, NodeId, ScratchDijkstra, ScratchStats};
 
-use ds_relation::{PathTuple, Relation};
-
-use crate::api::{
-    build_parts, run_batch, BatchAnswer, NetworkUpdate, QueryRequest, SiteEvaluator, TcEngine,
-};
-use crate::assemble;
+use crate::api::{BatchAnswer, NetworkUpdate, QueryRequest, TcEngine};
 use crate::complementary::{ComplementaryInfo, ComplementaryScope, PrecomputeStats};
 use crate::error::ClosureError;
-use crate::executor::{run_chain, ExecutionMode};
-use crate::planner::{ChainPlan, Planner};
+use crate::executor::ExecutionMode;
+use crate::snapshot::EngineSnapshot;
 use crate::updates::UpdateReport;
 
 /// Engine configuration.
@@ -93,16 +93,7 @@ pub struct Route {
 /// information, ready to answer connection and shortest-path queries.
 #[derive(Clone, Debug)]
 pub struct DisconnectionSetEngine {
-    graph: CsrGraph,
-    frag: Fragmentation,
-    symmetric: bool,
-    cfg: EngineConfig,
-    comp: ComplementaryInfo,
-    augmented: Vec<CsrGraph>,
-    /// Per site: the real (non-shortcut) hops available locally, with
-    /// costs — used to tell shortcut hops apart during route expansion.
-    real_hops: Vec<HashSet<(NodeId, NodeId, Cost)>>,
-    planner: Planner,
+    snap: EngineSnapshot,
     /// The reusable Dijkstra kernel the batch path and update repair
     /// sweeps run on — persists across calls, so the steady state is
     /// allocation-free (see [`DisconnectionSetEngine::scratch_stats`]).
@@ -124,16 +115,8 @@ impl DisconnectionSetEngine {
     ) -> Result<Self, ClosureError> {
         // The build path is shared with every other backend (the machine
         // simulation deploys from the same parts).
-        let parts = build_parts(&graph, &frag, symmetric, &cfg)?;
         Ok(DisconnectionSetEngine {
-            graph,
-            frag,
-            symmetric,
-            cfg,
-            comp: parts.comp,
-            augmented: parts.augmented,
-            real_hops: parts.real_hops,
-            planner: parts.planner,
+            snap: EngineSnapshot::build(graph, frag, symmetric, cfg)?,
             scratch: ScratchDijkstra::new(),
         })
     }
@@ -146,78 +129,49 @@ impl DisconnectionSetEngine {
 
     /// Whether fragment tuples stand for both travel directions.
     pub fn is_symmetric(&self) -> bool {
-        self.symmetric
+        self.snap.is_symmetric()
     }
 
     /// The fragmentation this engine serves.
     pub fn fragmentation(&self) -> &Fragmentation {
-        &self.frag
+        self.snap.fragmentation()
     }
 
     /// The precomputed complementary information.
     pub fn complementary(&self) -> &ComplementaryInfo {
-        &self.comp
+        self.snap.complementary()
     }
 
     /// The global closure graph.
     pub fn graph(&self) -> &CsrGraph {
-        &self.graph
+        self.snap.graph()
+    }
+
+    /// Borrow the engine's immutable snapshot (the shareable half).
+    pub fn snapshot(&self) -> &EngineSnapshot {
+        &self.snap
+    }
+
+    /// Take the snapshot out of the engine (e.g. to publish it to a
+    /// serve worker pool without cloning).
+    pub fn into_snapshot(self) -> EngineSnapshot {
+        self.snap
     }
 
     /// Shortest-path cost from `x` to `y`. Nodes outside every fragment
     /// yield an unreachable answer; see [`Self::try_shortest_path`] for
     /// the strict variant.
     pub fn shortest_path(&self, x: NodeId, y: NodeId) -> QueryAnswer {
-        self.try_shortest_path(x, y).unwrap_or(QueryAnswer {
-            cost: None,
-            best_chain: None,
-            stats: QueryStats::default(),
-        })
+        // One scratch per query (`&self` receiver), reused across every
+        // chain and subquery of the query; the batch path reuses the
+        // engine's persistent scratch instead.
+        self.snap.shortest_path(x, y, &mut ScratchDijkstra::new())
     }
 
     /// Shortest-path cost, erring when an endpoint is in no fragment.
     pub fn try_shortest_path(&self, x: NodeId, y: NodeId) -> Result<QueryAnswer, ClosureError> {
-        if x == y {
-            return Ok(QueryAnswer {
-                cost: Some(0),
-                best_chain: self.planner.fragments_of(x).first().map(|&f| vec![f]),
-                stats: QueryStats::default(),
-            });
-        }
-        let plan = self.planner.plan(x, y)?;
-        let mut stats = QueryStats {
-            enumerated: plan.enumerated,
-            ..QueryStats::default()
-        };
-        // One scratch per query (`&self` receiver), reused across every
-        // chain and subquery of the query; the batch path reuses the
-        // engine's persistent scratch instead.
-        let mut scratch = ScratchDijkstra::new();
-        let mut best: Option<(Cost, Vec<FragmentId>)> = None;
-        for chain in &plan.chains {
-            let (segments, runs) = run_chain(&self.augmented, chain, self.cfg.mode, &mut scratch);
-            stats.chains_evaluated += 1;
-            stats.site_queries += runs.len();
-            for r in &runs {
-                stats.tuples_shipped += r.tuples;
-                stats.total_site_busy += r.busy;
-                stats.max_site_busy = stats.max_site_busy.max(r.busy);
-            }
-            if let Some(cost) = assemble::chain_cost(&segments, x, y) {
-                if best.as_ref().is_none_or(|(b, _)| cost < *b) {
-                    best = Some((cost, chain.fragments.clone()));
-                }
-            }
-        }
-        let (cost, best_chain) = match best {
-            Some((c, ch)) => (Some(c), Some(ch)),
-            None => (None, None),
-        };
-        Ok(QueryAnswer {
-            cost,
-            best_chain,
-            stats,
-        })
+        self.snap
+            .try_shortest_path(x, y, &mut ScratchDijkstra::new())
     }
 
     /// Connection query — "Is A connected to B?".
@@ -228,52 +182,7 @@ impl DisconnectionSetEngine {
     /// Reconstruct the full cheapest route. Requires
     /// `EngineConfig::store_paths`.
     pub fn route(&self, x: NodeId, y: NodeId) -> Result<Option<Route>, ClosureError> {
-        if !self.comp.has_paths() {
-            return Err(ClosureError::RoutesNotEnabled);
-        }
-        if x == y {
-            return Ok(Some(Route {
-                cost: 0,
-                nodes: vec![x],
-                chain: self
-                    .planner
-                    .fragments_of(x)
-                    .first()
-                    .map(|&f| vec![f])
-                    .unwrap_or_default(),
-                waypoints: vec![x],
-            }));
-        }
-        let plan = self.planner.plan(x, y)?;
-        let mut scratch = ScratchDijkstra::new();
-        let mut best: Option<(Cost, Vec<NodeId>, Vec<FragmentId>)> = None;
-        for chain in &plan.chains {
-            let (segments, _) = run_chain(&self.augmented, chain, self.cfg.mode, &mut scratch);
-            if let Some((cost, waypoints)) = assemble::best_waypoints(&segments, x, y) {
-                if best.as_ref().is_none_or(|(b, _, _)| cost < *b) {
-                    best = Some((cost, waypoints, chain.fragments.clone()));
-                }
-            }
-        }
-        let Some((cost, waypoints, chain)) = best else {
-            return Ok(None);
-        };
-
-        // Expand each junction-to-junction leg within its site, on the
-        // same scratch the chain evaluation used.
-        // waypoints = [x, w1, …, y]; leg k runs at site chain[k].
-        debug_assert_eq!(waypoints.len(), chain.len() + 1);
-        let mut nodes = vec![x];
-        for (k, leg) in waypoints.windows(2).enumerate() {
-            let expanded = self.expand_leg(chain[k], leg[0], leg[1], &mut scratch);
-            nodes.extend_from_slice(&expanded[1..]);
-        }
-        Ok(Some(Route {
-            cost,
-            nodes,
-            chain,
-            waypoints,
-        }))
+        self.snap.route(x, y, &mut ScratchDijkstra::new())
     }
 
     // --- update maintenance (see crate::updates for the algorithms) ---
@@ -292,7 +201,8 @@ impl DisconnectionSetEngine {
         edge: ds_graph::Edge,
         owner: FragmentId,
     ) -> Result<UpdateReport, ClosureError> {
-        self.apply_maintenance(&NetworkUpdate::Insert { edge, owner })
+        self.snap
+            .maintain(&NetworkUpdate::Insert { edge, owner }, &mut self.scratch)
     }
 
     /// Remove every connection `src -> dst` (and the reverse direction on
@@ -305,112 +215,10 @@ impl DisconnectionSetEngine {
         dst: NodeId,
         owner: FragmentId,
     ) -> Result<UpdateReport, ClosureError> {
-        self.apply_maintenance(&NetworkUpdate::Remove { src, dst, owner })
-    }
-
-    /// Run the shared maintenance path, then refresh the touched sites'
-    /// augmented graphs and the owner's real-hop set.
-    fn apply_maintenance(&mut self, update: &NetworkUpdate) -> Result<UpdateReport, ClosureError> {
-        let m = crate::updates::maintain(
-            &mut self.graph,
-            &mut self.frag,
-            self.symmetric,
-            &self.cfg,
-            &mut self.comp,
-            update,
+        self.snap.maintain(
+            &NetworkUpdate::Remove { src, dst, owner },
             &mut self.scratch,
-        )?;
-        let Some(owner) = m.owner else {
-            return Ok(m.report);
-        };
-        let mut sites: std::collections::BTreeSet<FragmentId> =
-            m.shortcut_sites.iter().copied().collect();
-        sites.insert(owner);
-        for f in sites {
-            self.augmented[f] = crate::local::augmented_graph(
-                self.graph.node_count(),
-                self.frag.fragment(f).edges(),
-                self.symmetric,
-                self.comp.shortcuts(f),
-            );
-        }
-        let mut hops = HashSet::new();
-        for e in self.frag.fragment(owner).edges() {
-            hops.insert((e.src, e.dst, e.cost));
-            if self.symmetric && !e.is_loop() {
-                hops.insert((e.dst, e.src, e.cost));
-            }
-        }
-        self.real_hops[owner] = hops;
-        Ok(m.report)
-    }
-
-    /// Expand one leg `a -> b` at `site` into real graph nodes, splicing
-    /// complementary shortcut hops with their stored global paths.
-    fn expand_leg(
-        &self,
-        site: FragmentId,
-        a: NodeId,
-        b: NodeId,
-        scratch: &mut ScratchDijkstra,
-    ) -> Vec<NodeId> {
-        if a == b {
-            return vec![a];
-        }
-        scratch.sweep_to_targets(&self.augmented[site], &[(a, 0)], &[b]);
-        let local = scratch
-            .path_to(b)
-            .expect("assembly proved this leg reachable at this site");
-        let mut out = vec![a];
-        for hop in local.windows(2) {
-            let (p, q) = (hop[0], hop[1]);
-            let hop_cost = scratch.cost(q).expect("on path") - scratch.cost(p).expect("on path");
-            if self.real_hops[site].contains(&(p, q, hop_cost)) {
-                out.push(q);
-            } else {
-                let shortcut = self
-                    .comp
-                    .path(p, q)
-                    .expect("non-fragment hop must be a stored shortcut");
-                out.extend_from_slice(&shortcut[1..]);
-            }
-        }
-        out
-    }
-}
-
-/// Site evaluation for the inline backend: subqueries run on the calling
-/// thread or one scoped thread each, per [`EngineConfig::mode`]. Borrows
-/// the engine's persistent scratch, so a batch's sequential subqueries
-/// are allocation-free in the steady state.
-struct InlineEval<'a> {
-    augmented: &'a [CsrGraph],
-    mode: ExecutionMode,
-    scratch: &'a mut ScratchDijkstra,
-}
-
-impl SiteEvaluator for InlineEval<'_> {
-    fn eval_positions(
-        &mut self,
-        chain: &ChainPlan,
-        positions: &[usize],
-        stats: &mut QueryStats,
-    ) -> Vec<Relation<PathTuple>> {
-        let sub = ChainPlan {
-            fragments: positions.iter().map(|&p| chain.queries[p].site).collect(),
-            queries: positions
-                .iter()
-                .map(|&p| chain.queries[p].clone())
-                .collect(),
-        };
-        let (segments, runs) = run_chain(self.augmented, &sub, self.mode, self.scratch);
-        for r in &runs {
-            stats.site_queries += 1;
-            stats.tuples_shipped += r.tuples;
-            stats.total_site_busy += r.busy;
-            stats.max_site_busy = stats.max_site_busy.max(r.busy);
-        }
-        segments
+        )
     }
 }
 
@@ -420,43 +228,39 @@ impl TcEngine for DisconnectionSetEngine {
     }
 
     fn site_count(&self) -> usize {
-        self.frag.fragment_count()
+        self.snap.site_count()
     }
 
     fn fragmentation(&self) -> &Fragmentation {
-        &self.frag
+        self.snap.fragmentation()
     }
 
+    /// Unlike the inherent `&self` method (which must allocate a scratch
+    /// per call), the `&mut self` trait path runs on the engine's
+    /// persistent scratch — single queries through `TcEngine`/`System`
+    /// are allocation-free in the steady state, like batches.
     fn shortest_path(&mut self, x: NodeId, y: NodeId) -> QueryAnswer {
-        DisconnectionSetEngine::shortest_path(self, x, y)
+        self.snap.shortest_path(x, y, &mut self.scratch)
     }
 
     fn route(&mut self, x: NodeId, y: NodeId) -> Result<Option<Route>, ClosureError> {
-        DisconnectionSetEngine::route(self, x, y)
+        self.snap.route(x, y, &mut self.scratch)
     }
 
     fn update(&mut self, update: &NetworkUpdate) -> Result<UpdateReport, ClosureError> {
-        self.apply_maintenance(update)
+        self.snap.maintain(update, &mut self.scratch)
     }
 
     fn precompute_stats(&self) -> PrecomputeStats {
-        self.comp.precompute_stats()
+        self.snap.precompute_stats()
+    }
+
+    fn snapshot(&self) -> EngineSnapshot {
+        self.snap.clone()
     }
 
     fn query_batch(&mut self, requests: &[QueryRequest]) -> BatchAnswer {
-        let DisconnectionSetEngine {
-            ref augmented,
-            ref cfg,
-            ref planner,
-            ref mut scratch,
-            ..
-        } = *self;
-        let mut eval = InlineEval {
-            augmented,
-            mode: cfg.mode,
-            scratch,
-        };
-        run_batch(planner, &mut eval, requests)
+        self.snap.query_batch(requests, &mut self.scratch)
     }
 }
 
@@ -561,6 +365,24 @@ mod tests {
             .insert_connection(ds_graph::Edge::new(a, b, 1), 0)
             .unwrap();
         assert!(TcEngine::precompute_stats(&engine).total_ns() > 0);
+    }
+
+    /// The trait-level snapshot is the engine's own immutable half: same
+    /// tables, same answers, attributed to the inline backend.
+    #[test]
+    fn snapshot_through_the_trait_answers_identically() {
+        let (_, engine) = grid_engine(EngineConfig::default());
+        let snap = TcEngine::snapshot(&engine);
+        assert_eq!(snap.source_backend(), "inline");
+        assert_eq!(snap.precompute_stats(), TcEngine::precompute_stats(&engine));
+        let mut scratch = ScratchDijkstra::new();
+        for (x, y) in [(0u32, 39u32), (5, 33), (12, 12)] {
+            assert_eq!(
+                snap.shortest_path(n(x), n(y), &mut scratch).cost,
+                engine.shortest_path(n(x), n(y)).cost,
+                "query {x}->{y}"
+            );
+        }
     }
 
     #[test]

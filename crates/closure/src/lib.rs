@@ -54,6 +54,7 @@ pub mod executor;
 pub mod local;
 pub mod phe;
 pub mod planner;
+pub mod snapshot;
 pub mod updates;
 
 pub use api::{BatchAnswer, BatchStats, NetworkUpdate, QueryRequest, TcEngine};
@@ -62,4 +63,5 @@ pub use complementary::{
 };
 pub use engine::{DisconnectionSetEngine, EngineConfig, QueryAnswer, QueryStats, Route};
 pub use error::ClosureError;
+pub use snapshot::EngineSnapshot;
 pub use updates::{FallbackReason, UpdateBatchReport, UpdateReport};

@@ -1,0 +1,600 @@
+//! The immutable half of an engine: everything queries read, nothing
+//! they write.
+//!
+//! The paper's phase-one independence is a statement about *data*: query
+//! evaluation only ever reads the precomputed complementary information,
+//! the per-site augmented graphs and the planner. The mutable pieces of
+//! an engine — the Dijkstra scratch, batch buffers — are per-*execution*
+//! state, not per-*engine* state. [`EngineSnapshot`] makes that split
+//! explicit:
+//!
+//! * a snapshot is `Send + Sync` and can be shared across any number of
+//!   reader threads behind an `Arc` (the `ds_serve` crate does exactly
+//!   that: one snapshot, one worker pool, per-worker scratch);
+//! * every query method takes `&self` plus a caller-owned
+//!   [`ScratchDijkstra`], so concurrent readers never contend;
+//! * updates go through [`EngineSnapshot::maintain`], which mutates in
+//!   place — an exclusive owner (the inline engine, the serve writer
+//!   thread working on a private clone) applies the incremental
+//!   maintenance of [`crate::updates`] and republishes.
+//!
+//! [`crate::engine::DisconnectionSetEngine`] is now a thin wrapper:
+//! one snapshot plus one persistent scratch.
+
+use std::collections::HashSet;
+
+use ds_fragment::{FragmentId, Fragmentation};
+use ds_graph::{Cost, CsrGraph, NodeId, ScratchDijkstra};
+use ds_relation::{PathTuple, Relation};
+
+use crate::api::{
+    build_parts, run_batch, BatchAnswer, EngineParts, NetworkUpdate, QueryRequest, SiteEvaluator,
+};
+use crate::assemble;
+use crate::complementary::{ComplementaryInfo, PrecomputeStats};
+use crate::engine::{EngineConfig, QueryAnswer, QueryStats, Route};
+use crate::error::ClosureError;
+use crate::executor::run_chain;
+use crate::local::augmented_graph;
+use crate::planner::{ChainPlan, Planner};
+use crate::updates::UpdateReport;
+
+/// The immutable, shareable state of a deployed engine: the global
+/// closure graph, the fragmentation, the complementary tables, the
+/// per-site augmented graphs and the chain planner.
+///
+/// A snapshot answers queries through `&self` methods that borrow a
+/// caller-owned scratch kernel; it never locks and never allocates
+/// per-query beyond the answer itself. Sharing is by `Arc`: the serve
+/// subsystem publishes a snapshot per *epoch* and lets in-flight readers
+/// finish on whatever epoch they started with.
+#[derive(Clone, Debug)]
+pub struct EngineSnapshot {
+    graph: CsrGraph,
+    frag: Fragmentation,
+    symmetric: bool,
+    cfg: EngineConfig,
+    comp: ComplementaryInfo,
+    augmented: Vec<CsrGraph>,
+    /// Per site: the real (non-shortcut) hops available locally, with
+    /// costs — used to tell shortcut hops apart during route expansion.
+    real_hops: Vec<HashSet<(NodeId, NodeId, Cost)>>,
+    planner: Planner,
+    /// Which backend's build path produced this snapshot ("inline",
+    /// "site-threads") — reported by `ds_serve::ServeStats` so operators
+    /// can see what they are serving.
+    source_backend: &'static str,
+}
+
+impl EngineSnapshot {
+    /// Build a snapshot from scratch: runs the shared build path
+    /// ([`build_parts`]) and assembles the per-site real-hop sets.
+    pub fn build(
+        graph: CsrGraph,
+        frag: Fragmentation,
+        symmetric: bool,
+        cfg: EngineConfig,
+    ) -> Result<Self, ClosureError> {
+        let parts = build_parts(&graph, &frag, symmetric, &cfg)?;
+        Ok(Self::from_parts(
+            graph, frag, symmetric, cfg, parts, "inline",
+        ))
+    }
+
+    /// Wrap an already-built [`EngineParts`] (the shared pre-processing
+    /// outcome both backends deploy from) into a snapshot.
+    pub fn from_parts(
+        graph: CsrGraph,
+        frag: Fragmentation,
+        symmetric: bool,
+        cfg: EngineConfig,
+        parts: EngineParts,
+        source_backend: &'static str,
+    ) -> Self {
+        EngineSnapshot {
+            graph,
+            frag,
+            symmetric,
+            cfg,
+            comp: parts.comp,
+            augmented: parts.augmented,
+            real_hops: parts.real_hops,
+            planner: parts.planner,
+            source_backend,
+        }
+    }
+
+    /// Assemble a snapshot from retained coordinator state (graph,
+    /// fragmentation, complementary tables, planner), rebuilding the
+    /// augmented graphs and real-hop sets. This is how the machine
+    /// backend — whose sites own their augmented graphs — produces a
+    /// snapshot without re-running the precompute.
+    pub fn assemble(
+        graph: CsrGraph,
+        frag: Fragmentation,
+        symmetric: bool,
+        cfg: EngineConfig,
+        comp: ComplementaryInfo,
+        planner: Planner,
+        source_backend: &'static str,
+    ) -> Self {
+        let n = graph.node_count();
+        let mut augmented = Vec::with_capacity(frag.fragment_count());
+        let mut real_hops = Vec::with_capacity(frag.fragment_count());
+        for f in frag.fragments() {
+            augmented.push(augmented_graph(
+                n,
+                f.edges(),
+                symmetric,
+                comp.shortcuts(f.id()),
+            ));
+            real_hops.push(real_hop_set(f.edges(), symmetric));
+        }
+        EngineSnapshot {
+            graph,
+            frag,
+            symmetric,
+            cfg,
+            comp,
+            augmented,
+            real_hops,
+            planner,
+            source_backend,
+        }
+    }
+
+    // --- accessors -----------------------------------------------------
+
+    /// The global closure graph this snapshot answers for.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The fragmentation this snapshot serves.
+    pub fn fragmentation(&self) -> &Fragmentation {
+        &self.frag
+    }
+
+    /// Number of sites (fragments = processors).
+    pub fn site_count(&self) -> usize {
+        self.frag.fragment_count()
+    }
+
+    /// Whether fragment tuples stand for both travel directions.
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    /// The engine configuration the snapshot was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The precomputed complementary information.
+    pub fn complementary(&self) -> &ComplementaryInfo {
+        &self.comp
+    }
+
+    /// The chain planner over this snapshot's fragmentation.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Per-phase timing of the precompute that built (or last rebuilt)
+    /// the tables this snapshot serves.
+    pub fn precompute_stats(&self) -> PrecomputeStats {
+        self.comp.precompute_stats()
+    }
+
+    /// Which backend's build path produced this snapshot.
+    pub fn source_backend(&self) -> &'static str {
+        self.source_backend
+    }
+
+    // --- queries (&self + caller-owned scratch) ------------------------
+
+    /// Shortest-path cost from `x` to `y` on `scratch`. Nodes outside
+    /// every fragment yield an unreachable answer; see
+    /// [`EngineSnapshot::try_shortest_path`] for the strict variant.
+    pub fn shortest_path(
+        &self,
+        x: NodeId,
+        y: NodeId,
+        scratch: &mut ScratchDijkstra,
+    ) -> QueryAnswer {
+        self.try_shortest_path(x, y, scratch)
+            .unwrap_or(QueryAnswer {
+                cost: None,
+                best_chain: None,
+                stats: QueryStats::default(),
+            })
+    }
+
+    /// Shortest-path cost, erring when an endpoint is in no fragment.
+    pub fn try_shortest_path(
+        &self,
+        x: NodeId,
+        y: NodeId,
+        scratch: &mut ScratchDijkstra,
+    ) -> Result<QueryAnswer, ClosureError> {
+        if x == y {
+            return Ok(QueryAnswer {
+                cost: Some(0),
+                best_chain: self.planner.fragments_of(x).first().map(|&f| vec![f]),
+                stats: QueryStats::default(),
+            });
+        }
+        let plan = self.planner.plan(x, y)?;
+        let mut stats = QueryStats {
+            enumerated: plan.enumerated,
+            ..QueryStats::default()
+        };
+        let mut best: Option<(Cost, Vec<FragmentId>)> = None;
+        for chain in &plan.chains {
+            let (segments, runs) = run_chain(&self.augmented, chain, self.cfg.mode, scratch);
+            stats.chains_evaluated += 1;
+            stats.site_queries += runs.len();
+            for r in &runs {
+                stats.tuples_shipped += r.tuples;
+                stats.total_site_busy += r.busy;
+                stats.max_site_busy = stats.max_site_busy.max(r.busy);
+            }
+            if let Some(cost) = assemble::chain_cost(&segments, x, y) {
+                if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                    best = Some((cost, chain.fragments.clone()));
+                }
+            }
+        }
+        let (cost, best_chain) = match best {
+            Some((c, ch)) => (Some(c), Some(ch)),
+            None => (None, None),
+        };
+        Ok(QueryAnswer {
+            cost,
+            best_chain,
+            stats,
+        })
+    }
+
+    /// Connection query — "is `x` connected to `y`?".
+    pub fn connected(&self, x: NodeId, y: NodeId, scratch: &mut ScratchDijkstra) -> bool {
+        x == y || self.shortest_path(x, y, scratch).cost.is_some()
+    }
+
+    /// Answer many shortest-path requests on `scratch`, amortizing chain
+    /// planning and interior segment evaluation across the batch (see
+    /// [`run_batch`]).
+    pub fn query_batch(
+        &self,
+        requests: &[QueryRequest],
+        scratch: &mut ScratchDijkstra,
+    ) -> BatchAnswer {
+        let mut eval = InlineEval {
+            augmented: &self.augmented,
+            mode: self.cfg.mode,
+            scratch,
+        };
+        run_batch(&self.planner, &mut eval, requests)
+    }
+
+    /// Reconstruct the full cheapest route. Requires
+    /// [`EngineConfig::store_paths`].
+    pub fn route(
+        &self,
+        x: NodeId,
+        y: NodeId,
+        scratch: &mut ScratchDijkstra,
+    ) -> Result<Option<Route>, ClosureError> {
+        if !self.comp.has_paths() {
+            return Err(ClosureError::RoutesNotEnabled);
+        }
+        if x == y {
+            return Ok(Some(Route {
+                cost: 0,
+                nodes: vec![x],
+                chain: self
+                    .planner
+                    .fragments_of(x)
+                    .first()
+                    .map(|&f| vec![f])
+                    .unwrap_or_default(),
+                waypoints: vec![x],
+            }));
+        }
+        let plan = self.planner.plan(x, y)?;
+        let mut best: Option<(Cost, Vec<NodeId>, Vec<FragmentId>)> = None;
+        for chain in &plan.chains {
+            let (segments, _) = run_chain(&self.augmented, chain, self.cfg.mode, scratch);
+            if let Some((cost, waypoints)) = assemble::best_waypoints(&segments, x, y) {
+                if best.as_ref().is_none_or(|(b, _, _)| cost < *b) {
+                    best = Some((cost, waypoints, chain.fragments.clone()));
+                }
+            }
+        }
+        let Some((cost, waypoints, chain)) = best else {
+            return Ok(None);
+        };
+
+        // Expand each junction-to-junction leg within its site, on the
+        // same scratch the chain evaluation used.
+        // waypoints = [x, w1, …, y]; leg k runs at site chain[k].
+        debug_assert_eq!(waypoints.len(), chain.len() + 1);
+        let mut nodes = vec![x];
+        for (k, leg) in waypoints.windows(2).enumerate() {
+            let expanded = self.expand_leg(chain[k], leg[0], leg[1], scratch);
+            nodes.extend_from_slice(&expanded[1..]);
+        }
+        Ok(Some(Route {
+            cost,
+            nodes,
+            chain,
+            waypoints,
+        }))
+    }
+
+    /// Expand one leg `a -> b` at `site` into real graph nodes, splicing
+    /// complementary shortcut hops with their stored global paths.
+    fn expand_leg(
+        &self,
+        site: FragmentId,
+        a: NodeId,
+        b: NodeId,
+        scratch: &mut ScratchDijkstra,
+    ) -> Vec<NodeId> {
+        if a == b {
+            return vec![a];
+        }
+        scratch.sweep_to_targets(&self.augmented[site], &[(a, 0)], &[b]);
+        let local = scratch
+            .path_to(b)
+            .expect("assembly proved this leg reachable at this site");
+        let mut out = vec![a];
+        for hop in local.windows(2) {
+            let (p, q) = (hop[0], hop[1]);
+            let hop_cost = scratch.cost(q).expect("on path") - scratch.cost(p).expect("on path");
+            if self.real_hops[site].contains(&(p, q, hop_cost)) {
+                out.push(q);
+            } else {
+                let shortcut = self
+                    .comp
+                    .path(p, q)
+                    .expect("non-fragment hop must be a stored shortcut");
+                out.extend_from_slice(&shortcut[1..]);
+            }
+        }
+        out
+    }
+
+    // --- maintenance (exclusive owner only) ----------------------------
+
+    /// Apply a network update in place, keeping answers exact afterwards:
+    /// runs the shared maintenance path ([`crate::updates::maintain`]),
+    /// then refreshes the touched sites' augmented graphs and the owner's
+    /// real-hop set.
+    ///
+    /// A snapshot shared behind an `Arc` cannot (and must not) be
+    /// maintained through the `Arc` — clone it first and republish the
+    /// maintained clone (copy-on-write), which is exactly what the
+    /// `ds_serve` writer thread does.
+    pub fn maintain(
+        &mut self,
+        update: &NetworkUpdate,
+        scratch: &mut ScratchDijkstra,
+    ) -> Result<UpdateReport, ClosureError> {
+        let m = crate::updates::maintain(
+            &mut self.graph,
+            &mut self.frag,
+            self.symmetric,
+            &self.cfg,
+            &mut self.comp,
+            update,
+            scratch,
+        )?;
+        let Some(owner) = m.owner else {
+            return Ok(m.report);
+        };
+        let mut sites: std::collections::BTreeSet<FragmentId> =
+            m.shortcut_sites.iter().copied().collect();
+        sites.insert(owner);
+        for f in sites {
+            self.augmented[f] = augmented_graph(
+                self.graph.node_count(),
+                self.frag.fragment(f).edges(),
+                self.symmetric,
+                self.comp.shortcuts(f),
+            );
+        }
+        self.real_hops[owner] = real_hop_set(self.frag.fragment(owner).edges(), self.symmetric);
+        Ok(m.report)
+    }
+}
+
+fn real_hop_set(edges: &[ds_graph::Edge], symmetric: bool) -> HashSet<(NodeId, NodeId, Cost)> {
+    let mut hops = HashSet::with_capacity(edges.len() * 2);
+    for e in edges {
+        hops.insert((e.src, e.dst, e.cost));
+        if symmetric && !e.is_loop() {
+            hops.insert((e.dst, e.src, e.cost));
+        }
+    }
+    hops
+}
+
+/// Site evaluation for snapshot-backed (and inline-engine) batches:
+/// subqueries run on the calling thread or one scoped thread each, per
+/// [`EngineConfig::mode`], against the caller's scratch.
+struct InlineEval<'a> {
+    augmented: &'a [CsrGraph],
+    mode: crate::executor::ExecutionMode,
+    scratch: &'a mut ScratchDijkstra,
+}
+
+impl SiteEvaluator for InlineEval<'_> {
+    fn eval_positions(
+        &mut self,
+        chain: &ChainPlan,
+        positions: &[usize],
+        stats: &mut QueryStats,
+    ) -> Vec<Relation<PathTuple>> {
+        let sub = ChainPlan {
+            fragments: positions.iter().map(|&p| chain.queries[p].site).collect(),
+            queries: positions
+                .iter()
+                .map(|&p| chain.queries[p].clone())
+                .collect(),
+        };
+        let (segments, runs) = run_chain(self.augmented, &sub, self.mode, self.scratch);
+        for r in &runs {
+            stats.site_queries += 1;
+            stats.tuples_shipped += r.tuples;
+            stats.total_site_busy += r.busy;
+            stats.max_site_busy = stats.max_site_busy.max(r.busy);
+        }
+        segments
+    }
+}
+
+/// Compile-time `Send + Sync` guarantees for everything the serve layer
+/// shares across threads. A future `Rc`/`RefCell`/raw-pointer regression
+/// in any of these types fails *here*, in the crate that owns the
+/// invariant, rather than as a confusing trait-bound error in `ds_serve`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EngineParts>();
+    assert_send_sync::<ComplementaryInfo>();
+    assert_send_sync::<Fragmentation>();
+    assert_send_sync::<EngineSnapshot>();
+    assert_send_sync::<Planner>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use ds_fragment::linear::{linear_sweep, LinearConfig};
+    use ds_gen::deterministic::grid;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn snapshot() -> (ds_gen::GeneratedGraph, EngineSnapshot) {
+        let g = grid(10, 4);
+        let frag = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig {
+                fragments: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .fragmentation;
+        let snap =
+            EngineSnapshot::build(g.closure_graph(), frag, true, EngineConfig::default()).unwrap();
+        (g, snap)
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_snapshot() {
+        let (g, snap) = snapshot();
+        let csr = g.closure_graph();
+        let snap = std::sync::Arc::new(snap);
+        let answers: Vec<Vec<Option<Cost>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u32)
+                .map(|t| {
+                    let snap = std::sync::Arc::clone(&snap);
+                    s.spawn(move || {
+                        let mut scratch = ScratchDijkstra::new();
+                        (0..40u32)
+                            .map(|i| {
+                                snap.shortest_path(n((i + t) % 40), n(39 - i), &mut scratch)
+                                    .cost
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (t, row) in answers.iter().enumerate() {
+            for (i, got) in row.iter().enumerate() {
+                let want = baseline::shortest_path_cost(
+                    &csr,
+                    n(((i as u32) + t as u32) % 40),
+                    n(39 - i as u32),
+                );
+                assert_eq!(*got, want, "thread {t} query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn assemble_equals_from_parts() {
+        let g = grid(8, 3);
+        let frag = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig {
+                fragments: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .fragmentation;
+        let cfg = EngineConfig::default();
+        let built =
+            EngineSnapshot::build(g.closure_graph(), frag.clone(), true, cfg.clone()).unwrap();
+        let assembled = EngineSnapshot::assemble(
+            g.closure_graph(),
+            frag,
+            true,
+            cfg,
+            built.complementary().clone(),
+            built.planner().clone(),
+            "site-threads",
+        );
+        assert_eq!(assembled.source_backend(), "site-threads");
+        let mut s1 = ScratchDijkstra::new();
+        let mut s2 = ScratchDijkstra::new();
+        for (x, y) in [(0u32, 23u32), (5, 17), (12, 12), (23, 0)] {
+            assert_eq!(
+                built.shortest_path(n(x), n(y), &mut s1).cost,
+                assembled.shortest_path(n(x), n(y), &mut s2).cost,
+                "query {x}->{y}"
+            );
+        }
+    }
+
+    #[test]
+    fn maintained_clone_leaves_the_original_untouched() {
+        let (_, snap) = snapshot();
+        let mut scratch = ScratchDijkstra::new();
+        let before = snap.shortest_path(n(0), n(39), &mut scratch).cost.unwrap();
+        let mut successor = snap.clone();
+        let f0 = snap.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        successor
+            .maintain(
+                &NetworkUpdate::Insert {
+                    edge: ds_graph::Edge::new(a, b, 1),
+                    owner: 0,
+                },
+                &mut scratch,
+            )
+            .unwrap();
+        // Copy-on-write: the published (old) snapshot still answers the
+        // pre-update network; the successor reflects the insert.
+        assert_eq!(
+            snap.shortest_path(n(0), n(39), &mut scratch).cost,
+            Some(before)
+        );
+        let after = successor
+            .shortest_path(n(0), n(39), &mut scratch)
+            .cost
+            .unwrap();
+        assert!(after <= before);
+        assert_eq!(
+            Some(after),
+            baseline::shortest_path_cost(successor.graph(), n(0), n(39))
+        );
+    }
+}

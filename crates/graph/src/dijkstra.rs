@@ -85,6 +85,15 @@ pub struct ScratchStats {
     pub grows: u64,
 }
 
+impl ScratchStats {
+    /// Accumulate another scratch's counters — aggregating a pool of
+    /// per-worker kernels into one report.
+    pub fn merge(&mut self, other: ScratchStats) {
+        self.sweeps += other.sweeps;
+        self.grows += other.grows;
+    }
+}
+
 /// A reusable Dijkstra kernel: generation-stamped `dist`/`parent` arrays
 /// plus a persistent binary heap.
 ///

@@ -47,8 +47,8 @@ use ds_closure::complementary::ComplementaryInfo;
 use ds_closure::planner::{ChainPlan, Planner};
 use ds_closure::updates::maintain;
 use ds_closure::{
-    BatchAnswer, ClosureError, EngineConfig, NetworkUpdate, PrecomputeStats, QueryAnswer,
-    QueryRequest, QueryStats, Route, TcEngine, UpdateReport,
+    BatchAnswer, ClosureError, EngineConfig, EngineSnapshot, NetworkUpdate, PrecomputeStats,
+    QueryAnswer, QueryRequest, QueryStats, Route, TcEngine, UpdateReport,
 };
 use ds_fragment::Fragmentation;
 use ds_graph::{CsrGraph, NodeId, ScratchDijkstra};
@@ -264,6 +264,21 @@ impl TcEngine for Machine {
 
     fn precompute_stats(&self) -> PrecomputeStats {
         self.comp.precompute_stats()
+    }
+
+    /// The coordinator retains everything a snapshot needs except the
+    /// augmented graphs (those live at the sites); they are rebuilt from
+    /// the complementary tables — cheap CSR assembly, no precompute.
+    fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot::assemble(
+            self.graph.clone(),
+            self.frag.clone(),
+            self.symmetric,
+            self.cfg.clone(),
+            self.comp.clone(),
+            self.planner.clone(),
+            "site-threads",
+        )
     }
 
     /// Updates are incremental: the coordinator runs the shared

@@ -54,22 +54,30 @@ impl MachineStats {
     /// (1.0 = perfectly balanced). The workload-balance goal of §2.2 made
     /// measurable.
     pub fn balance_ratio(&self) -> f64 {
-        let busies: Vec<f64> = self
-            .sites
-            .iter()
-            .map(|s| s.busy.as_secs_f64())
-            .filter(|&b| b > 0.0)
-            .collect();
-        if busies.is_empty() {
-            return 1.0;
-        }
-        let max = busies.iter().cloned().fold(0.0, f64::max);
-        let mean = busies.iter().sum::<f64>() / busies.len() as f64;
-        if mean == 0.0 {
-            1.0
-        } else {
-            max / mean
-        }
+        let busies: Vec<Duration> = self.sites.iter().map(|s| s.busy).collect();
+        balance_ratio(&busies)
+    }
+}
+
+/// Imbalance of a set of busy times: max over mean of the non-idle
+/// entries, 1.0 for a perfectly balanced (or fully idle) set. Shared by
+/// [`MachineStats::balance_ratio`] (per-site busy) and the serve
+/// subsystem's per-worker report.
+pub fn balance_ratio(busies: &[Duration]) -> f64 {
+    let busies: Vec<f64> = busies
+        .iter()
+        .map(|b| b.as_secs_f64())
+        .filter(|&b| b > 0.0)
+        .collect();
+    if busies.is_empty() {
+        return 1.0;
+    }
+    let max = busies.iter().cloned().fold(0.0, f64::max);
+    let mean = busies.iter().sum::<f64>() / busies.len() as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
     }
 }
 

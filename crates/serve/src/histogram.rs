@@ -1,0 +1,154 @@
+//! A fixed-bucket latency histogram: power-of-two buckets, O(1) record,
+//! mergeable across workers, quantile read-out for p50/p99 reporting.
+//!
+//! Dependency-free by design (the workspace is offline): 64 geometric
+//! buckets cover the full `u64` nanosecond range with ≤ 50% relative
+//! error per bucket — plenty for serving-latency percentiles, where the
+//! interesting signal is orders of magnitude, not nanoseconds.
+
+/// Histogram over nanosecond samples with power-of-two bucket edges:
+/// bucket `i` holds samples in `[2^i, 2^(i+1))`.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample (nanoseconds).
+    pub fn record(&mut self, ns: u64) {
+        let idx = 63 - ns.max(1).leading_zeros() as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample, in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen (exact, not bucketed).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), as the geometric midpoint of the
+    /// bucket holding the rank — e.g. `quantile_ns(0.99)` is the p99.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Midpoint of [2^i, 2^(i+1)): 1.5 * 2^i.
+                let lo = 1u64 << i;
+                return (lo + lo / 2).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Fold another histogram into this one (per-worker → global).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let mut h = LatencyHistogram::new();
+        // 99 fast samples around 1µs, one slow 1ms outlier.
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ns(0.5);
+        assert!((512..2048).contains(&p50), "p50 {p50} in the 1µs bucket");
+        let p99 = h.quantile_ns(0.99);
+        assert!(p99 < 10_000, "p99 {p99} still fast");
+        let p100 = h.quantile_ns(1.0);
+        assert!(p100 >= 500_000, "max quantile {p100} sees the outlier");
+        assert_eq!(h.max_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for i in 1..200u64 {
+            let ns = i * 977;
+            if i % 2 == 0 {
+                a.record(ns);
+            } else {
+                b.record(ns);
+            }
+            whole.record(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max_ns(), whole.max_ns());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile_ns(q), whole.quantile_ns(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn extreme_samples_do_not_overflow() {
+        let mut h = LatencyHistogram::new();
+        h.record(0); // clamped into the first bucket
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_ns(1.0) > 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! # ds-serve — concurrent query serving over engine snapshots
+//!
+//! The paper parallelizes the *precompute* across fragment sites; this
+//! crate parallelizes the *serving*: many concurrent readers, a live
+//! update stream, and the batching-by-fragment-affinity that
+//! workload-driven fragmentation work (Peng et al., *Query
+//! Workload-based RDF Graph Fragmentation and Allocation*) identifies as
+//! the throughput lever of distributed graph querying.
+//!
+//! Architecture (std-only — no third-party dependencies; threads are
+//! hand-rolled like the site threads of `ds_machine`, whose stats
+//! conventions — the balance ratio — this crate reuses):
+//!
+//! ```text
+//!  clients ──► bounded job queue ──► worker pool (one scratch each)
+//!                                        │  micro-batch: coalesce
+//!                                        │  duplicates, group by
+//!                                        │  fragment pair, run_batch
+//!                                        ▼
+//!                            Arc<EngineSnapshot>   (epoch N)
+//!                                        ▲
+//!  updaters ──► writer thread ── maintain() on a private copy,
+//!               publish successor snapshot as epoch N+1
+//! ```
+//!
+//! * **Snapshot epochs.** The immutable [`EngineSnapshot`] (tables,
+//!   augmented graphs, planner — `Send + Sync` by construction, asserted
+//!   at compile time in `ds_closure`) is shared via `Arc` and swapped
+//!   atomically by the single writer. Readers pin the epoch for the
+//!   duration of a micro-batch: every answer is consistent with some
+//!   published version, and says which ([`ServedBatch::epoch`]).
+//! * **Workers never lock on the query path.** All mutable evaluation
+//!   state (the Dijkstra scratch, batch buffers) is worker-owned; the
+//!   publication slot is consulted with one atomic load per micro-batch
+//!   and its mutex touched only when the epoch actually moved.
+//! * **Micro-batching.** A worker drains everything pending (bounded by
+//!   [`ServeConfig::batch_max`]) in one lock acquisition, coalesces
+//!   identical requests (single-flight), sorts the distinct ones by
+//!   fragment pair and feeds them to the shared batch kernel
+//!   (`ds_closure::api::run_batch`), which plans each fragment pair once
+//!   and evaluates interior chain segments once per chain. Queue depth
+//!   converts directly into amortization — the busier the server, the
+//!   cheaper the average query.
+//! * **Observability.** [`ServeStats`] reports throughput, p50/p99
+//!   latency from an in-crate fixed-bucket [`LatencyHistogram`],
+//!   per-worker busy time and scratch reuse, batch amortization
+//!   counters, and which backend/strategy built the tables being served.
+//!
+//! ```
+//! use ds_closure::{EngineConfig, EngineSnapshot};
+//! use ds_fragment::linear::{linear_sweep, LinearConfig};
+//! use ds_gen::deterministic::grid;
+//! use ds_graph::NodeId;
+//! use ds_serve::{ServeConfig, Server};
+//!
+//! let g = grid(10, 3);
+//! let frag = linear_sweep(&g.edge_list(), &LinearConfig { fragments: 3, ..Default::default() })
+//!     .unwrap()
+//!     .fragmentation;
+//! let snap = EngineSnapshot::build(g.closure_graph(), frag, true, EngineConfig::default()).unwrap();
+//! let server = Server::start(snap, ServeConfig::with_workers(2));
+//! let served = server.query(NodeId(0), NodeId(29));
+//! assert_eq!(served.answer.cost, Some(11));
+//! assert_eq!(served.epoch, 0);
+//! let stats = server.shutdown();
+//! assert_eq!(stats.requests, 1);
+//! ```
+
+pub mod histogram;
+mod queue;
+pub mod server;
+
+pub use ds_closure::snapshot::EngineSnapshot;
+pub use histogram::LatencyHistogram;
+pub use server::{
+    LatencySummary, ServeConfig, ServeStats, ServedAnswer, ServedBatch, ServedUpdate, Server,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_closure::api::{NetworkUpdate, QueryRequest};
+    use ds_closure::{baseline, EngineConfig};
+    use ds_fragment::linear::{linear_sweep, LinearConfig};
+    use ds_gen::deterministic::grid;
+    use ds_graph::{Edge, NodeId};
+    use std::sync::Arc;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn snapshot() -> (ds_gen::GeneratedGraph, EngineSnapshot) {
+        let g = grid(10, 4);
+        let frag = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig {
+                fragments: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .fragmentation;
+        let snap =
+            EngineSnapshot::build(g.closure_graph(), frag, true, EngineConfig::default()).unwrap();
+        (g, snap)
+    }
+
+    #[test]
+    fn serves_correct_answers_from_many_threads() {
+        let (g, snap) = snapshot();
+        let csr = g.closure_graph();
+        let server = Arc::new(Server::start(snap, ServeConfig::with_workers(3)));
+        std::thread::scope(|s| {
+            for t in 0..6u32 {
+                let server = Arc::clone(&server);
+                let csr = &csr;
+                s.spawn(move || {
+                    for i in 0..25u32 {
+                        let (x, y) = (n((i * 7 + t) % 40), n((i * 11) % 40));
+                        let served = server.query(x, y);
+                        assert_eq!(
+                            served.answer.cost,
+                            baseline::shortest_path_cost(csr, x, y),
+                            "thread {t} query {x}->{y}"
+                        );
+                        assert_eq!(served.epoch, 0, "no updates: epoch stays 0");
+                    }
+                });
+            }
+        });
+        let stats = Arc::into_inner(server)
+            .expect("all clients done")
+            .shutdown();
+        assert_eq!(stats.requests, 150);
+        assert_eq!(stats.jobs, 150);
+        assert!(stats.batches > 0 && stats.batches <= 150);
+        assert_eq!(stats.evaluated + stats.coalesced, 150);
+        assert_eq!(stats.latency.count, 150);
+        assert!(stats.latency.p99_us >= stats.latency.p50_us);
+        assert_eq!(stats.backend, "inline");
+        assert!(
+            stats.scratch.sweeps > 0,
+            "workers really used their scratch"
+        );
+    }
+
+    #[test]
+    fn batch_jobs_answer_in_request_order() {
+        let (g, snap) = snapshot();
+        let csr = g.closure_graph();
+        let server = Server::start(snap, ServeConfig::with_workers(2));
+        let requests: Vec<QueryRequest> = (0..12u32)
+            .map(|i| QueryRequest::new(n(i), n(39 - i)))
+            .collect();
+        let served = server.query_batch(&requests);
+        assert_eq!(served.answers.len(), 12);
+        for (req, a) in requests.iter().zip(&served.answers) {
+            assert_eq!(
+                a.cost,
+                baseline::shortest_path_cost(&csr, req.source, req.target),
+                "{}->{}",
+                req.source,
+                req.target
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn identical_requests_coalesce_within_a_micro_batch() {
+        let (_, snap) = snapshot();
+        let server = Server::start(snap, ServeConfig::with_workers(1));
+        // One job containing the same request 8 times: single-flight.
+        let requests = vec![QueryRequest::new(n(0), n(39)); 8];
+        let served = server.query_batch(&requests);
+        assert_eq!(served.answers.len(), 8);
+        let cost = served.answers[0].cost;
+        assert!(served.answers.iter().all(|a| a.cost == cost));
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 8);
+        assert_eq!(stats.evaluated, 1, "one evaluation for eight answers");
+        assert_eq!(stats.coalesced, 7);
+        assert!(stats.coalesced_fraction() > 0.8);
+    }
+
+    #[test]
+    fn updates_bump_the_epoch_and_stay_exact() {
+        let (_, snap) = snapshot();
+        let f0 = snap.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        let server = Server::start(snap, ServeConfig::with_workers(2));
+        let before = server.query(n(0), n(39));
+        assert_eq!(before.epoch, 0);
+
+        let served = server
+            .update(&NetworkUpdate::Insert {
+                edge: Edge::new(a, b, 1),
+                owner: 0,
+            })
+            .unwrap();
+        assert_eq!(served.epoch, 1);
+        assert!(!served.report.full_recompute);
+        assert_eq!(server.epoch(), 1);
+
+        let after = server.query(n(0), n(39));
+        assert_eq!(after.epoch, 1, "new micro-batches see the new epoch");
+        assert!(after.answer.cost <= before.answer.cost);
+        // The published snapshot is the post-update network.
+        let snap = server.snapshot();
+        assert_eq!(
+            after.answer.cost,
+            baseline::shortest_path_cost(snap.graph(), n(0), n(39))
+        );
+
+        let removed = server
+            .update(&NetworkUpdate::Remove {
+                src: a,
+                dst: b,
+                owner: 0,
+            })
+            .unwrap();
+        assert_eq!(removed.epoch, 2);
+        let restored = server.query(n(0), n(39));
+        assert_eq!(restored.answer.cost, before.answer.cost);
+        let stats = server.shutdown();
+        assert_eq!(stats.updates, 2);
+        assert!(stats.publications >= 1 && stats.publications <= 2);
+    }
+
+    #[test]
+    fn invalid_updates_error_without_poisoning_the_server() {
+        let (_, snap) = snapshot();
+        let server = Server::start(snap, ServeConfig::with_workers(1));
+        let err = server.update(&NetworkUpdate::Insert {
+            edge: Edge::new(n(0), n(39), 1),
+            owner: 0, // node 39 is not in fragment 0
+        });
+        assert!(err.is_err());
+        assert_eq!(server.epoch(), 0, "failed update publishes nothing");
+        // A structural no-op (removing a non-existent connection) is Ok
+        // but publishes nothing either.
+        let noop = server
+            .update(&NetworkUpdate::Remove {
+                src: n(0),
+                dst: n(0),
+                owner: 0,
+            })
+            .unwrap();
+        assert_eq!(noop.report.sites_touched, 0);
+        assert_eq!(noop.epoch, 0, "no-op stays on the current epoch");
+        assert_eq!(server.epoch(), 0);
+        assert!(server.query(n(0), n(39)).answer.cost.is_some());
+        let stats = server.shutdown();
+        assert_eq!(stats.updates, 0, "no effective updates");
+        assert_eq!(stats.publications, 0);
+    }
+
+    #[test]
+    fn stats_report_strategy_and_balance() {
+        let (_, snap) = snapshot();
+        let server = Server::start(snap, ServeConfig::with_workers(2));
+        for i in 0..10u32 {
+            server.query(n(i), n(39 - i));
+        }
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.strategy,
+            ds_closure::PrecomputeStrategy::Skeleton,
+            "serving skeleton-built tables"
+        );
+        assert!(stats.balance_ratio() >= 1.0);
+        assert!(stats.throughput_qps() > 0.0);
+        assert_eq!(stats.workers, 2);
+    }
+
+    #[test]
+    fn empty_batch_is_answered_inline() {
+        let (_, snap) = snapshot();
+        let server = Server::start(snap, ServeConfig::with_workers(1));
+        let served = server.query_batch(&[]);
+        assert!(served.answers.is_empty());
+        server.shutdown();
+    }
+}

@@ -1,0 +1,163 @@
+//! A bounded multi-producer multi-consumer job queue (`Mutex` +
+//! `Condvar`, std only), built for micro-batching consumers: a worker
+//! takes *everything pending* (up to a cap) in one lock acquisition, so
+//! queue depth converts directly into batch size.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded FIFO queue. `push` blocks while full; `pop_batch` blocks
+/// while empty; closing wakes everyone.
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue, blocking while the queue is at capacity. Returns the
+    /// item back if the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if inner.closed {
+                return Err(item);
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Non-blocking dequeue of up to `max` items: `None` when nothing is
+    /// pending right now (the consumer can release resources before
+    /// falling back to the blocking [`BoundedQueue::pop_batch`]).
+    pub fn try_pop_batch(&self, max: usize) -> Option<Vec<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.items.is_empty() {
+            return None;
+        }
+        let take = inner.items.len().min(max.max(1));
+        let batch: Vec<T> = inner.items.drain(..take).collect();
+        drop(inner);
+        self.not_full.notify_all();
+        self.not_empty.notify_one();
+        Some(batch)
+    }
+
+    /// Dequeue up to `max` items in one lock acquisition, blocking while
+    /// the queue is empty. An empty vec means: closed and fully drained —
+    /// the consumer should exit.
+    pub fn pop_batch(&self, max: usize) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if !inner.items.is_empty() {
+                let take = inner.items.len().min(max.max(1));
+                let batch: Vec<T> = inner.items.drain(..take).collect();
+                drop(inner);
+                // Space freed: wake blocked producers (and another
+                // consumer, in case items remain).
+                self.not_full.notify_all();
+                self.not_empty.notify_one();
+                return batch;
+            }
+            if inner.closed {
+                return Vec::new();
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Close the queue: producers get their item back, consumers drain
+    /// what is left and then see the empty-vec exit signal.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_within_a_batch() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(3), vec![0, 1, 2]);
+        assert_eq!(q.pop_batch(10), vec![3, 4]);
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let q = BoundedQueue::new(8);
+        assert_eq!(q.try_pop_batch(4), None, "empty: no batch, no block");
+        q.push(9).unwrap();
+        assert_eq!(q.try_pop_batch(4), Some(vec![9]));
+        q.close();
+        assert_eq!(q.try_pop_batch(4), None, "closed and drained");
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BoundedQueue::new(8);
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(q.push(2), Err(2), "closed queue rejects producers");
+        assert_eq!(q.pop_batch(4), vec![1], "pending items still drain");
+        assert!(q.pop_batch(4).is_empty(), "then the exit signal");
+    }
+
+    #[test]
+    fn bounded_push_blocks_until_a_consumer_frees_space() {
+        let q = Arc::new(BoundedQueue::new(2));
+        q.push(0).unwrap();
+        q.push(1).unwrap();
+        let qp = Arc::clone(&q);
+        let producer = std::thread::spawn(move || qp.push(2).is_ok());
+        // Give the producer a moment to block on the full queue.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let first = q.pop_batch(1);
+        assert_eq!(first, vec![0]);
+        assert!(producer.join().unwrap(), "producer unblocked by the pop");
+        let mut rest = q.pop_batch(4);
+        rest.sort();
+        assert_eq!(rest, vec![1, 2]);
+    }
+
+    #[test]
+    fn consumers_block_until_work_arrives() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let qc = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || qc.pop_batch(4));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(7).unwrap();
+        assert_eq!(consumer.join().unwrap(), vec![7]);
+    }
+}

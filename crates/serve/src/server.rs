@@ -1,0 +1,627 @@
+//! The serving core: epoch-published snapshots, a worker pool with
+//! per-worker scratch, a micro-batching dispatcher, and one writer
+//! thread driving incremental update maintenance.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ds_closure::api::{BatchStats, NetworkUpdate, QueryRequest};
+use ds_closure::complementary::PrecomputeStrategy;
+use ds_closure::snapshot::EngineSnapshot;
+use ds_closure::updates::UpdateReport;
+use ds_closure::{ClosureError, QueryAnswer};
+use ds_fragment::FragmentId;
+use ds_graph::{NodeId, ScratchDijkstra, ScratchStats};
+
+use crate::histogram::LatencyHistogram;
+use crate::queue::BoundedQueue;
+
+/// Serving configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Reader worker threads (each owns its scratch kernel).
+    pub workers: usize,
+    /// Bounded submission queue depth, in jobs; producers block when the
+    /// pool falls this far behind (backpressure).
+    pub queue_capacity: usize,
+    /// Most jobs one worker folds into a single micro-batch.
+    pub batch_max: usize,
+    /// Most pending updates the writer folds into one publication.
+    pub write_batch_max: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            batch_max: 64,
+            write_batch_max: 16,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Default configuration with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        ServeConfig {
+            workers: workers.max(1),
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// One answered request, stamped with the epoch it was served at.
+#[derive(Clone, Debug)]
+pub struct ServedAnswer {
+    pub answer: QueryAnswer,
+    /// The published snapshot version the answer is consistent with.
+    pub epoch: u64,
+}
+
+/// One answered job: answers in request order, all evaluated against the
+/// same snapshot epoch (that is the consistency unit).
+#[derive(Clone, Debug)]
+pub struct ServedBatch {
+    pub answers: Vec<QueryAnswer>,
+    pub epoch: u64,
+}
+
+/// One applied update: the maintenance report plus the epoch at which
+/// its effect became visible to readers.
+#[derive(Clone, Debug)]
+pub struct ServedUpdate {
+    pub report: UpdateReport,
+    pub epoch: u64,
+}
+
+/// Latency percentiles over every request served so far.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub mean_us: f64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub max_us: f64,
+}
+
+/// A point-in-time report of the serving subsystem.
+#[derive(Clone, Debug)]
+pub struct ServeStats {
+    /// Reader workers in the pool.
+    pub workers: usize,
+    /// Current published epoch (updates applied since start).
+    pub epoch: u64,
+    /// Updates applied by the writer thread.
+    pub updates: u64,
+    /// Snapshot publications (≤ `updates`: the writer folds pending
+    /// updates into one copy-on-write publication).
+    pub publications: u64,
+    /// Jobs answered.
+    pub jobs: u64,
+    /// Requests answered (a job carries ≥ 1 request).
+    pub requests: u64,
+    /// Micro-batches evaluated.
+    pub batches: u64,
+    /// Distinct requests actually evaluated.
+    pub evaluated: u64,
+    /// Requests answered by coalescing onto an identical batch-mate
+    /// (single-flight within a micro-batch).
+    pub coalesced: u64,
+    /// Aggregated plan/segment amortization across every micro-batch.
+    pub batch: BatchStats,
+    /// Wall time since the server started.
+    pub elapsed: Duration,
+    /// Per-worker evaluation time (index = worker id).
+    pub busy: Vec<Duration>,
+    /// Writer-thread time spent on maintenance + publication (the write
+    /// path's dominant cost is the copy-on-write snapshot clone).
+    pub writer_busy: Duration,
+    /// Merged per-worker scratch-kernel reuse counters.
+    pub scratch: ScratchStats,
+    /// Request latency (submit → reply) percentiles.
+    pub latency: LatencySummary,
+    /// Which backend's build path produced the tables being served.
+    pub backend: &'static str,
+    /// Which precompute strategy built (or last rebuilt) those tables.
+    pub strategy: PrecomputeStrategy,
+}
+
+impl ServeStats {
+    /// Aggregate request throughput since start.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.requests as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Worker imbalance: max busy over mean busy (1.0 = balanced);
+    /// the same measure the machine backend reports per site.
+    pub fn balance_ratio(&self) -> f64 {
+        ds_machine::stats::balance_ratio(&self.busy)
+    }
+
+    /// Fraction of requests answered without their own evaluation.
+    pub fn coalesced_fraction(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.coalesced as f64 / self.requests as f64
+        }
+    }
+}
+
+struct QueryJob {
+    requests: Vec<QueryRequest>,
+    reply: mpsc::Sender<ServedBatch>,
+    submitted: Instant,
+}
+
+struct WriteJob {
+    update: NetworkUpdate,
+    reply: mpsc::Sender<Result<ServedUpdate, ClosureError>>,
+}
+
+/// The publication slot: an epoch-stamped `Arc<EngineSnapshot>` behind a
+/// mutex, plus an atomic epoch mirror so readers can detect staleness
+/// with one relaxed load. The mutex is touched only when the epoch
+/// actually changed (publication is writer-rate, not query-rate), so the
+/// steady-state query path never blocks on it.
+struct Published {
+    epoch: AtomicU64,
+    slot: Mutex<(u64, Arc<EngineSnapshot>)>,
+}
+
+impl Published {
+    fn new(snapshot: Arc<EngineSnapshot>) -> Self {
+        Published {
+            epoch: AtomicU64::new(0),
+            slot: Mutex::new((0, snapshot)),
+        }
+    }
+
+    /// Ensure a worker's cached `(epoch, snapshot)` is present and
+    /// current; the cached pair keeps in-flight evaluation pinned to one
+    /// version. Costs one atomic load when already fresh; workers clear
+    /// the cache before blocking idle (see `worker_loop`), so only
+    /// workers with work in hand keep an epoch alive.
+    fn pin(&self, cached: &mut Option<(u64, Arc<EngineSnapshot>)>) {
+        let current = self.epoch.load(Ordering::Acquire);
+        match cached {
+            Some((epoch, _)) if *epoch == current => {}
+            _ => {
+                let slot = self.slot.lock().expect("publish slot poisoned");
+                *cached = Some((slot.0, Arc::clone(&slot.1)));
+            }
+        }
+    }
+
+    fn current(&self) -> (u64, Arc<EngineSnapshot>) {
+        let slot = self.slot.lock().expect("publish slot poisoned");
+        (slot.0, Arc::clone(&slot.1))
+    }
+
+    fn publish(&self, epoch: u64, snapshot: Arc<EngineSnapshot>) {
+        let mut slot = self.slot.lock().expect("publish slot poisoned");
+        *slot = (epoch, snapshot);
+        drop(slot);
+        self.epoch.store(epoch, Ordering::Release);
+    }
+}
+
+#[derive(Default)]
+struct WorkerLog {
+    jobs: u64,
+    requests: u64,
+    batches: u64,
+    evaluated: u64,
+    coalesced: u64,
+    busy: Duration,
+    batch: BatchStats,
+    hist: LatencyHistogram,
+    scratch: ScratchStats,
+}
+
+#[derive(Default)]
+struct WriterLog {
+    updates: u64,
+    publications: u64,
+    busy: Duration,
+}
+
+struct Shared {
+    queue: BoundedQueue<QueryJob>,
+    published: Published,
+    worker_logs: Vec<Mutex<WorkerLog>>,
+    writer_log: Mutex<WriterLog>,
+    batch_max: usize,
+    started: Instant,
+}
+
+/// A running query-serving subsystem over one engine snapshot lineage.
+///
+/// `Server` is `Sync`: share it by reference (or `Arc`) across any
+/// number of client threads. Reads go to the worker pool through the
+/// bounded queue; updates go to the single writer thread, which applies
+/// the incremental maintenance of `ds_closure::updates` to a private
+/// copy and atomically publishes the successor snapshot under a bumped
+/// epoch. In-flight queries finish on the epoch they started with —
+/// every answer is consistent with *some* published version, reported in
+/// [`ServedBatch::epoch`].
+pub struct Server {
+    shared: Arc<Shared>,
+    write_tx: Mutex<Option<mpsc::Sender<WriteJob>>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawn the worker pool and writer thread over `snapshot`.
+    pub fn start(snapshot: EngineSnapshot, config: ServeConfig) -> Server {
+        let workers = config.workers.max(1);
+        let initial = Arc::new(snapshot);
+        let working = (*initial).clone();
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity.max(workers)),
+            published: Published::new(initial),
+            worker_logs: (0..workers)
+                .map(|_| Mutex::new(WorkerLog::default()))
+                .collect(),
+            writer_log: Mutex::new(WriterLog::default()),
+            batch_max: config.batch_max.max(1),
+            started: Instant::now(),
+        });
+        let mut handles = Vec::with_capacity(workers + 1);
+        for id in 0..workers {
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || worker_loop(&shared, id)));
+        }
+        let (write_tx, write_rx) = mpsc::channel::<WriteJob>();
+        {
+            let shared = Arc::clone(&shared);
+            let max = config.write_batch_max.max(1);
+            handles.push(std::thread::spawn(move || {
+                writer_loop(&shared, working, &write_rx, max)
+            }));
+        }
+        Server {
+            shared,
+            write_tx: Mutex::new(Some(write_tx)),
+            handles,
+        }
+    }
+
+    /// Answer one shortest-path request (blocking).
+    pub fn query(&self, x: NodeId, y: NodeId) -> ServedAnswer {
+        let mut batch = self.query_batch(&[QueryRequest::new(x, y)]);
+        ServedAnswer {
+            answer: batch.answers.pop().expect("one answer per request"),
+            epoch: batch.epoch,
+        }
+    }
+
+    /// Connection query — "is `x` connected to `y`?".
+    pub fn connected(&self, x: NodeId, y: NodeId) -> bool {
+        x == y || self.query(x, y).answer.cost.is_some()
+    }
+
+    /// Answer a batch of requests as one job (blocking). All answers
+    /// come from the same snapshot epoch.
+    pub fn query_batch(&self, requests: &[QueryRequest]) -> ServedBatch {
+        if requests.is_empty() {
+            return ServedBatch {
+                answers: Vec::new(),
+                epoch: self.epoch(),
+            };
+        }
+        let (tx, rx) = mpsc::channel();
+        let job = QueryJob {
+            requests: requests.to_vec(),
+            reply: tx,
+            submitted: Instant::now(),
+        };
+        self.shared
+            .queue
+            .push(job)
+            .unwrap_or_else(|_| panic!("serve queue closed while the server is running"));
+        rx.recv().expect("worker pool alive")
+    }
+
+    /// Apply a network update (blocking until its effect is published).
+    /// Readers never wait on this: they keep answering from the previous
+    /// epoch until the successor snapshot is swapped in.
+    pub fn update(&self, update: &NetworkUpdate) -> Result<ServedUpdate, ClosureError> {
+        let tx = self
+            .write_tx
+            .lock()
+            .expect("writer handle poisoned")
+            .clone()
+            .expect("server running");
+        let (reply, rx) = mpsc::channel();
+        tx.send(WriteJob {
+            update: *update,
+            reply,
+        })
+        .expect("writer thread alive");
+        rx.recv().expect("writer thread alive")
+    }
+
+    /// The currently published epoch (= updates applied since start).
+    pub fn epoch(&self) -> u64 {
+        self.shared.published.epoch.load(Ordering::Acquire)
+    }
+
+    /// The currently published snapshot (readers may already be on a
+    /// newer one by the time you look at it).
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.shared.published.current().1
+    }
+
+    /// Aggregate serving statistics up to now.
+    pub fn stats(&self) -> ServeStats {
+        let (epoch, snap) = self.shared.published.current();
+        let mut stats = ServeStats {
+            workers: self.shared.worker_logs.len(),
+            epoch,
+            updates: 0,
+            publications: 0,
+            jobs: 0,
+            requests: 0,
+            batches: 0,
+            evaluated: 0,
+            coalesced: 0,
+            batch: BatchStats::default(),
+            elapsed: self.shared.started.elapsed(),
+            busy: Vec::with_capacity(self.shared.worker_logs.len()),
+            writer_busy: Duration::ZERO,
+            scratch: ScratchStats::default(),
+            latency: LatencySummary::default(),
+            backend: snap.source_backend(),
+            strategy: snap.precompute_stats().strategy,
+        };
+        let mut hist = LatencyHistogram::new();
+        for log in &self.shared.worker_logs {
+            let log = log.lock().expect("worker log poisoned");
+            stats.jobs += log.jobs;
+            stats.requests += log.requests;
+            stats.batches += log.batches;
+            stats.evaluated += log.evaluated;
+            stats.coalesced += log.coalesced;
+            stats.busy.push(log.busy);
+            stats.scratch.merge(log.scratch);
+            add_batch_stats(&mut stats.batch, &log.batch);
+            hist.merge(&log.hist);
+        }
+        {
+            let w = self.shared.writer_log.lock().expect("writer log poisoned");
+            stats.updates = w.updates;
+            stats.publications = w.publications;
+            stats.writer_busy = w.busy;
+        }
+        stats.latency = LatencySummary {
+            count: hist.count(),
+            mean_us: hist.mean_ns() / 1e3,
+            p50_us: hist.quantile_ns(0.5) as f64 / 1e3,
+            p99_us: hist.quantile_ns(0.99) as f64 / 1e3,
+            max_us: hist.max_ns() as f64 / 1e3,
+        };
+        stats
+    }
+
+    /// Stop accepting work, drain the queue, join every thread and
+    /// return the final statistics.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.finish();
+        let stats = self.stats();
+        // Drop runs afterwards; finish() is idempotent.
+        stats
+    }
+
+    fn finish(&mut self) {
+        self.shared.queue.close();
+        *self.write_tx.lock().expect("writer handle poisoned") = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.shared.worker_logs.len())
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+/// `Server` is shared by reference across client threads; keep that a
+/// compile-time guarantee.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Server>();
+    assert_send_sync::<Shared>();
+};
+
+fn add_batch_stats(into: &mut BatchStats, from: &BatchStats) {
+    into.queries += from.queries;
+    into.plans_computed += from.plans_computed;
+    into.plans_reused += from.plans_reused;
+    into.segments_computed += from.segments_computed;
+    into.segments_reused += from.segments_reused;
+}
+
+/// One reader worker: drain a micro-batch of jobs, pin a snapshot epoch,
+/// coalesce identical requests, group the distinct ones by fragment
+/// pair, evaluate through the shared batch kernel, fan the answers back
+/// out per job.
+fn worker_loop(shared: &Shared, id: usize) {
+    let mut scratch = ScratchDijkstra::new();
+    let mut cached: Option<(u64, Arc<EngineSnapshot>)> = None;
+    loop {
+        let jobs = match shared.queue.try_pop_batch(shared.batch_max) {
+            Some(jobs) => jobs,
+            None => {
+                // About to block idle: release the pinned snapshot so a
+                // publication arriving now is not kept alive by
+                // sleeping workers — only in-flight evaluation pins an
+                // epoch.
+                cached = None;
+                let jobs = shared.queue.pop_batch(shared.batch_max);
+                if jobs.is_empty() {
+                    break; // closed and drained
+                }
+                jobs
+            }
+        };
+        let t0 = Instant::now();
+        shared.published.pin(&mut cached);
+        let (epoch, snap) = {
+            let (epoch, snap) = cached.as_ref().expect("pinned above");
+            (*epoch, snap)
+        };
+
+        // Coalesce: identical (source, target) pairs across the whole
+        // micro-batch are evaluated once (single-flight).
+        let mut distinct: Vec<QueryRequest> = Vec::new();
+        let mut index: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+        let mut slots: Vec<Vec<u32>> = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            let mut js = Vec::with_capacity(job.requests.len());
+            for r in &job.requests {
+                let slot = *index.entry((r.source, r.target)).or_insert_with(|| {
+                    distinct.push(*r);
+                    (distinct.len() - 1) as u32
+                });
+                js.push(slot);
+            }
+            slots.push(js);
+        }
+        let total_requests: usize = slots.iter().map(Vec::len).sum();
+        let coalesced = (total_requests - distinct.len()) as u64;
+
+        // Group by fragment pair. The sharing itself is order-independent
+        // (the batch kernel caches chain plans per fragment pair and
+        // interior segments per chain for the whole call); the sort makes
+        // same-pair queries evaluate back-to-back while their interior
+        // relations are CPU-cache-hot, and makes a batch's evaluation
+        // order independent of client arrival interleaving.
+        let planner = snap.planner();
+        let keys: Vec<(Vec<FragmentId>, Vec<FragmentId>)> = distinct
+            .iter()
+            .map(|r| {
+                (
+                    planner.fragments_of(r.source),
+                    planner.fragments_of(r.target),
+                )
+            })
+            .collect();
+        let mut order: Vec<u32> = (0..distinct.len() as u32).collect();
+        order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+        let sorted: Vec<QueryRequest> = order.iter().map(|&i| distinct[i as usize]).collect();
+        let mut pos_of = vec![0u32; distinct.len()];
+        for (pos, &i) in order.iter().enumerate() {
+            pos_of[i as usize] = pos as u32;
+        }
+
+        let batch = snap.query_batch(&sorted, &mut scratch);
+        let busy = t0.elapsed();
+
+        // Fan out per job; latency is submit → reply, recorded per
+        // request so percentiles weight by traffic.
+        let mut hist_samples: Vec<(u64, usize)> = Vec::with_capacity(jobs.len());
+        for (job, js) in jobs.iter().zip(&slots) {
+            let answers: Vec<QueryAnswer> = js
+                .iter()
+                .map(|&slot| batch.answers[pos_of[slot as usize] as usize].clone())
+                .collect();
+            let n = answers.len();
+            let _ = job.reply.send(ServedBatch { answers, epoch });
+            hist_samples.push((job.submitted.elapsed().as_nanos() as u64, n));
+        }
+
+        let mut log = shared.worker_logs[id].lock().expect("worker log poisoned");
+        log.jobs += jobs.len() as u64;
+        log.requests += total_requests as u64;
+        log.batches += 1;
+        log.evaluated += distinct.len() as u64;
+        log.coalesced += coalesced;
+        log.busy += busy;
+        add_batch_stats(&mut log.batch, &batch.stats);
+        for (ns, n) in hist_samples {
+            for _ in 0..n {
+                log.hist.record(ns);
+            }
+        }
+        log.scratch = scratch.stats();
+    }
+}
+
+/// The single writer: drain pending updates (bounded), apply the shared
+/// incremental maintenance to a private working copy, publish the
+/// successor snapshot once, acknowledge every updater with the epoch at
+/// which its change became visible.
+fn writer_loop(
+    shared: &Shared,
+    mut working: EngineSnapshot,
+    rx: &mpsc::Receiver<WriteJob>,
+    write_batch_max: usize,
+) {
+    let mut scratch = ScratchDijkstra::new();
+    let mut epoch = 0u64;
+    while let Ok(first) = rx.recv() {
+        let t0 = Instant::now();
+        let mut jobs = vec![first];
+        while jobs.len() < write_batch_max {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        let mut applied = 0u64;
+        for job in jobs {
+            match working.maintain(&job.update, &mut scratch) {
+                Ok(report) if report.sites_touched == 0 && !report.full_recompute => {
+                    // Structural no-op (e.g. removing a connection that
+                    // does not exist): nothing changed, so nothing to
+                    // publish — answer at the current epoch for free.
+                    outcomes.push((job.reply, Ok(report)));
+                }
+                Ok(report) => {
+                    // Validation precedes mutation in the maintenance
+                    // path, so the working copy is unchanged on Err and
+                    // exact on Ok; every effective Ok advances the epoch.
+                    epoch += 1;
+                    applied += 1;
+                    outcomes.push((job.reply, Ok(report)));
+                }
+                Err(e) => outcomes.push((job.reply, Err(e))),
+            }
+        }
+        if applied > 0 {
+            // Copy-on-write publication: readers on the previous Arc
+            // finish undisturbed; new micro-batches pick up this epoch.
+            shared.published.publish(epoch, Arc::new(working.clone()));
+        }
+        let busy = t0.elapsed();
+        {
+            let mut log = shared.writer_log.lock().expect("writer log poisoned");
+            log.updates += applied;
+            log.publications += (applied > 0) as u64;
+            log.busy += busy;
+        }
+        for (reply, outcome) in outcomes {
+            let _ = reply.send(outcome.map(|report| ServedUpdate { report, epoch }));
+        }
+    }
+}

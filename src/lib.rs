@@ -11,12 +11,14 @@ pub use ds_gen as gen;
 pub use ds_graph as graph;
 pub use ds_machine as machine;
 pub use ds_relation as relation;
+pub use ds_serve as serve;
 
 pub mod system;
 
 pub use ds_closure::api::{BatchAnswer, BatchStats, NetworkUpdate, QueryRequest, TcEngine};
 pub use ds_closure::{
-    FallbackReason, PrecomputeStats, PrecomputeStrategy, QueryAnswer, QueryStats, Route,
-    UpdateBatchReport, UpdateReport,
+    EngineSnapshot, FallbackReason, PrecomputeStats, PrecomputeStrategy, QueryAnswer, QueryStats,
+    Route, UpdateBatchReport, UpdateReport,
 };
+pub use ds_serve::{ServeConfig, ServeStats, ServedAnswer, ServedBatch, ServedUpdate, Server};
 pub use system::{Backend, Fragmenter, System, SystemBuilder, SystemError};

@@ -319,6 +319,26 @@ impl System {
     pub fn into_engine(self) -> Box<dyn TcEngine> {
         self.engine
     }
+
+    /// Spawn a concurrent query-serving subsystem over a snapshot of the
+    /// current engine state: `workers` reader threads (each with its own
+    /// scratch kernel), micro-batching with request coalescing and
+    /// fragment-pair grouping, and a single writer thread that applies
+    /// updates incrementally and publishes successor snapshots under an
+    /// epoch counter. See `ds_serve` (re-exported as `discset::serve`).
+    ///
+    /// The server is independent of this `System` from the moment it
+    /// starts: updates applied through either side do not affect the
+    /// other.
+    pub fn serve(&self, workers: usize) -> ds_serve::Server {
+        self.serve_with(ds_serve::ServeConfig::with_workers(workers))
+    }
+
+    /// [`System::serve`] with full control over queue depth and
+    /// micro-batch caps.
+    pub fn serve_with(&self, config: ds_serve::ServeConfig) -> ds_serve::Server {
+        ds_serve::Server::start(self.engine.snapshot(), config)
+    }
 }
 
 impl fmt::Debug for System {
@@ -361,6 +381,10 @@ impl TcEngine for System {
 
     fn precompute_stats(&self) -> PrecomputeStats {
         self.engine.precompute_stats()
+    }
+
+    fn snapshot(&self) -> ds_closure::EngineSnapshot {
+        self.engine.snapshot()
     }
 
     fn update_batch(
@@ -459,6 +483,26 @@ mod tests {
             assert_eq!(batch.reports.len(), 2, "{backend:?}");
             assert!(batch.incremental_fraction() > 0.0, "{backend:?}");
             assert!(sys.connected(n(0), n(29)), "{backend:?} still answers");
+        }
+    }
+
+    /// Both backends can hand their state to the serve subsystem; the
+    /// served answers match the engine's own.
+    #[test]
+    fn serve_from_both_backends() {
+        for backend in [Backend::Inline, Backend::SiteThreads] {
+            let mut sys = linear_system(backend);
+            let server = sys.serve(2);
+            for (x, y) in [(0u32, 29u32), (5, 17), (12, 12)] {
+                assert_eq!(
+                    server.query(n(x), n(y)).answer.cost,
+                    sys.shortest_path(n(x), n(y)).cost,
+                    "{backend:?} {x}->{y}"
+                );
+            }
+            let stats = server.shutdown();
+            assert_eq!(stats.backend, sys.backend_name());
+            assert_eq!(stats.requests, 3);
         }
     }
 

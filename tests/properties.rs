@@ -613,6 +613,205 @@ fn skeleton_precompute_equals_global_sweep() {
     }
 }
 
+/// One reader-thread observation: query endpoints, served cost, epoch.
+type EpochObservation = (NodeId, NodeId, Option<u64>, u64);
+
+/// Concurrent consistency of the serve subsystem: reader threads run
+/// against a live update stream, and every answer must match the
+/// centralized oracle for the *epoch it was served at* — i.e. the
+/// network state after exactly `epoch` updates. Answers are never torn
+/// between a pre- and post-update state, across generators × fragmenter
+/// families.
+#[test]
+fn concurrent_readers_match_their_epoch_oracle() {
+    use discset::closure::api::apply_update;
+    use discset::gen::output::expand_connections;
+
+    const UPDATES: usize = 10;
+    const READERS: u32 = 3;
+
+    let mut case = 0u64;
+    for seed in 0..2u64 {
+        let g = if seed % 2 == 0 {
+            generate_general(
+                &GeneralConfig {
+                    nodes: 26,
+                    target_edges: 60,
+                    ..Default::default()
+                },
+                seed,
+            )
+        } else {
+            generate_transportation(
+                &TransportationConfig {
+                    clusters: 3,
+                    nodes_per_cluster: 9,
+                    target_edges_per_cluster: 22,
+                    ..TransportationConfig::default()
+                },
+                seed,
+            )
+        };
+        for fragmenter in [
+            Fragmenter::Linear(LinearConfig {
+                fragments: 3,
+                ..Default::default()
+            }),
+            Fragmenter::Center(CenterConfig {
+                fragments: 3,
+                ..Default::default()
+            }),
+        ] {
+            case += 1;
+            let sys = System::builder()
+                .graph(&g)
+                .fragmenter(fragmenter)
+                .build()
+                .unwrap();
+
+            // Script the update stream up front and precompute the
+            // oracle graph for every epoch prefix: epoch e == the
+            // network after the first e updates.
+            let mut rng = StdRng::seed_from_u64(0x5EB7E ^ case);
+            let mut frag_sim = sys.fragmentation().clone();
+            let mut graph_sim = closure_graph(
+                g.nodes,
+                &frag_sim
+                    .fragments()
+                    .iter()
+                    .flat_map(|f| f.edges().iter().copied())
+                    .collect::<Vec<_>>(),
+            );
+            let mut updates = Vec::with_capacity(UPDATES);
+            let mut oracles = vec![graph_sim.clone()];
+            for _ in 0..400 {
+                if updates.len() >= UPDATES {
+                    break;
+                }
+                let Some(u) = arb_update(&mut rng, &frag_sim) else {
+                    continue;
+                };
+                match apply_update(&graph_sim, &mut frag_sim, true, &u) {
+                    Ok(Some(next)) => {
+                        graph_sim = next;
+                        updates.push(u);
+                        oracles.push(graph_sim.clone());
+                    }
+                    // Skip structural no-ops so each scripted update
+                    // advances the epoch by exactly one.
+                    Ok(None) | Err(_) => continue,
+                }
+            }
+            assert_eq!(updates.len(), UPDATES, "case {case}: script too short");
+            {
+                // expand_connections is what the builder used; the
+                // fragment-union rebuild must agree with it at epoch 0.
+                let direct =
+                    CsrGraph::from_edges(g.nodes, &expand_connections(&g.connections, true));
+                for x in 0..4u32 {
+                    assert_eq!(
+                        baseline::shortest_path_cost(&oracles[0], NodeId(x), NodeId(x + 1)),
+                        baseline::shortest_path_cost(&direct, NodeId(x), NodeId(x + 1)),
+                        "case {case}: epoch-0 oracle"
+                    );
+                }
+            }
+
+            let server = sys.serve(READERS as usize);
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            let records: Vec<Vec<EpochObservation>> = std::thread::scope(|s| {
+                let server = &server;
+                let stop = &stop;
+                let handles: Vec<_> = (0..READERS)
+                    .map(|t| {
+                        s.spawn(move || {
+                            let mut rng = StdRng::seed_from_u64(0xBEEF ^ (case << 8) ^ t as u64);
+                            let mut out = Vec::new();
+                            let mut one = |out: &mut Vec<EpochObservation>| {
+                                let x = NodeId(rng.gen_index(g.nodes) as u32);
+                                let y = NodeId(rng.gen_index(g.nodes) as u32);
+                                if rng.gen_index(4) == 0 {
+                                    // Batch path: all answers of a job
+                                    // share one epoch.
+                                    let reqs =
+                                        vec![QueryRequest::new(x, y), QueryRequest::new(y, x)];
+                                    let served = server.query_batch(&reqs);
+                                    for (r, a) in reqs.iter().zip(&served.answers) {
+                                        out.push((r.source, r.target, a.cost, served.epoch));
+                                    }
+                                } else {
+                                    let served = server.query(x, y);
+                                    out.push((x, y, served.answer.cost, served.epoch));
+                                }
+                            };
+                            // Race phase: query until the update stream
+                            // is done, however long scheduling lets it
+                            // take (bounded only by a safety valve).
+                            while !stop.load(std::sync::atomic::Ordering::Relaxed)
+                                && out.len() < 100_000
+                            {
+                                one(&mut out);
+                            }
+                            // Settled phase: a deterministic tail of
+                            // queries guaranteed to observe the final
+                            // epoch.
+                            for _ in 0..20 {
+                                one(&mut out);
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                // The update stream runs while the readers hammer away.
+                for u in &updates {
+                    let served = server.update(u).unwrap();
+                    assert!(
+                        served.epoch >= 1 && served.epoch <= UPDATES as u64,
+                        "case {case}: epoch {} out of range",
+                        served.epoch
+                    );
+                }
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(server.epoch(), UPDATES as u64, "case {case}");
+            let stats = server.shutdown();
+            assert_eq!(stats.updates, UPDATES as u64, "case {case}");
+
+            let mut checked = 0usize;
+            let mut post_update = 0usize;
+            for (t, rows) in records.iter().enumerate() {
+                for &(x, y, cost, epoch) in rows {
+                    assert!(
+                        (epoch as usize) < oracles.len(),
+                        "case {case} reader {t}: epoch {epoch} never published"
+                    );
+                    let want = if x == y {
+                        Some(0)
+                    } else {
+                        baseline::shortest_path_cost(&oracles[epoch as usize], x, y)
+                    };
+                    assert_eq!(
+                        cost, want,
+                        "case {case} reader {t}: {x}->{y} at epoch {epoch}"
+                    );
+                    checked += 1;
+                    if epoch > 0 {
+                        post_update += 1;
+                    }
+                }
+            }
+            assert!(checked >= 30, "case {case}: only {checked} answers checked");
+            // The race is only interesting if some answers really were
+            // served from a post-update epoch.
+            assert!(
+                post_update > 0,
+                "case {case}: no reader ever observed an updated epoch"
+            );
+        }
+    }
+}
+
 /// Complementary shortcut costs obey the triangle inequality with the
 /// global metric (they ARE global distances).
 #[test]
