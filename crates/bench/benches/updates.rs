@@ -14,6 +14,12 @@
 //! measurement. A pre-flight pass asserts that no update in the workload
 //! falls back to a full recompute.
 //!
+//! **Seed sweep.** Each workload runs at `SEEDS.len()` (≥ 3) generator
+//! seeds; the JSON carries per-seed rows plus one aggregate row per
+//! strategy with min/median/max across the seed medians, and the
+//! regression gate uses the **conservative bound** — the worst per-seed
+//! incremental-vs-rebuild speedup — rather than a single median.
+//!
 //! Emits a committed perf snapshot to `BENCH_updates.json` (repo root).
 //!
 //! ```text
@@ -27,6 +33,16 @@ use ds_fragment::linear::{linear_sweep, LinearConfig};
 use ds_fragment::{semantic, CrossingPolicy, Fragmentation};
 use ds_gen::{generate_general, generate_transportation, GeneralConfig, TransportationConfig};
 use ds_graph::CsrGraph;
+
+/// Generator seeds swept per workload.
+const SEEDS: [u64; 3] = [1, 2, 3];
+/// Conservative (worst-seed) incremental-vs-rebuild speedup floors per
+/// workload. Transportation sits near parity by design — its rebuild is
+/// cheap (13 borders) — so its floor only guards against the incremental
+/// path becoming *slower* than rebuilding; spatial is where incremental
+/// maintenance pays.
+const GATE_TRANSPORTATION: f64 = 0.5;
+const GATE_SPATIAL: f64 = 2.0;
 
 /// Up to `pairs` delete/re-insert pairs over fragment edges whose
 /// deletion stays incremental (verified on a scratch engine).
@@ -77,14 +93,22 @@ fn safe_updates(engine: &DisconnectionSetEngine, pairs: usize) -> Vec<NetworkUpd
     out
 }
 
-fn bench_workload(group: &mut Bench, label: &str, csr: CsrGraph, frag: Fragmentation) {
+/// Measure one workload at one seed; returns the (incremental, rebuild)
+/// per-sequence medians.
+fn bench_workload(
+    group: &mut Bench,
+    label: &str,
+    seed: u64,
+    csr: CsrGraph,
+    frag: Fragmentation,
+) -> (f64, f64) {
     let cfg = EngineConfig::default();
     let engine =
         DisconnectionSetEngine::build(csr.clone(), frag.clone(), true, cfg.clone()).unwrap();
     let updates = safe_updates(&engine, 8);
     assert!(
         updates.len() >= 8,
-        "{label}: workload too small ({} updates)",
+        "{label}/seed-{seed}: workload too small ({} updates)",
         updates.len()
     );
 
@@ -95,86 +119,130 @@ fn bench_workload(group: &mut Bench, label: &str, csr: CsrGraph, frag: Fragmenta
         let report = check.update(u).expect("valid update");
         assert!(
             !report.full_recompute,
-            "{label}: workload update fell back: {report:?}"
+            "{label}/seed-{seed}: workload update fell back: {report:?}"
         );
         shipped += report.tuples_shipped;
     }
     println!(
-        "{label}: {} updates, {} shortcut tuples shipped incrementally",
+        "{label}/seed-{seed}: {} updates, {} shortcut tuples shipped incrementally",
         updates.len(),
         shipped
     );
 
     let mut incremental = engine.clone();
-    group.run(&format!("{label}/incremental"), || {
-        let mut shipped = 0usize;
-        for u in &updates {
-            shipped += incremental.update(u).expect("valid update").tuples_shipped;
-        }
-        shipped
-    });
+    let inc = group
+        .run(&format!("{label}/incremental/seed-{seed}"), || {
+            let mut shipped = 0usize;
+            for u in &updates {
+                shipped += incremental.update(u).expect("valid update").tuples_shipped;
+            }
+            shipped
+        })
+        .median_ns;
 
     let mut graph = csr.clone();
     let mut rebuild_frag = frag.clone();
-    group.run(&format!("{label}/rebuild-per-update"), || {
-        let mut pairs = 0usize;
-        for u in &updates {
-            if let Some(g) = apply_update(&graph, &mut rebuild_frag, true, u).expect("valid") {
-                graph = g;
+    let reb = group
+        .run(&format!("{label}/rebuild-per-update/seed-{seed}"), || {
+            let mut pairs = 0usize;
+            for u in &updates {
+                if let Some(g) = apply_update(&graph, &mut rebuild_frag, true, u).expect("valid") {
+                    graph = g;
+                }
+                let comp =
+                    ComplementaryInfo::compute(&graph, &rebuild_frag, cfg.scope, cfg.store_paths);
+                pairs += comp.pair_count();
             }
-            let comp =
-                ComplementaryInfo::compute(&graph, &rebuild_frag, cfg.scope, cfg.store_paths);
-            pairs += comp.pair_count();
-        }
-        pairs
-    });
+            pairs
+        })
+        .median_ns;
+    (inc, reb)
 }
 
 fn main() {
     let mut group = Bench::new("updates").sample_size(12);
+    let mut worst: Vec<(&str, f64)> = Vec::new();
 
-    // Transportation workload: clustered country networks, semantic
-    // fragmentation (one site per country).
-    let clusters = 10usize;
-    let tcfg = TransportationConfig {
-        clusters,
-        nodes_per_cluster: 40,
-        target_edges_per_cluster: 150,
-        ..TransportationConfig::default()
-    };
-    let g = generate_transportation(&tcfg, 1);
-    let labels = g.cluster_of.clone().unwrap();
-    let frag = semantic::by_labels(
-        g.nodes,
-        &g.connections,
-        &labels,
-        clusters,
-        CrossingPolicy::LowerBlock,
-    )
-    .unwrap();
-    bench_workload(&mut group, "transportation", g.closure_graph(), frag);
-
-    // Spatial workload: uniform random graph in the plane, coordinate
-    // sweep fragmentation.
-    let scfg = GeneralConfig {
-        nodes: 160,
-        target_edges: 520,
-        ..Default::default()
-    };
-    let g = generate_general(&scfg, 2);
-    let frag = linear_sweep(
-        &g.edge_list(),
-        &LinearConfig {
-            fragments: 4,
-            ..Default::default()
-        },
-    )
-    .unwrap()
-    .fragmentation;
-    bench_workload(&mut group, "spatial", g.closure_graph(), frag);
+    for (label, gate) in [
+        ("transportation", GATE_TRANSPORTATION),
+        ("spatial", GATE_SPATIAL),
+    ] {
+        let (mut incs, mut rebs) = (Vec::new(), Vec::new());
+        for &seed in &SEEDS {
+            let (csr, frag) = if label == "transportation" {
+                // Clustered country networks, semantic fragmentation
+                // (one site per country).
+                let clusters = 10usize;
+                let tcfg = TransportationConfig {
+                    clusters,
+                    nodes_per_cluster: 40,
+                    target_edges_per_cluster: 150,
+                    ..TransportationConfig::default()
+                };
+                let g = generate_transportation(&tcfg, seed);
+                let labels = g.cluster_of.clone().unwrap();
+                let frag = semantic::by_labels(
+                    g.nodes,
+                    &g.connections,
+                    &labels,
+                    clusters,
+                    CrossingPolicy::LowerBlock,
+                )
+                .unwrap();
+                (g.closure_graph(), frag)
+            } else {
+                // Uniform random graph in the plane, coordinate sweep
+                // fragmentation.
+                let scfg = GeneralConfig {
+                    nodes: 160,
+                    target_edges: 520,
+                    ..Default::default()
+                };
+                let g = generate_general(&scfg, seed + 1);
+                let frag = linear_sweep(
+                    &g.edge_list(),
+                    &LinearConfig {
+                        fragments: 4,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .fragmentation;
+                (g.closure_graph(), frag)
+            };
+            let (inc, reb) = bench_workload(&mut group, label, seed, csr, frag);
+            incs.push(inc);
+            rebs.push(reb);
+        }
+        group.record(&format!("{label}/incremental"), &incs);
+        group.record(&format!("{label}/rebuild-per-update"), &rebs);
+        // Pair each seed's incremental run with its own rebuild baseline;
+        // the conservative bound is the worst seed.
+        let worst_speedup = incs
+            .iter()
+            .zip(&rebs)
+            .map(|(i, r)| r / i)
+            .fold(f64::INFINITY, f64::min);
+        println!("{label}: worst-seed incremental speedup {worst_speedup:.2}x (floor {gate}x)");
+        worst.push((label, worst_speedup));
+    }
 
     println!("{}", render(group.results()));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_updates.json");
     write_json(path, group.results()).expect("write perf snapshot");
     println!("\nwrote {path}");
+
+    // Regression gates on the conservative bound (fail the CI job).
+    for (label, worst_speedup) in worst {
+        let gate = if label == "transportation" {
+            GATE_TRANSPORTATION
+        } else {
+            GATE_SPATIAL
+        };
+        assert!(
+            worst_speedup >= gate,
+            "{label}: incremental maintenance reached only {worst_speedup:.2}x \
+             rebuild-per-update on the worst seed (floor {gate}x)"
+        );
+    }
 }

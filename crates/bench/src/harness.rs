@@ -31,6 +31,7 @@ pub struct BenchResult {
     pub mean_ns: f64,
     pub median_ns: f64,
     pub min_ns: f64,
+    pub max_ns: f64,
 }
 
 /// Collects measurements for one group of related benchmarks.
@@ -90,18 +91,33 @@ impl Bench {
             }
             per_iter_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
         }
-        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
-        let median_ns = per_iter_ns[per_iter_ns.len() / 2];
-        let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
-        let min_ns = per_iter_ns[0];
+        self.push_samples(name, iters, &per_iter_ns)
+    }
+
+    /// Record a pre-measured sample set under `name` — the hook seed
+    /// sweeps use to publish one aggregate row (min / median / max across
+    /// the per-seed medians) next to the per-seed rows.
+    pub fn record(&mut self, name: &str, samples_ns: &[f64]) -> &BenchResult {
+        assert!(!samples_ns.is_empty(), "record needs at least one sample");
+        self.push_samples(name, 1, samples_ns)
+    }
+
+    fn push_samples(&mut self, name: &str, iters: u64, samples_ns: &[f64]) -> &BenchResult {
+        let mut sorted = samples_ns.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = sorted[sorted.len() / 2];
+        let mean_ns = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let min_ns = sorted[0];
+        let max_ns = *sorted.last().expect("non-empty");
         self.results.push(BenchResult {
             group: self.group.clone(),
             name: name.to_string(),
             iters,
-            samples: per_iter_ns.len(),
+            samples: sorted.len(),
             mean_ns,
             median_ns,
             min_ns,
+            max_ns,
         });
         self.results.last().expect("just pushed")
     }
@@ -137,16 +153,17 @@ pub fn render(results: &[BenchResult]) -> String {
         .unwrap_or(10)
         .max(10);
     out.push_str(&format!(
-        "{:<name_w$}  {:>12}  {:>12}  {:>12}  {:>9}\n",
-        "benchmark", "median", "mean", "min", "iters"
+        "{:<name_w$}  {:>12}  {:>12}  {:>12}  {:>12}  {:>9}\n",
+        "benchmark", "median", "mean", "min", "max", "iters"
     ));
     for r in results {
         out.push_str(&format!(
-            "{:<name_w$}  {:>12}  {:>12}  {:>12}  {:>9}\n",
+            "{:<name_w$}  {:>12}  {:>12}  {:>12}  {:>12}  {:>9}\n",
             format!("{}/{}", r.group, r.name),
             fmt_ns(r.median_ns),
             fmt_ns(r.mean_ns),
             fmt_ns(r.min_ns),
+            fmt_ns(r.max_ns),
             r.iters,
         ));
     }
@@ -172,7 +189,7 @@ pub fn to_json(results: &[BenchResult]) -> String {
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"group\": \"{}\", \"name\": \"{}\", \"iters\": {}, \"samples\": {}, \
-             \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}{}\n",
+             \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}}}{}\n",
             json_escape(&r.group),
             json_escape(&r.name),
             r.iters,
@@ -180,6 +197,7 @@ pub fn to_json(results: &[BenchResult]) -> String {
             r.median_ns,
             r.mean_ns,
             r.min_ns,
+            r.max_ns,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
@@ -203,6 +221,7 @@ mod tests {
         let r = b.run("sum", || (0..100u64).sum::<u64>()).clone();
         assert!(r.median_ns > 0.0);
         assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns <= r.max_ns);
         assert_eq!(r.samples, 3);
     }
 
@@ -215,6 +234,17 @@ mod tests {
         assert!(table.contains("grp/thing"));
         let json = to_json(b.results());
         assert!(json.contains("\"name\": \"thing\""));
+        assert!(json.contains("\"max_ns\""));
         assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+
+    #[test]
+    fn record_aggregates_premeasured_samples() {
+        let mut b = Bench::new("agg").sample_size(3);
+        let r = b.record("sweep", &[30.0, 10.0, 20.0]).clone();
+        assert_eq!(r.min_ns, 10.0);
+        assert_eq!(r.median_ns, 20.0);
+        assert_eq!(r.max_ns, 30.0);
+        assert_eq!(r.samples, 3);
     }
 }

@@ -25,6 +25,7 @@
 //!   `L - 2 + 2k` site subqueries instead of `L·k`.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use ds_fragment::{FragmentId, Fragmentation};
 use ds_graph::{Cost, CsrGraph, Edge, NodeId};
@@ -188,22 +189,31 @@ pub trait TcEngine {
     fn query_batch(&mut self, requests: &[QueryRequest]) -> BatchAnswer;
 }
 
+/// The real (non-shortcut) hops available at one site, with costs — used
+/// to tell shortcut hops apart during route expansion.
+pub type RealHopSet = HashSet<(NodeId, NodeId, Cost)>;
+
 /// The shared pre-processing outcome both backends deploy from: the
 /// paper's complementary information, the per-site augmented graphs, the
 /// real (non-shortcut) hops per site, and the chain planner.
+///
+/// Every per-site component lives behind its own [`Arc`] (as do the
+/// per-site shortcut tables inside [`ComplementaryInfo`]), so a snapshot
+/// built from these parts clones in O(sites) and an updated successor
+/// shares every untouched site's data with its predecessor.
 #[derive(Clone, Debug)]
 pub struct EngineParts {
     pub comp: ComplementaryInfo,
-    pub augmented: Vec<CsrGraph>,
-    /// Per site: the real hops available locally, with costs — used to
-    /// tell shortcut hops apart during route expansion.
-    pub real_hops: Vec<HashSet<(NodeId, NodeId, Cost)>>,
-    pub planner: Planner,
+    pub augmented: Vec<Arc<CsrGraph>>,
+    /// Per site: the real hops available locally.
+    pub real_hops: Vec<Arc<RealHopSet>>,
+    pub planner: Arc<Planner>,
 }
 
 /// Run the build path shared by every backend: validate, compute
 /// complementary information (the paper's pre-processing phase), build
-/// the per-site augmented graphs and the planner.
+/// the per-site augmented graphs and the planner. The local-sweep phase
+/// runs on [`EngineConfig::precompute_threads`] OS threads.
 pub fn build_parts(
     graph: &CsrGraph,
     frag: &Fragmentation,
@@ -216,17 +226,23 @@ pub fn build_parts(
             fragmentation: frag.node_count(),
         });
     }
-    let comp = ComplementaryInfo::compute(graph, frag, cfg.scope, cfg.store_paths);
+    let comp = ComplementaryInfo::compute_with_threads(
+        graph,
+        frag,
+        cfg.scope,
+        cfg.store_paths,
+        cfg.precompute_threads,
+    );
     let n = graph.node_count();
     let mut augmented = Vec::with_capacity(frag.fragment_count());
     let mut real_hops = Vec::with_capacity(frag.fragment_count());
     for f in frag.fragments() {
-        augmented.push(augmented_graph(
+        augmented.push(Arc::new(augmented_graph(
             n,
             f.edges(),
             symmetric,
             comp.shortcuts(f.id()),
-        ));
+        )));
         let mut hops = HashSet::with_capacity(f.edges().len() * 2);
         for e in f.edges() {
             hops.insert((e.src, e.dst, e.cost));
@@ -234,9 +250,14 @@ pub fn build_parts(
                 hops.insert((e.dst, e.src, e.cost));
             }
         }
-        real_hops.push(hops);
+        real_hops.push(Arc::new(hops));
     }
-    let planner = Planner::new(frag, cfg.max_chains, cfg.max_chain_len, cfg.hub);
+    let planner = Arc::new(Planner::new(
+        frag,
+        cfg.max_chains,
+        cfg.max_chain_len,
+        cfg.hub,
+    ));
     Ok(EngineParts {
         comp,
         augmented,
@@ -266,14 +287,7 @@ pub fn apply_update(
 ) -> Result<Option<CsrGraph>, ClosureError> {
     match *update {
         NetworkUpdate::Insert { edge, owner } => {
-            if owner >= frag.fragment_count() {
-                return Err(ClosureError::NodeNotInAnyFragment(edge.src));
-            }
-            for v in [edge.src, edge.dst] {
-                if !frag.fragment(owner).contains_node(v) {
-                    return Err(ClosureError::NodeNotInAnyFragment(v));
-                }
-            }
+            validate_insert(frag, edge, owner)?;
             frag.fragment_mut(owner).add_edge(edge);
             let mut edges: Vec<Edge> = graph.edges().collect();
             edges.push(edge);
@@ -305,6 +319,27 @@ pub fn apply_update(
             Ok(Some(CsrGraph::from_edges(graph.node_count(), &kept)))
         }
     }
+}
+
+/// The insert half of [`apply_update`]'s validation: `owner` must exist
+/// and both endpoints must already belong to it. One definition, used
+/// both here and by `crate::updates::maintain` *before* it detaches a
+/// shared fragmentation (`Arc::make_mut`), so an invalid update can
+/// never clone anything and the two checks can never diverge.
+pub(crate) fn validate_insert(
+    frag: &Fragmentation,
+    edge: Edge,
+    owner: FragmentId,
+) -> Result<(), ClosureError> {
+    if owner >= frag.fragment_count() {
+        return Err(ClosureError::NodeNotInAnyFragment(edge.src));
+    }
+    for v in [edge.src, edge.dst] {
+        if !frag.fragment(owner).contains_node(v) {
+            return Err(ClosureError::NodeNotInAnyFragment(v));
+        }
+    }
+    Ok(())
 }
 
 /// Chain planning with per-(source-fragments, target-fragments) caching.

@@ -60,6 +60,7 @@
 //!   experiments.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 use std::time::Instant;
 
 use ds_fragment::Fragmentation;
@@ -233,14 +234,24 @@ impl PathData {
 }
 
 /// The precomputed shortcut tables, per site.
+///
+/// Every per-site table lives behind its own [`Arc`], so cloning the
+/// whole structure (the serve writer's per-epoch copy-on-write
+/// publication) costs one refcount bump per site, and update
+/// maintenance — which goes through [`Arc::make_mut`] — detaches only
+/// the tables it actually changes. Untouched sites stay pointer-shared
+/// with every previous epoch (asserted by the structural-sharing
+/// property in `tests/properties.rs`).
 #[derive(Clone, Debug)]
 pub struct ComplementaryInfo {
     /// `shortcuts[f]` — directed shortcut edges `(u, v, global_dist)`
-    /// stored at site `f`.
-    shortcuts: Vec<Vec<Edge>>,
+    /// stored at site `f`, each table behind its own `Arc`.
+    shortcuts: Vec<Arc<Vec<Edge>>>,
     /// Concrete global paths backing each shortcut (for route
-    /// reconstruction), when requested.
-    paths: Option<PathData>,
+    /// reconstruction), when requested. One shared block: path lookups
+    /// are read-mostly, and maintenance detaches it at most once per
+    /// epoch via `Arc::make_mut`.
+    paths: Option<Arc<PathData>>,
     /// Number of distinct border nodes.
     border_count: usize,
     /// Total shortcut tuples stored (the paper's "pre-computed
@@ -578,16 +589,16 @@ impl ComplementaryInfo {
 
         let border_count = borders.len();
         let paths = store_paths.then(|| {
-            PathData::Lazy(SkeletonPaths {
+            Arc::new(PathData::Lazy(SkeletonPaths {
                 borders,
                 frags: frag_trees,
                 edges: skel_edges,
                 via,
                 overrides: HashMap::new(),
-            })
+            }))
         });
         ComplementaryInfo {
-            shortcuts,
+            shortcuts: shortcuts.into_iter().map(Arc::new).collect(),
             paths,
             border_count,
             pair_count,
@@ -657,8 +668,8 @@ impl ComplementaryInfo {
         let assemble_ns = t2.elapsed().as_nanos() as u64;
 
         ComplementaryInfo {
-            shortcuts,
-            paths: paths.map(PathData::Eager),
+            shortcuts: shortcuts.into_iter().map(Arc::new).collect(),
+            paths: paths.map(|p| Arc::new(PathData::Eager(p))),
             border_count: border_list.len(),
             pair_count,
             stats: PrecomputeStats {
@@ -673,6 +684,33 @@ impl ComplementaryInfo {
     /// Shortcut edges stored at site `f`.
     pub fn shortcuts(&self, f: usize) -> &[Edge] {
         &self.shortcuts[f]
+    }
+
+    /// The shared handle behind site `f`'s shortcut table. Two
+    /// `ComplementaryInfo` values that return `Arc::ptr_eq` handles for a
+    /// site physically share that site's table (structural sharing across
+    /// snapshot epochs).
+    pub fn shortcuts_handle(&self, f: usize) -> &Arc<Vec<Edge>> {
+        &self.shortcuts[f]
+    }
+
+    /// A deep copy that shares nothing with `self`: every per-site table
+    /// (and the path store) gets a fresh allocation. This is what a full
+    /// per-epoch snapshot copy used to cost before structural sharing —
+    /// kept as the baseline of the publication-cost bench, and useful to
+    /// detach a snapshot from a shared lineage entirely.
+    pub fn unshared_clone(&self) -> Self {
+        ComplementaryInfo {
+            shortcuts: self
+                .shortcuts
+                .iter()
+                .map(|t| Arc::new((**t).clone()))
+                .collect(),
+            paths: self.paths.as_ref().map(|p| Arc::new((**p).clone())),
+            border_count: self.border_count,
+            pair_count: self.pair_count,
+            stats: self.stats,
+        }
     }
 
     /// The concrete path behind shortcut `(u, v)`, if paths were stored.
@@ -708,23 +746,35 @@ impl ComplementaryInfo {
     /// to keep the current tuple. Returns per-site counts of tuples that
     /// changed. Used by incremental insert maintenance
     /// (`dist' = min(dist, dist(a,u) + c + dist(v,b))`).
+    ///
+    /// Sites with no changed tuple keep their shared table untouched —
+    /// `Arc::make_mut` detaches only the tables this refinement writes.
     pub fn refine(
         &mut self,
         f: impl Fn(&Edge) -> Option<(u64, Option<Vec<NodeId>>)>,
     ) -> Vec<usize> {
         let mut changed = vec![0usize; self.shortcuts.len()];
-        for (site, tuples) in self.shortcuts.iter_mut().enumerate() {
-            for e in tuples {
+        let mut updates: Vec<(usize, Cost, Option<Vec<NodeId>>)> = Vec::new();
+        for (site, changed_slot) in changed.iter_mut().enumerate() {
+            updates.clear();
+            for (i, e) in self.shortcuts[site].iter().enumerate() {
                 if let Some((new_cost, new_path)) = f(e) {
                     debug_assert!(new_cost <= e.cost, "insertions only shorten paths");
                     if new_cost != e.cost {
-                        if let (Some(data), Some(p)) = (self.paths.as_mut(), new_path) {
-                            data.set(e.src, e.dst, p);
-                        }
-                        e.cost = new_cost;
-                        changed[site] += 1;
+                        updates.push((i, new_cost, new_path));
                     }
                 }
+            }
+            if updates.is_empty() {
+                continue;
+            }
+            *changed_slot = updates.len();
+            let table = Arc::make_mut(&mut self.shortcuts[site]);
+            for (i, new_cost, new_path) in updates.drain(..) {
+                if let (Some(data), Some(p)) = (self.paths.as_mut(), new_path) {
+                    Arc::make_mut(data).set(table[i].src, table[i].dst, p);
+                }
+                table[i].cost = new_cost;
             }
         }
         changed
@@ -732,12 +782,18 @@ impl ComplementaryInfo {
 
     /// Re-derive every shortcut rooted at one of `sources` from the
     /// post-update `graph` (deletion repair: distances may have grown).
-    /// One scratch sweep per source — sources iterate in sorted order and
-    /// the sweep state is reused, so the hot maintenance path performs no
-    /// per-source allocation. Returns per-site counts of tuples changed,
-    /// or the first border pair that became unreachable — the caller must
-    /// then fall back to a full recompute (`self` may be partially
-    /// updated when that happens; the recompute overwrites it wholesale).
+    ///
+    /// The tuples are grouped by source in **one pass** over every site's
+    /// table up front, so each source's repair sweep then visits only its
+    /// own tuples — previously every source rescanned every site's full
+    /// tuple set, which grew quadratically with the border count on the
+    /// per-DS scope. One scratch sweep per source; sources iterate in
+    /// sorted order and the sweep state is reused. Returns per-site
+    /// counts of tuples changed, or the first border pair that became
+    /// unreachable — the caller must then fall back to a full recompute.
+    /// All table writes are deferred until every sweep succeeded, so on
+    /// `Err` the tables are untouched and untouched sites keep their
+    /// shared (`Arc`) tables in every case.
     pub fn repair_sources(
         &mut self,
         graph: &CsrGraph,
@@ -745,31 +801,62 @@ impl ComplementaryInfo {
         scratch: &mut ScratchDijkstra,
     ) -> Result<Vec<usize>, (NodeId, NodeId)> {
         let mut changed = vec![0usize; self.shortcuts.len()];
+        if sources.is_empty() {
+            return Ok(changed);
+        }
+        // One pass over all tables: positions of affected tuples, grouped
+        // by their source.
+        let mut by_source: HashMap<NodeId, Vec<(u32, u32)>> = HashMap::new();
+        for (site, tuples) in self.shortcuts.iter().enumerate() {
+            for (i, e) in tuples.iter().enumerate() {
+                if sources.contains(&e.src) {
+                    by_source
+                        .entry(e.src)
+                        .or_default()
+                        .push((site as u32, i as u32));
+                }
+            }
+        }
+        let store = self.paths.is_some();
+        let mut cost_changes: Vec<(u32, u32, Cost)> = Vec::new();
+        let mut path_changes: Vec<(NodeId, NodeId, Vec<NodeId>)> = Vec::new();
+        // The same (u, v) route backs every site storing that pair; one
+        // replacement path per pair is enough.
+        let mut path_seen: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         for &s in sources {
+            let Some(positions) = by_source.get(&s) else {
+                continue; // an affected source with no stored shortcut
+            };
             scratch.sweep(graph, &[(s, 0)]);
-            for (site, tuples) in self.shortcuts.iter_mut().enumerate() {
-                for e in tuples.iter_mut() {
-                    if e.src != s {
-                        continue;
-                    }
-                    let Some(cost) = scratch.cost(e.dst) else {
-                        return Err((s, e.dst));
-                    };
-                    if cost != e.cost {
-                        e.cost = cost;
-                        changed[site] += 1;
-                    }
-                    if let Some(data) = self.paths.as_mut() {
-                        // Even when the cost is unchanged, the stored path
-                        // may have used the deleted connection (it was *a*
-                        // shortest path); replace it with a currently
-                        // valid one.
-                        data.set(
-                            e.src,
-                            e.dst,
-                            scratch.path_to(e.dst).expect("cost is finite"),
-                        );
-                    }
+            for &(site, i) in positions {
+                let e = &self.shortcuts[site as usize][i as usize];
+                let Some(cost) = scratch.cost(e.dst) else {
+                    return Err((s, e.dst));
+                };
+                if cost != e.cost {
+                    cost_changes.push((site, i, cost));
+                }
+                if store && path_seen.insert((e.src, e.dst)) {
+                    // Even when the cost is unchanged, the stored path may
+                    // have used the deleted connection (it was *a* shortest
+                    // path); replace it with a currently valid one.
+                    path_changes.push((
+                        e.src,
+                        e.dst,
+                        scratch.path_to(e.dst).expect("cost is finite"),
+                    ));
+                }
+            }
+        }
+        for (site, i, cost) in cost_changes {
+            Arc::make_mut(&mut self.shortcuts[site as usize])[i as usize].cost = cost;
+            changed[site as usize] += 1;
+        }
+        if let Some(data) = self.paths.as_mut() {
+            if !path_changes.is_empty() {
+                let data = Arc::make_mut(data);
+                for (u, v, p) in path_changes {
+                    data.set(u, v, p);
                 }
             }
         }

@@ -34,6 +34,12 @@ pub struct EngineConfig {
     /// Parallel Hierarchical Evaluation: the mandatory hub fragment, if
     /// the fragmentation was built with one (see [`crate::phe`]).
     pub hub: Option<FragmentId>,
+    /// OS threads for the precompute's fragment-local sweep phase (and
+    /// for fallback full recomputes during update maintenance). `1` (the
+    /// default) runs sequentially; larger values engage
+    /// [`crate::complementary::ComplementaryInfo::compute_with_threads`]
+    /// — results are identical either way.
+    pub precompute_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -45,6 +51,7 @@ impl Default for EngineConfig {
             max_chain_len: 16,
             mode: ExecutionMode::Sequential,
             hub: None,
+            precompute_threads: 1,
         }
     }
 }

@@ -7,6 +7,7 @@
 //! (§2.1). The parallel mode exploits exactly that independence: every
 //! [`SiteQuery`] reads only its own site's augmented graph.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ds_graph::{CsrGraph, ScratchDijkstra};
@@ -47,7 +48,7 @@ pub struct SiteRun {
 /// scratch (stamped arrays cannot be shared across threads — exactly as
 /// each real site owns its memory).
 pub fn run_chain(
-    augmented: &[CsrGraph],
+    augmented: &[Arc<CsrGraph>],
     chain: &ChainPlan,
     mode: ExecutionMode,
     scratch: &mut ScratchDijkstra,
@@ -81,7 +82,7 @@ pub fn run_chain(
 }
 
 fn run_one(
-    augmented: &[CsrGraph],
+    augmented: &[Arc<CsrGraph>],
     q: &SiteQuery,
     scratch: &mut ScratchDijkstra,
 ) -> (Relation<PathTuple>, SiteRun) {
@@ -104,7 +105,7 @@ mod tests {
         NodeId(i)
     }
 
-    fn setup() -> (Vec<CsrGraph>, ChainPlan) {
+    fn setup() -> (Vec<Arc<CsrGraph>>, ChainPlan) {
         // Two sites: site 0 owns 0-1-2 (unit path), site 1 owns 2-3-4.
         let site0 = CsrGraph::from_edges(5, &[Edge::unit(n(0), n(1)), Edge::unit(n(1), n(2))]);
         let site1 = CsrGraph::from_edges(5, &[Edge::unit(n(2), n(3)), Edge::unit(n(3), n(4))]);
@@ -123,7 +124,7 @@ mod tests {
                 },
             ],
         };
-        (vec![site0, site1], chain)
+        (vec![Arc::new(site0), Arc::new(site1)], chain)
     }
 
     #[test]

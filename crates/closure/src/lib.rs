@@ -57,11 +57,11 @@ pub mod planner;
 pub mod snapshot;
 pub mod updates;
 
-pub use api::{BatchAnswer, BatchStats, NetworkUpdate, QueryRequest, TcEngine};
+pub use api::{BatchAnswer, BatchStats, NetworkUpdate, QueryRequest, RealHopSet, TcEngine};
 pub use complementary::{
     ComplementaryInfo, ComplementaryScope, PrecomputeStats, PrecomputeStrategy,
 };
 pub use engine::{DisconnectionSetEngine, EngineConfig, QueryAnswer, QueryStats, Route};
 pub use error::ClosureError;
-pub use snapshot::EngineSnapshot;
+pub use snapshot::{CowMaintenance, EngineSnapshot};
 pub use updates::{FallbackReason, UpdateBatchReport, UpdateReport};

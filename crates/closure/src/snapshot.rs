@@ -20,15 +20,31 @@
 //!
 //! [`crate::engine::DisconnectionSetEngine`] is now a thin wrapper:
 //! one snapshot plus one persistent scratch.
+//!
+//! ## Structural sharing
+//!
+//! Every per-site component — each augmented graph, each real-hop set,
+//! and (inside [`ComplementaryInfo`]) each shortcut table — lives behind
+//! its own `Arc`, as do the whole-graph pieces (global graph,
+//! fragmentation, planner). Cloning a snapshot therefore costs O(sites)
+//! refcount bumps, not a deep copy: that is what makes the serve
+//! writer's per-epoch publication cheap. [`EngineSnapshot::maintain`]
+//! preserves the sharing — it replaces exactly the Arcs of the sites an
+//! update touched (via fresh allocations or [`std::sync::Arc::make_mut`])
+//! and leaves every other site pointer-shared with the previous epoch.
+//! `tests/properties.rs` asserts `Arc::ptr_eq` for untouched sites across
+//! consecutive epochs on both fragmenter families.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use ds_fragment::{FragmentId, Fragmentation};
 use ds_graph::{Cost, CsrGraph, NodeId, ScratchDijkstra};
 use ds_relation::{PathTuple, Relation};
 
 use crate::api::{
-    build_parts, run_batch, BatchAnswer, EngineParts, NetworkUpdate, QueryRequest, SiteEvaluator,
+    build_parts, run_batch, BatchAnswer, EngineParts, NetworkUpdate, QueryRequest, RealHopSet,
+    SiteEvaluator,
 };
 use crate::assemble;
 use crate::complementary::{ComplementaryInfo, PrecomputeStats};
@@ -50,20 +66,41 @@ use crate::updates::UpdateReport;
 /// finish on whatever epoch they started with.
 #[derive(Clone, Debug)]
 pub struct EngineSnapshot {
-    graph: CsrGraph,
-    frag: Fragmentation,
+    graph: Arc<CsrGraph>,
+    frag: Arc<Fragmentation>,
     symmetric: bool,
     cfg: EngineConfig,
     comp: ComplementaryInfo,
-    augmented: Vec<CsrGraph>,
-    /// Per site: the real (non-shortcut) hops available locally, with
-    /// costs — used to tell shortcut hops apart during route expansion.
-    real_hops: Vec<HashSet<(NodeId, NodeId, Cost)>>,
-    planner: Planner,
+    /// Per site, behind its own `Arc`: the site's augmented local graph.
+    augmented: Vec<Arc<CsrGraph>>,
+    /// Per site, behind its own `Arc`: the real (non-shortcut) hops
+    /// available locally, with costs — used to tell shortcut hops apart
+    /// during route expansion.
+    real_hops: Vec<Arc<RealHopSet>>,
+    planner: Arc<Planner>,
     /// Which backend's build path produced this snapshot ("inline",
     /// "site-threads") — reported by `ds_serve::ServeStats` so operators
     /// can see what they are serving.
     source_backend: &'static str,
+}
+
+/// What one [`EngineSnapshot::maintain_cow`] call replaced: the update
+/// report plus the concrete per-site sharing outcome, so callers (and the
+/// structural-sharing property tests) know exactly which sites' Arcs were
+/// detached from the previous epoch.
+#[derive(Clone, Debug)]
+pub struct CowMaintenance {
+    pub report: UpdateReport,
+    /// The fragment whose edge set changed (`None` for a no-op removal):
+    /// its augmented graph and real-hop set were replaced.
+    pub owner: Option<FragmentId>,
+    /// Sites whose shortcut table (and hence augmented graph) was
+    /// replaced — every site after a fallback full recompute.
+    pub shortcut_sites: Vec<FragmentId>,
+    /// Union of `owner` and `shortcut_sites`, sorted: the sites whose
+    /// components are *not* shared with the pre-update snapshot. Every
+    /// other site remains `Arc::ptr_eq` with it.
+    pub touched_sites: Vec<FragmentId>,
 }
 
 impl EngineSnapshot {
@@ -92,8 +129,8 @@ impl EngineSnapshot {
         source_backend: &'static str,
     ) -> Self {
         EngineSnapshot {
-            graph,
-            frag,
+            graph: Arc::new(graph),
+            frag: Arc::new(frag),
             symmetric,
             cfg,
             comp: parts.comp,
@@ -108,27 +145,29 @@ impl EngineSnapshot {
     /// fragmentation, complementary tables, planner), rebuilding the
     /// augmented graphs and real-hop sets. This is how the machine
     /// backend — whose sites own their augmented graphs — produces a
-    /// snapshot without re-running the precompute.
+    /// snapshot without re-running the precompute. The coordinator hands
+    /// over `Arc` handles, so the whole-graph pieces are shared with the
+    /// machine rather than copied.
     pub fn assemble(
-        graph: CsrGraph,
-        frag: Fragmentation,
+        graph: Arc<CsrGraph>,
+        frag: Arc<Fragmentation>,
         symmetric: bool,
         cfg: EngineConfig,
         comp: ComplementaryInfo,
-        planner: Planner,
+        planner: Arc<Planner>,
         source_backend: &'static str,
     ) -> Self {
         let n = graph.node_count();
         let mut augmented = Vec::with_capacity(frag.fragment_count());
         let mut real_hops = Vec::with_capacity(frag.fragment_count());
         for f in frag.fragments() {
-            augmented.push(augmented_graph(
+            augmented.push(Arc::new(augmented_graph(
                 n,
                 f.edges(),
                 symmetric,
                 comp.shortcuts(f.id()),
-            ));
-            real_hops.push(real_hop_set(f.edges(), symmetric));
+            )));
+            real_hops.push(Arc::new(real_hop_set(f.edges(), symmetric)));
         }
         EngineSnapshot {
             graph,
@@ -140,6 +179,37 @@ impl EngineSnapshot {
             real_hops,
             planner,
             source_backend,
+        }
+    }
+
+    /// A deep copy that shares **nothing** with `self`: every component —
+    /// global graph, fragmentation, planner, per-site augmented graphs,
+    /// real-hop sets and shortcut tables — gets a fresh allocation.
+    ///
+    /// This is exactly what a per-epoch publication cost before
+    /// structural sharing; the serve bench uses it as the baseline of the
+    /// publication-cost measurement. It is also the right tool to detach
+    /// a snapshot from a long-lived shared lineage (e.g. to archive one
+    /// epoch without pinning another epoch's memory).
+    pub fn unshared_clone(&self) -> Self {
+        EngineSnapshot {
+            graph: Arc::new((*self.graph).clone()),
+            frag: Arc::new((*self.frag).clone()),
+            symmetric: self.symmetric,
+            cfg: self.cfg.clone(),
+            comp: self.comp.unshared_clone(),
+            augmented: self
+                .augmented
+                .iter()
+                .map(|g| Arc::new((**g).clone()))
+                .collect(),
+            real_hops: self
+                .real_hops
+                .iter()
+                .map(|h| Arc::new((**h).clone()))
+                .collect(),
+            planner: Arc::new((*self.planner).clone()),
+            source_backend: self.source_backend,
         }
     }
 
@@ -177,6 +247,30 @@ impl EngineSnapshot {
 
     /// The chain planner over this snapshot's fragmentation.
     pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    // --- structural-sharing handles ------------------------------------
+
+    /// The shared handle behind site `f`'s augmented graph. Two snapshots
+    /// whose handles are `Arc::ptr_eq` physically share that site's
+    /// graph — the structural-sharing contract across epochs.
+    pub fn augmented_handle(&self, f: FragmentId) -> &Arc<CsrGraph> {
+        &self.augmented[f]
+    }
+
+    /// The shared handle behind site `f`'s real-hop set.
+    pub fn real_hops_handle(&self, f: FragmentId) -> &Arc<RealHopSet> {
+        &self.real_hops[f]
+    }
+
+    /// The shared handle behind the global closure graph.
+    pub fn graph_handle(&self) -> &Arc<CsrGraph> {
+        &self.graph
+    }
+
+    /// The shared handle behind the chain planner.
+    pub fn planner_handle(&self) -> &Arc<Planner> {
         &self.planner
     }
 
@@ -370,17 +464,31 @@ impl EngineSnapshot {
     /// Apply a network update in place, keeping answers exact afterwards:
     /// runs the shared maintenance path ([`crate::updates::maintain`]),
     /// then refreshes the touched sites' augmented graphs and the owner's
-    /// real-hop set.
+    /// real-hop set. See [`EngineSnapshot::maintain_cow`] for the variant
+    /// that also reports *which* sites were touched.
     ///
     /// A snapshot shared behind an `Arc` cannot (and must not) be
-    /// maintained through the `Arc` — clone it first and republish the
-    /// maintained clone (copy-on-write), which is exactly what the
-    /// `ds_serve` writer thread does.
+    /// maintained through the `Arc` — clone it first (O(sites): every
+    /// component is `Arc`-shared) and republish the maintained clone,
+    /// which is exactly what the `ds_serve` writer thread does. The
+    /// maintenance replaces only the touched sites' Arcs; everything else
+    /// stays physically shared with the pre-update snapshot.
     pub fn maintain(
         &mut self,
         update: &NetworkUpdate,
         scratch: &mut ScratchDijkstra,
     ) -> Result<UpdateReport, ClosureError> {
+        self.maintain_cow(update, scratch).map(|m| m.report)
+    }
+
+    /// [`EngineSnapshot::maintain`] with the copy-on-write outcome made
+    /// explicit: which sites' components were detached from the previous
+    /// epoch (and must be shipped / re-cached), and which remain shared.
+    pub fn maintain_cow(
+        &mut self,
+        update: &NetworkUpdate,
+        scratch: &mut ScratchDijkstra,
+    ) -> Result<CowMaintenance, ClosureError> {
         let m = crate::updates::maintain(
             &mut self.graph,
             &mut self.frag,
@@ -391,25 +499,40 @@ impl EngineSnapshot {
             scratch,
         )?;
         let Some(owner) = m.owner else {
-            return Ok(m.report);
+            return Ok(CowMaintenance {
+                report: m.report,
+                owner: None,
+                shortcut_sites: Vec::new(),
+                touched_sites: Vec::new(),
+            });
         };
         let mut sites: std::collections::BTreeSet<FragmentId> =
             m.shortcut_sites.iter().copied().collect();
         sites.insert(owner);
-        for f in sites {
-            self.augmented[f] = augmented_graph(
+        for &f in &sites {
+            // A fresh Arc per touched site; untouched sites keep sharing
+            // their augmented graph with the pre-update snapshot.
+            self.augmented[f] = Arc::new(augmented_graph(
                 self.graph.node_count(),
                 self.frag.fragment(f).edges(),
                 self.symmetric,
                 self.comp.shortcuts(f),
-            );
+            ));
         }
-        self.real_hops[owner] = real_hop_set(self.frag.fragment(owner).edges(), self.symmetric);
-        Ok(m.report)
+        self.real_hops[owner] = Arc::new(real_hop_set(
+            self.frag.fragment(owner).edges(),
+            self.symmetric,
+        ));
+        Ok(CowMaintenance {
+            report: m.report,
+            owner: Some(owner),
+            shortcut_sites: m.shortcut_sites,
+            touched_sites: sites.into_iter().collect(),
+        })
     }
 }
 
-fn real_hop_set(edges: &[ds_graph::Edge], symmetric: bool) -> HashSet<(NodeId, NodeId, Cost)> {
+fn real_hop_set(edges: &[ds_graph::Edge], symmetric: bool) -> RealHopSet {
     let mut hops = HashSet::with_capacity(edges.len() * 2);
     for e in edges {
         hops.insert((e.src, e.dst, e.cost));
@@ -424,7 +547,7 @@ fn real_hop_set(edges: &[ds_graph::Edge], symmetric: bool) -> HashSet<(NodeId, N
 /// subqueries run on the calling thread or one scoped thread each, per
 /// [`EngineConfig::mode`], against the caller's scratch.
 struct InlineEval<'a> {
-    augmented: &'a [CsrGraph],
+    augmented: &'a [Arc<CsrGraph>],
     mode: crate::executor::ExecutionMode,
     scratch: &'a mut ScratchDijkstra,
 }
@@ -544,12 +667,12 @@ mod tests {
         let built =
             EngineSnapshot::build(g.closure_graph(), frag.clone(), true, cfg.clone()).unwrap();
         let assembled = EngineSnapshot::assemble(
-            g.closure_graph(),
-            frag,
+            Arc::new(g.closure_graph()),
+            Arc::new(frag),
             true,
             cfg,
             built.complementary().clone(),
-            built.planner().clone(),
+            Arc::clone(built.planner_handle()),
             "site-threads",
         );
         assert_eq!(assembled.source_backend(), "site-threads");

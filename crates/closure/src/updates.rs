@@ -46,11 +46,12 @@
 //! (see `ds_machine::protocol`).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use ds_fragment::{FragmentId, Fragmentation};
 use ds_graph::{dijkstra, Cost, CsrGraph, Edge, NodeId, ScratchDijkstra};
 
-use crate::api::{apply_update, NetworkUpdate};
+use crate::api::{apply_update, validate_insert, NetworkUpdate};
 use crate::complementary::ComplementaryInfo;
 use crate::engine::EngineConfig;
 use crate::error::ClosureError;
@@ -188,9 +189,16 @@ impl Maintenance {
 /// state (including a persistent `scratch` that the deletion repair
 /// sweeps reuse); they differ only in how they act on the returned
 /// touched sites.
+///
+/// `graph` and `frag` are owned through [`Arc`] handles: a caller whose
+/// state is shared with published snapshots (the serve writer's working
+/// copy) pays a copy only for the pieces an update actually replaces —
+/// the rebuilt global graph gets a fresh `Arc`, the fragmentation is
+/// detached via [`Arc::make_mut`] once per shared epoch, and `comp`
+/// detaches per-site tables internally the same way.
 pub fn maintain(
-    graph: &mut CsrGraph,
-    frag: &mut Fragmentation,
+    graph: &mut Arc<CsrGraph>,
+    frag: &mut Arc<Fragmentation>,
     symmetric: bool,
     cfg: &EngineConfig,
     comp: &mut ComplementaryInfo,
@@ -199,9 +207,12 @@ pub fn maintain(
 ) -> Result<Maintenance, ClosureError> {
     match *update {
         NetworkUpdate::Insert { edge, owner } => {
-            let new_graph = apply_update(graph, frag, symmetric, update)?
+            // Validation runs against the shared fragmentation before
+            // anything is detached, so an invalid update clones nothing.
+            validate_insert(frag, edge, owner)?;
+            let new_graph = apply_update(graph, Arc::make_mut(frag), symmetric, update)?
                 .expect("insertions always change the graph");
-            *graph = new_graph;
+            *graph = Arc::new(new_graph);
             let rev = graph.reversed();
             let mut per_site = improve(comp, graph, &rev, edge.src, edge.dst, edge.cost);
             if symmetric && !edge.is_loop() {
@@ -252,9 +263,9 @@ pub fn maintain(
             } else {
                 affected_sources(graph, comp, frag.fragment_count(), &removed)
             };
-            let new_graph =
-                apply_update(graph, frag, symmetric, update)?.expect("matched edges exist");
-            *graph = new_graph;
+            let new_graph = apply_update(graph, Arc::make_mut(frag), symmetric, update)?
+                .expect("matched edges exist");
+            *graph = Arc::new(new_graph);
             if crossing {
                 return Ok(full_recompute(
                     graph,
@@ -375,7 +386,13 @@ fn full_recompute(
     owner: FragmentId,
     reason: FallbackReason,
 ) -> Maintenance {
-    *comp = ComplementaryInfo::compute(graph, frag, cfg.scope, cfg.store_paths);
+    *comp = ComplementaryInfo::compute_with_threads(
+        graph,
+        frag,
+        cfg.scope,
+        cfg.store_paths,
+        cfg.precompute_threads,
+    );
     let shortcut_sites: Vec<FragmentId> = (0..frag.fragment_count()).collect();
     let tuples_shipped = shortcut_sites
         .iter()

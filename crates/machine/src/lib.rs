@@ -39,7 +39,7 @@ pub mod site;
 pub mod stats;
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 use ds_closure::api::{build_parts, run_batch, SiteEvaluator};
@@ -66,15 +66,15 @@ pub use stats::{MachineStats, SiteStats};
 /// processing touches only the planner and the message channels — sites
 /// never see global state.
 pub struct Machine {
-    graph: CsrGraph,
-    frag: Fragmentation,
+    graph: Arc<CsrGraph>,
+    frag: Arc<Fragmentation>,
     symmetric: bool,
     cfg: EngineConfig,
     comp: ComplementaryInfo,
     senders: Vec<mpsc::Sender<SiteRequest>>,
     responses: mpsc::Receiver<SiteResponse>,
     handles: Vec<JoinHandle<()>>,
-    planner: Planner,
+    planner: Arc<Planner>,
     stats: MachineStats,
     next_tag: u64,
     /// Coordinator-side scratch kernel for update repair sweeps.
@@ -119,8 +119,8 @@ impl Machine {
         let (senders, responses, handles) = spawn_sites(inits);
         let site_count = senders.len();
         Ok(Machine {
-            graph,
-            frag,
+            graph: Arc::new(graph),
+            frag: Arc::new(frag),
             symmetric,
             cfg,
             comp: parts.comp,
@@ -268,15 +268,17 @@ impl TcEngine for Machine {
 
     /// The coordinator retains everything a snapshot needs except the
     /// augmented graphs (those live at the sites); they are rebuilt from
-    /// the complementary tables — cheap CSR assembly, no precompute.
+    /// the complementary tables — cheap CSR assembly, no precompute. The
+    /// graph, fragmentation, planner and shortcut tables are handed over
+    /// as shared `Arc` handles, not copied.
     fn snapshot(&self) -> EngineSnapshot {
         EngineSnapshot::assemble(
-            self.graph.clone(),
-            self.frag.clone(),
+            Arc::clone(&self.graph),
+            Arc::clone(&self.frag),
             self.symmetric,
             self.cfg.clone(),
             self.comp.clone(),
-            self.planner.clone(),
+            Arc::clone(&self.planner),
             "site-threads",
         )
     }

@@ -1,0 +1,181 @@
+//! The per-epoch answer cache: identical queries asked again within one
+//! snapshot epoch are answered without touching the evaluation kernel.
+//!
+//! The cache is the cross-micro-batch extension of the worker pool's
+//! single-flight coalescing: coalescing deduplicates identical requests
+//! *within* one micro-batch, the cache deduplicates them *across*
+//! micro-batches (and workers) for as long as the answer stays valid —
+//! i.e. until the writer publishes a new snapshot epoch.
+//!
+//! Keyed by `(query, epoch)`: an entry written at epoch `e` is served
+//! only to readers pinned to epoch `e`, which makes every cached answer
+//! exactly as consistent as an evaluated one. Invalidation is **lazy and
+//! wholesale**: shards tag their contents with the epoch that filled
+//! them, and the first probe from a newer epoch clears the shard —
+//! publication itself does no cache work, readers still on the previous
+//! epoch simply stop matching, and a reader racing a publication can
+//! never smuggle a stale answer into the new epoch's cache.
+//!
+//! Lock-light by sharding: the key hash picks one of [`SHARDS`] small
+//! mutexes, so concurrent workers rarely contend, and every critical
+//! section is a single hash-map probe or insert.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use ds_closure::QueryAnswer;
+use ds_graph::NodeId;
+
+/// Shard count (power of two). 32 shards keep contention negligible for
+/// any plausible worker pool while costing ~one cache line of mutexes.
+const SHARDS: usize = 32;
+
+struct Shard {
+    /// The epoch whose answers this shard currently holds.
+    epoch: u64,
+    map: HashMap<(NodeId, NodeId), QueryAnswer>,
+}
+
+/// A sharded `(query, epoch) -> answer` map, dropped wholesale (lazily,
+/// per shard) whenever the epoch advances.
+///
+/// Bounded: each shard admits at most `per_shard` entries per epoch, so
+/// a read-only deployment (whose epoch never advances and therefore
+/// never clears a shard) cannot grow memory without bound under a
+/// distinct-pair sweep — once a shard is full, further inserts are
+/// dropped until the next epoch. First-in wins, which favours exactly
+/// the hot head of the traffic distribution the cache exists for.
+pub(crate) struct AnswerCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+}
+
+impl AnswerCache {
+    /// `max_entries` bounds the whole cache (rounded up to a multiple of
+    /// the shard count).
+    pub fn new(max_entries: usize) -> Self {
+        AnswerCache {
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        epoch: 0,
+                        map: HashMap::new(),
+                    })
+                })
+                .collect(),
+            per_shard: max_entries.div_ceil(SHARDS).max(1),
+        }
+    }
+
+    fn shard(&self, key: (NodeId, NodeId)) -> &Mutex<Shard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// The answer cached for `key` at `epoch`, if any. A shard left over
+    /// from an older epoch is cleared on first contact with a newer one.
+    pub fn get(&self, epoch: u64, key: (NodeId, NodeId)) -> Option<QueryAnswer> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if shard.epoch != epoch {
+            if shard.epoch < epoch {
+                shard.map.clear();
+                shard.epoch = epoch;
+            }
+            // A reader still pinned to an older epoch than the shard's
+            // contents must not see the newer answers.
+            return None;
+        }
+        shard.map.get(&key).cloned()
+    }
+
+    /// Record an answer evaluated at `epoch`. Ignored if the shard has
+    /// already moved past that epoch (a reader racing a publication) or
+    /// is at its per-epoch capacity (the cache is bounded; overwriting
+    /// an existing key is always admitted).
+    pub fn insert(&self, epoch: u64, key: (NodeId, NodeId), answer: QueryAnswer) {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if shard.epoch < epoch {
+            shard.map.clear();
+            shard.epoch = epoch;
+        }
+        if shard.epoch == epoch
+            && (shard.map.len() < self.per_shard || shard.map.contains_key(&key))
+        {
+            shard.map.insert(key, answer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_closure::QueryStats;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn answer(cost: u64) -> QueryAnswer {
+        QueryAnswer {
+            cost: Some(cost),
+            best_chain: None,
+            stats: QueryStats::default(),
+        }
+    }
+
+    #[test]
+    fn hit_within_an_epoch_miss_across() {
+        let cache = AnswerCache::new(1024);
+        assert!(cache.get(0, (n(1), n(2))).is_none(), "cold");
+        cache.insert(0, (n(1), n(2)), answer(7));
+        assert_eq!(cache.get(0, (n(1), n(2))).unwrap().cost, Some(7));
+        // Epoch moved: the old answer is gone, not served.
+        assert!(cache.get(1, (n(1), n(2))).is_none());
+        // And the shard has been repurposed for the new epoch.
+        cache.insert(1, (n(1), n(2)), answer(5));
+        assert_eq!(cache.get(1, (n(1), n(2))).unwrap().cost, Some(5));
+    }
+
+    /// The cache is bounded within one epoch: with capacity for one
+    /// entry per shard, a distinct-pair sweep stops being admitted once
+    /// the shards fill, while already-cached keys keep hitting (and can
+    /// be overwritten).
+    #[test]
+    fn full_shards_stop_admitting_within_an_epoch() {
+        let cache = AnswerCache::new(SHARDS); // one entry per shard
+        for i in 0..200u32 {
+            cache.insert(0, (n(i), n(i + 1)), answer(i as u64));
+        }
+        let cached = (0..200u32)
+            .filter(|&i| cache.get(0, (n(i), n(i + 1))).is_some())
+            .count();
+        assert!(cached <= SHARDS, "bounded: {cached} entries > {SHARDS}");
+        assert!(cached >= 1, "the first inserts were admitted");
+        // Overwriting an admitted key is always allowed.
+        let hit = (0..200u32)
+            .find(|&i| cache.get(0, (n(i), n(i + 1))).is_some())
+            .unwrap();
+        cache.insert(0, (n(hit), n(hit + 1)), answer(999));
+        assert_eq!(cache.get(0, (n(hit), n(hit + 1))).unwrap().cost, Some(999));
+        // A new epoch clears the shards and admits fresh entries again.
+        cache.insert(1, (n(500), n(501)), answer(1));
+        assert_eq!(cache.get(1, (n(500), n(501))).unwrap().cost, Some(1));
+    }
+
+    #[test]
+    fn stale_reader_cannot_poison_a_newer_epoch() {
+        let cache = AnswerCache::new(1024);
+        cache.insert(3, (n(1), n(2)), answer(9)); // shard now at epoch 3
+        cache.insert(2, (n(1), n(2)), answer(1)); // stale insert: dropped
+        assert_eq!(cache.get(3, (n(1), n(2))).unwrap().cost, Some(9));
+        // A stale reader gets a miss, never the newer answer.
+        assert!(cache.get(2, (n(1), n(2))).is_none());
+        assert_eq!(
+            cache.get(3, (n(1), n(2))).unwrap().cost,
+            Some(9),
+            "the stale probe did not clear the newer shard"
+        );
+    }
+}

@@ -13,14 +13,16 @@
 //!
 //! ```text
 //!  clients ──► bounded job queue ──► worker pool (one scratch each)
-//!                                        │  micro-batch: coalesce
-//!                                        │  duplicates, group by
-//!                                        │  fragment pair, run_batch
-//!                                        ▼
-//!                            Arc<EngineSnapshot>   (epoch N)
-//!                                        ▲
-//!  updaters ──► writer thread ── maintain() on a private copy,
-//!               publish successor snapshot as epoch N+1
+//!              (sheds at capacity)      │  micro-batch: coalesce
+//!                                       │  duplicates, probe answer
+//!                                       │  cache, group misses by
+//!                                       │  fragment pair, run_batch
+//!                                       ▼
+//!              answer cache ◄──► Arc<EngineSnapshot>   (epoch N)
+//!              (per epoch)               ▲
+//!  updaters ──► writer thread ── maintain() on a private copy
+//!               (touched sites detach, everything else stays shared),
+//!               publish successor snapshot as epoch N+1 — O(sites)
 //! ```
 //!
 //! * **Snapshot epochs.** The immutable [`EngineSnapshot`] (tables,
@@ -29,22 +31,41 @@
 //!   atomically by the single writer. Readers pin the epoch for the
 //!   duration of a micro-batch: every answer is consistent with some
 //!   published version, and says which ([`ServedBatch::epoch`]).
+//! * **O(touched sites) publication.** Every per-site component of a
+//!   snapshot sits behind its own `Arc`, so the writer's per-epoch
+//!   publication clone is O(sites) refcount bumps and each epoch
+//!   physically shares every untouched site's tables with its
+//!   predecessor (`ds_closure::snapshot` documents the sharing
+//!   contract; the serve bench gates it at ≥ 5x cheaper than a full
+//!   copy).
+//! * **Per-epoch answer cache.** Identical queries repeated across
+//!   micro-batches within one epoch are answered from a sharded,
+//!   lock-light map ([`ServeConfig::answer_cache`]); publication drops
+//!   it wholesale (lazily — the writer does no cache work). Hits are
+//!   exactly as consistent as evaluations: the key includes the pinned
+//!   epoch.
 //! * **Workers never lock on the query path.** All mutable evaluation
 //!   state (the Dijkstra scratch, batch buffers) is worker-owned; the
 //!   publication slot is consulted with one atomic load per micro-batch
 //!   and its mutex touched only when the epoch actually moved.
 //! * **Micro-batching.** A worker drains everything pending (bounded by
 //!   [`ServeConfig::batch_max`]) in one lock acquisition, coalesces
-//!   identical requests (single-flight), sorts the distinct ones by
-//!   fragment pair and feeds them to the shared batch kernel
+//!   identical requests (single-flight), sorts the distinct cache misses
+//!   by fragment pair and feeds them to the shared batch kernel
 //!   (`ds_closure::api::run_batch`), which plans each fragment pair once
 //!   and evaluates interior chain segments once per chain. Queue depth
 //!   converts directly into amortization — the busier the server, the
 //!   cheaper the average query.
+//! * **Load shedding.** The bounded queue never blocks producers: at
+//!   capacity, [`Server::submit`] / [`Server::try_query_batch`] return
+//!   [`Overloaded`] with a retry-after hint and the blocking wrappers
+//!   back off and retry; queue depth / high-water / rejections are
+//!   reported in [`ServeStats`].
 //! * **Observability.** [`ServeStats`] reports throughput, p50/p99
 //!   latency from an in-crate fixed-bucket [`LatencyHistogram`],
-//!   per-worker busy time and scratch reuse, batch amortization
-//!   counters, and which backend/strategy built the tables being served.
+//!   per-worker busy time and scratch reuse, batch amortization and
+//!   cache hit/miss counters, queue pressure, and which
+//!   backend/strategy built the tables being served.
 //!
 //! ```
 //! use ds_closure::{EngineConfig, EngineSnapshot};
@@ -66,6 +87,7 @@
 //! assert_eq!(stats.requests, 1);
 //! ```
 
+mod cache;
 pub mod histogram;
 mod queue;
 pub mod server;
@@ -73,7 +95,8 @@ pub mod server;
 pub use ds_closure::snapshot::EngineSnapshot;
 pub use histogram::LatencyHistogram;
 pub use server::{
-    LatencySummary, ServeConfig, ServeStats, ServedAnswer, ServedBatch, ServedUpdate, Server,
+    LatencySummary, Overloaded, PendingBatch, ServeConfig, ServeStats, ServedAnswer, ServedBatch,
+    ServedUpdate, Server,
 };
 
 #[cfg(test)]
@@ -135,7 +158,11 @@ mod tests {
         assert_eq!(stats.requests, 150);
         assert_eq!(stats.jobs, 150);
         assert!(stats.batches > 0 && stats.batches <= 150);
-        assert_eq!(stats.evaluated + stats.coalesced, 150);
+        assert_eq!(
+            stats.evaluated + stats.coalesced + stats.cache_hits,
+            150,
+            "every request is evaluated, coalesced, or cache-served"
+        );
         assert_eq!(stats.latency.count, 150);
         assert!(stats.latency.p99_us >= stats.latency.p50_us);
         assert_eq!(stats.backend, "inline");
@@ -280,6 +307,140 @@ mod tests {
         let server = Server::start(snap, ServeConfig::with_workers(1));
         let served = server.query_batch(&[]);
         assert!(served.answers.is_empty());
+        // The non-blocking entry points agree: no queue slot is spent,
+        // so an empty batch can never be shed.
+        server.pause_workers();
+        let pending = server.submit(&[]).unwrap();
+        assert!(pending.wait().answers.is_empty());
+        server.unpause_workers();
+        let stats = server.stats();
+        assert_eq!(stats.queue_high_water, 0, "empty jobs never enqueue");
         server.shutdown();
+    }
+
+    /// The per-epoch answer cache serves repeated queries across
+    /// micro-batches without re-evaluating them, and the answers stay
+    /// identical.
+    #[test]
+    fn answer_cache_hits_across_micro_batches() {
+        let (g, snap) = snapshot();
+        let csr = g.closure_graph();
+        let server = Server::start(snap, ServeConfig::with_workers(1));
+        // Separate jobs → separate micro-batches (single client thread),
+        // so the repeats cannot be absorbed by in-batch coalescing.
+        let first = server.query(n(0), n(39));
+        for _ in 0..5 {
+            let again = server.query(n(0), n(39));
+            assert_eq!(again.answer.cost, first.answer.cost);
+            assert_eq!(again.epoch, 0);
+        }
+        assert_eq!(
+            first.answer.cost,
+            baseline::shortest_path_cost(&csr, n(0), n(39))
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 6);
+        assert_eq!(stats.evaluated, 1, "one evaluation, five cache hits");
+        assert_eq!(stats.cache_hits, 5);
+        assert_eq!(stats.cache_misses, 1);
+        assert!(stats.cache_hit_fraction() > 0.8);
+    }
+
+    /// Publication drops the cache: a query repeated across an update is
+    /// re-evaluated on the new epoch and reflects the new network — the
+    /// cache can never serve an answer from a previous epoch.
+    #[test]
+    fn answer_cache_is_dropped_on_publication() {
+        let (_, snap) = snapshot();
+        let f0 = snap.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        let server = Server::start(snap, ServeConfig::with_workers(1));
+        let before = server.query(n(0), n(39));
+        let cached = server.query(n(0), n(39));
+        assert_eq!(cached.answer.cost, before.answer.cost);
+
+        server
+            .update(&NetworkUpdate::Insert {
+                edge: Edge::new(a, b, 1),
+                owner: 0,
+            })
+            .unwrap();
+        let after = server.query(n(0), n(39));
+        assert_eq!(after.epoch, 1);
+        let snap_now = server.snapshot();
+        assert_eq!(
+            after.answer.cost,
+            baseline::shortest_path_cost(snap_now.graph(), n(0), n(39)),
+            "post-update answer reflects the new epoch, not the cache"
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.evaluated, 2, "re-evaluated after the epoch moved");
+    }
+
+    /// Disabling the knob really disables the cache.
+    #[test]
+    fn answer_cache_knob_disables_the_cache() {
+        let (_, snap) = snapshot();
+        let server = Server::start(
+            snap,
+            ServeConfig {
+                workers: 1,
+                answer_cache: false,
+                ..ServeConfig::default()
+            },
+        );
+        for _ in 0..4 {
+            server.query(n(0), n(39));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.evaluated, 4, "every request evaluated");
+        assert_eq!(stats.cache_hit_fraction(), 0.0);
+    }
+
+    /// Load shedding: with the workers frozen, submissions beyond the
+    /// queue capacity are rejected with the retry-after hint instead of
+    /// blocking the producer, and the depth/rejection stats record the
+    /// pressure. Releasing the workers drains the admitted jobs.
+    #[test]
+    fn full_queue_sheds_with_retry_after_hint() {
+        let (_, snap) = snapshot();
+        let retry_after = std::time::Duration::from_micros(750);
+        let server = Server::start(
+            snap,
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 2,
+                retry_after,
+                ..ServeConfig::default()
+            },
+        );
+        server.pause_workers();
+        let p1 = server.submit(&[QueryRequest::new(n(0), n(39))]).unwrap();
+        let p2 = server.submit(&[QueryRequest::new(n(1), n(38))]).unwrap();
+        let rejected = server.submit(&[QueryRequest::new(n(2), n(37))]);
+        assert_eq!(rejected.unwrap_err(), server::Overloaded { retry_after });
+        assert!(matches!(
+            server.try_query_batch(&[QueryRequest::new(n(2), n(37))]),
+            Err(server::Overloaded { .. })
+        ));
+        {
+            let stats = server.stats();
+            assert_eq!(stats.queue_depth, 2, "both admitted jobs still queued");
+            assert_eq!(stats.queue_high_water, 2);
+            assert_eq!(stats.queue_capacity, 2);
+            assert_eq!(stats.queue_rejections, 2);
+        }
+        server.unpause_workers();
+        assert!(p1.wait().answers[0].cost.is_some());
+        assert!(p2.wait().answers[0].cost.is_some());
+        // With space free again, the blocking wrapper goes straight in.
+        assert!(server.query(n(2), n(37)).answer.cost.is_some());
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.queue_depth, 0, "drained");
+        assert_eq!(stats.queue_rejections, 2);
     }
 }

@@ -16,21 +16,38 @@ use ds_closure::{ClosureError, QueryAnswer};
 use ds_fragment::FragmentId;
 use ds_graph::{NodeId, ScratchDijkstra, ScratchStats};
 
+use crate::cache::AnswerCache;
 use crate::histogram::LatencyHistogram;
-use crate::queue::BoundedQueue;
+use crate::queue::{BoundedQueue, PushError};
 
 /// Serving configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Reader worker threads (each owns its scratch kernel).
     pub workers: usize,
-    /// Bounded submission queue depth, in jobs; producers block when the
-    /// pool falls this far behind (backpressure).
+    /// Bounded submission queue depth, in jobs. When the pool falls this
+    /// far behind, further submissions are **shed**: [`Server::submit`] /
+    /// [`Server::try_query_batch`] return [`Overloaded`] with a
+    /// retry-after hint instead of blocking the producer.
     pub queue_capacity: usize,
     /// Most jobs one worker folds into a single micro-batch.
     pub batch_max: usize,
     /// Most pending updates the writer folds into one publication.
     pub write_batch_max: usize,
+    /// Per-epoch answer cache: identical queries repeated within one
+    /// snapshot epoch are served from a lock-light shared map instead of
+    /// re-evaluated; the cache is dropped wholesale whenever the writer
+    /// publishes a new epoch. Hit/miss counters land in [`ServeStats`].
+    pub answer_cache: bool,
+    /// Most answers the cache holds per epoch (bounds memory on
+    /// read-only deployments, whose epoch never advances and would
+    /// otherwise accumulate every distinct pair ever queried; once full,
+    /// further inserts are dropped until the next epoch).
+    pub answer_cache_entries: usize,
+    /// The retry-after hint handed to shed producers (and the back-off
+    /// the blocking convenience wrappers sleep between admission
+    /// attempts).
+    pub retry_after: Duration,
 }
 
 impl Default for ServeConfig {
@@ -40,6 +57,9 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             batch_max: 64,
             write_batch_max: 16,
+            answer_cache: true,
+            answer_cache_entries: 65_536,
+            retry_after: Duration::from_micros(200),
         }
     }
 }
@@ -78,6 +98,41 @@ pub struct ServedUpdate {
     pub epoch: u64,
 }
 
+/// The load-shedding rejection: the submission queue is at capacity.
+/// Retry no sooner than `retry_after` (the hint is
+/// [`ServeConfig::retry_after`]); the blocking wrappers do exactly that.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overloaded {
+    pub retry_after: Duration,
+}
+
+impl std::fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "serve queue at capacity; retry after {:?}",
+            self.retry_after
+        )
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+/// An admitted (but not yet answered) job: the handle
+/// [`Server::submit`] returns. [`PendingBatch::wait`] blocks until the
+/// worker pool replies.
+#[derive(Debug)]
+pub struct PendingBatch {
+    rx: mpsc::Receiver<ServedBatch>,
+}
+
+impl PendingBatch {
+    /// Block until the pool answers this job.
+    pub fn wait(self) -> ServedBatch {
+        self.rx.recv().expect("worker pool alive")
+    }
+}
+
 /// Latency percentiles over every request served so far.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LatencySummary {
@@ -111,14 +166,32 @@ pub struct ServeStats {
     /// Requests answered by coalescing onto an identical batch-mate
     /// (single-flight within a micro-batch).
     pub coalesced: u64,
+    /// Distinct requests answered from the per-epoch answer cache
+    /// (`requests == evaluated + coalesced + cache_hits`).
+    pub cache_hits: u64,
+    /// Distinct requests probed against the cache without a usable entry
+    /// (they were then evaluated). 0 when the cache is disabled.
+    pub cache_misses: u64,
     /// Aggregated plan/segment amortization across every micro-batch.
     pub batch: BatchStats,
+    /// Jobs waiting in the submission queue right now.
+    pub queue_depth: usize,
+    /// The deepest the submission queue has ever been.
+    pub queue_high_water: usize,
+    /// The configured queue capacity (the shedding threshold).
+    pub queue_capacity: usize,
+    /// Submissions shed because the queue was at capacity (each rejected
+    /// admission attempt counts once; a blocking wrapper that backs off
+    /// and retries can count several times for one job).
+    pub queue_rejections: u64,
     /// Wall time since the server started.
     pub elapsed: Duration,
     /// Per-worker evaluation time (index = worker id).
     pub busy: Vec<Duration>,
-    /// Writer-thread time spent on maintenance + publication (the write
-    /// path's dominant cost is the copy-on-write snapshot clone).
+    /// Writer-thread time spent on maintenance + publication. Since
+    /// structural sharing, publication itself is O(sites) refcount bumps;
+    /// the dominant cost is the incremental maintenance, which detaches
+    /// only the touched sites' tables from the published epoch.
     pub writer_busy: Duration,
     /// Merged per-worker scratch-kernel reuse counters.
     pub scratch: ScratchStats,
@@ -151,6 +224,17 @@ impl ServeStats {
             0.0
         } else {
             self.coalesced as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of cache probes that hit (0.0 when the cache is off or
+    /// never probed).
+    pub fn cache_hit_fraction(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
         }
     }
 }
@@ -220,6 +304,8 @@ struct WorkerLog {
     batches: u64,
     evaluated: u64,
     coalesced: u64,
+    cache_hits: u64,
+    cache_misses: u64,
     busy: Duration,
     batch: BatchStats,
     hist: LatencyHistogram,
@@ -236,9 +322,13 @@ struct WriterLog {
 struct Shared {
     queue: BoundedQueue<QueryJob>,
     published: Published,
+    /// The per-epoch answer cache, shared by every worker; `None` when
+    /// disabled by [`ServeConfig::answer_cache`].
+    cache: Option<AnswerCache>,
     worker_logs: Vec<Mutex<WorkerLog>>,
     writer_log: Mutex<WriterLog>,
     batch_max: usize,
+    retry_after: Duration,
     started: Instant,
 }
 
@@ -267,11 +357,15 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity.max(workers)),
             published: Published::new(initial),
+            cache: config
+                .answer_cache
+                .then(|| AnswerCache::new(config.answer_cache_entries)),
             worker_logs: (0..workers)
                 .map(|_| Mutex::new(WorkerLog::default()))
                 .collect(),
             writer_log: Mutex::new(WriterLog::default()),
             batch_max: config.batch_max.max(1),
+            retry_after: config.retry_after,
             started: Instant::now(),
         });
         let mut handles = Vec::with_capacity(workers + 1);
@@ -308,26 +402,56 @@ impl Server {
         x == y || self.query(x, y).answer.cost.is_some()
     }
 
-    /// Answer a batch of requests as one job (blocking). All answers
+    /// Admit a batch of requests as one job without blocking: `Ok` hands
+    /// back a [`PendingBatch`] to wait on, `Err` means the submission
+    /// queue is at capacity and the job was **shed** — nothing was
+    /// enqueued; retry after the hinted back-off. All answers of one job
     /// come from the same snapshot epoch.
-    pub fn query_batch(&self, requests: &[QueryRequest]) -> ServedBatch {
+    pub fn submit(&self, requests: &[QueryRequest]) -> Result<PendingBatch, Overloaded> {
+        let (tx, rx) = mpsc::channel();
         if requests.is_empty() {
-            return ServedBatch {
+            // Nothing to evaluate: answer inline instead of spending a
+            // queue slot (and never shed a job that carries no work).
+            let _ = tx.send(ServedBatch {
                 answers: Vec::new(),
                 epoch: self.epoch(),
-            };
+            });
+            return Ok(PendingBatch { rx });
         }
-        let (tx, rx) = mpsc::channel();
         let job = QueryJob {
             requests: requests.to_vec(),
             reply: tx,
             submitted: Instant::now(),
         };
-        self.shared
-            .queue
-            .push(job)
-            .unwrap_or_else(|_| panic!("serve queue closed while the server is running"));
-        rx.recv().expect("worker pool alive")
+        match self.shared.queue.try_push(job) {
+            Ok(()) => Ok(PendingBatch { rx }),
+            Err(PushError::Full(_)) => Err(Overloaded {
+                retry_after: self.shared.retry_after,
+            }),
+            Err(PushError::Closed(_)) => {
+                panic!("serve queue closed while the server is running")
+            }
+        }
+    }
+
+    /// [`Server::query_batch`] that sheds instead of backing off: at
+    /// capacity, returns the [`Overloaded`] rejection immediately.
+    pub fn try_query_batch(&self, requests: &[QueryRequest]) -> Result<ServedBatch, Overloaded> {
+        Ok(self.submit(requests)?.wait())
+    }
+
+    /// Answer a batch of requests as one job (blocking convenience): a
+    /// shed submission is retried after the configured back-off until
+    /// admitted, so this never fails — each rejected attempt still counts
+    /// in [`ServeStats::queue_rejections`]. All answers come from the
+    /// same snapshot epoch.
+    pub fn query_batch(&self, requests: &[QueryRequest]) -> ServedBatch {
+        loop {
+            match self.try_query_batch(requests) {
+                Ok(batch) => return batch,
+                Err(Overloaded { retry_after }) => std::thread::sleep(retry_after),
+            }
+        }
     }
 
     /// Apply a network update (blocking until its effect is published).
@@ -373,7 +497,13 @@ impl Server {
             batches: 0,
             evaluated: 0,
             coalesced: 0,
+            cache_hits: 0,
+            cache_misses: 0,
             batch: BatchStats::default(),
+            queue_depth: self.shared.queue.depth(),
+            queue_high_water: self.shared.queue.high_water(),
+            queue_capacity: self.shared.queue.capacity(),
+            queue_rejections: self.shared.queue.rejections(),
             elapsed: self.shared.started.elapsed(),
             busy: Vec::with_capacity(self.shared.worker_logs.len()),
             writer_busy: Duration::ZERO,
@@ -390,6 +520,8 @@ impl Server {
             stats.batches += log.batches;
             stats.evaluated += log.evaluated;
             stats.coalesced += log.coalesced;
+            stats.cache_hits += log.cache_hits;
+            stats.cache_misses += log.cache_misses;
             stats.busy.push(log.busy);
             stats.scratch.merge(log.scratch);
             add_batch_stats(&mut stats.batch, &log.batch);
@@ -418,6 +550,19 @@ impl Server {
         let stats = self.stats();
         // Drop runs afterwards; finish() is idempotent.
         stats
+    }
+
+    /// Test hook: freeze the worker pool (consumers treat the queue as
+    /// empty) so tests can fill the submission queue deterministically.
+    #[cfg(test)]
+    pub(crate) fn pause_workers(&self) {
+        self.shared.queue.pause();
+    }
+
+    /// Test hook: release a paused worker pool.
+    #[cfg(test)]
+    pub(crate) fn unpause_workers(&self) {
+        self.shared.queue.unpause();
     }
 
     fn finish(&mut self) {
@@ -509,31 +654,72 @@ fn worker_loop(shared: &Shared, id: usize) {
         let total_requests: usize = slots.iter().map(Vec::len).sum();
         let coalesced = (total_requests - distinct.len()) as u64;
 
-        // Group by fragment pair. The sharing itself is order-independent
-        // (the batch kernel caches chain plans per fragment pair and
-        // interior segments per chain for the whole call); the sort makes
-        // same-pair queries evaluate back-to-back while their interior
-        // relations are CPU-cache-hot, and makes a batch's evaluation
-        // order independent of client arrival interleaving.
+        // Probe the per-epoch answer cache: a distinct request already
+        // answered at this epoch (by any worker, in any earlier
+        // micro-batch) skips evaluation entirely. The cache key includes
+        // the pinned epoch, so a hit is exactly as consistent as an
+        // evaluated answer.
+        let mut answers_by_slot: Vec<Option<QueryAnswer>> = vec![None; distinct.len()];
+        let mut miss: Vec<u32> = Vec::with_capacity(distinct.len());
+        let mut cache_hits = 0u64;
+        if let Some(cache) = &shared.cache {
+            for (i, r) in distinct.iter().enumerate() {
+                match cache.get(epoch, (r.source, r.target)) {
+                    Some(a) => {
+                        answers_by_slot[i] = Some(a);
+                        cache_hits += 1;
+                    }
+                    None => miss.push(i as u32),
+                }
+            }
+        } else {
+            miss.extend(0..distinct.len() as u32);
+        }
+        let cache_misses = if shared.cache.is_some() {
+            miss.len() as u64
+        } else {
+            0
+        };
+
+        // Group the remaining misses by fragment pair. The sharing itself
+        // is order-independent (the batch kernel caches chain plans per
+        // fragment pair and interior segments per chain for the whole
+        // call); the sort makes same-pair queries evaluate back-to-back
+        // while their interior relations are CPU-cache-hot, and makes a
+        // batch's evaluation order independent of client arrival
+        // interleaving.
         let planner = snap.planner();
-        let keys: Vec<(Vec<FragmentId>, Vec<FragmentId>)> = distinct
+        let keys: Vec<(Vec<FragmentId>, Vec<FragmentId>)> = miss
             .iter()
-            .map(|r| {
+            .map(|&i| {
+                let r = &distinct[i as usize];
                 (
                     planner.fragments_of(r.source),
                     planner.fragments_of(r.target),
                 )
             })
             .collect();
-        let mut order: Vec<u32> = (0..distinct.len() as u32).collect();
+        let mut order: Vec<u32> = (0..miss.len() as u32).collect();
         order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
-        let sorted: Vec<QueryRequest> = order.iter().map(|&i| distinct[i as usize]).collect();
-        let mut pos_of = vec![0u32; distinct.len()];
-        for (pos, &i) in order.iter().enumerate() {
-            pos_of[i as usize] = pos as u32;
-        }
+        let sorted: Vec<QueryRequest> = order
+            .iter()
+            .map(|&k| distinct[miss[k as usize] as usize])
+            .collect();
 
-        let batch = snap.query_batch(&sorted, &mut scratch);
+        let batch_stats = if sorted.is_empty() {
+            BatchStats::default()
+        } else {
+            let batch = snap.query_batch(&sorted, &mut scratch);
+            for (&k, a) in order.iter().zip(batch.answers) {
+                let slot = miss[k as usize] as usize;
+                if let Some(cache) = &shared.cache {
+                    let r = &distinct[slot];
+                    cache.insert(epoch, (r.source, r.target), a.clone());
+                }
+                answers_by_slot[slot] = Some(a);
+            }
+            batch.stats
+        };
         let busy = t0.elapsed();
 
         // Fan out per job; latency is submit → reply, recorded per
@@ -542,7 +728,11 @@ fn worker_loop(shared: &Shared, id: usize) {
         for (job, js) in jobs.iter().zip(&slots) {
             let answers: Vec<QueryAnswer> = js
                 .iter()
-                .map(|&slot| batch.answers[pos_of[slot as usize] as usize].clone())
+                .map(|&slot| {
+                    answers_by_slot[slot as usize]
+                        .clone()
+                        .expect("every distinct slot answered")
+                })
                 .collect();
             let n = answers.len();
             let _ = job.reply.send(ServedBatch { answers, epoch });
@@ -553,10 +743,12 @@ fn worker_loop(shared: &Shared, id: usize) {
         log.jobs += jobs.len() as u64;
         log.requests += total_requests as u64;
         log.batches += 1;
-        log.evaluated += distinct.len() as u64;
+        log.evaluated += sorted.len() as u64;
         log.coalesced += coalesced;
+        log.cache_hits += cache_hits;
+        log.cache_misses += cache_misses;
         log.busy += busy;
-        add_batch_stats(&mut log.batch, &batch.stats);
+        add_batch_stats(&mut log.batch, &batch_stats);
         for (ns, n) in hist_samples {
             for _ in 0..n {
                 log.hist.record(ns);
@@ -611,6 +803,13 @@ fn writer_loop(
         if applied > 0 {
             // Copy-on-write publication: readers on the previous Arc
             // finish undisturbed; new micro-batches pick up this epoch.
+            // The clone is O(sites) — every component of the working
+            // snapshot is Arc-shared, and the maintenance above already
+            // detached exactly the sites it touched, so this publication
+            // shares everything else with the previous epoch. Publishing
+            // also implicitly drops the per-epoch answer cache: entries
+            // are keyed by epoch and lazily cleared on first contact
+            // with the new one.
             shared.published.publish(epoch, Arc::new(working.clone()));
         }
         let busy = t0.elapsed();

@@ -110,6 +110,17 @@ fn main() {
         stats.batch.amortization()
     );
     println!(
+        "answer cache: {} hits / {} misses ({:.0}% hit rate); \
+         queue: depth {} high-water {} of {}, {} shed",
+        stats.cache_hits,
+        stats.cache_misses,
+        100.0 * stats.cache_hit_fraction(),
+        stats.queue_depth,
+        stats.queue_high_water,
+        stats.queue_capacity,
+        stats.queue_rejections
+    );
+    println!(
         "latency: p50 {:.0}us  p99 {:.0}us  max {:.0}us",
         stats.latency.p50_us, stats.latency.p99_us, stats.latency.max_us
     );

@@ -812,6 +812,143 @@ fn concurrent_readers_match_their_epoch_oracle() {
     }
 }
 
+/// Structural sharing across snapshot epochs: after maintaining a cloned
+/// successor snapshot, every site *not* touched by the update still
+/// shares — `Arc::ptr_eq` — its augmented graph, real-hop set and
+/// shortcut table with the predecessor epoch, on both fragmenter
+/// families (linear sweep and center growth). This is the invariant that
+/// makes the serve writer's per-epoch publication O(touched sites).
+#[test]
+fn untouched_sites_stay_arc_shared_across_epochs() {
+    use discset::closure::snapshot::EngineSnapshot;
+    use discset::graph::ScratchDijkstra;
+    use std::sync::Arc;
+
+    let mut scratch = ScratchDijkstra::new();
+    for seed in 0..6u64 {
+        let g = if seed % 2 == 0 {
+            generate_general(
+                &GeneralConfig {
+                    nodes: 26,
+                    target_edges: 60,
+                    ..Default::default()
+                },
+                seed,
+            )
+        } else {
+            generate_transportation(
+                &TransportationConfig {
+                    clusters: 3,
+                    nodes_per_cluster: 9,
+                    target_edges_per_cluster: 22,
+                    ..TransportationConfig::default()
+                },
+                seed,
+            )
+        };
+        let el = g.edge_list();
+        let fragmentations = [
+            (
+                "linear",
+                linear_sweep(
+                    &el,
+                    &LinearConfig {
+                        fragments: 4,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .fragmentation,
+            ),
+            (
+                "center",
+                center_based(
+                    &el,
+                    &CenterConfig {
+                        fragments: 4,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .fragmentation,
+            ),
+        ];
+        for (family, frag) in fragmentations {
+            let label = format!("seed {seed} {family}");
+            let base =
+                EngineSnapshot::build(g.closure_graph(), frag, true, EngineConfig::default())
+                    .unwrap();
+            let mut rng = StdRng::seed_from_u64(0x5AA6 ^ seed << 4);
+            let mut prev = base;
+            let mut applied = 0;
+            for _ in 0..200 {
+                if applied >= 10 {
+                    break;
+                }
+                let Some(update) = arb_update(&mut rng, prev.fragmentation()) else {
+                    continue;
+                };
+                // The successor epoch, exactly as the serve writer makes
+                // one: clone (O(sites)) then maintain in place.
+                let mut next = prev.clone();
+                let m = match next.maintain_cow(&update, &mut scratch) {
+                    Ok(m) => m,
+                    Err(_) => continue, // e.g. degenerate insert target
+                };
+                if m.owner.is_none() {
+                    continue; // structural no-op: nothing to check
+                }
+                applied += 1;
+                let sites = prev.site_count();
+                for f in 0..sites {
+                    let touched = m.touched_sites.contains(&f);
+                    let shared_aug =
+                        Arc::ptr_eq(prev.augmented_handle(f), next.augmented_handle(f));
+                    let shared_hops =
+                        Arc::ptr_eq(prev.real_hops_handle(f), next.real_hops_handle(f));
+                    let shared_table = Arc::ptr_eq(
+                        prev.complementary().shortcuts_handle(f),
+                        next.complementary().shortcuts_handle(f),
+                    );
+                    if !touched {
+                        assert!(
+                            shared_aug && shared_hops && shared_table,
+                            "{label}: untouched site {f} must stay shared after \
+                             {update:?} (aug {shared_aug}, hops {shared_hops}, \
+                             table {shared_table}; touched {:?})",
+                            m.touched_sites
+                        );
+                    }
+                }
+                // Regression: a touched site's replaced components must
+                // NOT be shared — the owner's augmented graph and
+                // real-hop set are always rebuilt, and every site whose
+                // shortcut table changed carries a fresh table.
+                let owner = m.owner.unwrap();
+                assert!(
+                    !Arc::ptr_eq(prev.augmented_handle(owner), next.augmented_handle(owner)),
+                    "{label}: owner {owner}'s augmented graph must be rebuilt"
+                );
+                assert!(
+                    !Arc::ptr_eq(prev.real_hops_handle(owner), next.real_hops_handle(owner)),
+                    "{label}: owner {owner}'s real hops must be rebuilt"
+                );
+                for &f in &m.shortcut_sites {
+                    assert!(
+                        !Arc::ptr_eq(
+                            prev.complementary().shortcuts_handle(f),
+                            next.complementary().shortcuts_handle(f),
+                        ),
+                        "{label}: site {f}'s shortcut table changed and must be detached"
+                    );
+                }
+                prev = next;
+            }
+            assert!(applied >= 10, "{label}: not enough applicable updates");
+        }
+    }
+}
+
 /// Complementary shortcut costs obey the triangle inequality with the
 /// global metric (they ARE global distances).
 #[test]
