@@ -1,0 +1,198 @@
+//! Bulk transitive-closure materialization: fragmented-parallel vs
+//! sequential semi-naive, plus the per-query engine sweeping the same
+//! pairs through `query_batch`.
+//!
+//! Three strategies materialize (or enumerate) the same closure:
+//!
+//! * **sequential-seminaive** — `tc::seminaive_closure` on the union
+//!   relation, one global fixpoint;
+//! * **fragmented-parallel** — `ds_relation::bulk::MaterializeEngine`,
+//!   per-fragment fixpoint workers with disconnection-set-selected delta
+//!   exchange (timed *including* partitioning and index build, so the
+//!   comparison starts from the same `Fragmentation` the sequential arm's
+//!   prebuilt union relation came from);
+//! * **query-batch-sweep** — the deployed engine answering a
+//!   sources × all-nodes sweep through `TcEngine::query_batch`
+//!   (informational: what materializing via the per-query path costs).
+//!
+//! A pre-flight pass asserts the fragmented result is tuple-identical to
+//! the sequential one on every workload × seed.
+//!
+//! **Seed sweep.** Each workload runs at `SEEDS.len()` (≥ 3) generator
+//! seeds; the JSON carries per-seed rows plus one aggregate row per
+//! strategy, and the regression gate uses the **conservative bound** —
+//! the worst per-seed fragmented-vs-sequential speedup. The floor is 1x:
+//! even on a single-core runner the fragmented engine must not lose to
+//! the global fixpoint (fragment-local probing generates strictly fewer
+//! candidate tuples); parallel headroom on multi-core machines is upside
+//! on top.
+//!
+//! Emits a committed perf snapshot to `BENCH_materialize.json` (repo
+//! root).
+//!
+//! ```text
+//! cargo bench -p ds-bench --bench materialize
+//! ```
+
+use ds_bench::harness::{render, write_json, Bench};
+use ds_closure::api::{QueryRequest, TcEngine};
+use ds_closure::{DisconnectionSetEngine, EngineConfig};
+use ds_fragment::linear::{linear_sweep, LinearConfig};
+use ds_fragment::{semantic, CrossingPolicy, Fragmentation};
+use ds_gen::{generate_general, generate_transportation, GeneralConfig, TransportationConfig};
+use ds_graph::{CsrGraph, NodeId};
+use ds_relation::bulk::{FragmentPartition, MaterializeConfig, MaterializeEngine};
+use ds_relation::tc;
+
+/// Generator seeds swept per workload.
+const SEEDS: [u64; 3] = [1, 2, 3];
+/// Conservative (worst-seed) fragmented-vs-sequential speedup floors.
+const GATE_TRANSPORTATION: f64 = 1.0;
+const GATE_SPATIAL: f64 = 1.0;
+/// Sources in the query-batch sweep arm.
+const SWEEP_SOURCES: u32 = 16;
+
+fn workload(label: &str, seed: u64) -> (CsrGraph, Fragmentation) {
+    if label == "transportation" {
+        // Clustered country networks, semantic fragmentation (one site
+        // per country).
+        let clusters = 6usize;
+        let cfg = TransportationConfig {
+            clusters,
+            nodes_per_cluster: 20,
+            target_edges_per_cluster: 70,
+            ..TransportationConfig::default()
+        };
+        let g = generate_transportation(&cfg, seed);
+        let labels = g.cluster_of.clone().unwrap();
+        let frag = semantic::by_labels(
+            g.nodes,
+            &g.connections,
+            &labels,
+            clusters,
+            CrossingPolicy::LowerBlock,
+        )
+        .unwrap();
+        (g.closure_graph(), frag)
+    } else {
+        // Uniform random graph in the plane, coordinate sweep
+        // fragmentation.
+        let cfg = GeneralConfig {
+            nodes: 160,
+            target_edges: 300,
+            ..Default::default()
+        };
+        let g = generate_general(&cfg, seed + 1);
+        let frag = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig {
+                fragments: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .fragmentation;
+        (g.closure_graph(), frag)
+    }
+}
+
+/// Measure one workload at one seed; returns the (sequential,
+/// fragmented) medians.
+fn bench_workload(group: &mut Bench, label: &str, seed: u64) -> (f64, f64) {
+    let (csr, frag) = workload(label, seed);
+    let partition = FragmentPartition::new(&frag, true);
+    let union = partition.union_relation();
+
+    // Pre-flight: tuple-identical results, and the exchange really ran.
+    let (seq_rel, seq_stats) = tc::seminaive_closure(&union, None);
+    let preflight =
+        MaterializeEngine::from_fragmentation(&frag, true, MaterializeConfig::default());
+    let (bulk_rel, bulk_stats) = preflight.materialize();
+    assert_eq!(
+        bulk_rel.rows(),
+        seq_rel.rows(),
+        "{label}/seed-{seed}: fragmented result must be tuple-identical"
+    );
+    assert!(
+        bulk_stats.exchanged_tuples > 0,
+        "{label}/seed-{seed}: no cross-fragment exchange — workload degenerate"
+    );
+    println!(
+        "{label}/seed-{seed}: {} tuples; sequential {}; fragmented {}",
+        seq_rel.len(),
+        seq_stats,
+        bulk_stats
+    );
+
+    let seq = group
+        .run(&format!("{label}/sequential-seminaive/seed-{seed}"), || {
+            tc::seminaive_closure(&union, None).0.len()
+        })
+        .median_ns;
+
+    let bulk = group
+        .run(&format!("{label}/fragmented-parallel/seed-{seed}"), || {
+            MaterializeEngine::from_fragmentation(&frag, true, MaterializeConfig::default())
+                .materialize()
+                .0
+                .len()
+        })
+        .median_ns;
+
+    // Informational arm: the per-query engine enumerating the same
+    // distances for a sources × all-nodes sweep.
+    let mut engine =
+        DisconnectionSetEngine::build(csr.clone(), frag.clone(), true, EngineConfig::default())
+            .unwrap();
+    let n = csr.node_count() as u32;
+    let requests: Vec<QueryRequest> = (0..SWEEP_SOURCES.min(n))
+        .flat_map(|x| (0..n).map(move |y| QueryRequest::new(NodeId(x), NodeId(y))))
+        .collect();
+    group.run(&format!("{label}/query-batch-sweep/seed-{seed}"), || {
+        engine.query_batch(&requests).answers.len()
+    });
+
+    (seq, bulk)
+}
+
+fn main() {
+    let mut group = Bench::new("materialize").sample_size(10);
+    let mut worst: Vec<(&str, f64, f64)> = Vec::new();
+
+    for (label, gate) in [
+        ("transportation", GATE_TRANSPORTATION),
+        ("spatial", GATE_SPATIAL),
+    ] {
+        let (mut seqs, mut bulks) = (Vec::new(), Vec::new());
+        for &seed in &SEEDS {
+            let (seq, bulk) = bench_workload(&mut group, label, seed);
+            seqs.push(seq);
+            bulks.push(bulk);
+        }
+        group.record(&format!("{label}/sequential-seminaive"), &seqs);
+        group.record(&format!("{label}/fragmented-parallel"), &bulks);
+        // Pair each seed's fragmented run with its own sequential
+        // baseline; the conservative bound is the worst seed.
+        let worst_speedup = seqs
+            .iter()
+            .zip(&bulks)
+            .map(|(s, b)| s / b)
+            .fold(f64::INFINITY, f64::min);
+        println!("{label}: worst-seed fragmented speedup {worst_speedup:.2}x (floor {gate}x)");
+        worst.push((label, worst_speedup, gate));
+    }
+
+    println!("{}", render(group.results()));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_materialize.json");
+    write_json(path, group.results()).expect("write perf snapshot");
+    println!("\nwrote {path}");
+
+    // Regression gates on the conservative bound (fail the CI job).
+    for (label, worst_speedup, gate) in worst {
+        assert!(
+            worst_speedup >= gate,
+            "{label}: fragmented materialization reached only {worst_speedup:.2}x \
+             sequential semi-naive on the worst seed (floor {gate}x)"
+        );
+    }
+}

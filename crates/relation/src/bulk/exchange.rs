@@ -1,0 +1,108 @@
+//! The cross-fragment delta exchange and its disconnection-set selection.
+//!
+//! A delta tuple derived in fragment `i` can only be extended by another
+//! fragment `j` if its endpoint is a node both fragments share — a node
+//! of `DS_ij`. This is the paper's "additional selections in the
+//! processing of the recursive query" (§2.1): instead of broadcasting
+//! every delta everywhere, the exchange ships a tuple `(s, d, c)` exactly
+//! to the fragments that contain `d` (other than the sender). Tuples
+//! whose endpoint is interior to the sender never leave it.
+
+use ds_fragment::FragmentId;
+use ds_graph::NodeId;
+
+use super::partition::FragmentPartition;
+use crate::tuple::PathTuple;
+
+/// Routes border-crossing delta tuples to the fragments that can extend
+/// them.
+#[derive(Clone, Debug)]
+pub struct ExchangeRouter {
+    /// Fragments containing each node; only nodes with ≥ 2 entries ever
+    /// route anywhere.
+    members: Vec<Vec<FragmentId>>,
+}
+
+impl ExchangeRouter {
+    /// Build the routing table from a partition.
+    pub fn new(partition: &FragmentPartition) -> Self {
+        ExchangeRouter {
+            members: (0..partition.node_count())
+                .map(|v| partition.fragments_of(NodeId::from_index(v)).to_vec())
+                .collect(),
+        }
+    }
+
+    /// The fragments that can extend a delta ending at `v` (every
+    /// fragment containing `v`). The sender filters itself out in
+    /// [`ExchangeRouter::route`].
+    pub fn targets_of(&self, v: NodeId) -> &[FragmentId] {
+        &self.members[v.index()]
+    }
+
+    /// Deliver `outgoing` (fragment `from`'s border-crossing deltas) into
+    /// the per-fragment `inboxes`, applying the disconnection-set
+    /// selection; returns the number of tuple copies shipped.
+    pub fn route(
+        &self,
+        from: FragmentId,
+        outgoing: &[PathTuple],
+        inboxes: &mut [Vec<PathTuple>],
+    ) -> usize {
+        let mut shipped = 0;
+        for t in outgoing {
+            for &target in self.targets_of(t.dst) {
+                if target != from {
+                    inboxes[target].push(*t);
+                    shipped += 1;
+                }
+            }
+        }
+        shipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_fragment::Fragmentation;
+    use ds_graph::Edge;
+
+    fn star_partition() -> FragmentPartition {
+        // Node 0 shared by fragments {0, 1, 2}; nodes 1..=3 interior.
+        let frag = Fragmentation::new(
+            4,
+            vec![
+                vec![Edge::unit(NodeId(0), NodeId(1))],
+                vec![Edge::unit(NodeId(0), NodeId(2))],
+                vec![Edge::unit(NodeId(0), NodeId(3))],
+            ],
+            vec![vec![], vec![], vec![]],
+        );
+        FragmentPartition::new(&frag, true)
+    }
+
+    #[test]
+    fn routes_to_every_other_fragment_sharing_the_endpoint() {
+        let router = ExchangeRouter::new(&star_partition());
+        let mut inboxes = vec![Vec::new(), Vec::new(), Vec::new()];
+        let t = PathTuple::new(NodeId(1), NodeId(0), 1);
+        let shipped = router.route(0, &[t], &mut inboxes);
+        assert_eq!(shipped, 2, "to fragments 1 and 2, not back to 0");
+        assert!(inboxes[0].is_empty());
+        assert_eq!(inboxes[1], vec![t]);
+        assert_eq!(inboxes[2], vec![t]);
+    }
+
+    #[test]
+    fn interior_endpoints_ship_nowhere() {
+        let router = ExchangeRouter::new(&star_partition());
+        let mut inboxes = vec![Vec::new(), Vec::new(), Vec::new()];
+        // dst 1 is interior to fragment 0: the selection keeps it local.
+        let shipped = router.route(0, &[PathTuple::new(NodeId(0), NodeId(1), 1)], &mut inboxes);
+        assert_eq!(shipped, 0);
+        assert!(inboxes.iter().all(Vec::is_empty));
+        assert_eq!(router.targets_of(NodeId(0)), &[0, 1, 2]);
+        assert_eq!(router.targets_of(NodeId(1)), &[0]);
+    }
+}

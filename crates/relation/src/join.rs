@@ -36,6 +36,75 @@ where
     Relation::from_rows(format!("({}⋈{})", left.name(), right.name()), out)
 }
 
+/// A reusable hash-join build table.
+///
+/// [`hash_join`] rebuilds its build-side index on every call, which is
+/// wasteful for iterated joins whose build side never changes — exactly
+/// the semi-naive loop, where every round joins the current delta against
+/// the *same* base relation. `JoinIndex` separates the build phase from
+/// the probe phase: build (or incrementally [`extend`](JoinIndex::extend))
+/// once, probe every round. [`crate::TcStats::index_reuses`] counts how
+/// often the rebuild was avoided.
+pub struct JoinIndex<K, R> {
+    map: HashMap<K, Vec<R>>,
+    rows: usize,
+}
+
+impl<K: Eq + Hash, R: Clone> JoinIndex<K, R> {
+    /// Index `rel` by `key` (the build phase of a hash join).
+    pub fn build(rel: &Relation<R>, key: impl Fn(&R) -> K) -> Self {
+        let mut index = JoinIndex {
+            map: HashMap::with_capacity(rel.len()),
+            rows: 0,
+        };
+        index.extend(rel.rows(), key);
+        index
+    }
+
+    /// Incrementally index more rows (e.g. each round's delta of a
+    /// growing accumulated relation) without touching what is already
+    /// indexed.
+    pub fn extend(&mut self, rows: &[R], key: impl Fn(&R) -> K) {
+        for r in rows {
+            self.map.entry(key(r)).or_default().push(r.clone());
+        }
+        self.rows += rows.len();
+    }
+
+    /// All indexed rows matching `key` (the probe phase).
+    pub fn matches(&self, key: &K) -> &[R] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Probe with every row of `left`, appending `merge(l, r)` for each
+    /// match to `out`; returns how many output rows were produced.
+    pub fn join_into<L, O>(
+        &self,
+        left: &[L],
+        left_key: impl Fn(&L) -> K,
+        merge: impl Fn(&L, &R) -> O,
+        out: &mut Vec<O>,
+    ) -> usize {
+        let before = out.len();
+        for l in left {
+            for r in self.matches(&left_key(l)) {
+                out.push(merge(l, r));
+            }
+        }
+        out.len() - before
+    }
+}
+
 /// Min-plus composition of two path relations:
 /// `out(a, c) = min over b of left(a, b) + right(b, c)`.
 ///
@@ -72,6 +141,32 @@ mod tests {
         let j = hash_join(&l, &r, |x| x.0, |y| y.0, |x, y| (x.1, y.1));
         assert_eq!(j.rows(), &[("a", 10), ("a", 20)]);
         assert!(j.name().contains('⋈'));
+    }
+
+    #[test]
+    fn join_index_probes_match_hash_join() {
+        let l = Relation::from_rows("l", vec![(1u32, "a"), (2, "b")]);
+        let r = Relation::from_rows("r", vec![(1u32, 10i64), (1, 20), (3, 30)]);
+        let index = JoinIndex::build(&r, |y| y.0);
+        assert_eq!(index.len(), 3);
+        assert!(!index.is_empty());
+        let mut out = Vec::new();
+        let produced = index.join_into(l.rows(), |x| x.0, |x, y| (x.1, y.1), &mut out);
+        assert_eq!(produced, 2);
+        assert_eq!(out, vec![("a", 10), ("a", 20)]);
+        let via_hash_join = hash_join(&l, &r, |x| x.0, |y| y.0, |x, y| (x.1, y.1));
+        assert_eq!(out, via_hash_join.rows());
+    }
+
+    #[test]
+    fn join_index_extends_incrementally() {
+        let base = Relation::from_rows("b", vec![(1u32, 'x')]);
+        let mut index = JoinIndex::build(&base, |t| t.0);
+        index.extend(&[(1u32, 'y'), (2, 'z')], |t| t.0);
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.matches(&1), &[(1, 'x'), (1, 'y')]);
+        assert_eq!(index.matches(&2), &[(2, 'z')]);
+        assert_eq!(index.matches(&9), &[] as &[(u32, char)]);
     }
 
     #[test]

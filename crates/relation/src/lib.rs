@@ -13,7 +13,11 @@
 //!   closure engine's final assembly uses;
 //! * [`tc`] — naive and semi-naive transitive closure as join programs,
 //!   with iteration and tuple statistics (the measures behind the paper's
-//!   speed-up arguments).
+//!   speed-up arguments);
+//! * [`bulk`] — the parallel fragmented materialization subsystem:
+//!   per-fragment semi-naive fixpoint workers exchanging
+//!   disconnection-set-selected deltas in rounds until the global
+//!   fixpoint.
 //!
 //! ```
 //! use ds_relation::tuple::PathTuple;
@@ -29,12 +33,14 @@
 //! assert!(stats.iterations <= 2);
 //! ```
 
+pub mod bulk;
 pub mod join;
 pub mod relation;
 pub mod stats;
 pub mod tc;
 pub mod tuple;
 
+pub use bulk::{MaterializeConfig, MaterializeEngine, MaterializeStats};
 pub use relation::Relation;
 pub use stats::TcStats;
 pub use tuple::PathTuple;

@@ -4,10 +4,14 @@
 //! the number of iterations to the fixpoint ("given by the maximum
 //! diameter of the graph", §2.1) and the size of intermediate results
 //! ("the size of intermediate results depends on the connectivity",
-//! §2.2).
+//! §2.2). The delta-size trajectory and the exchange counters added for
+//! the bulk engine extend the same measurement frame to the fragmented
+//! parallel strategy.
+
+use std::fmt;
 
 /// Counters collected by one transitive-closure evaluation.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TcStats {
     /// Join-and-merge rounds until the fixpoint.
     pub iterations: usize,
@@ -15,14 +19,64 @@ pub struct TcStats {
     pub tuples_generated: usize,
     /// Tuples in the final result.
     pub result_tuples: usize,
+    /// Tuples admitted per iteration — the Δ trajectory for the
+    /// delta-driven strategies (semi-naive, bulk), the join-output sizes
+    /// for naive/smart. `delta_sizes.len() == iterations`.
+    pub delta_sizes: Vec<usize>,
+    /// Times a prebuilt hash-join build table was probed again instead of
+    /// being rebuilt from the full relation (see
+    /// [`crate::join::JoinIndex`]).
+    pub index_reuses: usize,
+    /// Bulk engine only: delta-exchange barriers until the global
+    /// fixpoint (zero for the single-relation strategies).
+    pub exchange_rounds: usize,
+    /// Bulk engine only: border-crossing delta tuples shipped between
+    /// fragments, after the disconnection-set selection.
+    pub exchanged_tuples: usize,
 }
 
 impl TcStats {
-    /// Merge counters from another evaluation (e.g. across fragments).
+    /// Merge counters from another evaluation (e.g. across fragments):
+    /// iteration-like counters take the max, volume counters add, and
+    /// delta trajectories add element-wise (iteration `k` of each side
+    /// happens concurrently in the fragmented reading).
     pub fn absorb(&mut self, other: &TcStats) {
         self.iterations = self.iterations.max(other.iterations);
         self.tuples_generated += other.tuples_generated;
         self.result_tuples += other.result_tuples;
+        if self.delta_sizes.len() < other.delta_sizes.len() {
+            self.delta_sizes.resize(other.delta_sizes.len(), 0);
+        }
+        for (mine, theirs) in self.delta_sizes.iter_mut().zip(&other.delta_sizes) {
+            *mine += *theirs;
+        }
+        self.index_reuses += other.index_reuses;
+        self.exchange_rounds = self.exchange_rounds.max(other.exchange_rounds);
+        self.exchanged_tuples += other.exchanged_tuples;
+    }
+}
+
+impl fmt::Display for TcStats {
+    /// One-line summary for examples and benches, e.g.
+    /// `7 iters, 1532 generated -> 420 tuples, 6 index reuses, 3 rounds /
+    /// 87 tuples exchanged`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} iters, {} generated -> {} tuples",
+            self.iterations, self.tuples_generated, self.result_tuples
+        )?;
+        if self.index_reuses > 0 {
+            write!(f, ", {} index reuses", self.index_reuses)?;
+        }
+        if self.exchange_rounds > 0 {
+            write!(
+                f,
+                ", {} rounds / {} tuples exchanged",
+                self.exchange_rounds, self.exchanged_tuples
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -36,11 +90,18 @@ mod tests {
             iterations: 3,
             tuples_generated: 10,
             result_tuples: 5,
+            delta_sizes: vec![4, 1],
+            index_reuses: 2,
+            ..TcStats::default()
         };
         let b = TcStats {
             iterations: 7,
             tuples_generated: 1,
             result_tuples: 2,
+            delta_sizes: vec![1, 1, 1],
+            index_reuses: 6,
+            exchange_rounds: 2,
+            exchanged_tuples: 9,
         };
         a.absorb(&b);
         assert_eq!(
@@ -48,8 +109,36 @@ mod tests {
             TcStats {
                 iterations: 7,
                 tuples_generated: 11,
-                result_tuples: 7
+                result_tuples: 7,
+                delta_sizes: vec![5, 2, 1],
+                index_reuses: 8,
+                exchange_rounds: 2,
+                exchanged_tuples: 9,
             }
         );
+    }
+
+    #[test]
+    fn display_is_a_one_liner() {
+        let plain = TcStats {
+            iterations: 2,
+            tuples_generated: 12,
+            result_tuples: 6,
+            ..TcStats::default()
+        };
+        assert_eq!(plain.to_string(), "2 iters, 12 generated -> 6 tuples");
+        let bulk = TcStats {
+            iterations: 4,
+            tuples_generated: 40,
+            result_tuples: 20,
+            delta_sizes: vec![10, 6, 3, 1],
+            index_reuses: 3,
+            exchange_rounds: 2,
+            exchanged_tuples: 7,
+        };
+        let line = bulk.to_string();
+        assert!(line.contains("3 index reuses"), "{line}");
+        assert!(line.contains("2 rounds / 7 tuples exchanged"), "{line}");
+        assert!(!line.contains('\n'));
     }
 }

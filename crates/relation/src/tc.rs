@@ -22,7 +22,7 @@ use std::collections::HashMap;
 
 use ds_graph::{Cost, NodeId};
 
-use crate::join::hash_join;
+use crate::join::{hash_join, JoinIndex};
 use crate::relation::Relation;
 use crate::stats::TcStats;
 use crate::tuple::PathTuple;
@@ -54,23 +54,29 @@ pub fn seminaive_closure(
         }
     }
 
+    // The build side of the iterated join never changes: index the edge
+    // relation once and probe it with each round's delta.
+    let index = JoinIndex::build(edges, |r| r.src);
+    let mut joined = Vec::new();
     while !delta.is_empty() {
         stats.iterations += 1;
-        let delta_rel = Relation::from_rows("Δ", delta);
-        let joined = hash_join(
-            &delta_rel,
-            edges,
+        if stats.iterations > 1 {
+            stats.index_reuses += 1;
+        }
+        joined.clear();
+        stats.tuples_generated += index.join_into(
+            &delta,
             |l| l.dst,
-            |r| r.src,
             |l, r| PathTuple::new(l.src, r.dst, l.cost + r.cost),
+            &mut joined,
         );
-        stats.tuples_generated += joined.len();
         let mut next = Vec::new();
-        for t in joined.rows() {
+        for t in &joined {
             if improves(&mut best, t) {
                 next.push(*t);
             }
         }
+        stats.delta_sizes.push(next.len());
         delta = next;
     }
 
@@ -96,17 +102,26 @@ pub fn naive_closure(
     let mut total = base.min_cost();
     stats.tuples_generated += total.len();
 
+    // As in the semi-naive loop, the build side (the base relation) is
+    // static: index it once, probe it with the whole accumulated result
+    // each round — that re-probing is what makes the strategy "naive".
+    let index = JoinIndex::build(edges, |r| r.src);
     loop {
         stats.iterations += 1;
-        let joined = hash_join(
-            &total,
-            edges,
+        if stats.iterations > 1 {
+            stats.index_reuses += 1;
+        }
+        let mut joined = Vec::new();
+        stats.tuples_generated += index.join_into(
+            total.rows(),
             |l| l.dst,
-            |r| r.src,
             |l, r| PathTuple::new(l.src, r.dst, l.cost + r.cost),
+            &mut joined,
         );
-        stats.tuples_generated += joined.len();
-        let next = total.union(&joined).min_cost();
+        stats.delta_sizes.push(joined.len());
+        let next = total
+            .union(&Relation::from_rows("naive", joined))
+            .min_cost();
         if next.rows() == total.rows() {
             break;
         }
@@ -139,6 +154,7 @@ pub fn smart_closure(edges: &Relation<PathTuple>) -> (Relation<PathTuple>, TcSta
             |l, r| PathTuple::new(l.src, r.dst, l.cost + r.cost),
         );
         stats.tuples_generated += squared.len();
+        stats.delta_sizes.push(squared.len());
         let next = total.union(&squared).min_cost();
         if next.rows() == total.rows() {
             break;
@@ -201,6 +217,22 @@ mod tests {
         // Fixpoint after diameter rounds (plus the empty-delta probe).
         assert!(stats.iterations <= 4, "iterations {}", stats.iterations);
         assert_eq!(stats.result_tuples, 10);
+    }
+
+    /// The satellite perf fix: the hash-join build table over the edge
+    /// relation is built once and probed every following round, and the
+    /// per-iteration delta trajectory is recorded.
+    #[test]
+    fn build_table_is_reused_and_deltas_are_tracked() {
+        let (tc, stats) = seminaive_closure(&path_edges(4), None);
+        assert_eq!(tc.len(), 10);
+        assert_eq!(stats.index_reuses, stats.iterations - 1);
+        assert_eq!(stats.delta_sizes.len(), stats.iterations);
+        // Path graph: no cost improvements, so seeds + deltas = result.
+        assert_eq!(stats.delta_sizes.iter().sum::<usize>(), 10 - 4);
+        assert_eq!(*stats.delta_sizes.last().unwrap(), 0, "fixpoint probe");
+        let (_, nstats) = naive_closure(&path_edges(4), None);
+        assert_eq!(nstats.index_reuses, nstats.iterations - 1);
     }
 
     #[test]

@@ -20,5 +20,6 @@ pub use ds_closure::{
     EngineSnapshot, FallbackReason, PrecomputeStats, PrecomputeStrategy, QueryAnswer, QueryStats,
     Route, UpdateBatchReport, UpdateReport,
 };
+pub use ds_relation::bulk::{MaterializeConfig, MaterializeEngine, MaterializeStats};
 pub use ds_serve::{ServeConfig, ServeStats, ServedAnswer, ServedBatch, ServedUpdate, Server};
 pub use system::{Backend, Fragmenter, System, SystemBuilder, SystemError};

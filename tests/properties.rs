@@ -1029,6 +1029,120 @@ fn seminaive_equals_naive() {
     }
 }
 
+/// Closure-strategy equivalence: naive iteration, semi-naive iteration,
+/// smart squaring and the fragmented-parallel bulk engine all
+/// materialize the *identical* relation — tuple for tuple — across
+/// generators × {linear, center} fragmenters × thread counts. And the
+/// materialized tuples are true distances: on sampled pairs they equal
+/// the per-query engine's `query_batch` answers.
+#[test]
+fn all_closure_strategies_materialize_the_same_relation() {
+    use discset::relation::bulk::{FragmentPartition, MaterializeConfig, MaterializeEngine};
+
+    for seed in 0..6u64 {
+        let g = if seed % 2 == 0 {
+            generate_general(
+                &GeneralConfig {
+                    nodes: 18,
+                    target_edges: 40,
+                    ..Default::default()
+                },
+                seed,
+            )
+        } else {
+            generate_transportation(
+                &TransportationConfig {
+                    clusters: 3,
+                    nodes_per_cluster: 7,
+                    target_edges_per_cluster: 16,
+                    ..TransportationConfig::default()
+                },
+                seed,
+            )
+        };
+        let el = g.edge_list();
+        let fragmentations = [
+            (
+                "linear",
+                linear_sweep(
+                    &el,
+                    &LinearConfig {
+                        fragments: 3,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .fragmentation,
+            ),
+            (
+                "center",
+                center_based(
+                    &el,
+                    &CenterConfig {
+                        fragments: 3,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .fragmentation,
+            ),
+        ];
+        for (family, frag) in fragmentations {
+            let label = format!("seed {seed} {family}");
+            let partition = FragmentPartition::new(&frag, g.symmetric);
+            let union = partition.union_relation();
+            let (seminaive, _) = tc::seminaive_closure(&union, None);
+            let (naive, _) = tc::naive_closure(&union, None);
+            let (smart, _) = tc::smart_closure(&union);
+            assert_eq!(seminaive.rows(), naive.rows(), "{label}: naive");
+            assert_eq!(seminaive.rows(), smart.rows(), "{label}: smart");
+            for threads in [1usize, 3] {
+                let engine = MaterializeEngine::new(
+                    partition.clone(),
+                    MaterializeConfig::with_threads(threads),
+                );
+                let (bulk, stats) = engine.materialize();
+                assert_eq!(
+                    bulk.rows(),
+                    seminaive.rows(),
+                    "{label}: bulk with {threads} threads"
+                );
+                assert_eq!(stats.tc.result_tuples, seminaive.len(), "{label}");
+                assert_eq!(stats.per_round.len(), stats.rounds, "{label}");
+            }
+
+            // Oracle: the materialized tuples are the per-query engine's
+            // distances on sampled distinct pairs.
+            let mut sys = System::builder()
+                .graph(&g)
+                .fragmenter(Fragmenter::Prebuilt(frag))
+                .build()
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(0xD15C ^ (seed << 3));
+            let mut pairs = Vec::new();
+            while pairs.len() < 12 {
+                let x = NodeId(rng.gen_index(g.nodes) as u32);
+                let y = NodeId(rng.gen_index(g.nodes) as u32);
+                if x != y {
+                    pairs.push((x, y));
+                }
+            }
+            let requests: Vec<QueryRequest> = pairs
+                .iter()
+                .map(|&(x, y)| QueryRequest::new(x, y))
+                .collect();
+            let batch = sys.query_batch(&requests);
+            for (&(x, y), answer) in pairs.iter().zip(&batch.answers) {
+                assert_eq!(
+                    seminaive.cost_of(x, y),
+                    answer.cost,
+                    "{label}: materialized {x}->{y} vs query_batch"
+                );
+            }
+        }
+    }
+}
+
 /// Generators are deterministic per seed.
 #[test]
 fn generator_determinism() {
