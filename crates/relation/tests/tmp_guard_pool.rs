@@ -1,0 +1,22 @@
+use ds_fragment::Fragmentation;
+use ds_graph::{Edge, NodeId};
+use ds_relation::{MaterializeConfig, MaterializeEngine};
+
+#[test]
+#[should_panic(expected = "max_rounds")]
+fn guard_trips_in_pool_mode() {
+    let frag = Fragmentation::new(
+        5,
+        vec![
+            vec![Edge::unit(NodeId(0), NodeId(1)), Edge::unit(NodeId(1), NodeId(2))],
+            vec![Edge::unit(NodeId(2), NodeId(3)), Edge::unit(NodeId(3), NodeId(4))],
+        ],
+        vec![vec![], vec![]],
+    );
+    let engine = MaterializeEngine::from_fragmentation(
+        &frag,
+        true,
+        MaterializeConfig { threads: 2, max_rounds: 1, ..Default::default() },
+    );
+    engine.materialize();
+}
