@@ -107,7 +107,7 @@ fn bench_workload(group: &mut Bench, label: &str, seed: u64) -> (f64, f64) {
     let (seq_rel, seq_stats) = tc::seminaive_closure(&union, None);
     let preflight =
         MaterializeEngine::from_fragmentation(&frag, true, MaterializeConfig::default());
-    let (bulk_rel, bulk_stats) = preflight.materialize();
+    let (bulk_rel, bulk_stats) = preflight.materialize().unwrap();
     assert_eq!(
         bulk_rel.rows(),
         seq_rel.rows(),
@@ -134,6 +134,7 @@ fn bench_workload(group: &mut Bench, label: &str, seed: u64) -> (f64, f64) {
         .run(&format!("{label}/fragmented-parallel/seed-{seed}"), || {
             MaterializeEngine::from_fragmentation(&frag, true, MaterializeConfig::default())
                 .materialize()
+                .unwrap()
                 .0
                 .len()
         })

@@ -1,0 +1,236 @@
+//! Reachability fast path: SCC/chain index vs Dijkstra-path `connected`.
+//!
+//! Before the index, `connected(x, y)` ran the full shortest-path
+//! machinery — a Dijkstra-grade sweep to learn one boolean. The
+//! [`ds_graph::ReachIndex`] answers the same question from the SCC
+//! condensation's chain decomposition: one component comparison plus at
+//! most one binary search. This bench measures, per seed:
+//!
+//! * **connected/index** — `EngineSnapshot::connected` with the index
+//!   fresh (the shipping fast path);
+//! * **connected/dijkstra** — the pre-index evaluation
+//!   (`shortest_path(x, y).cost.is_some()`), i.e. what every `connected`
+//!   call used to cost;
+//! * **index-build** — full index construction (condensation + chain
+//!   decomposition + row DP), the price of one rebuild after an
+//!   invalidating update;
+//! * **index-memory-bytes** — exact index footprint (recorded in the
+//!   JSON as a value row; the unit is bytes, not nanoseconds).
+//!
+//! A pre-flight pass asserts the two `connected` arms answer
+//! identically on every query of every seed and — counter-asserted via
+//! [`ScratchDijkstra`]'s sweep statistics — that the index arm runs
+//! **zero** Dijkstra sweeps.
+//!
+//! **Regression gate** (fails the CI job): the worst per-seed
+//! index-vs-Dijkstra speedup on the read-only workload must stay ≥ 5x.
+//!
+//! **Million-node mode.** `REACH_MILLION=1` additionally runs the
+//! [`ScaleConfig::million`] configuration (~1M nodes, ~2M edges):
+//! non-gating, longer-running, exercised by a separate CI row. The same
+//! zero-sweep assertion runs there, which is the issue's acceptance
+//! criterion at scale.
+//!
+//! ```text
+//! cargo bench -p ds-bench --bench reachability
+//! REACH_MILLION=1 cargo bench -p ds-bench --bench reachability
+//! ```
+
+use ds_bench::harness::{render, write_json, Bench};
+use ds_closure::{EngineConfig, EngineSnapshot};
+use ds_fragment::Fragmentation;
+use ds_gen::{generate_scale, ScaleConfig};
+use ds_graph::{CsrGraph, Edge, NodeId, ReachIndex, ScratchDijkstra};
+
+/// Generator seeds swept per workload.
+const SEEDS: [u64; 3] = [1, 2, 3];
+/// Conservative (worst-seed) index-vs-Dijkstra speedup floor.
+const GATE_INDEX_SPEEDUP: f64 = 5.0;
+/// Gated workload size (the million-node run is opt-in, non-gating).
+const NODES: usize = 20_000;
+/// Query pairs evaluated per measured call.
+const QUERIES: usize = 64;
+
+/// Wrap a graph into the trivial one-fragment fragmentation: no borders,
+/// so the disconnection-set machinery precomputes nothing and the
+/// fallback `connected` is exactly one global Dijkstra sweep.
+fn single_fragment(graph: &CsrGraph) -> Fragmentation {
+    let edges: Vec<Edge> = graph.edges().collect();
+    let seeds: Vec<NodeId> = graph.nodes().collect();
+    Fragmentation::new(graph.node_count(), vec![edges], vec![seeds])
+}
+
+/// Deterministic query pairs spread over the node range.
+fn query_pairs(n: usize, count: usize) -> Vec<(NodeId, NodeId)> {
+    (0..count)
+        .map(|i| {
+            (
+                NodeId(((i * 7919 + 3) % n) as u32),
+                NodeId(((i * 104_729 + 11) % n) as u32),
+            )
+        })
+        .collect()
+}
+
+/// Build the snapshot and run the pre-flight equivalence + zero-sweep
+/// assertions shared by the gated and the million-node parts.
+fn build_and_check(
+    label: &str,
+    cfg: &ScaleConfig,
+    seed: u64,
+    dijkstra_checks: usize,
+) -> (EngineSnapshot, Vec<(NodeId, NodeId)>) {
+    let graph = generate_scale(cfg, seed);
+    let frag = single_fragment(&graph);
+    let snap = EngineSnapshot::build(graph, frag, false, EngineConfig::default()).unwrap();
+    let pairs = query_pairs(cfg.nodes, QUERIES);
+    let reach = snap.reach_index().expect("index on by default");
+
+    // Pre-flight 1: the index arm runs zero Dijkstra sweeps — the
+    // acceptance criterion, counter-asserted.
+    let mut scratch = ScratchDijkstra::new();
+    let sweeps_before = scratch.stats().sweeps;
+    let mut reachable = 0usize;
+    for &(x, y) in &pairs {
+        reachable += snap.connected(x, y, &mut scratch) as usize;
+    }
+    assert_eq!(
+        scratch.stats().sweeps,
+        sweeps_before,
+        "{label}/seed-{seed}: index-path connected ran a Dijkstra sweep"
+    );
+    assert!(
+        reachable > 0 && reachable < pairs.len(),
+        "{label}/seed-{seed}: degenerate workload ({reachable}/{} reachable)",
+        pairs.len()
+    );
+
+    // Pre-flight 2: arm equivalence (capped for the million-node run,
+    // where each Dijkstra answer costs a full-graph sweep).
+    for &(x, y) in pairs.iter().take(dijkstra_checks) {
+        assert_eq!(
+            snap.connected(x, y, &mut scratch),
+            x == y || snap.shortest_path(x, y, &mut scratch).cost.is_some(),
+            "{label}/seed-{seed}: arms disagree on {x} -> {y}"
+        );
+    }
+    println!(
+        "{label}/seed-{seed}: {} nodes, {} edges, {} components, {} chains, \
+         index {} bytes, {reachable}/{} pairs reachable",
+        snap.graph().node_count(),
+        snap.graph().edge_count(),
+        reach.comp_count(),
+        reach.chain_count(),
+        reach.memory_bytes(),
+        pairs.len()
+    );
+    (snap, pairs)
+}
+
+fn main() {
+    let mut group = Bench::new("reachability").sample_size(10);
+    let label = "scale-20k";
+    let cfg = ScaleConfig {
+        nodes: NODES,
+        out_degree: 2,
+    };
+
+    let (mut index_medians, mut dijkstra_medians, mut build_medians) =
+        (Vec::new(), Vec::new(), Vec::new());
+    let mut memory = Vec::new();
+    for &seed in &SEEDS {
+        let (snap, pairs) = build_and_check(label, &cfg, seed, QUERIES);
+        let mut scratch = ScratchDijkstra::new();
+
+        let idx = group
+            .run(&format!("{label}/connected/index/seed-{seed}"), || {
+                let mut hits = 0usize;
+                for &(x, y) in &pairs {
+                    hits += snap.connected(x, y, &mut scratch) as usize;
+                }
+                hits
+            })
+            .median_ns;
+        let dij = group
+            .run(&format!("{label}/connected/dijkstra/seed-{seed}"), || {
+                let mut hits = 0usize;
+                for &(x, y) in &pairs {
+                    hits +=
+                        (x == y || snap.shortest_path(x, y, &mut scratch).cost.is_some()) as usize;
+                }
+                hits
+            })
+            .median_ns;
+        let build = group
+            .run(&format!("{label}/index-build/seed-{seed}"), || {
+                ReachIndex::build(snap.graph()).comp_count()
+            })
+            .median_ns;
+        let bytes = snap.reach_index().unwrap().memory_bytes() as f64;
+        group.record(&format!("{label}/index-memory-bytes/seed-{seed}"), &[bytes]);
+        index_medians.push(idx);
+        dijkstra_medians.push(dij);
+        build_medians.push(build);
+        memory.push(bytes);
+    }
+    group.record(&format!("{label}/connected/index"), &index_medians);
+    group.record(&format!("{label}/connected/dijkstra"), &dijkstra_medians);
+    group.record(&format!("{label}/index-build"), &build_medians);
+    group.record(&format!("{label}/index-memory-bytes"), &memory);
+
+    // Pair each seed's arms; the conservative bound is the worst seed.
+    let worst_speedup = dijkstra_medians
+        .iter()
+        .zip(&index_medians)
+        .map(|(d, i)| d / i)
+        .fold(f64::INFINITY, f64::min);
+    println!("{label}: worst-seed index speedup {worst_speedup:.0}x (floor {GATE_INDEX_SPEEDUP}x)");
+
+    // Opt-in million-node configuration: the acceptance run. Non-gating
+    // on speed (the zero-sweep pre-flight inside build_and_check is the
+    // assertion that matters); only a handful of Dijkstra-arm queries —
+    // each is a full sweep of a million-node graph.
+    if std::env::var("REACH_MILLION").is_ok_and(|v| v == "1") {
+        let label = "scale-1m";
+        let cfg = ScaleConfig::million();
+        let seed = SEEDS[0];
+        let (snap, pairs) = build_and_check(label, &cfg, seed, 4);
+        let mut scratch = ScratchDijkstra::new();
+        group.run(&format!("{label}/connected/index/seed-{seed}"), || {
+            let mut hits = 0usize;
+            for &(x, y) in &pairs {
+                hits += snap.connected(x, y, &mut scratch) as usize;
+            }
+            hits
+        });
+        let dij_pairs = &pairs[..4];
+        group.run(&format!("{label}/connected/dijkstra/seed-{seed}"), || {
+            let mut hits = 0usize;
+            for &(x, y) in dij_pairs {
+                hits += (x == y || snap.shortest_path(x, y, &mut scratch).cost.is_some()) as usize;
+            }
+            hits
+        });
+        group.run(&format!("{label}/index-build/seed-{seed}"), || {
+            ReachIndex::build(snap.graph()).comp_count()
+        });
+        group.record(
+            &format!("{label}/index-memory-bytes/seed-{seed}"),
+            &[snap.reach_index().unwrap().memory_bytes() as f64],
+        );
+    } else {
+        println!("(set REACH_MILLION=1 to run the million-node configuration)");
+    }
+
+    println!("{}", render(group.results()));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reachability.json");
+    write_json(path, group.results()).expect("write perf snapshot");
+    println!("\nwrote {path}");
+
+    // Regression gate on the conservative bound (fails the CI job).
+    assert!(
+        worst_speedup >= GATE_INDEX_SPEEDUP,
+        "index-backed connected reached only {worst_speedup:.2}x the Dijkstra path \
+         on the worst seed (floor {GATE_INDEX_SPEEDUP}x)"
+    );
+}

@@ -40,6 +40,13 @@ pub struct EngineConfig {
     /// [`crate::complementary::ComplementaryInfo::compute_with_threads`]
     /// — results are identical either way.
     pub precompute_threads: usize,
+    /// Maintain an SCC/chain reachability index (`ds_graph::ReachIndex`)
+    /// so `connected` queries bypass the shortest-path machinery
+    /// entirely. On (the default) the index is built at deploy time,
+    /// kept across updates that provably cannot change reachability and
+    /// rebuilt (linear time) otherwise; off, `connected` always takes
+    /// the Dijkstra-grade fallback path.
+    pub reach_index: bool,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +59,7 @@ impl Default for EngineConfig {
             mode: ExecutionMode::Sequential,
             hub: None,
             precompute_threads: 1,
+            reach_index: true,
         }
     }
 }
@@ -181,9 +189,11 @@ impl DisconnectionSetEngine {
             .try_shortest_path(x, y, &mut ScratchDijkstra::new())
     }
 
-    /// Connection query — "Is A connected to B?".
+    /// Connection query — "Is A connected to B?". Answered by the
+    /// snapshot's SCC/chain reachability index when fresh (no Dijkstra
+    /// sweep); falls back to the shortest-path machinery otherwise.
     pub fn reachable(&self, x: NodeId, y: NodeId) -> bool {
-        x == y || self.shortest_path(x, y).cost.is_some()
+        self.snap.connected(x, y, &mut ScratchDijkstra::new())
     }
 
     /// Reconstruct the full cheapest route. Requires
@@ -208,8 +218,11 @@ impl DisconnectionSetEngine {
         edge: ds_graph::Edge,
         owner: FragmentId,
     ) -> Result<UpdateReport, ClosureError> {
-        self.snap
-            .maintain(&NetworkUpdate::Insert { edge, owner }, &mut self.scratch)
+        let report = self
+            .snap
+            .maintain(&NetworkUpdate::Insert { edge, owner }, &mut self.scratch)?;
+        self.snap.ensure_reach();
+        Ok(report)
     }
 
     /// Remove every connection `src -> dst` (and the reverse direction on
@@ -222,10 +235,12 @@ impl DisconnectionSetEngine {
         dst: NodeId,
         owner: FragmentId,
     ) -> Result<UpdateReport, ClosureError> {
-        self.snap.maintain(
+        let report = self.snap.maintain(
             &NetworkUpdate::Remove { src, dst, owner },
             &mut self.scratch,
-        )
+        )?;
+        self.snap.ensure_reach();
+        Ok(report)
     }
 }
 
@@ -255,7 +270,12 @@ impl TcEngine for DisconnectionSetEngine {
     }
 
     fn update(&mut self, update: &NetworkUpdate) -> Result<UpdateReport, ClosureError> {
-        self.snap.maintain(update, &mut self.scratch)
+        let report = self.snap.maintain(update, &mut self.scratch)?;
+        // Eager per-update rebuild: the inline engine has no publication
+        // boundary to amortize across, and a fresh index keeps
+        // `connected` sweep-free immediately after the update.
+        self.snap.ensure_reach();
+        Ok(report)
     }
 
     fn precompute_stats(&self) -> PrecomputeStats {
@@ -264,6 +284,13 @@ impl TcEngine for DisconnectionSetEngine {
 
     fn snapshot(&self) -> EngineSnapshot {
         self.snap.clone()
+    }
+
+    /// Routed through the snapshot's reachability index when fresh —
+    /// overriding the trait default, which computes a full shortest
+    /// path to learn a boolean.
+    fn connected(&mut self, x: NodeId, y: NodeId) -> bool {
+        self.snap.connected(x, y, &mut self.scratch)
     }
 
     fn query_batch(&mut self, requests: &[QueryRequest]) -> BatchAnswer {

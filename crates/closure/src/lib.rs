@@ -64,4 +64,4 @@ pub use complementary::{
 pub use engine::{DisconnectionSetEngine, EngineConfig, QueryAnswer, QueryStats, Route};
 pub use error::ClosureError;
 pub use snapshot::{CowMaintenance, EngineSnapshot};
-pub use updates::{FallbackReason, UpdateBatchReport, UpdateReport};
+pub use updates::{ConnectivityEffect, FallbackReason, UpdateBatchReport, UpdateReport};

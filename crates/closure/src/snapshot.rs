@@ -39,7 +39,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use ds_fragment::{FragmentId, Fragmentation};
-use ds_graph::{Cost, CsrGraph, NodeId, ScratchDijkstra};
+use ds_graph::{Cost, CsrGraph, NodeId, ReachIndex, ScratchDijkstra};
 use ds_relation::{PathTuple, Relation};
 
 use crate::api::{
@@ -53,7 +53,7 @@ use crate::error::ClosureError;
 use crate::executor::run_chain;
 use crate::local::augmented_graph;
 use crate::planner::{ChainPlan, Planner};
-use crate::updates::UpdateReport;
+use crate::updates::{ConnectivityEffect, UpdateReport};
 
 /// The immutable, shareable state of a deployed engine: the global
 /// closure graph, the fragmentation, the complementary tables, the
@@ -78,6 +78,15 @@ pub struct EngineSnapshot {
     /// during route expansion.
     real_hops: Vec<Arc<RealHopSet>>,
     planner: Arc<Planner>,
+    /// SCC/chain reachability index over the global closure graph, the
+    /// fast path behind [`EngineSnapshot::connected`]. `None` when
+    /// [`EngineConfig::reach_index`] is off, or when the last update
+    /// could have changed reachability (*stale*) — `connected` then
+    /// falls back to the shortest-path machinery until
+    /// [`EngineSnapshot::ensure_reach`] rebuilds it. Arc-shared across
+    /// epochs like every other component: a kept index costs one
+    /// refcount bump per publication.
+    reach: Option<Arc<ReachIndex>>,
     /// Which backend's build path produced this snapshot ("inline",
     /// "site-threads") — reported by `ds_serve::ServeStats` so operators
     /// can see what they are serving.
@@ -101,6 +110,11 @@ pub struct CowMaintenance {
     /// components are *not* shared with the pre-update snapshot. Every
     /// other site remains `Arc::ptr_eq` with it.
     pub touched_sites: Vec<FragmentId>,
+    /// Whether the reachability index survived this update (`true` also
+    /// when the index is disabled — there was nothing to invalidate).
+    /// `false` means the index was dropped as stale; `connected` falls
+    /// back until [`EngineSnapshot::ensure_reach`] rebuilds it.
+    pub reach_kept: bool,
 }
 
 impl EngineSnapshot {
@@ -128,6 +142,7 @@ impl EngineSnapshot {
         parts: EngineParts,
         source_backend: &'static str,
     ) -> Self {
+        let reach = cfg.reach_index.then(|| Arc::new(ReachIndex::build(&graph)));
         EngineSnapshot {
             graph: Arc::new(graph),
             frag: Arc::new(frag),
@@ -137,6 +152,7 @@ impl EngineSnapshot {
             augmented: parts.augmented,
             real_hops: parts.real_hops,
             planner: parts.planner,
+            reach,
             source_backend,
         }
     }
@@ -148,6 +164,11 @@ impl EngineSnapshot {
     /// snapshot without re-running the precompute. The coordinator hands
     /// over `Arc` handles, so the whole-graph pieces are shared with the
     /// machine rather than copied.
+    ///
+    /// `reach` is the caller's reachability index over `graph`, shared
+    /// rather than rebuilt when it has one; pass `None` to build it here
+    /// (gated on [`EngineConfig::reach_index`]).
+    #[allow(clippy::too_many_arguments)] // mirrors the retained coordinator state
     pub fn assemble(
         graph: Arc<CsrGraph>,
         frag: Arc<Fragmentation>,
@@ -155,6 +176,7 @@ impl EngineSnapshot {
         cfg: EngineConfig,
         comp: ComplementaryInfo,
         planner: Arc<Planner>,
+        reach: Option<Arc<ReachIndex>>,
         source_backend: &'static str,
     ) -> Self {
         let n = graph.node_count();
@@ -169,6 +191,7 @@ impl EngineSnapshot {
             )));
             real_hops.push(Arc::new(real_hop_set(f.edges(), symmetric)));
         }
+        let reach = reach.or_else(|| cfg.reach_index.then(|| Arc::new(ReachIndex::build(&graph))));
         EngineSnapshot {
             graph,
             frag,
@@ -178,6 +201,7 @@ impl EngineSnapshot {
             augmented,
             real_hops,
             planner,
+            reach,
             source_backend,
         }
     }
@@ -209,6 +233,7 @@ impl EngineSnapshot {
                 .map(|h| Arc::new((**h).clone()))
                 .collect(),
             planner: Arc::new((*self.planner).clone()),
+            reach: self.reach.as_ref().map(|r| Arc::new((**r).clone())),
             source_backend: self.source_backend,
         }
     }
@@ -272,6 +297,33 @@ impl EngineSnapshot {
     /// The shared handle behind the chain planner.
     pub fn planner_handle(&self) -> &Arc<Planner> {
         &self.planner
+    }
+
+    /// The reachability index, when present and fresh. `None` means
+    /// [`EngineSnapshot::connected`] currently falls back to the
+    /// shortest-path machinery (index disabled, or stale after an
+    /// update that could have changed reachability).
+    pub fn reach_index(&self) -> Option<&ReachIndex> {
+        self.reach.as_deref()
+    }
+
+    /// The shared handle behind the reachability index (for the
+    /// structural-sharing property tests: a kept index stays
+    /// `Arc::ptr_eq` across epochs).
+    pub fn reach_handle(&self) -> Option<&Arc<ReachIndex>> {
+        self.reach.as_ref()
+    }
+
+    /// Rebuild the reachability index if it is enabled but stale
+    /// (linear in the graph). Owners call this eagerly after updates —
+    /// the inline engine per update, the serve writer once per write
+    /// batch before publishing — so readers never pay the rebuild.
+    /// Returns whether a fresh index is now present.
+    pub fn ensure_reach(&mut self) -> bool {
+        if self.cfg.reach_index && self.reach.is_none() {
+            self.reach = Some(Arc::new(ReachIndex::build(&self.graph)));
+        }
+        self.reach.is_some()
     }
 
     /// Per-phase timing of the precompute that built (or last rebuilt)
@@ -351,8 +403,21 @@ impl EngineSnapshot {
     }
 
     /// Connection query — "is `x` connected to `y`?".
+    ///
+    /// Answered by the SCC/chain reachability index when it is present
+    /// and fresh — one component comparison plus at most one binary
+    /// search, no Dijkstra sweep, `scratch` untouched. Falls back to
+    /// the shortest-path machinery when the index is disabled or stale.
     pub fn connected(&self, x: NodeId, y: NodeId, scratch: &mut ScratchDijkstra) -> bool {
-        x == y || self.shortest_path(x, y, scratch).cost.is_some()
+        if x == y {
+            return true;
+        }
+        if let Some(reach) = &self.reach {
+            if x.index() < reach.node_count() && y.index() < reach.node_count() {
+                return reach.reaches(x, y);
+            }
+        }
+        self.shortest_path(x, y, scratch).cost.is_some()
     }
 
     /// Answer many shortest-path requests on `scratch`, amortizing chain
@@ -498,12 +563,28 @@ impl EngineSnapshot {
             update,
             scratch,
         )?;
+        // Keep-vs-drop for the reachability index, decided *after* the
+        // maintenance succeeded (an erring update leaves it untouched),
+        // while `self.reach` still holds the pre-update index — the
+        // rules of [`ConnectivityEffect`]:
+        let keep = match m.connectivity {
+            ConnectivityEffect::Unchanged => true,
+            ConnectivityEffect::Inserted { src, dst } => self.reach.as_ref().is_some_and(|r| {
+                r.reaches(src, dst) && (!self.symmetric || src == dst || r.reaches(dst, src))
+            }),
+            ConnectivityEffect::Removed { parallel_remains } => parallel_remains,
+        };
+        if !keep {
+            self.reach = None;
+        }
+        let reach_kept = keep || !self.cfg.reach_index;
         let Some(owner) = m.owner else {
             return Ok(CowMaintenance {
                 report: m.report,
                 owner: None,
                 shortcut_sites: Vec::new(),
                 touched_sites: Vec::new(),
+                reach_kept,
             });
         };
         let mut sites: std::collections::BTreeSet<FragmentId> =
@@ -528,6 +609,7 @@ impl EngineSnapshot {
             owner: Some(owner),
             shortcut_sites: m.shortcut_sites,
             touched_sites: sites.into_iter().collect(),
+            reach_kept,
         })
     }
 }
@@ -673,9 +755,14 @@ mod tests {
             cfg,
             built.complementary().clone(),
             Arc::clone(built.planner_handle()),
+            None,
             "site-threads",
         );
         assert_eq!(assembled.source_backend(), "site-threads");
+        assert!(
+            assembled.reach_index().is_some(),
+            "assemble builds the index when the caller has none"
+        );
         let mut s1 = ScratchDijkstra::new();
         let mut s2 = ScratchDijkstra::new();
         for (x, y) in [(0u32, 23u32), (5, 17), (12, 12), (23, 0)] {
@@ -685,6 +772,118 @@ mod tests {
                 "query {x}->{y}"
             );
         }
+    }
+
+    #[test]
+    fn connected_answers_from_the_index_without_sweeps() {
+        let (g, snap) = snapshot();
+        let csr = g.closure_graph();
+        let mut scratch = ScratchDijkstra::new();
+        assert!(snap.reach_index().is_some(), "index built by default");
+        let sweeps_before = scratch.stats().sweeps;
+        for x in 0..40u32 {
+            for y in 0..40u32 {
+                let got = snap.connected(n(x), n(y), &mut scratch);
+                let want = x == y || baseline::shortest_path_cost(&csr, n(x), n(y)).is_some();
+                assert_eq!(got, want, "connected({x}, {y})");
+            }
+        }
+        assert_eq!(
+            scratch.stats().sweeps,
+            sweeps_before,
+            "the index path must never run a Dijkstra sweep"
+        );
+    }
+
+    #[test]
+    fn index_disabled_falls_back_and_stays_correct() {
+        let g = grid(10, 4);
+        let frag = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig {
+                fragments: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .fragmentation;
+        let cfg = EngineConfig {
+            reach_index: false,
+            ..Default::default()
+        };
+        let mut snap = EngineSnapshot::build(g.closure_graph(), frag, true, cfg).unwrap();
+        assert!(snap.reach_index().is_none());
+        assert!(!snap.ensure_reach(), "disabled index never rebuilds");
+        let mut scratch = ScratchDijkstra::new();
+        assert!(snap.connected(n(0), n(39), &mut scratch));
+        assert!(scratch.stats().sweeps > 0, "fallback path sweeps");
+    }
+
+    #[test]
+    fn redundant_insert_keeps_the_index_shared() {
+        let (_, mut snap) = snapshot();
+        let mut scratch = ScratchDijkstra::new();
+        let before = Arc::clone(snap.reach_handle().unwrap());
+        // The grid is connected, so any insert between existing nodes is
+        // inside the reachability relation: the index must survive —
+        // pointer-shared, not rebuilt.
+        let f0 = snap.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        let cow = snap
+            .maintain_cow(
+                &NetworkUpdate::Insert {
+                    edge: ds_graph::Edge::new(a, b, 1),
+                    owner: 0,
+                },
+                &mut scratch,
+            )
+            .unwrap();
+        assert!(cow.reach_kept);
+        assert!(
+            Arc::ptr_eq(&before, snap.reach_handle().unwrap()),
+            "kept index must stay pointer-shared with the previous epoch"
+        );
+    }
+
+    #[test]
+    fn removal_without_parallel_drops_the_index_until_rebuilt() {
+        let (_, mut snap) = snapshot();
+        let mut scratch = ScratchDijkstra::new();
+        // Remove a real grid edge with no parallel connection: the index
+        // is dropped as stale; connected falls back (and stays exact).
+        let f0 = snap.fragmentation().fragment(0).clone();
+        let e = f0.edges()[0];
+        let cow = snap
+            .maintain_cow(
+                &NetworkUpdate::Remove {
+                    src: e.src,
+                    dst: e.dst,
+                    owner: 0,
+                },
+                &mut scratch,
+            )
+            .unwrap();
+        assert!(!cow.reach_kept);
+        assert!(snap.reach_index().is_none(), "stale index dropped");
+        for (x, y) in [(0u32, 39u32), (5, 17), (39, 0)] {
+            assert_eq!(
+                snap.connected(n(x), n(y), &mut scratch),
+                baseline::shortest_path_cost(snap.graph(), n(x), n(y)).is_some(),
+                "fallback connected({x}, {y})"
+            );
+        }
+        assert!(snap.ensure_reach(), "rebuild on demand");
+        let sweeps = scratch.stats().sweeps;
+        for x in 0..40u32 {
+            for y in 0..40u32 {
+                assert_eq!(
+                    snap.connected(n(x), n(y), &mut scratch),
+                    baseline::shortest_path_cost(snap.graph(), n(x), n(y)).is_some(),
+                    "rebuilt connected({x}, {y})"
+                );
+            }
+        }
+        assert_eq!(scratch.stats().sweeps, sweeps, "rebuilt index: no sweeps");
     }
 
     #[test]

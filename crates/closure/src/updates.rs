@@ -134,6 +134,32 @@ impl UpdateBatchReport {
     }
 }
 
+/// How one update could have affected the *reachability* relation —
+/// the structural facts a reachability-index owner needs to decide
+/// keep-vs-rebuild without recomputing anything. [`maintain`] reports
+/// them; the owners (`EngineSnapshot::maintain_cow`, the machine
+/// coordinator) apply the rules:
+///
+/// * `Unchanged` — keep the index as-is;
+/// * `Inserted` — keep iff the index already answers `src` reaches
+///   `dst` (and the reverse on symmetric networks): an edge inside the
+///   existing reachability relation adds no pairs;
+/// * `Removed` — keep iff `parallel_remains`: a surviving parallel
+///   connection carries every path the removed one did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnectivityEffect {
+    /// No structural change (no-op removal).
+    Unchanged,
+    /// A connection `src -> dst` was inserted (plus `dst -> src` on
+    /// symmetric networks).
+    Inserted { src: NodeId, dst: NodeId },
+    /// A connection was removed; `parallel_remains` is true when the
+    /// post-update global graph still holds an edge for every removed
+    /// direction (a parallel connection, e.g. one owned by another
+    /// fragment), so reachability is provably unchanged.
+    Removed { parallel_remains: bool },
+}
+
 /// What a backend must do after [`maintain`] returns: refresh the listed
 /// sites. The inline engine rebuilds their augmented graphs; the machine
 /// ships them `Delta` messages.
@@ -144,6 +170,9 @@ pub struct Maintenance {
     pub shortcut_sites: Vec<FragmentId>,
     /// The fragment whose edge set changed; `None` for a no-op removal.
     pub owner: Option<FragmentId>,
+    /// The structural connectivity facts of this update (for
+    /// reachability-index maintenance).
+    pub connectivity: ConnectivityEffect,
 }
 
 impl Maintenance {
@@ -152,6 +181,7 @@ impl Maintenance {
             report: UpdateReport::noop(),
             shortcut_sites: Vec::new(),
             owner: None,
+            connectivity: ConnectivityEffect::Unchanged,
         }
     }
 
@@ -179,6 +209,7 @@ impl Maintenance {
             },
             shortcut_sites,
             owner: Some(owner),
+            connectivity: ConnectivityEffect::Unchanged,
         }
     }
 }
@@ -223,13 +254,12 @@ pub fn maintain(
             }
             let improved = per_site.iter().sum();
             let shortcut_sites = nonzero_sites(&per_site);
-            Ok(Maintenance::incremental(
-                comp,
-                owner,
-                shortcut_sites,
-                improved,
-                0,
-            ))
+            let mut m = Maintenance::incremental(comp, owner, shortcut_sites, improved, 0);
+            m.connectivity = ConnectivityEffect::Inserted {
+                src: edge.src,
+                dst: edge.dst,
+            };
+            Ok(m)
         }
         NetworkUpdate::Remove { src, dst, owner } => {
             if owner >= frag.fragment_count() {
@@ -266,37 +296,35 @@ pub fn maintain(
             let new_graph = apply_update(graph, Arc::make_mut(frag), symmetric, update)?
                 .expect("matched edges exist");
             *graph = Arc::new(new_graph);
-            if crossing {
-                return Ok(full_recompute(
+            // Reachability fact: does the post-update graph still carry
+            // every removed direction through a parallel connection?
+            let still = |a: NodeId, b: NodeId| graph.out_targets(a).contains(&b);
+            let connectivity = ConnectivityEffect::Removed {
+                parallel_remains: still(src, dst) && (!symmetric || src == dst || still(dst, src)),
+            };
+            let mut m = if crossing {
+                full_recompute(
                     graph,
                     frag,
                     cfg,
                     comp,
                     owner,
                     FallbackReason::DisconnectionSetCrossing,
-                ));
-            }
-            match comp.repair_sources(graph, &affected, scratch) {
-                Ok(per_site) => {
-                    let repaired = per_site.iter().sum();
-                    let shortcut_sites = nonzero_sites(&per_site);
-                    Ok(Maintenance::incremental(
-                        comp,
-                        owner,
-                        shortcut_sites,
-                        0,
-                        repaired,
-                    ))
+                )
+            } else {
+                match comp.repair_sources(graph, &affected, scratch) {
+                    Ok(per_site) => {
+                        let repaired = per_site.iter().sum();
+                        let shortcut_sites = nonzero_sites(&per_site);
+                        Maintenance::incremental(comp, owner, shortcut_sites, 0, repaired)
+                    }
+                    Err(_) => {
+                        full_recompute(graph, frag, cfg, comp, owner, FallbackReason::Disconnected)
+                    }
                 }
-                Err(_) => Ok(full_recompute(
-                    graph,
-                    frag,
-                    cfg,
-                    comp,
-                    owner,
-                    FallbackReason::Disconnected,
-                )),
-            }
+            };
+            m.connectivity = connectivity;
+            Ok(m)
         }
     }
 }
@@ -409,6 +437,7 @@ fn full_recompute(
         },
         shortcut_sites,
         owner: Some(owner),
+        connectivity: ConnectivityEffect::Unchanged,
     }
 }
 

@@ -31,6 +31,7 @@ pub mod ellipse;
 pub mod general;
 pub mod output;
 pub mod probability;
+pub mod scale;
 pub mod spatial;
 pub mod transportation;
 
@@ -38,4 +39,5 @@ pub use config::{ClusterTopology, EllipseConfig, GeneralConfig, TransportationCo
 pub use ellipse::generate_ellipse;
 pub use general::generate_general;
 pub use output::GeneratedGraph;
+pub use scale::{generate_scale, ScaleConfig};
 pub use transportation::generate_transportation;

@@ -1,0 +1,132 @@
+//! Large-scale synthetic digraphs for the reachability subsystem.
+//!
+//! The paper's generators (§4.1) draw one Bernoulli per node *pair* —
+//! O(n²) draws — and carry coordinates, which caps them at a few
+//! thousand nodes. Reachability benchmarks want graphs three orders of
+//! magnitude larger, where the SCC/chain index earns its keep. This
+//! module generates **directed, unit-cost** graphs straight into the
+//! memory-lean pair-based CSR ([`CsrGraph::from_unit_pairs`]): no
+//! coordinates, no per-edge cost draw, no `Edge` intermediary — a
+//! million-node graph is a few flat vectors.
+//!
+//! The recipe is a sparse uniform random digraph: each node draws
+//! [`ScaleConfig::out_degree`] targets uniformly at random. Above one
+//! expected outgoing edge per node this produces the classic structure
+//! the index is built for — one giant strongly connected component, a
+//! periphery of small components feeding into or out of it, and enough
+//! unreachable pairs that `connected` exercises both answers.
+//!
+//! Deterministic given a seed, like every generator in this crate.
+
+use ds_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of [`generate_scale`].
+#[derive(Clone, Debug)]
+pub struct ScaleConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Directed edges drawn per node (the expected out-degree).
+    pub out_degree: usize,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            nodes: 10_000,
+            out_degree: 2,
+        }
+    }
+}
+
+impl ScaleConfig {
+    /// The million-node benchmark configuration (~2M directed edges):
+    /// three orders of magnitude beyond the paper-scale generators.
+    pub fn million() -> Self {
+        ScaleConfig {
+            nodes: 1_000_000,
+            out_degree: 2,
+        }
+    }
+}
+
+/// Generate a sparse uniform random digraph with unit costs, directly in
+/// CSR form. Self-loops may occur (the relation allows them); parallel
+/// duplicates are possible but rare at the intended sparsity.
+pub fn generate_scale(cfg: &ScaleConfig, seed: u64) -> CsrGraph {
+    let n = cfg.nodes as u32;
+    if n == 0 {
+        return CsrGraph::from_unit_pairs(0, &[]);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(cfg.nodes * cfg.out_degree);
+    for src in 0..n {
+        for _ in 0..cfg.out_degree {
+            pairs.push((src, rng.gen_index(cfg.nodes) as u32));
+        }
+    }
+    CsrGraph::from_unit_pairs(cfg.nodes, &pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ScaleConfig {
+            nodes: 500,
+            out_degree: 2,
+        };
+        let a = generate_scale(&cfg, 9);
+        let b = generate_scale(&cfg, 9);
+        assert_eq!(a, b, "same seed, same graph");
+        let c = generate_scale(&cfg, 10);
+        assert_ne!(a, c, "different seed, different graph");
+    }
+
+    #[test]
+    fn counts_and_costs() {
+        let cfg = ScaleConfig {
+            nodes: 300,
+            out_degree: 3,
+        };
+        let g = generate_scale(&cfg, 1);
+        assert_eq!(g.node_count(), 300);
+        assert_eq!(g.edge_count(), 900);
+        assert!(g.edges().all(|e| e.cost == 1), "unit costs throughout");
+    }
+
+    #[test]
+    fn empty_config() {
+        let g = generate_scale(
+            &ScaleConfig {
+                nodes: 0,
+                out_degree: 2,
+            },
+            1,
+        );
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn giant_component_emerges_at_degree_two() {
+        // At out-degree 2 the digraph is supercritical: the largest SCC
+        // must span a substantial fraction of the nodes.
+        let g = generate_scale(
+            &ScaleConfig {
+                nodes: 2_000,
+                out_degree: 2,
+            },
+            42,
+        );
+        let idx = ds_graph::ReachIndex::build(&g);
+        assert!(
+            idx.comp_count() < g.node_count() / 2,
+            "expected a giant SCC: {} components over {} nodes",
+            idx.comp_count(),
+            g.node_count()
+        );
+    }
+}

@@ -73,6 +73,42 @@ impl CsrGraph {
         })
     }
 
+    /// Build a unit-cost graph from raw `(src, dst)` pairs — the
+    /// memory-lean path for very large synthetic graphs (no 16-byte
+    /// [`Edge`] intermediary; a million-node, multi-million-edge graph
+    /// stays within a few flat u32/u64 vectors). Same counting-sort
+    /// construction as [`CsrGraph::try_from_edges`].
+    ///
+    /// # Panics
+    /// Panics if a pair references a node outside `0..node_count`.
+    pub fn from_unit_pairs(node_count: usize, pairs: &[(u32, u32)]) -> Self {
+        let n = node_count as u32;
+        assert!(
+            pairs.iter().all(|&(s, d)| s < n && d < n),
+            "pair references out-of-range node"
+        );
+        let mut offsets = vec![0u32; node_count + 1];
+        for &(s, _) in pairs {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..node_count {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![NodeId(0); pairs.len()];
+        for &(s, d) in pairs {
+            let slot = cursor[s as usize] as usize;
+            targets[slot] = NodeId(d);
+            cursor[s as usize] += 1;
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            costs: vec![1; pairs.len()],
+            coords: None,
+        }
+    }
+
     /// Attach node coordinates. Fails if the table length differs from the
     /// node count.
     pub fn with_coords(mut self, coords: Vec<Coord>) -> Result<Self, GraphError> {
@@ -281,5 +317,22 @@ mod tests {
         let g = CsrGraph::from_edges(1, &[Edge::unit(NodeId(0), NodeId(0))]);
         assert_eq!(g.edge_count(), 1);
         assert!(g.is_symmetric(), "self-loops are ignored by symmetry check");
+    }
+
+    #[test]
+    fn unit_pairs_match_edge_construction() {
+        let pairs = [(0u32, 1u32), (1, 2), (0, 2), (2, 0)];
+        let via_pairs = CsrGraph::from_unit_pairs(3, &pairs);
+        let edges: Vec<Edge> = pairs
+            .iter()
+            .map(|&(s, d)| Edge::unit(NodeId(s), NodeId(d)))
+            .collect();
+        assert_eq!(via_pairs, CsrGraph::from_edges(3, &edges));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn unit_pairs_reject_out_of_range() {
+        CsrGraph::from_unit_pairs(2, &[(0, 5)]);
     }
 }

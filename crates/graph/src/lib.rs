@@ -35,6 +35,8 @@ pub mod dijkstra;
 pub mod edgelist;
 pub mod error;
 pub mod matrix;
+pub mod reach;
+pub mod scc;
 pub mod subgraph;
 pub mod traverse;
 pub mod types;
@@ -46,6 +48,8 @@ pub use dijkstra::{ScratchDijkstra, ScratchStats};
 pub use edgelist::EdgeList;
 pub use error::GraphError;
 pub use matrix::AdjacencyMatrix;
+pub use reach::ReachIndex;
+pub use scc::Condensation;
 pub use subgraph::SubgraphView;
 pub use types::{Coord, Cost, Edge, NodeId, INFINITE_COST};
 pub use unionfind::UnionFind;

@@ -1,0 +1,372 @@
+//! Near-constant-time reachability over the SCC condensation.
+//!
+//! A `connected(x, y)` query only wants a boolean, but the shortest-path
+//! machinery answers it at Dijkstra-grade cost. [`ReachIndex`] answers it
+//! from a **chain-decomposition index** over the condensation DAG, per
+//! Kritikakis & Tollis ("Parameterized Linear Time Transitive Closure"):
+//!
+//! 1. condense to the SCC DAG ([`crate::scc`]) — inside one component,
+//!    everything reaches everything, so a query between two nodes of the
+//!    same component is a single u32 comparison;
+//! 2. decompose the DAG's *edge-incident* components into greedy chains
+//!    (paths in the DAG, walked in topological order) — components with
+//!    no incident DAG edge (the dominant case for symmetric graphs, where
+//!    every connected component is one SCC) need no chain at all;
+//! 3. a reverse-topological DP gives each component a sparse row of
+//!    `(chain, min-position)` pairs: the component reaches exactly the
+//!    members of `chain` at positions `>= min-position` (sound because a
+//!    chain is a DAG path — each element reaches all later ones).
+//!
+//! A query is then one comparison plus at most one binary search in a row
+//! whose length is bounded by the chain count. Everything is u32-packed:
+//! the index for a million-node graph is a handful of flat `Vec<u32>`s
+//! ([`ReachIndex::memory_bytes`] reports the exact footprint).
+//!
+//! The index describes one immutable graph. Callers that maintain graphs
+//! incrementally keep it across updates that provably cannot change
+//! reachability — [`ReachIndex::edge_is_redundant`] decides that for
+//! insertions (an edge inside the already-reachable relation adds no
+//! pairs); removals keep it only when a parallel connection survives —
+//! and rebuild (linear time) otherwise.
+
+use crate::csr::CsrGraph;
+use crate::scc::{condense, Condensation};
+use crate::types::NodeId;
+
+/// Sentinel chain id for components with no incident DAG edge.
+const NO_CHAIN: u32 = u32::MAX;
+
+/// Chain-decomposition reachability index over the SCC condensation of
+/// one [`CsrGraph`]. Immutable after [`ReachIndex::build`]; all queries
+/// are `&self` and allocation-free.
+#[derive(Clone, Debug)]
+pub struct ReachIndex {
+    /// Node → component id (topological: DAG edges go low → high).
+    comp_of: Vec<u32>,
+    /// Component → chain id (`NO_CHAIN` for edge-free components).
+    chain_of: Vec<u32>,
+    /// Component → position on its chain.
+    pos_of: Vec<u32>,
+    /// Component → start of its reachability row in the flat pools.
+    row_start: Vec<u32>,
+    /// Component → length of its reachability row.
+    row_len: Vec<u32>,
+    /// Flat row pool: chain ids, sorted ascending within each row.
+    row_chains: Vec<u32>,
+    /// Flat row pool: minimal reached position per chain (parallel to
+    /// `row_chains`).
+    row_pos: Vec<u32>,
+    chain_count: u32,
+}
+
+impl ReachIndex {
+    /// Build the index for `graph`: condensation, chain decomposition,
+    /// and the reverse-topological row DP. O(V + E + chains · DAG edges).
+    pub fn build(graph: &CsrGraph) -> ReachIndex {
+        Self::from_condensation(condense(graph))
+    }
+
+    fn from_condensation(cond: Condensation) -> ReachIndex {
+        let k = cond.comp_count();
+
+        // A component matters to the chain machinery only if some DAG
+        // edge touches it; everything else answers by component equality.
+        let mut active = vec![false; k];
+        for c in 0..k as u32 {
+            for &d in cond.dag_successors(c) {
+                active[c as usize] = true;
+                active[d as usize] = true;
+            }
+        }
+
+        // Greedy path decomposition in topological order: start a chain
+        // at the first unassigned active component, extend through any
+        // unassigned DAG successor. Each chain is a path in the DAG.
+        let mut chain_of = vec![NO_CHAIN; k];
+        let mut pos_of = vec![0u32; k];
+        let mut chain_count = 0u32;
+        for c in 0..k {
+            if !active[c] || chain_of[c] != NO_CHAIN {
+                continue;
+            }
+            let mut cur = c as u32;
+            let mut pos = 0u32;
+            chain_of[c] = chain_count;
+            while let Some(&next) = cond
+                .dag_successors(cur)
+                .iter()
+                .find(|&&d| chain_of[d as usize] == NO_CHAIN)
+            {
+                pos += 1;
+                chain_of[next as usize] = chain_count;
+                pos_of[next as usize] = pos;
+                cur = next;
+            }
+            chain_count += 1;
+        }
+
+        // Reverse-topological DP: a component's row is the min-merge of
+        // each successor's own (chain, pos) plus that successor's row.
+        let mut row_start = vec![0u32; k];
+        let mut row_len = vec![0u32; k];
+        let mut row_chains: Vec<u32> = Vec::new();
+        let mut row_pos: Vec<u32> = Vec::new();
+        let mut tmp: Vec<(u32, u32)> = Vec::new();
+        for c in (0..k).rev() {
+            tmp.clear();
+            for &d in cond.dag_successors(c as u32) {
+                let d = d as usize;
+                tmp.push((chain_of[d], pos_of[d]));
+                let (s, l) = (row_start[d] as usize, row_len[d] as usize);
+                for i in s..s + l {
+                    tmp.push((row_chains[i], row_pos[i]));
+                }
+            }
+            if tmp.is_empty() {
+                continue;
+            }
+            // Ascending sort puts the minimal position first per chain.
+            tmp.sort_unstable();
+            let start = row_chains.len();
+            let mut last = NO_CHAIN;
+            for &(ch, p) in tmp.iter() {
+                if ch != last {
+                    row_chains.push(ch);
+                    row_pos.push(p);
+                    last = ch;
+                }
+            }
+            row_start[c] = start as u32;
+            row_len[c] = (row_chains.len() - start) as u32;
+        }
+
+        ReachIndex {
+            comp_of: cond.comp_of().to_vec(),
+            chain_of,
+            pos_of,
+            row_start,
+            row_len,
+            row_chains,
+            row_pos,
+            chain_count,
+        }
+    }
+
+    /// True iff a path `x -> y` exists in the indexed graph. `x == y` is
+    /// always reachable (zero-length path), matching `connected`.
+    #[inline]
+    pub fn reaches(&self, x: NodeId, y: NodeId) -> bool {
+        let cx = self.comp_of[x.index()];
+        let cy = self.comp_of[y.index()];
+        if cx == cy {
+            return true;
+        }
+        let target_chain = self.chain_of[cy as usize];
+        if target_chain == NO_CHAIN {
+            // `y`'s component has no incoming DAG edge at all.
+            return false;
+        }
+        let (s, l) = (
+            self.row_start[cx as usize] as usize,
+            self.row_len[cx as usize] as usize,
+        );
+        match self.row_chains[s..s + l].binary_search(&target_chain) {
+            Ok(i) => self.row_pos[s + i] <= self.pos_of[cy as usize],
+            Err(_) => false,
+        }
+    }
+
+    /// True iff `x` and `y` are in the same strongly connected component.
+    #[inline]
+    pub fn same_component(&self, x: NodeId, y: NodeId) -> bool {
+        self.comp_of[x.index()] == self.comp_of[y.index()]
+    }
+
+    /// True iff inserting an edge `src -> dst` cannot change the
+    /// reachability relation — i.e. the index already answers `src`
+    /// reaches `dst` (for a symmetric insertion, check both directions).
+    #[inline]
+    pub fn edge_is_redundant(&self, src: NodeId, dst: NodeId) -> bool {
+        self.reaches(src, dst)
+    }
+
+    /// Number of nodes the index was built over.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.comp_of.len()
+    }
+
+    /// Number of strongly connected components.
+    #[inline]
+    pub fn comp_count(&self) -> usize {
+        self.chain_of.len()
+    }
+
+    /// Number of chains in the decomposition (0 for an edge-free DAG —
+    /// e.g. any symmetric graph, whose components are all mutually
+    /// unreachable).
+    #[inline]
+    pub fn chain_count(&self) -> usize {
+        self.chain_count as usize
+    }
+
+    /// Total `(chain, position)` entries across all rows.
+    #[inline]
+    pub fn row_entries(&self) -> usize {
+        self.row_chains.len()
+    }
+
+    /// Exact heap footprint of the index's flat pools, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        4 * (self.comp_of.len()
+            + self.chain_of.len()
+            + self.pos_of.len()
+            + self.row_start.len()
+            + self.row_len.len()
+            + self.row_chains.len()
+            + self.row_pos.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn graph(nodes: usize, edges: &[(u32, u32)]) -> CsrGraph {
+        let e: Vec<Edge> = edges.iter().map(|&(a, b)| Edge::unit(n(a), n(b))).collect();
+        CsrGraph::from_edges(nodes, &e)
+    }
+
+    /// Plain DFS reachability oracle.
+    fn oracle(g: &CsrGraph, x: NodeId, y: NodeId) -> bool {
+        let mut seen = vec![false; g.node_count()];
+        let mut stack = vec![x];
+        seen[x.index()] = true;
+        while let Some(v) = stack.pop() {
+            if v == y {
+                return true;
+            }
+            for &w in g.out_targets(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        false
+    }
+
+    fn check_all_pairs(g: &CsrGraph) {
+        let idx = ReachIndex::build(g);
+        for x in g.nodes() {
+            for y in g.nodes() {
+                assert_eq!(
+                    idx.reaches(x, y),
+                    oracle(g, x, y),
+                    "reaches({x}, {y}) disagrees with DFS"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_cycle_and_diamond() {
+        check_all_pairs(&graph(4, &[(0, 1), (1, 2), (2, 3)]));
+        check_all_pairs(&graph(3, &[(0, 1), (1, 2), (2, 0)]));
+        check_all_pairs(&graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]));
+    }
+
+    #[test]
+    fn sccs_with_cross_edges_and_stragglers() {
+        check_all_pairs(&graph(
+            8,
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 3),
+                (3, 2),
+                (3, 4),
+                (5, 2),
+                (6, 6),
+                // 7 isolated
+            ],
+        ));
+    }
+
+    #[test]
+    fn symmetric_graph_needs_no_chains() {
+        // Two undirected components: {0,1,2} and {3,4}.
+        let g = graph(5, &[(0, 1), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3)]);
+        let idx = ReachIndex::build(&g);
+        assert_eq!(idx.chain_count(), 0, "edge-free DAG: no chains");
+        assert_eq!(idx.row_entries(), 0);
+        assert!(idx.reaches(n(0), n(2)));
+        assert!(!idx.reaches(n(0), n(3)));
+        assert!(idx.same_component(n(3), n(4)));
+    }
+
+    #[test]
+    fn randomized_against_dfs_oracle() {
+        // Deterministic xorshift sweep over sparse random digraphs.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..20 {
+            let nodes = 6 + (trial % 14);
+            let edges: Vec<(u32, u32)> = (0..nodes * 2)
+                .map(|_| {
+                    (
+                        (next() % nodes as u64) as u32,
+                        (next() % nodes as u64) as u32,
+                    )
+                })
+                .collect();
+            check_all_pairs(&graph(nodes, &edges));
+        }
+    }
+
+    #[test]
+    fn redundant_edge_detection() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let idx = ReachIndex::build(&g);
+        assert!(idx.edge_is_redundant(n(0), n(3)), "0 already reaches 3");
+        assert!(
+            !idx.edge_is_redundant(n(3), n(0)),
+            "3 -> 0 would close a cycle"
+        );
+    }
+
+    #[test]
+    fn memory_is_u32_lean() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let idx = ReachIndex::build(&g);
+        // 4 nodes, 4 comps: comp_of + chain_of + pos_of + start + len
+        // = 5 * 4 u32s, plus the row pools.
+        assert_eq!(
+            idx.memory_bytes(),
+            4 * (5 * 4 + 2 * idx.row_entries()),
+            "footprint formula drifted"
+        );
+        assert!(idx.memory_bytes() < 256);
+    }
+
+    #[test]
+    fn empty_and_single_node() {
+        let g = graph(0, &[]);
+        let idx = ReachIndex::build(&g);
+        assert_eq!(idx.comp_count(), 0);
+        let g = graph(1, &[]);
+        let idx = ReachIndex::build(&g);
+        assert!(idx.reaches(n(0), n(0)), "self-reachability");
+    }
+}

@@ -46,12 +46,13 @@ use ds_closure::api::{build_parts, run_batch, SiteEvaluator};
 use ds_closure::complementary::ComplementaryInfo;
 use ds_closure::planner::{ChainPlan, Planner};
 use ds_closure::updates::maintain;
+use ds_closure::ConnectivityEffect;
 use ds_closure::{
     BatchAnswer, ClosureError, EngineConfig, EngineSnapshot, NetworkUpdate, PrecomputeStats,
     QueryAnswer, QueryRequest, QueryStats, Route, TcEngine, UpdateReport,
 };
 use ds_fragment::Fragmentation;
-use ds_graph::{CsrGraph, NodeId, ScratchDijkstra};
+use ds_graph::{CsrGraph, NodeId, ReachIndex, ScratchDijkstra};
 use ds_relation::{PathTuple, Relation};
 
 use protocol::{EdgeChange, SiteDelta, SiteRequest, SiteResponse};
@@ -79,6 +80,11 @@ pub struct Machine {
     next_tag: u64,
     /// Coordinator-side scratch kernel for update repair sweeps.
     scratch: ScratchDijkstra,
+    /// Coordinator-side SCC/chain reachability index over the global
+    /// graph — `connected` answers here without any site round trip.
+    /// Kept across updates that provably cannot change reachability,
+    /// rebuilt eagerly otherwise; shared with assembled snapshots.
+    reach: Option<Arc<ReachIndex>>,
 }
 
 impl Machine {
@@ -118,6 +124,7 @@ impl Machine {
             .collect();
         let (senders, responses, handles) = spawn_sites(inits);
         let site_count = senders.len();
+        let reach = cfg.reach_index.then(|| Arc::new(ReachIndex::build(&graph)));
         Ok(Machine {
             graph: Arc::new(graph),
             frag: Arc::new(frag),
@@ -131,6 +138,7 @@ impl Machine {
             stats: MachineStats::new(site_count),
             next_tag: 0,
             scratch: ScratchDijkstra::new(),
+            reach,
         })
     }
 
@@ -279,8 +287,25 @@ impl TcEngine for Machine {
             self.cfg.clone(),
             self.comp.clone(),
             Arc::clone(&self.planner),
+            self.reach.clone(),
             "site-threads",
         )
+    }
+
+    /// Coordinator-local: one comparison plus at most one binary search
+    /// in the reachability index — no site round trip, no Dijkstra
+    /// sweep. Falls back to a full shortest-path query when the index
+    /// is disabled.
+    fn connected(&mut self, x: NodeId, y: NodeId) -> bool {
+        if x == y {
+            return true;
+        }
+        if let Some(reach) = &self.reach {
+            if x.index() < reach.node_count() && y.index() < reach.node_count() {
+                return reach.reaches(x, y);
+            }
+        }
+        self.shortest_path(x, y).cost.is_some()
     }
 
     /// Updates are incremental: the coordinator runs the shared
@@ -300,6 +325,24 @@ impl TcEngine for Machine {
             update,
             &mut self.scratch,
         )?;
+        // Keep-vs-rebuild for the coordinator's reachability index,
+        // decided while `self.reach` still describes the pre-update
+        // graph (same rules as `EngineSnapshot::maintain_cow`). The
+        // rebuild is eager: site deltas below are the expensive part of
+        // an update anyway, and `connected` stays round-trip-free.
+        let keep = match m.connectivity {
+            ConnectivityEffect::Unchanged => true,
+            ConnectivityEffect::Inserted { src, dst } => self.reach.as_ref().is_some_and(|r| {
+                r.reaches(src, dst) && (!self.symmetric || src == dst || r.reaches(dst, src))
+            }),
+            ConnectivityEffect::Removed { parallel_remains } => parallel_remains,
+        };
+        if !keep {
+            self.reach = self
+                .cfg
+                .reach_index
+                .then(|| Arc::new(ReachIndex::build(&self.graph)));
+        }
         let Some(owner) = m.owner else {
             return Ok(m.report); // no-op removal: nothing to ship
         };

@@ -85,6 +85,35 @@ impl MaterializeConfig {
     }
 }
 
+/// Errors of one materialization run.
+///
+/// Returned, never panicked: in pool mode a panic would unwind the
+/// coordinator inside `std::thread::scope` while workers block on the
+/// job-queue condvar — the error path instead closes the queue first, so
+/// every worker observes the shutdown and joins cleanly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaterializeError {
+    /// The exchange rounds hit [`MaterializeConfig::max_rounds`] without
+    /// reaching the global fixpoint.
+    RoundLimit {
+        /// The configured round budget that was exhausted.
+        max_rounds: usize,
+    },
+}
+
+impl fmt::Display for MaterializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaterializeError::RoundLimit { max_rounds } => write!(
+                f,
+                "materialization exceeded max_rounds = {max_rounds} without reaching the fixpoint"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MaterializeError {}
+
 /// Per-exchange-round accounting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RoundStats {
@@ -443,7 +472,11 @@ impl MaterializeEngine {
     /// Materialize the closure: the min-cost path relation (sorted,
     /// tuple-identical to [`crate::tc::seminaive_closure`] over the
     /// union relation) plus run statistics.
-    pub fn materialize(&self) -> (Relation<PathTuple>, MaterializeStats) {
+    ///
+    /// Errors with [`MaterializeError::RoundLimit`] when
+    /// [`MaterializeConfig::max_rounds`] trips before the global
+    /// fixpoint; in pool mode all worker threads have joined by then.
+    pub fn materialize(&self) -> Result<(Relation<PathTuple>, MaterializeStats), MaterializeError> {
         let fragments = self.partition.fragment_count();
         let threads = self.effective_threads();
         let mut stats = MaterializeStats {
@@ -453,7 +486,7 @@ impl MaterializeEngine {
             ..Default::default()
         };
         if fragments == 0 {
-            return (Relation::empty("tc"), stats);
+            return Ok((Relation::empty("tc"), stats));
         }
 
         // Seed every fragment's inbox with its own (source-restricted)
@@ -486,7 +519,7 @@ impl MaterializeEngine {
         let mut inner_totals = vec![0usize; fragments];
 
         if threads <= 1 {
-            self.drive_inline(&mut states, &mut inboxes, &mut inner_totals, &mut stats);
+            self.drive_inline(&mut states, &mut inboxes, &mut inner_totals, &mut stats)?;
         } else {
             self.drive_pool(
                 threads,
@@ -494,7 +527,7 @@ impl MaterializeEngine {
                 &mut inboxes,
                 &mut inner_totals,
                 &mut stats,
-            );
+            )?;
         }
 
         // Final assembly: merge the per-fragment result tables with
@@ -550,7 +583,7 @@ impl MaterializeEngine {
         stats.tc.result_tuples = rows.len();
         stats.tc.exchange_rounds = stats.rounds;
         stats.tc.exchanged_tuples = stats.exchanged_tuples;
-        (Relation::from_rows("tc", rows), stats)
+        Ok((Relation::from_rows("tc", rows), stats))
     }
 
     /// Round loop without threads — identical structure to the pool
@@ -562,7 +595,7 @@ impl MaterializeEngine {
         inboxes: &mut [Vec<PathTuple>],
         inner_totals: &mut [usize],
         stats: &mut MaterializeStats,
-    ) {
+    ) -> Result<(), MaterializeError> {
         loop {
             let active: Vec<usize> = (0..states.len())
                 .filter(|&i| !inboxes[i].is_empty())
@@ -570,7 +603,7 @@ impl MaterializeEngine {
             if active.is_empty() {
                 break;
             }
-            self.check_round_guard(stats.rounds);
+            self.check_round_guard(stats.rounds)?;
             let seed_round = stats.rounds == 0;
             let mut round = RoundStats {
                 active_fragments: active.len(),
@@ -588,6 +621,7 @@ impl MaterializeEngine {
             }
             self.finish_round(round, stats);
         }
+        Ok(())
     }
 
     /// Round loop over the worker pool: per-fragment state moves through
@@ -601,7 +635,7 @@ impl MaterializeEngine {
         inboxes: &mut [Vec<PathTuple>],
         inner_totals: &mut [usize],
         stats: &mut MaterializeStats,
-    ) {
+    ) -> Result<(), MaterializeError> {
         let queue = JobQueue::new();
         let (tx, rx) = mpsc::channel::<RoundResult>();
         let mut slots: Vec<Option<FragmentRun>> = states.drain(..).map(Some).collect();
@@ -630,14 +664,20 @@ impl MaterializeEngine {
                 });
             }
 
-            loop {
+            let outcome = loop {
                 let active: Vec<usize> = (0..slots.len())
                     .filter(|&i| !inboxes[i].is_empty())
                     .collect();
                 if active.is_empty() {
-                    break;
+                    break Ok(());
                 }
-                self.check_round_guard(stats.rounds);
+                // The guard must *return* through the queue shutdown
+                // below, never panic: unwinding here would leave the
+                // workers blocked on the queue condvar and the scope
+                // join would hang.
+                if let Err(e) = self.check_round_guard(stats.rounds) {
+                    break Err(e);
+                }
                 let seed_round = stats.rounds == 0;
                 let mut round = RoundStats {
                     active_fragments: active.len(),
@@ -664,19 +704,24 @@ impl MaterializeEngine {
                     slots[result.fid] = Some(result.state);
                 }
                 self.finish_round(round, stats);
-            }
+            };
+            // Wake every parked worker; leaving the scope then joins
+            // them — on the fixpoint and the round-limit path alike.
             queue.close();
-        });
+            outcome
+        })?;
 
         states.extend(slots.into_iter().map(|s| s.expect("all rounds completed")));
+        Ok(())
     }
 
-    fn check_round_guard(&self, rounds: usize) {
-        assert!(
-            self.config.max_rounds == 0 || rounds < self.config.max_rounds,
-            "materialization exceeded max_rounds = {} without reaching the fixpoint",
-            self.config.max_rounds
-        );
+    fn check_round_guard(&self, rounds: usize) -> Result<(), MaterializeError> {
+        if self.config.max_rounds != 0 && rounds >= self.config.max_rounds {
+            return Err(MaterializeError::RoundLimit {
+                max_rounds: self.config.max_rounds,
+            });
+        }
+        Ok(())
     }
 
     fn absorb_counters(
@@ -820,7 +865,7 @@ mod tests {
         config: MaterializeConfig,
     ) -> MaterializeStats {
         let engine = MaterializeEngine::from_fragmentation(frag, symmetric, config);
-        let (bulk, stats) = engine.materialize();
+        let (bulk, stats) = engine.materialize().unwrap();
         let (seq, _) = tc::seminaive_closure(
             &engine.partition().union_relation(),
             engine.config().sources.as_deref(),
@@ -859,7 +904,7 @@ mod tests {
         assert!(stats.exchanged_tuples > 0);
         let engine =
             MaterializeEngine::from_fragmentation(&frag, true, MaterializeConfig::default());
-        let (closure, _) = engine.materialize();
+        let (closure, _) = engine.materialize().unwrap();
         assert_eq!(closure.cost_of(n(0), n(1)), Some(2), "detour wins");
     }
 
@@ -879,7 +924,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let (closure, _) = engine.materialize();
+        let (closure, _) = engine.materialize().unwrap();
         assert!(closure.rows().iter().all(|t| t.src == n(0)));
     }
 
@@ -935,7 +980,7 @@ mod tests {
         let frag = Fragmentation::new(0, vec![], vec![]);
         let engine =
             MaterializeEngine::from_fragmentation(&frag, true, MaterializeConfig::default());
-        let (closure, stats) = engine.materialize();
+        let (closure, stats) = engine.materialize().unwrap();
         assert!(closure.is_empty());
         assert_eq!(stats.rounds, 0);
     }
@@ -947,7 +992,7 @@ mod tests {
             true,
             MaterializeConfig::default(),
         );
-        let (_, stats) = engine.materialize();
+        let (_, stats) = engine.materialize().unwrap();
         let line = stats.to_string();
         assert!(line.contains("rounds"), "{line}");
         assert!(line.contains("exchanged"), "{line}");
@@ -956,8 +1001,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "max_rounds")]
-    fn round_guard_trips() {
+    fn round_guard_trips_as_an_error() {
         let engine = MaterializeEngine::from_fragmentation(
             &path_split(),
             true,
@@ -966,6 +1010,43 @@ mod tests {
                 ..Default::default()
             },
         );
-        engine.materialize();
+        let err = engine.materialize().unwrap_err();
+        assert_eq!(err, MaterializeError::RoundLimit { max_rounds: 1 });
+        assert!(err.to_string().contains("max_rounds = 1"), "{err}");
+    }
+
+    /// Pool mode: the round limit must come back as an error with every
+    /// worker joined — a panicking guard used to unwind the coordinator
+    /// inside `thread::scope` while workers stayed parked on the queue
+    /// condvar. `materialize` returning at all (rather than hanging on
+    /// the scope join) plus a clean re-run proves the shutdown.
+    #[test]
+    fn round_guard_joins_pool_workers_cleanly() {
+        let engine = MaterializeEngine::from_fragmentation(
+            &path_split(),
+            true,
+            MaterializeConfig {
+                threads: 2,
+                max_rounds: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            engine.materialize().unwrap_err(),
+            MaterializeError::RoundLimit { max_rounds: 1 }
+        );
+        // The engine stays usable: a fresh run with an adequate budget
+        // converges on the same pool configuration.
+        let engine = MaterializeEngine::from_fragmentation(
+            &path_split(),
+            true,
+            MaterializeConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        let (closure, stats) = engine.materialize().unwrap();
+        assert!(!closure.is_empty());
+        assert!(stats.rounds >= 2);
     }
 }

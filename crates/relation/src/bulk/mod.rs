@@ -41,7 +41,7 @@
 //!     vec![vec![], vec![]],
 //! );
 //! let engine = MaterializeEngine::from_fragmentation(&frag, true, MaterializeConfig::default());
-//! let (closure, stats) = engine.materialize();
+//! let (closure, stats) = engine.materialize().unwrap();
 //! assert_eq!(closure.cost_of(NodeId(0), NodeId(3)), Some(3));
 //! assert!(stats.exchanged_tuples > 0);
 //! ```
@@ -50,6 +50,8 @@ pub mod engine;
 pub mod exchange;
 pub mod partition;
 
-pub use engine::{MaterializeConfig, MaterializeEngine, MaterializeStats, RoundStats};
+pub use engine::{
+    MaterializeConfig, MaterializeEngine, MaterializeError, MaterializeStats, RoundStats,
+};
 pub use exchange::ExchangeRouter;
 pub use partition::FragmentPartition;

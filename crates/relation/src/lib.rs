@@ -40,7 +40,7 @@ pub mod stats;
 pub mod tc;
 pub mod tuple;
 
-pub use bulk::{MaterializeConfig, MaterializeEngine, MaterializeStats};
+pub use bulk::{MaterializeConfig, MaterializeEngine, MaterializeError, MaterializeStats};
 pub use relation::Relation;
 pub use stats::TcStats;
 pub use tuple::PathTuple;

@@ -400,6 +400,82 @@ mod tests {
         assert_eq!(stats.cache_hit_fraction(), 0.0);
     }
 
+    /// Satellite guarantee: now that `connected` no longer computes a
+    /// distance, a cached `shortest_path` answer can never be served
+    /// for a `connected` request on the same `(x, y, epoch)` — the fast
+    /// path never probes the answer cache, and the fallback path issues
+    /// a genuine shortest-path evaluation whose answer it only reads as
+    /// a boolean. This pins the fast path down with counters.
+    #[test]
+    fn connected_never_reads_the_shortest_path_answer_cache() {
+        let (g, snap) = snapshot();
+        let csr = g.closure_graph();
+        let server = Server::start(snap, ServeConfig::with_workers(1));
+        // Warm the per-epoch answer cache with genuine shortest-path
+        // answers on exactly the pairs we will ask `connected` about.
+        let pairs = [(0u32, 39u32), (3, 17), (5, 5)];
+        for &(x, y) in &pairs {
+            server.query(n(x), n(y));
+        }
+        let before = server.stats();
+        assert!(before.reach_index_fresh, "index published from the start");
+        for &(x, y) in &pairs {
+            assert_eq!(
+                server.connected(n(x), n(y)),
+                x == y || baseline::shortest_path_cost(&csr, n(x), n(y)).is_some(),
+                "connected({x}, {y})"
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.reach_fast_path - before.reach_fast_path,
+            2,
+            "both non-trivial pairs hit the index (x == y short-circuits)"
+        );
+        assert_eq!(
+            stats.evaluated, before.evaluated,
+            "connected never reached the worker pool"
+        );
+        assert_eq!(
+            stats.cache_hits + stats.cache_misses,
+            before.cache_hits + before.cache_misses,
+            "connected never probed the answer cache"
+        );
+    }
+
+    /// The writer rebuilds the reachability index once per publication:
+    /// after an invalidating update, the *published* snapshot's index is
+    /// already fresh, so readers never see a stale-index epoch.
+    #[test]
+    fn writer_republishes_a_fresh_reach_index() {
+        let (_, snap) = snapshot();
+        let f0 = snap.fragmentation().fragment(0).clone();
+        let e = f0.edges()[0];
+        let server = Server::start(snap, ServeConfig::with_workers(1));
+        server
+            .update(&NetworkUpdate::Remove {
+                src: e.src,
+                dst: e.dst,
+                owner: 0,
+            })
+            .unwrap();
+        assert_eq!(server.epoch(), 1);
+        let snap_now = server.snapshot();
+        assert!(
+            snap_now.reach_index().is_some(),
+            "published epoch carries a rebuilt index"
+        );
+        // And it answers the post-update network.
+        for (x, y) in [(0u32, 39u32), (e.src.0, e.dst.0)] {
+            assert_eq!(
+                server.connected(n(x), n(y)),
+                x == y || baseline::shortest_path_cost(snap_now.graph(), n(x), n(y)).is_some(),
+                "connected({x}, {y}) after removal"
+            );
+        }
+        server.shutdown();
+    }
+
     /// Load shedding: with the workers frozen, submissions beyond the
     /// queue capacity are rejected with the retry-after hint instead of
     /// blocking the producer, and the depth/rejection stats record the

@@ -172,6 +172,13 @@ pub struct ServeStats {
     /// Distinct requests probed against the cache without a usable entry
     /// (they were then evaluated). 0 when the cache is disabled.
     pub cache_misses: u64,
+    /// `connected` calls answered by the published snapshot's SCC/chain
+    /// reachability index — no queue, no worker, no Dijkstra sweep.
+    pub reach_fast_path: u64,
+    /// Whether the published snapshot currently carries a fresh
+    /// reachability index (false = disabled, or the writer has not yet
+    /// republished after an invalidating update).
+    pub reach_index_fresh: bool,
     /// Aggregated plan/segment amortization across every micro-batch.
     pub batch: BatchStats,
     /// Jobs waiting in the submission queue right now.
@@ -322,6 +329,8 @@ struct WriterLog {
 struct Shared {
     queue: BoundedQueue<QueryJob>,
     published: Published,
+    /// `connected` calls the reachability index answered directly.
+    reach_fast_path: AtomicU64,
     /// The per-epoch answer cache, shared by every worker; `None` when
     /// disabled by [`ServeConfig::answer_cache`].
     cache: Option<AnswerCache>,
@@ -357,6 +366,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity.max(workers)),
             published: Published::new(initial),
+            reach_fast_path: AtomicU64::new(0),
             cache: config
                 .answer_cache
                 .then(|| AnswerCache::new(config.answer_cache_entries)),
@@ -398,8 +408,25 @@ impl Server {
     }
 
     /// Connection query — "is `x` connected to `y`?".
+    ///
+    /// Answered on the calling thread from the published snapshot's
+    /// SCC/chain reachability index when it is fresh — no queue slot, no
+    /// worker dispatch, no Dijkstra sweep, and never a cached
+    /// shortest-path answer (the fast path does not touch the answer
+    /// cache at all). Falls back to a full shortest-path query through
+    /// the pool when the index is disabled or stale.
     pub fn connected(&self, x: NodeId, y: NodeId) -> bool {
-        x == y || self.query(x, y).answer.cost.is_some()
+        if x == y {
+            return true;
+        }
+        let (_, snap) = self.shared.published.current();
+        if let Some(reach) = snap.reach_index() {
+            if x.index() < reach.node_count() && y.index() < reach.node_count() {
+                self.shared.reach_fast_path.fetch_add(1, Ordering::Relaxed);
+                return reach.reaches(x, y);
+            }
+        }
+        self.query(x, y).answer.cost.is_some()
     }
 
     /// Admit a batch of requests as one job without blocking: `Ok` hands
@@ -499,6 +526,8 @@ impl Server {
             coalesced: 0,
             cache_hits: 0,
             cache_misses: 0,
+            reach_fast_path: self.shared.reach_fast_path.load(Ordering::Relaxed),
+            reach_index_fresh: snap.reach_index().is_some(),
             batch: BatchStats::default(),
             queue_depth: self.shared.queue.depth(),
             queue_high_water: self.shared.queue.high_water(),
@@ -801,6 +830,12 @@ fn writer_loop(
             }
         }
         if applied > 0 {
+            // One reachability-index rebuild per publication, not per
+            // update: every update this batch that could have changed
+            // reachability dropped the working copy's index; rebuilding
+            // here amortizes the linear cost across the whole batch and
+            // publishes the epoch with `connected` already sweep-free.
+            working.ensure_reach();
             // Copy-on-write publication: readers on the previous Arc
             // finish undisturbed; new micro-batches pick up this epoch.
             // The clone is O(sites) — every component of the working

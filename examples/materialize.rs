@@ -48,7 +48,7 @@ fn main() {
 
     // Bulk-materialize the closure through the facade.
     let t0 = Instant::now();
-    let (closure, stats) = sys.materialize();
+    let (closure, stats) = sys.materialize().expect("fixpoint converges");
     let bulk_time = t0.elapsed();
     println!("\nfragmented-parallel materialization:");
     println!("  {stats}");
@@ -78,10 +78,12 @@ fn main() {
 
     // Keyhole: restrict the closure to a handful of sources (§2.1).
     let sources: Vec<NodeId> = (0..4u32).map(NodeId).collect();
-    let (slice, slice_stats) = sys.materialize_with(MaterializeConfig {
-        sources: Some(sources.clone()),
-        ..Default::default()
-    });
+    let (slice, slice_stats) = sys
+        .materialize_with(MaterializeConfig {
+            sources: Some(sources.clone()),
+            ..Default::default()
+        })
+        .expect("fixpoint converges");
     println!(
         "\nkeyhole slice from {} sources: {} tuples ({})",
         sources.len(),

@@ -38,7 +38,7 @@ use ds_gen::output::expand_connections;
 use ds_gen::GeneratedGraph;
 use ds_graph::{Coord, CsrGraph, Edge, EdgeList};
 use ds_machine::Machine;
-use ds_relation::bulk::{MaterializeConfig, MaterializeEngine, MaterializeStats};
+use ds_relation::bulk::{MaterializeConfig, MaterializeEngine, MaterializeError, MaterializeStats};
 use ds_relation::{PathTuple, Relation};
 
 /// Which execution substrate evaluates phase one.
@@ -353,7 +353,11 @@ impl System {
     /// The result is tuple-identical to running the sequential
     /// semi-naive closure on the whole relation: every minimum-cost
     /// `(src, dst, cost)` path tuple, sorted.
-    pub fn materialize(&self) -> (Relation<PathTuple>, MaterializeStats) {
+    ///
+    /// Errors with [`MaterializeError::RoundLimit`] if the round safety
+    /// valve ([`MaterializeConfig::max_rounds`]) trips before the
+    /// fixpoint.
+    pub fn materialize(&self) -> Result<(Relation<PathTuple>, MaterializeStats), MaterializeError> {
         self.materialize_with(MaterializeConfig::default())
     }
 
@@ -363,7 +367,7 @@ impl System {
     pub fn materialize_with(
         &self,
         config: MaterializeConfig,
-    ) -> (Relation<PathTuple>, MaterializeStats) {
+    ) -> Result<(Relation<PathTuple>, MaterializeStats), MaterializeError> {
         MaterializeEngine::from_fragmentation(self.engine.fragmentation(), self.symmetric, config)
             .materialize()
     }
@@ -393,6 +397,13 @@ impl TcEngine for System {
 
     fn shortest_path(&mut self, x: ds_graph::NodeId, y: ds_graph::NodeId) -> QueryAnswer {
         self.engine.shortest_path(x, y)
+    }
+
+    /// Forwarded to the backend rather than the trait default, so the
+    /// backend's reachability fast path (SCC/chain index, no Dijkstra
+    /// sweep) answers instead of a full shortest-path computation.
+    fn connected(&mut self, x: ds_graph::NodeId, y: ds_graph::NodeId) -> bool {
+        self.engine.connected(x, y)
     }
 
     fn route(
@@ -588,7 +599,7 @@ mod tests {
     #[test]
     fn materialize_matches_engine_answers() {
         let mut sys = linear_system(Backend::Inline);
-        let (closure, stats) = sys.materialize();
+        let (closure, stats) = sys.materialize().unwrap();
         assert!(stats.fragments >= 2);
         assert!(stats.rounds >= 1);
         assert_eq!(stats.tc.result_tuples, closure.len());
@@ -600,10 +611,12 @@ mod tests {
             );
         }
         // The keyhole-restricted run is the source-slice of the full one.
-        let (slice, _) = sys.materialize_with(MaterializeConfig {
-            sources: Some(vec![n(4)]),
-            ..Default::default()
-        });
+        let (slice, _) = sys
+            .materialize_with(MaterializeConfig {
+                sources: Some(vec![n(4)]),
+                ..Default::default()
+            })
+            .unwrap();
         let expected: Vec<_> = closure
             .rows()
             .iter()

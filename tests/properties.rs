@@ -420,6 +420,109 @@ fn maintained_engine_equals_rebuilt_from_scratch() {
     }
 }
 
+/// Reachability-index equivalence: `connected` answered through the
+/// SCC/chain index of an engine *maintained* through a 20-step mixed
+/// insert/delete stream equals (a) plain Dijkstra connectivity on the
+/// final graph and (b) an engine rebuilt from scratch on that graph
+/// (whose index is built fresh, never maintained) — exhaustively over
+/// all node pairs, for every generator × {linear, center} fragmenter ×
+/// backend. This pins the keep/drop/rebuild rules of
+/// `ConnectivityEffect`: a stale index kept alive by a wrong rule shows
+/// up here as a connectivity answer diverging from the oracle.
+#[test]
+fn reachability_index_equals_dijkstra_connected() {
+    use discset::gen::output::expand_connections;
+
+    let mut case = 0u64;
+    for seed in 0..6u64 {
+        let g = if seed % 2 == 0 {
+            generate_general(
+                &GeneralConfig {
+                    nodes: 26,
+                    target_edges: 60,
+                    ..Default::default()
+                },
+                seed,
+            )
+        } else {
+            generate_transportation(
+                &TransportationConfig {
+                    clusters: 3,
+                    nodes_per_cluster: 9,
+                    target_edges_per_cluster: 22,
+                    ..TransportationConfig::default()
+                },
+                seed,
+            )
+        };
+        for fragmenter in [
+            Fragmenter::Linear(LinearConfig {
+                fragments: 3,
+                ..Default::default()
+            }),
+            Fragmenter::Center(CenterConfig {
+                fragments: 3,
+                ..Default::default()
+            }),
+        ] {
+            for backend in [Backend::Inline, Backend::SiteThreads] {
+                case += 1;
+                let mut rng = StdRng::seed_from_u64(0x2EAC4 ^ case);
+                let mut sys = System::builder()
+                    .graph(&g)
+                    .fragmenter(fragmenter.clone())
+                    .backend(backend)
+                    .build()
+                    .unwrap();
+                let mut applied = 0;
+                for _ in 0..300 {
+                    if applied >= 20 {
+                        break;
+                    }
+                    let Some(update) = arb_update(&mut rng, sys.fragmentation()) else {
+                        continue;
+                    };
+                    sys.update(&update).unwrap();
+                    applied += 1;
+                }
+                assert!(applied >= 20, "case {case}: not enough applicable updates");
+
+                // Oracle graph + from-scratch engine on the final network.
+                let final_frag = sys.fragmentation().clone();
+                let connections: Vec<Edge> = final_frag
+                    .fragments()
+                    .iter()
+                    .flat_map(|f| f.edges().iter().copied())
+                    .collect();
+                let csr = CsrGraph::from_edges(g.nodes, &expand_connections(&connections, true));
+                let mut fresh = System::builder()
+                    .network(g.nodes, connections)
+                    .fragmenter(Fragmenter::Prebuilt(final_frag))
+                    .backend(Backend::Inline)
+                    .build()
+                    .unwrap();
+                for x in 0..g.nodes as u32 {
+                    for y in 0..g.nodes as u32 {
+                        let (x, y) = (NodeId(x), NodeId(y));
+                        let want = x == y || baseline::shortest_path_cost(&csr, x, y).is_some();
+                        assert_eq!(
+                            sys.connected(x, y),
+                            want,
+                            "case {case} {}: maintained index {x}->{y}",
+                            sys.backend_name()
+                        );
+                        assert_eq!(
+                            fresh.connected(x, y),
+                            want,
+                            "case {case}: rebuilt index {x}->{y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Pure-insert sequences never fall back to a full recompute, on either
 /// backend (the acceptance contract of incremental insert maintenance).
 #[test]
@@ -1101,7 +1204,7 @@ fn all_closure_strategies_materialize_the_same_relation() {
                     partition.clone(),
                     MaterializeConfig::with_threads(threads),
                 );
-                let (bulk, stats) = engine.materialize();
+                let (bulk, stats) = engine.materialize().unwrap();
                 assert_eq!(
                     bulk.rows(),
                     seminaive.rows(),
