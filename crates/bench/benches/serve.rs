@@ -59,7 +59,7 @@ use ds_gen::{
     TransportationConfig,
 };
 use ds_graph::{NodeId, ScratchDijkstra};
-use ds_serve::{ServeConfig, Server};
+use ds_serve::{FaultPlan, FaultPoint, ServeConfig, Server};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -195,8 +195,15 @@ fn client_stream(w: &Workload, client: usize, ops: usize, write_permille: u32) -
 }
 
 /// Serve `w.ops_total` operations through a fresh server with `workers`
-/// workers; returns requests answered (for the optimizer).
-fn run_config(w: &Workload, workers: usize, write_permille: u32) -> u64 {
+/// workers; returns requests answered (for the optimizer). `fault` is
+/// `None` on every gated row; the overhead row passes an armed-but-silent
+/// plan to price the hook itself.
+fn run_config(
+    w: &Workload,
+    workers: usize,
+    write_permille: u32,
+    fault: Option<Arc<FaultPlan>>,
+) -> u64 {
     let clients = workers * CLIENTS_PER_WORKER;
     let ops_per_client = w.ops_total / clients;
     let streams: Vec<Vec<Op>> = (0..clients)
@@ -209,6 +216,7 @@ fn run_config(w: &Workload, workers: usize, write_permille: u32) -> u64 {
             queue_capacity: 4096,
             batch_max: 128,
             write_batch_max: 16,
+            fault,
             ..ServeConfig::default()
         },
     );
@@ -220,7 +228,7 @@ fn run_config(w: &Workload, workers: usize, write_permille: u32) -> u64 {
                 for op in stream {
                     match op {
                         Op::Read(r) => {
-                            server.query(r.source, r.target);
+                            server.query(r.source, r.target).expect("healthy pool");
                         }
                         Op::Write(u) => {
                             let _ = server.update(u);
@@ -508,7 +516,7 @@ fn main() {
                 .map(|w| {
                     group
                         .run(&format!("{name}/seed-{}", w.seed), || {
-                            run_config(w, workers, write_permille)
+                            run_config(w, workers, write_permille, None)
                         })
                         .median_ns
                 })
@@ -524,6 +532,29 @@ fn main() {
             medians.push((name, per_seed));
         }
     }
+
+    // Fault-hook overhead: the transportation 95/5 row at 4 workers with
+    // an armed-but-silent plan (a rule whose occurrence count can never
+    // be reached, so every hook takes the armed path without firing).
+    // Non-gating — the row keeps the hook's price visible in the JSON.
+    let armed_plan =
+        Arc::new(FaultPlan::new().panic_at(FaultPoint::ServeWorker { worker: 0 }, u64::MAX));
+    eprintln!("[serve] measuring fault-hook overhead (armed-but-silent)");
+    let armed: Vec<f64> = transportation
+        .iter()
+        .map(|w| {
+            group
+                .run(
+                    &format!(
+                        "transportation/95r-5w/workers-4/fault-armed/seed-{}",
+                        w.seed
+                    ),
+                    || run_config(w, 4, 50, Some(armed_plan.clone())),
+                )
+                .median_ns
+        })
+        .collect();
+    group.record("transportation/95r-5w/workers-4/fault-armed", &armed);
 
     println!("{}", render(group.results()));
     println!("aggregate throughput (closed loop, {CLIENTS_PER_WORKER} connections/worker, {THINK_US}us think time):");
@@ -561,6 +592,17 @@ fn main() {
             }
         }
     }
+    let base4 = seeds_of("transportation/95r-5w/workers-4");
+    let worst_overhead = base4
+        .iter()
+        .zip(&armed)
+        .map(|(b, a)| a / b)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "fault hooks: armed-but-silent plan costs {:+.1}% vs baseline on the worst \
+         seed (informational, non-gating)",
+        (worst_overhead - 1.0) * 100.0
+    );
     let worst_publication = publication_ratios
         .iter()
         .cloned()

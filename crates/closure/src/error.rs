@@ -1,6 +1,7 @@
 //! Errors of the disconnection set engine.
 
 use std::fmt;
+use std::time::Duration;
 
 use ds_graph::NodeId;
 
@@ -16,6 +17,20 @@ pub enum ClosureError {
     /// Route reconstruction was requested but the engine was built without
     /// shortcut path storage (`EngineConfig::store_paths`).
     RoutesNotEnabled,
+    /// The serve worker evaluating this request's micro-batch panicked.
+    /// The request was not answered; the worker has been respawned and a
+    /// retry will be served normally.
+    WorkerFailed,
+    /// A machine site thread died (or timed out) while this operation
+    /// needed it. The coordinator redeploys the site from its retained
+    /// fragment/table state; a retry will be served normally.
+    SiteUnavailable { site: usize },
+    /// The request sat in the serve queue past its deadline and was shed
+    /// without evaluation; `waited` is how long it had been queued.
+    DeadlineExceeded { waited: Duration },
+    /// The serve writer died: the server is in read-only degraded mode.
+    /// Reads keep serving the last published epoch; updates are refused.
+    WriterDown,
 }
 
 impl fmt::Display for ClosureError {
@@ -36,6 +51,18 @@ impl fmt::Display for ClosureError {
                     f,
                     "route reconstruction requires EngineConfig::store_paths = true"
                 )
+            }
+            ClosureError::WorkerFailed => {
+                write!(f, "serve worker panicked while evaluating this batch")
+            }
+            ClosureError::SiteUnavailable { site } => {
+                write!(f, "site {site} is unavailable (thread dead or timed out)")
+            }
+            ClosureError::DeadlineExceeded { waited } => {
+                write!(f, "request shed after waiting {waited:?} past its deadline")
+            }
+            ClosureError::WriterDown => {
+                write!(f, "writer thread is down; server is read-only (degraded)")
             }
         }
     }
@@ -60,5 +87,15 @@ mod tests {
         assert!(ClosureError::RoutesNotEnabled
             .to_string()
             .contains("store_paths"));
+        assert!(ClosureError::WorkerFailed.to_string().contains("worker"));
+        assert!(ClosureError::SiteUnavailable { site: 2 }
+            .to_string()
+            .contains('2'));
+        assert!(ClosureError::DeadlineExceeded {
+            waited: Duration::from_millis(5)
+        }
+        .to_string()
+        .contains("shed"));
+        assert!(ClosureError::WriterDown.to_string().contains("read-only"));
     }
 }

@@ -1,3 +1,9 @@
+// Supervised-tier hygiene: non-test code must not carry implicit panic
+// points — site failures surface as `ClosureError::SiteUnavailable` or
+// go through an explicit `unreachable!` with its invariant spelled out.
+// CI promotes these to errors with -D warnings.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 //! # ds-machine — a simulated shared-nothing multiprocessor database machine
 //!
 //! The paper's experiments were destined for PRISMA/DB, a multi-processor
@@ -41,6 +47,7 @@ pub mod stats;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use ds_closure::api::{build_parts, run_batch, SiteEvaluator};
 use ds_closure::complementary::ComplementaryInfo;
@@ -55,9 +62,33 @@ use ds_fragment::Fragmentation;
 use ds_graph::{CsrGraph, NodeId, ReachIndex, ScratchDijkstra};
 use ds_relation::{PathTuple, Relation};
 
+pub use ds_fault::{FaultPlan, FaultPoint};
 use protocol::{EdgeChange, SiteDelta, SiteRequest, SiteResponse};
 use site::SiteInit;
 pub use stats::{MachineStats, SiteStats};
+
+/// Deployment knobs that are about the machine's *operation*, not the
+/// closure algorithm (that is [`EngineConfig`]).
+#[derive(Clone, Debug)]
+pub struct MachineOptions {
+    /// How long the coordinator waits on the response channel before
+    /// declaring every site that still owes an answer dead and
+    /// redeploying it. Generous by default: a healthy site answers in
+    /// microseconds, so 10 s only ever fires on a genuinely dead thread.
+    pub site_recv_timeout: Duration,
+    /// Deterministic fault plan armed at every site thread. `None` (the
+    /// default) reduces the hook to a single branch per message.
+    pub fault: Option<Arc<FaultPlan>>,
+}
+
+impl Default for MachineOptions {
+    fn default() -> Self {
+        MachineOptions {
+            site_recv_timeout: Duration::from_secs(10),
+            fault: None,
+        }
+    }
+}
 
 /// The deployed machine: running site threads plus the coordinator state.
 ///
@@ -74,7 +105,17 @@ pub struct Machine {
     comp: ComplementaryInfo,
     senders: Vec<mpsc::Sender<SiteRequest>>,
     responses: mpsc::Receiver<SiteResponse>,
+    /// Retained clone of the sites' response sender so a redeployed site
+    /// can be handed the same channel. (Consequence: the response channel
+    /// never disconnects, which is why every coordinator receive is a
+    /// `recv_timeout`.)
+    resp_tx: mpsc::Sender<SiteResponse>,
     handles: Vec<JoinHandle<()>>,
+    /// Handles of replaced site threads; joined at shutdown. A replaced
+    /// thread exits on its own once it observes its closed request
+    /// channel (or already died — that is why it was replaced).
+    retired: Vec<JoinHandle<()>>,
+    options: MachineOptions,
     planner: Arc<Planner>,
     stats: MachineStats,
     next_tag: u64,
@@ -109,6 +150,19 @@ impl Machine {
         symmetric: bool,
         cfg: EngineConfig,
     ) -> Result<Self, ClosureError> {
+        Self::deploy_with_options(graph, frag, symmetric, cfg, MachineOptions::default())
+    }
+
+    /// Deploy with explicit [`MachineOptions`] on top of the engine
+    /// configuration: the dead-site detection timeout and an optional
+    /// deterministic fault plan for chaos testing.
+    pub fn deploy_with_options(
+        graph: CsrGraph,
+        frag: Fragmentation,
+        symmetric: bool,
+        cfg: EngineConfig,
+        options: MachineOptions,
+    ) -> Result<Self, ClosureError> {
         // Shared build path with the inline backend.
         let parts = build_parts(&graph, &frag, symmetric, &cfg)?;
         let inits: Vec<SiteInit> = frag
@@ -122,7 +176,12 @@ impl Machine {
                 shortcuts: parts.comp.shortcuts(f.id()).to_vec(),
             })
             .collect();
-        let (senders, responses, handles) = spawn_sites(inits);
+        let SpawnedSites {
+            senders,
+            responses,
+            resp_tx,
+            handles,
+        } = spawn_sites(inits, &options.fault);
         let site_count = senders.len();
         let reach = cfg.reach_index.then(|| Arc::new(ReachIndex::build(&graph)));
         Ok(Machine {
@@ -133,7 +192,10 @@ impl Machine {
             comp: parts.comp,
             senders,
             responses,
+            resp_tx,
             handles,
+            retired: Vec::new(),
+            options,
             planner: parts.planner,
             stats: MachineStats::new(site_count),
             next_tag: 0,
@@ -158,40 +220,140 @@ impl Machine {
             // Site may already be gone; ignore send failures on shutdown.
             let _ = s.send(SiteRequest::Shutdown);
         }
-        for h in self.handles.drain(..) {
+        for h in self.handles.drain(..).chain(self.retired.drain(..)) {
+            // A replaced or injected-panic thread joins with Err; the
+            // failure was already handled when the site was redeployed.
             let _ = h.join();
+        }
+    }
+
+    /// Redeploy one site from the coordinator's retained fragment and
+    /// complementary state — the same [`SiteInit`] path as `deploy`, so
+    /// the new thread is consistent with the coordinator by construction
+    /// (including any update the dead site missed).
+    fn respawn_site(&mut self, site: usize) {
+        let f = self.frag.fragment(site);
+        let init = SiteInit {
+            site,
+            node_count: self.graph.node_count(),
+            symmetric: self.symmetric,
+            frag_edges: f.edges().to_vec(),
+            shortcuts: self.comp.shortcuts(site).to_vec(),
+        };
+        let (req_tx, req_rx) = mpsc::channel();
+        let tx = self.resp_tx.clone();
+        let fault = self.options.fault.clone();
+        let handle = std::thread::spawn(move || site::run_site(init, req_rx, tx, fault));
+        // Dropping the old sender tells a merely-slow (not dead) old
+        // thread to exit; its late responses carry stale tags and are
+        // discarded by the tag-driven collection loops.
+        self.senders[site] = req_tx;
+        self.retired
+            .push(std::mem::replace(&mut self.handles[site], handle));
+        self.stats.site_restarts += 1;
+    }
+
+    /// One evaluation round with typed failure: if any site dies (or
+    /// stops answering for [`MachineOptions::site_recv_timeout`]) the
+    /// whole batch is discarded, every suspect site is redeployed from
+    /// the coordinator's retained state, and the first failed site is
+    /// reported as [`ClosureError::SiteUnavailable`]. A retry after the
+    /// error hits a healthy machine.
+    pub fn try_query_batch(
+        &mut self,
+        requests: &[QueryRequest],
+    ) -> Result<BatchAnswer, ClosureError> {
+        let mut failed: BTreeSet<usize> = BTreeSet::new();
+        let Machine {
+            ref planner,
+            ref senders,
+            ref responses,
+            ref options,
+            ref mut stats,
+            ref mut next_tag,
+            ..
+        } = *self;
+        let mut eval = ChannelEval {
+            senders,
+            responses,
+            recv_timeout: options.site_recv_timeout,
+            stats,
+            next_tag,
+            failed: &mut failed,
+        };
+        let batch = run_batch(planner, &mut eval, requests);
+        if let Some(&site) = failed.iter().next() {
+            for &s in &failed {
+                self.respawn_site(s);
+            }
+            return Err(ClosureError::SiteUnavailable { site });
+        }
+        self.stats.queries += requests.len();
+        Ok(batch)
+    }
+
+    /// Single-request [`Machine::try_query_batch`].
+    pub fn try_shortest_path(&mut self, x: NodeId, y: NodeId) -> Result<QueryAnswer, ClosureError> {
+        let mut batch = self.try_query_batch(&[QueryRequest::new(x, y)])?;
+        match batch.answers.pop() {
+            Some(a) => Ok(a),
+            None => unreachable!("run_batch returns one answer per request"),
         }
     }
 }
 
+/// The channel fabric of a freshly spawned site pool: per-site request
+/// senders, the shared response channel, and the coordinator's retained
+/// clone of its sender (respawned sites get a fresh clone, so the
+/// channel never disconnects — dead sites are detected by timeout).
+struct SpawnedSites {
+    senders: Vec<mpsc::Sender<SiteRequest>>,
+    responses: mpsc::Receiver<SiteResponse>,
+    resp_tx: mpsc::Sender<SiteResponse>,
+    handles: Vec<JoinHandle<()>>,
+}
+
 /// Spawn one site thread per fragment, each owning its [`SiteInit`].
-fn spawn_sites(
-    inits: Vec<SiteInit>,
-) -> (
-    Vec<mpsc::Sender<SiteRequest>>,
-    mpsc::Receiver<SiteResponse>,
-    Vec<JoinHandle<()>>,
-) {
+fn spawn_sites(inits: Vec<SiteInit>, fault: &Option<Arc<FaultPlan>>) -> SpawnedSites {
     let (resp_tx, responses) = mpsc::channel();
     let mut senders = Vec::with_capacity(inits.len());
     let mut handles = Vec::with_capacity(inits.len());
     for init in inits {
         let (req_tx, req_rx) = mpsc::channel();
         let tx = resp_tx.clone();
-        handles.push(std::thread::spawn(move || site::run_site(init, req_rx, tx)));
+        let plan = fault.clone();
+        handles.push(std::thread::spawn(move || {
+            site::run_site(init, req_rx, tx, plan)
+        }));
         senders.push(req_tx);
     }
-    (senders, responses, handles)
+    SpawnedSites {
+        senders,
+        responses,
+        resp_tx,
+        handles,
+    }
 }
 
 /// Site evaluation over the message channels: all requested subqueries of
 /// a chain are dispatched before any response is read — the sites
 /// genuinely work concurrently.
+///
+/// Failure handling: a send error (the site's request channel is closed
+/// because its thread died) or a response timeout marks the suspect
+/// site(s) in `failed` and stops evaluating — the remaining segments come
+/// back empty and the coordinator discards the whole batch, redeploys the
+/// failed sites and reports [`ClosureError::SiteUnavailable`]. Responses
+/// whose tag matches no pending subquery are late answers from a
+/// previously failed round (a slow-not-dead site that was replaced) and
+/// are dropped.
 struct ChannelEval<'a> {
     senders: &'a [mpsc::Sender<SiteRequest>],
     responses: &'a mpsc::Receiver<SiteResponse>,
+    recv_timeout: Duration,
     stats: &'a mut MachineStats,
     next_tag: &'a mut u64,
+    failed: &'a mut BTreeSet<usize>,
 }
 
 impl SiteEvaluator for ChannelEval<'_> {
@@ -201,45 +363,65 @@ impl SiteEvaluator for ChannelEval<'_> {
         positions: &[usize],
         qstats: &mut QueryStats,
     ) -> Vec<Relation<PathTuple>> {
-        // Dispatch phase: one message per site subquery.
-        let mut tag_to_slot = HashMap::with_capacity(positions.len());
-        for (slot, &pos) in positions.iter().enumerate() {
-            let q = &chain.queries[pos];
-            let tag = *self.next_tag;
-            *self.next_tag += 1;
-            tag_to_slot.insert(tag, slot);
-            self.stats.messages_sent += 1;
-            self.senders[q.site]
-                .send(SiteRequest::SubQuery {
+        let mut segments: Vec<Option<Relation<PathTuple>>> = vec![None; positions.len()];
+        // Once any site has failed the batch is doomed: skip dispatching.
+        if self.failed.is_empty() {
+            // Dispatch phase: one message per site subquery.
+            let mut pending: HashMap<u64, (usize, usize)> = HashMap::with_capacity(positions.len());
+            for (slot, &pos) in positions.iter().enumerate() {
+                let q = &chain.queries[pos];
+                let tag = *self.next_tag;
+                *self.next_tag += 1;
+                let req = SiteRequest::SubQuery {
                     tag,
                     sources: q.sources.clone(),
                     targets: q.targets.clone(),
-                })
-                .expect("site thread alive");
+                };
+                if self.senders[q.site].send(req).is_err() {
+                    self.failed.insert(q.site);
+                    break;
+                }
+                self.stats.messages_sent += 1;
+                pending.insert(tag, (slot, q.site));
+            }
+            // Collect phase: the final joins' communication.
+            while !pending.is_empty() && self.failed.is_empty() {
+                match self.responses.recv_timeout(self.recv_timeout) {
+                    Ok(SiteResponse::SubQuery(resp)) => {
+                        let Some((slot, _)) = pending.remove(&resp.tag) else {
+                            self.stats.stale_responses += 1;
+                            continue;
+                        };
+                        self.stats.messages_received += 1;
+                        self.stats.tuples_shipped += resp.rows.len();
+                        let s = &mut self.stats.sites[resp.site];
+                        s.subqueries += 1;
+                        s.busy += resp.busy;
+                        s.tuples_produced += resp.rows.len();
+                        qstats.site_queries += 1;
+                        qstats.tuples_shipped += resp.rows.len();
+                        qstats.total_site_busy += resp.busy;
+                        qstats.max_site_busy = qstats.max_site_busy.max(resp.busy);
+                        segments[slot] = Some(Relation::from_rows("segment", resp.rows));
+                    }
+                    Ok(SiteResponse::DeltaApplied { .. }) => {
+                        // Late ack from a failed update round.
+                        self.stats.stale_responses += 1;
+                    }
+                    Err(_) => {
+                        // Timed out: every site still owing an answer is
+                        // suspect. (The channel cannot disconnect — the
+                        // coordinator retains a sender clone.)
+                        self.failed.extend(pending.values().map(|&(_, site)| site));
+                    }
+                }
+            }
         }
-        // Collect phase: the final joins' communication.
-        let mut segments: Vec<Option<Relation<PathTuple>>> = vec![None; positions.len()];
-        for _ in 0..positions.len() {
-            let SiteResponse::SubQuery(resp) = self.responses.recv().expect("site thread alive")
-            else {
-                unreachable!("no deltas are in flight during query evaluation")
-            };
-            self.stats.messages_received += 1;
-            self.stats.tuples_shipped += resp.rows.len();
-            let s = &mut self.stats.sites[resp.site];
-            s.subqueries += 1;
-            s.busy += resp.busy;
-            s.tuples_produced += resp.rows.len();
-            qstats.site_queries += 1;
-            qstats.tuples_shipped += resp.rows.len();
-            qstats.total_site_busy += resp.busy;
-            qstats.max_site_busy = qstats.max_site_busy.max(resp.busy);
-            let slot = tag_to_slot[&resp.tag];
-            segments[slot] = Some(Relation::from_rows("segment", resp.rows));
-        }
+        // On failure the missing segments come back empty; the batch's
+        // answers are discarded by the coordinator.
         segments
             .into_iter()
-            .map(|s| s.expect("every tag answered"))
+            .map(|s| s.unwrap_or_else(|| Relation::from_rows("segment", Vec::new())))
             .collect()
     }
 }
@@ -261,7 +443,10 @@ impl TcEngine for Machine {
     /// [`TcEngine::query_batch`].
     fn shortest_path(&mut self, x: NodeId, y: NodeId) -> QueryAnswer {
         let mut batch = self.query_batch(&[QueryRequest::new(x, y)]);
-        batch.answers.pop().expect("one answer per request")
+        match batch.answers.pop() {
+            Some(a) => a,
+            None => unreachable!("run_batch returns one answer per request"),
+        }
     }
 
     /// Sites ship only cost tuples, never concrete paths — route
@@ -348,16 +533,15 @@ impl TcEngine for Machine {
         };
         let mut targets: BTreeSet<usize> = m.shortcut_sites.iter().copied().collect();
         targets.insert(owner);
+        let mut failed: BTreeSet<usize> = BTreeSet::new();
         let mut pending: HashMap<u64, usize> = HashMap::with_capacity(targets.len());
         for &f in &targets {
             let tag = self.next_tag;
             self.next_tag += 1;
-            pending.insert(tag, f);
             let shortcuts = m
                 .shortcut_sites
                 .contains(&f)
                 .then(|| self.comp.shortcuts(f).to_vec());
-            self.stats.update_tuples_shipped += shortcuts.as_ref().map_or(0, Vec::len);
             let delta = SiteDelta {
                 tag,
                 edge_change: (f == owner).then_some(match *update {
@@ -366,52 +550,76 @@ impl TcEngine for Machine {
                 }),
                 shortcuts,
             };
+            let shipped = delta.shortcuts.as_ref().map_or(0, Vec::len);
+            // Keep shipping to the remaining touched sites even after a
+            // failure: a redeployed site is rebuilt from post-maintenance
+            // state, but live sites only stay consistent via their delta.
+            if self.senders[f].send(SiteRequest::Delta(delta)).is_err() {
+                failed.insert(f);
+                continue;
+            }
+            self.stats.update_tuples_shipped += shipped;
             self.stats.messages_sent += 1;
             self.stats.update_messages_sent += 1;
-            self.senders[f]
-                .send(SiteRequest::Delta(delta))
-                .expect("site thread alive");
+            pending.insert(tag, f);
         }
-        for _ in 0..targets.len() {
-            match self.responses.recv().expect("site thread alive") {
-                SiteResponse::DeltaApplied { site, tag, busy } => {
-                    assert_eq!(
-                        pending.remove(&tag),
-                        Some(site),
-                        "delta ack does not match a shipped delta"
-                    );
+        while !pending.is_empty() {
+            match self.responses.recv_timeout(self.options.site_recv_timeout) {
+                Ok(SiteResponse::DeltaApplied { site, tag, busy }) => {
+                    let Some(expected) = pending.remove(&tag) else {
+                        self.stats.stale_responses += 1;
+                        continue;
+                    };
+                    debug_assert_eq!(expected, site, "delta ack does not match a shipped delta");
                     self.stats.messages_received += 1;
                     let s = &mut self.stats.sites[site];
                     s.deltas_applied += 1;
                     s.busy += busy;
                 }
-                SiteResponse::SubQuery(_) => {
-                    unreachable!("no subqueries are in flight during an update")
+                Ok(SiteResponse::SubQuery(_)) => {
+                    // Late answer from a failed query round.
+                    self.stats.stale_responses += 1;
+                }
+                Err(_) => {
+                    failed.extend(pending.values().copied());
+                    pending.clear();
                 }
             }
         }
         self.stats.updates += 1;
+        if let Some(&site) = failed.iter().next() {
+            // The update IS applied: the coordinator maintained its own
+            // state, live sites acked their deltas, and each redeployed
+            // site is rebuilt from the already-maintained state. The
+            // error reports that sites died (and were replaced) mid-round.
+            for &s in &failed {
+                self.respawn_site(s);
+            }
+            return Err(ClosureError::SiteUnavailable { site });
+        }
         Ok(m.report)
     }
 
+    /// The infallible trait surface retries [`Machine::try_query_batch`]:
+    /// each failed attempt redeploys the dead sites, so a retry runs
+    /// against a healthy machine (and injected fault rules are one-shot).
+    /// Callers that want the typed error instead use `try_query_batch`.
     fn query_batch(&mut self, requests: &[QueryRequest]) -> BatchAnswer {
-        let Machine {
-            ref planner,
-            ref senders,
-            ref responses,
-            ref mut stats,
-            ref mut next_tag,
-            ..
-        } = *self;
-        let mut eval = ChannelEval {
-            senders,
-            responses,
-            stats,
-            next_tag,
-        };
-        let batch = run_batch(planner, &mut eval, requests);
-        self.stats.queries += requests.len();
-        batch
+        let attempts = self.senders.len() + 1;
+        let mut last = None;
+        for _ in 0..attempts {
+            match self.try_query_batch(requests) {
+                Ok(batch) => return batch,
+                Err(e) => last = Some(e),
+            }
+        }
+        panic!(
+            "machine: sites kept failing across {attempts} redeploy attempts: {}",
+            match last {
+                Some(e) => e.to_string(),
+                None => unreachable!("at least one attempt ran"),
+            }
+        )
     }
 }
 
@@ -649,5 +857,91 @@ mod tests {
         let (_, mut m) = machine();
         assert!(m.connected(n(0), n(35)));
         assert!(m.connected(n(12), n(12)));
+    }
+
+    fn machine_with_fault(plan: FaultPlan) -> (ds_gen::GeneratedGraph, Machine) {
+        let g = grid(9, 4);
+        let frag = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig {
+                fragments: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .fragmentation;
+        let m = Machine::deploy_with_options(
+            g.closure_graph(),
+            frag,
+            true,
+            EngineConfig::default(),
+            MachineOptions {
+                site_recv_timeout: Duration::from_millis(200),
+                fault: Some(Arc::new(plan)),
+            },
+        )
+        .unwrap();
+        (g, m)
+    }
+
+    #[test]
+    fn dead_site_is_detected_and_redeployed() {
+        // Site 1 panics on its first message: the coordinator times out,
+        // reports the typed error, respawns the site — and the retry is
+        // exact.
+        let (g, mut m) =
+            machine_with_fault(FaultPlan::new().panic_at(FaultPoint::MachineSite { site: 1 }, 1));
+        let err = m.try_shortest_path(n(0), n(35)).unwrap_err();
+        assert_eq!(err, ClosureError::SiteUnavailable { site: 1 });
+        assert_eq!(m.stats().site_restarts, 1);
+        let csr = g.closure_graph();
+        assert_eq!(
+            m.try_shortest_path(n(0), n(35)).unwrap().cost,
+            baseline::shortest_path_cost(&csr, n(0), n(35)),
+        );
+        m.shutdown();
+    }
+
+    #[test]
+    fn infallible_surface_retries_through_a_site_death() {
+        // Same fault, but through the TcEngine surface: the internal
+        // respawn + retry makes the failure invisible to the caller.
+        let (g, mut m) =
+            machine_with_fault(FaultPlan::new().fail_at(FaultPoint::MachineSite { site: 2 }, 1));
+        let csr = g.closure_graph();
+        assert_eq!(
+            m.shortest_path(n(0), n(35)).cost,
+            baseline::shortest_path_cost(&csr, n(0), n(35)),
+        );
+        assert_eq!(m.stats().site_restarts, 1);
+        m.shutdown();
+    }
+
+    #[test]
+    fn update_with_dead_site_redeploys_and_stays_consistent() {
+        // Site 0 dies on its next message, which is the update's delta.
+        let (_, mut m) =
+            machine_with_fault(FaultPlan::new().panic_at(FaultPoint::MachineSite { site: 0 }, 1));
+        let f0 = m.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        let err = m
+            .update(&NetworkUpdate::Insert {
+                edge: Edge::new(a, b, 1),
+                owner: 0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ClosureError::SiteUnavailable { .. }));
+        assert_eq!(m.stats().site_restarts, 1);
+        // The update is applied everywhere: the redeployed site was
+        // rebuilt from post-maintenance state. Answers stay exact.
+        let csr = m.graph.clone();
+        for (x, y) in [(0u32, 35u32), (8, 27), (20, 3)] {
+            assert_eq!(
+                m.shortest_path(n(x), n(y)).cost,
+                baseline::shortest_path_cost(&csr, n(x), n(y)),
+                "post-failover {x}->{y}"
+            );
+        }
+        m.shutdown();
     }
 }

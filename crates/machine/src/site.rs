@@ -7,10 +7,11 @@
 //! shared state — the shared-nothing property is enforced by ownership:
 //! `run_site` moves the [`SiteInit`] into the thread.
 
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 use ds_closure::local::{augmented_graph, border_matrix_with};
+use ds_fault::{FaultPlan, FaultPoint};
 use ds_graph::{CsrGraph, Edge, ScratchDijkstra};
 
 use crate::protocol::{EdgeChange, SiteDelta, SiteRequest, SiteResponse, SubQueryResult};
@@ -64,10 +65,17 @@ pub fn run_site(
     mut state: SiteInit,
     requests: mpsc::Receiver<SiteRequest>,
     responses: mpsc::Sender<SiteResponse>,
+    fault: Option<Arc<FaultPlan>>,
 ) {
     let mut augmented = state.augmented();
     let mut scratch = ScratchDijkstra::new();
     while let Ok(req) = requests.recv() {
+        // Deterministic fault hook, counted per received message: `Panic`
+        // unwinds the thread, `Fail` dies silently mid-protocol — either
+        // way the coordinator sees a site that stopped answering.
+        if ds_fault::fire(&fault, FaultPoint::MachineSite { site: state.site }) {
+            return;
+        }
         match req {
             SiteRequest::SubQuery {
                 tag,
@@ -133,7 +141,7 @@ mod tests {
     fn site_answers_and_shuts_down() {
         let (req_tx, req_rx) = mpsc::channel();
         let (resp_tx, resp_rx) = mpsc::channel();
-        let h = std::thread::spawn(move || run_site(init(), req_rx, resp_tx));
+        let h = std::thread::spawn(move || run_site(init(), req_rx, resp_tx, None));
         req_tx
             .send(SiteRequest::SubQuery {
                 tag: 42,
@@ -154,7 +162,7 @@ mod tests {
     fn delta_rebuilds_the_augmented_graph() {
         let (req_tx, req_rx) = mpsc::channel();
         let (resp_tx, resp_rx) = mpsc::channel();
-        let h = std::thread::spawn(move || run_site(init(), req_rx, resp_tx));
+        let h = std::thread::spawn(move || run_site(init(), req_rx, resp_tx, None));
         // Remove 1 -> 2: node 2 becomes unreachable from 0.
         req_tx
             .send(SiteRequest::Delta(SiteDelta {
@@ -209,7 +217,7 @@ mod tests {
         let (resp_tx, _resp_rx) = mpsc::channel();
         let mut st = init();
         st.frag_edges.clear();
-        let h = std::thread::spawn(move || run_site(st, req_rx, resp_tx));
+        let h = std::thread::spawn(move || run_site(st, req_rx, resp_tx, None));
         drop(req_tx);
         h.join().unwrap();
     }

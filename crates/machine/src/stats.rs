@@ -37,6 +37,12 @@ pub struct MachineStats {
     /// Shortcut tuples shipped in deltas (the update maintenance
     /// communication volume — compare against `tuples_shipped`).
     pub update_tuples_shipped: usize,
+    /// Site threads redeployed by the coordinator after a death or
+    /// response timeout (supervision; the machine keeps serving).
+    pub site_restarts: usize,
+    /// Responses discarded because their tag matched no pending request —
+    /// late answers from rounds that already failed over.
+    pub stale_responses: usize,
     /// Per-site breakdown.
     pub sites: Vec<SiteStats>,
 }

@@ -27,10 +27,12 @@ use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use ds_fault::{lock_unpoisoned, wait_unpoisoned, FaultPlan, FaultPoint};
 use ds_fragment::Fragmentation;
 use ds_graph::{BitSet, Cost, NodeId, INFINITE_COST};
 
@@ -62,6 +64,10 @@ pub struct MaterializeConfig {
     /// on the hottest operation) at n² × 8 bytes per fragment; above
     /// it, a hash map keyed by packed pairs. `0` forces the sparse map.
     pub dense_limit: usize,
+    /// Deterministic fault plan fired once per fragment round
+    /// ([`FaultPoint::BulkWorker`]). `None` (the default) reduces the
+    /// hook to a single branch.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for MaterializeConfig {
@@ -71,6 +77,7 @@ impl Default for MaterializeConfig {
             sources: None,
             max_rounds: 0,
             dense_limit: DEFAULT_DENSE_LIMIT,
+            fault: None,
         }
     }
 }
@@ -99,6 +106,14 @@ pub enum MaterializeError {
         /// The configured round budget that was exhausted.
         max_rounds: usize,
     },
+    /// A worker panicked (or an injected fault killed it) while running
+    /// this fragment's round. The run is aborted, the queue closed, and
+    /// every surviving worker joined — the panic never crosses into the
+    /// caller, and the engine stays usable for a fresh run.
+    WorkerPanicked {
+        /// The fragment whose round was being evaluated.
+        fragment: usize,
+    },
 }
 
 impl fmt::Display for MaterializeError {
@@ -107,6 +122,10 @@ impl fmt::Display for MaterializeError {
             MaterializeError::RoundLimit { max_rounds } => write!(
                 f,
                 "materialization exceeded max_rounds = {max_rounds} without reaching the fixpoint"
+            ),
+            MaterializeError::WorkerPanicked { fragment } => write!(
+                f,
+                "materialization worker panicked on fragment {fragment}; the run was aborted"
             ),
         }
     }
@@ -372,14 +391,14 @@ impl JobQueue {
     }
 
     fn push(&self, job: Job) {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.0.push_back(job);
         drop(inner);
         self.not_empty.notify_one();
     }
 
     fn pop(&self) -> Option<Job> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         loop {
             if let Some(job) = inner.0.pop_front() {
                 return Some(job);
@@ -387,12 +406,12 @@ impl JobQueue {
             if inner.1 {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("queue poisoned");
+            inner = wait_unpoisoned(&self.not_empty, inner);
         }
     }
 
     fn close(&self) {
-        self.inner.lock().expect("queue poisoned").1 = true;
+        lock_unpoisoned(&self.inner).1 = true;
         self.not_empty.notify_all();
     }
 }
@@ -612,9 +631,25 @@ impl MaterializeEngine {
             let mut pending: Vec<(usize, Vec<PathTuple>)> = Vec::with_capacity(active.len());
             for &fid in &active {
                 let inbox = std::mem::take(&mut inboxes[fid]);
-                let (outgoing, counters) = self.run_round(fid, &mut states[fid], inbox, seed_round);
-                self.absorb_counters(fid, &counters, inner_totals, stats, &mut round);
-                pending.push((fid, outgoing));
+                // Same isolation as the pool: a panic (real or injected)
+                // aborts the run as a typed error instead of unwinding
+                // through the caller.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let injected = ds_fault::fire(
+                        &self.config.fault,
+                        FaultPoint::BulkWorker { fragment: fid },
+                    );
+                    (!injected).then(|| self.run_round(fid, &mut states[fid], inbox, seed_round))
+                }));
+                match outcome {
+                    Ok(Some((outgoing, counters))) => {
+                        self.absorb_counters(fid, &counters, inner_totals, stats, &mut round);
+                        pending.push((fid, outgoing));
+                    }
+                    Ok(None) | Err(_) => {
+                        return Err(MaterializeError::WorkerPanicked { fragment: fid });
+                    }
+                }
             }
             for (fid, outgoing) in pending {
                 round.exchanged += self.router.route(fid, &outgoing, inboxes);
@@ -637,7 +672,10 @@ impl MaterializeEngine {
         stats: &mut MaterializeStats,
     ) -> Result<(), MaterializeError> {
         let queue = JobQueue::new();
-        let (tx, rx) = mpsc::channel::<RoundResult>();
+        // `Err(fid)` is the panic marker: the worker caught an unwind (or
+        // an injected kill) while evaluating fragment `fid` and stays
+        // alive for the next job; the coordinator aborts the run.
+        let (tx, rx) = mpsc::channel::<Result<RoundResult, usize>>();
         let mut slots: Vec<Option<FragmentRun>> = states.drain(..).map(Some).collect();
 
         std::thread::scope(|scope| {
@@ -646,18 +684,26 @@ impl MaterializeEngine {
                 let queue = &queue;
                 scope.spawn(move || {
                     while let Some(mut job) = queue.pop() {
+                        let fid = job.fid;
                         let inbox = std::mem::take(&mut job.inbox);
-                        let (outgoing, counters) =
-                            self.run_round(job.fid, &mut job.state, inbox, job.seed_round);
-                        if tx
-                            .send(RoundResult {
-                                fid: job.fid,
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            let injected = ds_fault::fire(
+                                &self.config.fault,
+                                FaultPoint::BulkWorker { fragment: fid },
+                            );
+                            (!injected)
+                                .then(|| self.run_round(fid, &mut job.state, inbox, job.seed_round))
+                        }));
+                        let msg = match outcome {
+                            Ok(Some((outgoing, counters))) => Ok(RoundResult {
+                                fid,
                                 state: job.state,
                                 outgoing,
                                 counters,
-                            })
-                            .is_err()
-                        {
+                            }),
+                            Ok(None) | Err(_) => Err(fid),
+                        };
+                        if tx.send(msg).is_err() {
                             break;
                         }
                     }
@@ -691,17 +737,36 @@ impl MaterializeEngine {
                         seed_round,
                     });
                 }
+                let mut failure = None;
                 for _ in 0..active.len() {
-                    let result = rx.recv().expect("worker panicked");
-                    self.absorb_counters(
-                        result.fid,
-                        &result.counters,
-                        inner_totals,
-                        stats,
-                        &mut round,
-                    );
-                    round.exchanged += self.router.route(result.fid, &result.outgoing, inboxes);
-                    slots[result.fid] = Some(result.state);
+                    // The coordinator retains a sender clone, so the
+                    // channel cannot disconnect while it still expects
+                    // results.
+                    let msg = match rx.recv() {
+                        Ok(m) => m,
+                        Err(_) => unreachable!("coordinator holds a sender"),
+                    };
+                    match msg {
+                        Ok(result) => {
+                            self.absorb_counters(
+                                result.fid,
+                                &result.counters,
+                                inner_totals,
+                                stats,
+                                &mut round,
+                            );
+                            round.exchanged +=
+                                self.router.route(result.fid, &result.outgoing, inboxes);
+                            slots[result.fid] = Some(result.state);
+                        }
+                        Err(fragment) => {
+                            failure = Some(MaterializeError::WorkerPanicked { fragment });
+                            break;
+                        }
+                    }
+                }
+                if let Some(e) = failure {
+                    break Err(e);
                 }
                 self.finish_round(round, stats);
             };
@@ -1048,5 +1113,50 @@ mod tests {
         let (closure, stats) = engine.materialize().unwrap();
         assert!(!closure.is_empty());
         assert!(stats.rounds >= 2);
+    }
+
+    /// Pool mode: a worker panic mid-round must come back as a typed
+    /// error with every thread joined (returning at all proves the scope
+    /// join did not hang), and a fault-free run on a fresh engine over
+    /// the same partition still converges.
+    #[test]
+    fn pool_worker_panic_is_a_typed_error_with_clean_joins() {
+        let plan = FaultPlan::new().panic_at(FaultPoint::BulkWorker { fragment: 0 }, 1);
+        let engine = MaterializeEngine::from_fragmentation(
+            &path_split(),
+            true,
+            MaterializeConfig {
+                threads: 2,
+                fault: Some(Arc::new(plan)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            engine.materialize().unwrap_err(),
+            MaterializeError::WorkerPanicked { fragment: 0 }
+        );
+        assert_matches_seminaive(&path_split(), true, MaterializeConfig::with_threads(2));
+    }
+
+    /// Inline mode gives the identical typed error — the isolation is
+    /// mode-independent. `Fail` (silent death) behaves like a panic.
+    #[test]
+    fn inline_worker_fault_is_a_typed_error() {
+        let plan = FaultPlan::new().fail_at(FaultPoint::BulkWorker { fragment: 1 }, 1);
+        let engine = MaterializeEngine::from_fragmentation(
+            &path_split(),
+            true,
+            MaterializeConfig {
+                threads: 1,
+                fault: Some(Arc::new(plan)),
+                ..Default::default()
+            },
+        );
+        let err = engine.materialize().unwrap_err();
+        assert_eq!(err, MaterializeError::WorkerPanicked { fragment: 1 });
+        assert!(err.to_string().contains("fragment 1"), "{err}");
+        // The rule is one-shot: a retry on the same engine converges.
+        let (closure, _) = engine.materialize().unwrap();
+        assert!(!closure.is_empty());
     }
 }

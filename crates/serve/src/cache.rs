@@ -77,7 +77,7 @@ impl AnswerCache {
     /// The answer cached for `key` at `epoch`, if any. A shard left over
     /// from an older epoch is cleared on first contact with a newer one.
     pub fn get(&self, epoch: u64, key: (NodeId, NodeId)) -> Option<QueryAnswer> {
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = ds_fault::lock_unpoisoned(self.shard(key));
         if shard.epoch != epoch {
             if shard.epoch < epoch {
                 shard.map.clear();
@@ -95,7 +95,7 @@ impl AnswerCache {
     /// is at its per-epoch capacity (the cache is bounded; overwriting
     /// an existing key is always admitted).
     pub fn insert(&self, epoch: u64, key: (NodeId, NodeId), answer: QueryAnswer) {
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = ds_fault::lock_unpoisoned(self.shard(key));
         if shard.epoch < epoch {
             shard.map.clear();
             shard.epoch = epoch;

@@ -1,3 +1,9 @@
+// Supervised-tier hygiene: non-test code must not carry implicit panic
+// points — failures surface as typed errors (`ServeError`,
+// `ClosureError`) or go through an explicit `unreachable!` with its
+// invariant spelled out. CI promotes these to errors with -D warnings.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 //! # ds-serve — concurrent query serving over engine snapshots
 //!
 //! The paper parallelizes the *precompute* across fragment sites; this
@@ -61,6 +67,17 @@
 //!   [`Overloaded`] with a retry-after hint and the blocking wrappers
 //!   back off and retry; queue depth / high-water / rejections are
 //!   reported in [`ServeStats`].
+//! * **Fault tolerance.** Workers evaluate under `catch_unwind` behind
+//!   a supervisor: a panicking micro-batch resolves every in-flight
+//!   request with a typed `ClosureError::WorkerFailed` (never a hang)
+//!   and the worker is respawned ([`ServeStats::worker_restarts`]).
+//!   Writer death flips the server into read-only degraded mode
+//!   (updates refused with `WriterDown`, reads keep serving the last
+//!   published epoch). Jobs queued past [`ServeConfig::deadline`] are
+//!   shed with `DeadlineExceeded`, and the blocking wrappers retry
+//!   `Overloaded` admissions a bounded number of times
+//!   ([`ServeConfig::max_admission_retries`]). Failures are injectable
+//!   deterministically through `ds_fault` ([`ServeConfig::fault`]).
 //! * **Observability.** [`ServeStats`] reports throughput, p50/p99
 //!   latency from an in-crate fixed-bucket [`LatencyHistogram`],
 //!   per-worker busy time and scratch reuse, batch amortization and
@@ -80,7 +97,7 @@
 //!     .fragmentation;
 //! let snap = EngineSnapshot::build(g.closure_graph(), frag, true, EngineConfig::default()).unwrap();
 //! let server = Server::start(snap, ServeConfig::with_workers(2));
-//! let served = server.query(NodeId(0), NodeId(29));
+//! let served = server.query(NodeId(0), NodeId(29)).unwrap();
 //! assert_eq!(served.answer.cost, Some(11));
 //! assert_eq!(served.epoch, 0);
 //! let stats = server.shutdown();
@@ -93,10 +110,11 @@ mod queue;
 pub mod server;
 
 pub use ds_closure::snapshot::EngineSnapshot;
+pub use ds_fault::{FaultPlan, FaultPoint, FaultScenario, FaultUniverse};
 pub use histogram::LatencyHistogram;
 pub use server::{
-    LatencySummary, Overloaded, PendingBatch, ServeConfig, ServeStats, ServedAnswer, ServedBatch,
-    ServedUpdate, Server,
+    LatencySummary, Overloaded, PendingBatch, ServeConfig, ServeError, ServeStats, ServedAnswer,
+    ServedBatch, ServedUpdate, Server,
 };
 
 #[cfg(test)]
@@ -141,7 +159,7 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..25u32 {
                         let (x, y) = (n((i * 7 + t) % 40), n((i * 11) % 40));
-                        let served = server.query(x, y);
+                        let served = server.query(x, y).unwrap();
                         assert_eq!(
                             served.answer.cost,
                             baseline::shortest_path_cost(csr, x, y),
@@ -180,7 +198,7 @@ mod tests {
         let requests: Vec<QueryRequest> = (0..12u32)
             .map(|i| QueryRequest::new(n(i), n(39 - i)))
             .collect();
-        let served = server.query_batch(&requests);
+        let served = server.query_batch(&requests).unwrap();
         assert_eq!(served.answers.len(), 12);
         for (req, a) in requests.iter().zip(&served.answers) {
             assert_eq!(
@@ -200,7 +218,7 @@ mod tests {
         let server = Server::start(snap, ServeConfig::with_workers(1));
         // One job containing the same request 8 times: single-flight.
         let requests = vec![QueryRequest::new(n(0), n(39)); 8];
-        let served = server.query_batch(&requests);
+        let served = server.query_batch(&requests).unwrap();
         assert_eq!(served.answers.len(), 8);
         let cost = served.answers[0].cost;
         assert!(served.answers.iter().all(|a| a.cost == cost));
@@ -217,7 +235,7 @@ mod tests {
         let f0 = snap.fragmentation().fragment(0).clone();
         let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
         let server = Server::start(snap, ServeConfig::with_workers(2));
-        let before = server.query(n(0), n(39));
+        let before = server.query(n(0), n(39)).unwrap();
         assert_eq!(before.epoch, 0);
 
         let served = server
@@ -230,7 +248,7 @@ mod tests {
         assert!(!served.report.full_recompute);
         assert_eq!(server.epoch(), 1);
 
-        let after = server.query(n(0), n(39));
+        let after = server.query(n(0), n(39)).unwrap();
         assert_eq!(after.epoch, 1, "new micro-batches see the new epoch");
         assert!(after.answer.cost <= before.answer.cost);
         // The published snapshot is the post-update network.
@@ -248,7 +266,7 @@ mod tests {
             })
             .unwrap();
         assert_eq!(removed.epoch, 2);
-        let restored = server.query(n(0), n(39));
+        let restored = server.query(n(0), n(39)).unwrap();
         assert_eq!(restored.answer.cost, before.answer.cost);
         let stats = server.shutdown();
         assert_eq!(stats.updates, 2);
@@ -277,7 +295,7 @@ mod tests {
         assert_eq!(noop.report.sites_touched, 0);
         assert_eq!(noop.epoch, 0, "no-op stays on the current epoch");
         assert_eq!(server.epoch(), 0);
-        assert!(server.query(n(0), n(39)).answer.cost.is_some());
+        assert!(server.query(n(0), n(39)).unwrap().answer.cost.is_some());
         let stats = server.shutdown();
         assert_eq!(stats.updates, 0, "no effective updates");
         assert_eq!(stats.publications, 0);
@@ -288,7 +306,7 @@ mod tests {
         let (_, snap) = snapshot();
         let server = Server::start(snap, ServeConfig::with_workers(2));
         for i in 0..10u32 {
-            server.query(n(i), n(39 - i));
+            server.query(n(i), n(39 - i)).unwrap();
         }
         let stats = server.shutdown();
         assert_eq!(
@@ -305,13 +323,13 @@ mod tests {
     fn empty_batch_is_answered_inline() {
         let (_, snap) = snapshot();
         let server = Server::start(snap, ServeConfig::with_workers(1));
-        let served = server.query_batch(&[]);
+        let served = server.query_batch(&[]).unwrap();
         assert!(served.answers.is_empty());
         // The non-blocking entry points agree: no queue slot is spent,
         // so an empty batch can never be shed.
         server.pause_workers();
         let pending = server.submit(&[]).unwrap();
-        assert!(pending.wait().answers.is_empty());
+        assert!(pending.wait().unwrap().answers.is_empty());
         server.unpause_workers();
         let stats = server.stats();
         assert_eq!(stats.queue_high_water, 0, "empty jobs never enqueue");
@@ -328,9 +346,9 @@ mod tests {
         let server = Server::start(snap, ServeConfig::with_workers(1));
         // Separate jobs → separate micro-batches (single client thread),
         // so the repeats cannot be absorbed by in-batch coalescing.
-        let first = server.query(n(0), n(39));
+        let first = server.query(n(0), n(39)).unwrap();
         for _ in 0..5 {
-            let again = server.query(n(0), n(39));
+            let again = server.query(n(0), n(39)).unwrap();
             assert_eq!(again.answer.cost, first.answer.cost);
             assert_eq!(again.epoch, 0);
         }
@@ -355,8 +373,8 @@ mod tests {
         let f0 = snap.fragmentation().fragment(0).clone();
         let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
         let server = Server::start(snap, ServeConfig::with_workers(1));
-        let before = server.query(n(0), n(39));
-        let cached = server.query(n(0), n(39));
+        let before = server.query(n(0), n(39)).unwrap();
+        let cached = server.query(n(0), n(39)).unwrap();
         assert_eq!(cached.answer.cost, before.answer.cost);
 
         server
@@ -365,7 +383,7 @@ mod tests {
                 owner: 0,
             })
             .unwrap();
-        let after = server.query(n(0), n(39));
+        let after = server.query(n(0), n(39)).unwrap();
         assert_eq!(after.epoch, 1);
         let snap_now = server.snapshot();
         assert_eq!(
@@ -391,7 +409,7 @@ mod tests {
             },
         );
         for _ in 0..4 {
-            server.query(n(0), n(39));
+            server.query(n(0), n(39)).unwrap();
         }
         let stats = server.shutdown();
         assert_eq!(stats.cache_hits, 0);
@@ -415,13 +433,13 @@ mod tests {
         // answers on exactly the pairs we will ask `connected` about.
         let pairs = [(0u32, 39u32), (3, 17), (5, 5)];
         for &(x, y) in &pairs {
-            server.query(n(x), n(y));
+            server.query(n(x), n(y)).unwrap();
         }
         let before = server.stats();
         assert!(before.reach_index_fresh, "index published from the start");
         for &(x, y) in &pairs {
             assert_eq!(
-                server.connected(n(x), n(y)),
+                server.connected(n(x), n(y)).unwrap(),
                 x == y || baseline::shortest_path_cost(&csr, n(x), n(y)).is_some(),
                 "connected({x}, {y})"
             );
@@ -468,7 +486,7 @@ mod tests {
         // And it answers the post-update network.
         for (x, y) in [(0u32, 39u32), (e.src.0, e.dst.0)] {
             assert_eq!(
-                server.connected(n(x), n(y)),
+                server.connected(n(x), n(y)).unwrap(),
                 x == y || baseline::shortest_path_cost(snap_now.graph(), n(x), n(y)).is_some(),
                 "connected({x}, {y}) after removal"
             );
@@ -500,7 +518,7 @@ mod tests {
         assert_eq!(rejected.unwrap_err(), server::Overloaded { retry_after });
         assert!(matches!(
             server.try_query_batch(&[QueryRequest::new(n(2), n(37))]),
-            Err(server::Overloaded { .. })
+            Err(server::ServeError::Overloaded { attempts: 1, .. })
         ));
         {
             let stats = server.stats();
@@ -510,13 +528,150 @@ mod tests {
             assert_eq!(stats.queue_rejections, 2);
         }
         server.unpause_workers();
-        assert!(p1.wait().answers[0].cost.is_some());
-        assert!(p2.wait().answers[0].cost.is_some());
+        assert!(p1.wait().unwrap().answers[0].cost.is_some());
+        assert!(p2.wait().unwrap().answers[0].cost.is_some());
         // With space free again, the blocking wrapper goes straight in.
-        assert!(server.query(n(2), n(37)).answer.cost.is_some());
+        assert!(server.query(n(2), n(37)).unwrap().answer.cost.is_some());
         let stats = server.shutdown();
         assert_eq!(stats.requests, 3);
         assert_eq!(stats.queue_depth, 0, "drained");
         assert_eq!(stats.queue_rejections, 2);
+    }
+
+    /// The blocking wrapper's admission retries are bounded: with the
+    /// workers frozen and the queue full, `query_batch` backs off
+    /// `max_admission_retries` times and then returns the typed
+    /// overload error instead of spinning forever.
+    #[test]
+    fn blocking_wrapper_gives_up_after_bounded_retries() {
+        let (_, snap) = snapshot();
+        let server = Server::start(
+            snap,
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 1,
+                retry_after: std::time::Duration::from_micros(50),
+                max_admission_retries: 3,
+                ..ServeConfig::default()
+            },
+        );
+        server.pause_workers();
+        let p = server.submit(&[QueryRequest::new(n(0), n(39))]).unwrap();
+        match server.query_batch(&[QueryRequest::new(n(1), n(38))]) {
+            Err(ServeError::Overloaded { attempts, .. }) => assert_eq!(attempts, 4),
+            other => panic!("expected bounded-retry overload, got {other:?}"),
+        }
+        server.unpause_workers();
+        assert!(p.wait().unwrap().answers[0].cost.is_some());
+        server.shutdown();
+    }
+
+    /// A worker panic mid-batch resolves every in-flight request with
+    /// the typed `WorkerFailed` error (no hang), the supervisor keeps
+    /// the pool alive, and the server serves correctly afterwards.
+    #[test]
+    fn worker_panic_is_isolated_and_the_pool_recovers() {
+        let (g, snap) = snapshot();
+        let csr = g.closure_graph();
+        let plan = Arc::new(FaultPlan::new().panic_at(FaultPoint::ServeWorker { worker: 0 }, 1));
+        let server = Server::start(
+            snap,
+            ServeConfig {
+                workers: 1,
+                fault: Some(Arc::clone(&plan)),
+                ..ServeConfig::default()
+            },
+        );
+        // First job hits the injected panic: typed error, not a hang.
+        assert!(matches!(
+            server.query(n(0), n(39)),
+            Err(ServeError::Request(ds_closure::ClosureError::WorkerFailed))
+        ));
+        assert!(plan.exhausted());
+        // The pool recovered: the same query is now answered exactly.
+        let served = server.query(n(0), n(39)).unwrap();
+        assert_eq!(
+            served.answer.cost,
+            baseline::shortest_path_cost(&csr, n(0), n(39))
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.worker_restarts, 1);
+        assert!(!stats.degraded, "a worker panic never degrades writes");
+    }
+
+    /// Writer death flips the server into read-only degraded mode:
+    /// the in-flight update resolves with `WriterDown` (no hang),
+    /// later updates are refused, reads keep serving the last epoch.
+    #[test]
+    fn writer_death_degrades_to_read_only() {
+        let (g, snap) = snapshot();
+        let csr = g.closure_graph();
+        let f0 = snap.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        let plan = Arc::new(FaultPlan::new().panic_at(FaultPoint::ServeWriter, 1));
+        let server = Server::start(
+            snap,
+            ServeConfig {
+                workers: 2,
+                fault: Some(plan),
+                ..ServeConfig::default()
+            },
+        );
+        let insert = NetworkUpdate::Insert {
+            edge: Edge::new(a, b, 1),
+            owner: 0,
+        };
+        assert!(matches!(
+            server.update(&insert),
+            Err(ds_closure::ClosureError::WriterDown)
+        ));
+        assert!(
+            matches!(
+                server.update(&insert),
+                Err(ds_closure::ClosureError::WriterDown)
+            ),
+            "degraded mode refuses every later update"
+        );
+        // Reads keep serving the last published epoch.
+        let served = server.query(n(0), n(39)).unwrap();
+        assert_eq!(served.epoch, 0);
+        assert_eq!(
+            served.answer.cost,
+            baseline::shortest_path_cost(&csr, n(0), n(39))
+        );
+        let stats = server.shutdown();
+        assert!(stats.degraded);
+        assert_eq!(stats.epoch, 0, "the failed update published nothing");
+    }
+
+    /// Jobs queued past their deadline are shed with the typed
+    /// `DeadlineExceeded { waited }` error and counted.
+    #[test]
+    fn expired_jobs_are_shed_with_a_typed_error() {
+        let (_, snap) = snapshot();
+        let deadline = std::time::Duration::from_millis(5);
+        let server = Server::start(
+            snap,
+            ServeConfig {
+                workers: 1,
+                deadline: Some(deadline),
+                ..ServeConfig::default()
+            },
+        );
+        server.pause_workers();
+        let stale = server.submit(&[QueryRequest::new(n(0), n(39))]).unwrap();
+        std::thread::sleep(deadline * 4);
+        server.unpause_workers();
+        match stale.wait() {
+            Err(ds_closure::ClosureError::DeadlineExceeded { waited }) => {
+                assert!(waited >= deadline, "{waited:?} past the deadline")
+            }
+            other => panic!("expected a deadline shed, got {other:?}"),
+        }
+        // A fresh request (no queueing delay) is served normally.
+        assert!(server.query(n(0), n(39)).unwrap().answer.cost.is_some());
+        let stats = server.shutdown();
+        assert_eq!(stats.deadline_shed, 1);
+        assert_eq!(stats.requests, 1, "only the fresh request was served");
     }
 }

@@ -12,6 +12,8 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+use ds_fault::{lock_unpoisoned, wait_unpoisoned};
+
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
@@ -58,7 +60,7 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::Full`] (counted as a rejection), after close as
     /// [`PushError::Closed`].
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         if inner.closed {
             return Err(PushError::Closed(item));
         }
@@ -77,7 +79,7 @@ impl<T> BoundedQueue<T> {
     /// pending right now (the consumer can release resources before
     /// falling back to the blocking [`BoundedQueue::pop_batch`]).
     pub fn try_pop_batch(&self, max: usize) -> Option<Vec<T>> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         if inner.paused || inner.items.is_empty() {
             return None;
         }
@@ -92,7 +94,7 @@ impl<T> BoundedQueue<T> {
     /// the queue is empty. An empty vec means: closed and fully drained —
     /// the consumer should exit.
     pub fn pop_batch(&self, max: usize) -> Vec<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         loop {
             if !inner.paused && !inner.items.is_empty() {
                 let take = inner.items.len().min(max.max(1));
@@ -105,23 +107,23 @@ impl<T> BoundedQueue<T> {
             if inner.closed && !inner.paused {
                 return Vec::new();
             }
-            inner = self.not_empty.wait(inner).expect("queue poisoned");
+            inner = wait_unpoisoned(&self.not_empty, inner);
         }
     }
 
     /// Jobs currently waiting (not yet drained by a consumer).
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        lock_unpoisoned(&self.inner).items.len()
     }
 
     /// The deepest the queue has ever been.
     pub fn high_water(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").high_water
+        lock_unpoisoned(&self.inner).high_water
     }
 
     /// Pushes refused because the queue was at capacity.
     pub fn rejections(&self) -> u64 {
-        self.inner.lock().expect("queue poisoned").rejections
+        lock_unpoisoned(&self.inner).rejections
     }
 
     pub fn capacity(&self) -> usize {
@@ -132,13 +134,13 @@ impl<T> BoundedQueue<T> {
     /// can fill it to capacity deterministically.
     #[cfg(test)]
     pub fn pause(&self) {
-        self.inner.lock().expect("queue poisoned").paused = true;
+        lock_unpoisoned(&self.inner).paused = true;
     }
 
     /// Test hook: release paused consumers.
     #[cfg(test)]
     pub fn unpause(&self) {
-        self.inner.lock().expect("queue poisoned").paused = false;
+        lock_unpoisoned(&self.inner).paused = false;
         self.not_empty.notify_all();
     }
 
@@ -147,7 +149,7 @@ impl<T> BoundedQueue<T> {
     /// test-hook pause so shutdown can never strand a consumer waiting
     /// behind a pause that will not be lifted.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.closed = true;
         inner.paused = false;
         drop(inner);

@@ -3,7 +3,8 @@
 //! thread driving incremental update maintenance.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -13,6 +14,7 @@ use ds_closure::complementary::PrecomputeStrategy;
 use ds_closure::snapshot::EngineSnapshot;
 use ds_closure::updates::UpdateReport;
 use ds_closure::{ClosureError, QueryAnswer};
+use ds_fault::{lock_unpoisoned, FaultPlan, FaultPoint};
 use ds_fragment::FragmentId;
 use ds_graph::{NodeId, ScratchDijkstra, ScratchStats};
 
@@ -48,6 +50,21 @@ pub struct ServeConfig {
     /// the blocking convenience wrappers sleep between admission
     /// attempts).
     pub retry_after: Duration,
+    /// Request deadline, stamped at admission. A job still queued past
+    /// its deadline is **shed by the worker that drains it** with
+    /// [`ClosureError::DeadlineExceeded`] instead of being evaluated
+    /// (counted in [`ServeStats::deadline_shed`]). `None` (the default)
+    /// disables shedding.
+    pub deadline: Option<Duration>,
+    /// How many times the blocking [`Server::query_batch`] wrapper
+    /// retries an [`Overloaded`] admission (with exponential back-off
+    /// starting at [`ServeConfig::retry_after`]) before giving up and
+    /// returning [`ServeError::Overloaded`]. 0 = no retry.
+    pub max_admission_retries: u32,
+    /// Armed fault-injection plan (tests only; `None` in production).
+    /// The hooks are a single `Option` branch when disarmed — the serve
+    /// bench's fault-overhead row measures exactly this.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +77,9 @@ impl Default for ServeConfig {
             answer_cache: true,
             answer_cache_entries: 65_536,
             retry_after: Duration::from_micros(200),
+            deadline: None,
+            max_admission_retries: 16,
+            fault: None,
         }
     }
 }
@@ -118,18 +138,63 @@ impl std::fmt::Display for Overloaded {
 
 impl std::error::Error for Overloaded {}
 
+/// Why a blocking query wrapper failed. Admission exhaustion and
+/// request-level failures (worker panic, deadline shed) are distinct:
+/// the former never entered the queue, the latter consumed a slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Every admission attempt was shed; `attempts` counts them.
+    Overloaded {
+        retry_after: Duration,
+        attempts: u32,
+    },
+    /// The job was admitted but resolved to a typed failure instead of
+    /// an answer (worker panic, deadline shed, ...).
+    Request(ClosureError),
+}
+
+impl ServeError {
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, ServeError::Overloaded { .. })
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                retry_after,
+                attempts,
+            } => write!(
+                f,
+                "serve queue still at capacity after {attempts} attempts; retry after {retry_after:?}"
+            ),
+            ServeError::Request(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
 /// An admitted (but not yet answered) job: the handle
 /// [`Server::submit`] returns. [`PendingBatch::wait`] blocks until the
 /// worker pool replies.
 #[derive(Debug)]
 pub struct PendingBatch {
-    rx: mpsc::Receiver<ServedBatch>,
+    rx: mpsc::Receiver<Result<ServedBatch, ClosureError>>,
 }
 
 impl PendingBatch {
-    /// Block until the pool answers this job.
-    pub fn wait(self) -> ServedBatch {
-        self.rx.recv().expect("worker pool alive")
+    /// Block until the pool resolves this job — with the answers, or
+    /// with the typed error the supervisor attached (worker panic,
+    /// deadline shed). Never hangs: if the worker holding the job died
+    /// without replying, the dropped channel reports
+    /// [`ClosureError::WorkerFailed`].
+    pub fn wait(self) -> Result<ServedBatch, ClosureError> {
+        match self.rx.recv() {
+            Ok(outcome) => outcome,
+            Err(mpsc::RecvError) => Err(ClosureError::WorkerFailed),
+        }
     }
 }
 
@@ -208,6 +273,18 @@ pub struct ServeStats {
     pub backend: &'static str,
     /// Which precompute strategy built (or last rebuilt) those tables.
     pub strategy: PrecomputeStrategy,
+    /// Times a worker was respawned by its supervisor after a panic.
+    /// Every request of the doomed micro-batch resolved to
+    /// [`ClosureError::WorkerFailed`] first — nothing hangs.
+    pub worker_restarts: u64,
+    /// Jobs shed at the worker because they sat queued past
+    /// [`ServeConfig::deadline`] (each resolved to
+    /// [`ClosureError::DeadlineExceeded`]).
+    pub deadline_shed: u64,
+    /// `true` once the writer thread died: the server is read-only.
+    /// Reads keep serving the last published epoch; updates are refused
+    /// with [`ClosureError::WriterDown`].
+    pub degraded: bool,
 }
 
 impl ServeStats {
@@ -248,7 +325,7 @@ impl ServeStats {
 
 struct QueryJob {
     requests: Vec<QueryRequest>,
-    reply: mpsc::Sender<ServedBatch>,
+    reply: mpsc::Sender<Result<ServedBatch, ClosureError>>,
     submitted: Instant,
 }
 
@@ -280,24 +357,29 @@ impl Published {
     /// version. Costs one atomic load when already fresh; workers clear
     /// the cache before blocking idle (see `worker_loop`), so only
     /// workers with work in hand keep an epoch alive.
-    fn pin(&self, cached: &mut Option<(u64, Arc<EngineSnapshot>)>) {
+    fn pin<'a>(
+        &self,
+        cached: &'a mut Option<(u64, Arc<EngineSnapshot>)>,
+    ) -> &'a (u64, Arc<EngineSnapshot>) {
         let current = self.epoch.load(Ordering::Acquire);
+        let fresh = matches!(cached, Some((epoch, _)) if *epoch == current);
+        if !fresh {
+            let slot = lock_unpoisoned(&self.slot);
+            *cached = Some((slot.0, Arc::clone(&slot.1)));
+        }
         match cached {
-            Some((epoch, _)) if *epoch == current => {}
-            _ => {
-                let slot = self.slot.lock().expect("publish slot poisoned");
-                *cached = Some((slot.0, Arc::clone(&slot.1)));
-            }
+            Some(pair) => pair,
+            None => unreachable!("pin fills the slot above"),
         }
     }
 
     fn current(&self) -> (u64, Arc<EngineSnapshot>) {
-        let slot = self.slot.lock().expect("publish slot poisoned");
+        let slot = lock_unpoisoned(&self.slot);
         (slot.0, Arc::clone(&slot.1))
     }
 
     fn publish(&self, epoch: u64, snapshot: Arc<EngineSnapshot>) {
-        let mut slot = self.slot.lock().expect("publish slot poisoned");
+        let mut slot = lock_unpoisoned(&self.slot);
         *slot = (epoch, snapshot);
         drop(slot);
         self.epoch.store(epoch, Ordering::Release);
@@ -338,6 +420,18 @@ struct Shared {
     writer_log: Mutex<WriterLog>,
     batch_max: usize,
     retry_after: Duration,
+    /// See [`ServeConfig::deadline`].
+    deadline: Option<Duration>,
+    /// See [`ServeConfig::max_admission_retries`].
+    max_admission_retries: u32,
+    /// Armed fault-injection plan (`None` in production).
+    fault: Option<Arc<FaultPlan>>,
+    /// Workers respawned after a panic.
+    worker_restarts: AtomicU64,
+    /// Jobs shed past their deadline.
+    deadline_shed: AtomicU64,
+    /// Set when the writer dies: read-only degraded mode.
+    degraded: AtomicBool,
     started: Instant,
 }
 
@@ -376,19 +470,36 @@ impl Server {
             writer_log: Mutex::new(WriterLog::default()),
             batch_max: config.batch_max.max(1),
             retry_after: config.retry_after,
+            deadline: config.deadline,
+            max_admission_retries: config.max_admission_retries,
+            fault: config.fault.clone(),
+            worker_restarts: AtomicU64::new(0),
+            deadline_shed: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
             started: Instant::now(),
         });
         let mut handles = Vec::with_capacity(workers + 1);
         for id in 0..workers {
             let shared = Arc::clone(&shared);
-            handles.push(std::thread::spawn(move || worker_loop(&shared, id)));
+            handles.push(std::thread::spawn(move || supervised_worker(&shared, id)));
         }
         let (write_tx, write_rx) = mpsc::channel::<WriteJob>();
         {
             let shared = Arc::clone(&shared);
             let max = config.write_batch_max.max(1);
             handles.push(std::thread::spawn(move || {
-                writer_loop(&shared, working, &write_rx, max)
+                // The writer has no respawn path: its private working
+                // copy dies with it. Death flips the server into
+                // read-only degraded mode instead of stalling updaters —
+                // dropping `write_rx` here resolves every queued and
+                // future update with `WriterDown` (see `Server::update`).
+                let died = catch_unwind(AssertUnwindSafe(|| {
+                    writer_loop(&shared, working, &write_rx, max)
+                }))
+                .is_err();
+                if died {
+                    shared.degraded.store(true, Ordering::SeqCst);
+                }
             }));
         }
         Server {
@@ -399,11 +510,14 @@ impl Server {
     }
 
     /// Answer one shortest-path request (blocking).
-    pub fn query(&self, x: NodeId, y: NodeId) -> ServedAnswer {
-        let mut batch = self.query_batch(&[QueryRequest::new(x, y)]);
-        ServedAnswer {
-            answer: batch.answers.pop().expect("one answer per request"),
-            epoch: batch.epoch,
+    pub fn query(&self, x: NodeId, y: NodeId) -> Result<ServedAnswer, ServeError> {
+        let mut batch = self.query_batch(&[QueryRequest::new(x, y)])?;
+        match batch.answers.pop() {
+            Some(answer) => Ok(ServedAnswer {
+                answer,
+                epoch: batch.epoch,
+            }),
+            None => Err(ServeError::Request(ClosureError::WorkerFailed)),
         }
     }
 
@@ -415,18 +529,18 @@ impl Server {
     /// shortest-path answer (the fast path does not touch the answer
     /// cache at all). Falls back to a full shortest-path query through
     /// the pool when the index is disabled or stale.
-    pub fn connected(&self, x: NodeId, y: NodeId) -> bool {
+    pub fn connected(&self, x: NodeId, y: NodeId) -> Result<bool, ServeError> {
         if x == y {
-            return true;
+            return Ok(true);
         }
         let (_, snap) = self.shared.published.current();
         if let Some(reach) = snap.reach_index() {
             if x.index() < reach.node_count() && y.index() < reach.node_count() {
                 self.shared.reach_fast_path.fetch_add(1, Ordering::Relaxed);
-                return reach.reaches(x, y);
+                return Ok(reach.reaches(x, y));
             }
         }
-        self.query(x, y).answer.cost.is_some()
+        Ok(self.query(x, y)?.answer.cost.is_some())
     }
 
     /// Admit a batch of requests as one job without blocking: `Ok` hands
@@ -439,10 +553,10 @@ impl Server {
         if requests.is_empty() {
             // Nothing to evaluate: answer inline instead of spending a
             // queue slot (and never shed a job that carries no work).
-            let _ = tx.send(ServedBatch {
+            let _ = tx.send(Ok(ServedBatch {
                 answers: Vec::new(),
                 epoch: self.epoch(),
-            });
+            }));
             return Ok(PendingBatch { rx });
         }
         let job = QueryJob {
@@ -455,28 +569,50 @@ impl Server {
             Err(PushError::Full(_)) => Err(Overloaded {
                 retry_after: self.shared.retry_after,
             }),
-            Err(PushError::Closed(_)) => {
-                panic!("serve queue closed while the server is running")
+            Err(PushError::Closed(job)) => {
+                // Only reachable during shutdown (which requires owning
+                // the server, so no client can still hold `&self` —
+                // except through a leaked Arc). Resolve instead of hang.
+                let _ = job.reply.send(Err(ClosureError::WorkerFailed));
+                Ok(PendingBatch { rx })
             }
         }
     }
 
     /// [`Server::query_batch`] that sheds instead of backing off: at
-    /// capacity, returns the [`Overloaded`] rejection immediately.
-    pub fn try_query_batch(&self, requests: &[QueryRequest]) -> Result<ServedBatch, Overloaded> {
-        Ok(self.submit(requests)?.wait())
+    /// capacity, returns [`ServeError::Overloaded`] immediately.
+    pub fn try_query_batch(&self, requests: &[QueryRequest]) -> Result<ServedBatch, ServeError> {
+        let pending = self.submit(requests).map_err(|o| ServeError::Overloaded {
+            retry_after: o.retry_after,
+            attempts: 1,
+        })?;
+        pending.wait().map_err(ServeError::Request)
     }
 
     /// Answer a batch of requests as one job (blocking convenience): a
-    /// shed submission is retried after the configured back-off until
-    /// admitted, so this never fails — each rejected attempt still counts
-    /// in [`ServeStats::queue_rejections`]. All answers come from the
-    /// same snapshot epoch.
-    pub fn query_batch(&self, requests: &[QueryRequest]) -> ServedBatch {
+    /// shed submission is retried with exponential back-off (starting at
+    /// [`ServeConfig::retry_after`], doubling, capped) up to
+    /// [`ServeConfig::max_admission_retries`] times — each rejected
+    /// attempt still counts in [`ServeStats::queue_rejections`]. All
+    /// answers come from the same snapshot epoch.
+    pub fn query_batch(&self, requests: &[QueryRequest]) -> Result<ServedBatch, ServeError> {
+        let mut backoff = self.shared.retry_after.max(Duration::from_micros(10));
+        let cap = backoff * 64;
+        let mut attempts = 0u32;
         loop {
-            match self.try_query_batch(requests) {
-                Ok(batch) => return batch,
-                Err(Overloaded { retry_after }) => std::thread::sleep(retry_after),
+            match self.submit(requests) {
+                Ok(pending) => return pending.wait().map_err(ServeError::Request),
+                Err(Overloaded { retry_after }) => {
+                    attempts += 1;
+                    if attempts > self.shared.max_admission_retries {
+                        return Err(ServeError::Overloaded {
+                            retry_after,
+                            attempts,
+                        });
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(cap);
+                }
             }
         }
     }
@@ -484,20 +620,36 @@ impl Server {
     /// Apply a network update (blocking until its effect is published).
     /// Readers never wait on this: they keep answering from the previous
     /// epoch until the successor snapshot is swapped in.
+    ///
+    /// After writer death the server is read-only
+    /// ([`ServeStats::degraded`]): every update — queued, in-flight, or
+    /// future — resolves to [`ClosureError::WriterDown`]; reads keep
+    /// serving the last published epoch.
     pub fn update(&self, update: &NetworkUpdate) -> Result<ServedUpdate, ClosureError> {
-        let tx = self
-            .write_tx
-            .lock()
-            .expect("writer handle poisoned")
-            .clone()
-            .expect("server running");
+        if self.shared.degraded.load(Ordering::SeqCst) {
+            return Err(ClosureError::WriterDown);
+        }
+        let tx = match lock_unpoisoned(&self.write_tx).clone() {
+            Some(tx) => tx,
+            // Shutdown already took the writer handle.
+            None => return Err(ClosureError::WriterDown),
+        };
         let (reply, rx) = mpsc::channel();
-        tx.send(WriteJob {
-            update: *update,
-            reply,
-        })
-        .expect("writer thread alive");
-        rx.recv().expect("writer thread alive")
+        if tx
+            .send(WriteJob {
+                update: *update,
+                reply,
+            })
+            .is_err()
+        {
+            return Err(ClosureError::WriterDown);
+        }
+        // A dead writer drops its receiver, which drops every queued
+        // job's reply sender — recv() then errors instead of hanging.
+        match rx.recv() {
+            Ok(outcome) => outcome,
+            Err(mpsc::RecvError) => Err(ClosureError::WriterDown),
+        }
     }
 
     /// The currently published epoch (= updates applied since start).
@@ -540,10 +692,13 @@ impl Server {
             latency: LatencySummary::default(),
             backend: snap.source_backend(),
             strategy: snap.precompute_stats().strategy,
+            worker_restarts: self.shared.worker_restarts.load(Ordering::SeqCst),
+            deadline_shed: self.shared.deadline_shed.load(Ordering::SeqCst),
+            degraded: self.shared.degraded.load(Ordering::SeqCst),
         };
         let mut hist = LatencyHistogram::new();
         for log in &self.shared.worker_logs {
-            let log = log.lock().expect("worker log poisoned");
+            let log = lock_unpoisoned(log);
             stats.jobs += log.jobs;
             stats.requests += log.requests;
             stats.batches += log.batches;
@@ -557,7 +712,7 @@ impl Server {
             hist.merge(&log.hist);
         }
         {
-            let w = self.shared.writer_log.lock().expect("writer log poisoned");
+            let w = lock_unpoisoned(&self.shared.writer_log);
             stats.updates = w.updates;
             stats.publications = w.publications;
             stats.writer_busy = w.busy;
@@ -596,7 +751,7 @@ impl Server {
 
     fn finish(&mut self) {
         self.shared.queue.close();
-        *self.write_tx.lock().expect("writer handle poisoned") = None;
+        *lock_unpoisoned(&self.write_tx) = None;
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -634,10 +789,29 @@ fn add_batch_stats(into: &mut BatchStats, from: &BatchStats) {
     into.segments_reused += from.segments_reused;
 }
 
-/// One reader worker: drain a micro-batch of jobs, pin a snapshot epoch,
-/// coalesce identical requests, group the distinct ones by fragment
-/// pair, evaluate through the shared batch kernel, fan the answers back
-/// out per job.
+/// The supervisor wrapping one reader worker: respawn the worker body
+/// after any panic that escapes the per-batch isolation inside, so the
+/// pool never shrinks. In-flight jobs of the doomed batch resolve
+/// through their dropped reply senders ([`PendingBatch::wait`] maps
+/// that to [`ClosureError::WorkerFailed`]); the respawn gets fresh
+/// scratch state and counts in [`ServeStats::worker_restarts`].
+fn supervised_worker(shared: &Shared, id: usize) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(shared, id))) {
+            Ok(()) => return, // queue closed and drained: clean exit
+            Err(_) => {
+                shared.worker_restarts.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// One reader worker: drain a micro-batch of jobs, shed the ones queued
+/// past their deadline, then evaluate the rest under `catch_unwind` so
+/// a panicking batch resolves every in-flight request with a typed
+/// [`ClosureError::WorkerFailed`] (never a hang) and the worker lives
+/// on with reset state — the in-place equivalent of a respawn, counted
+/// in [`ServeStats::worker_restarts`].
 fn worker_loop(shared: &Shared, id: usize) {
     let mut scratch = ScratchDijkstra::new();
     let mut cached: Option<(u64, Arc<EngineSnapshot>)> = None;
@@ -657,118 +831,170 @@ fn worker_loop(shared: &Shared, id: usize) {
                 jobs
             }
         };
-        let t0 = Instant::now();
-        shared.published.pin(&mut cached);
-        let (epoch, snap) = {
-            let (epoch, snap) = cached.as_ref().expect("pinned above");
-            (*epoch, snap)
-        };
-
-        // Coalesce: identical (source, target) pairs across the whole
-        // micro-batch are evaluated once (single-flight).
-        let mut distinct: Vec<QueryRequest> = Vec::new();
-        let mut index: HashMap<(NodeId, NodeId), u32> = HashMap::new();
-        let mut slots: Vec<Vec<u32>> = Vec::with_capacity(jobs.len());
-        for job in &jobs {
-            let mut js = Vec::with_capacity(job.requests.len());
-            for r in &job.requests {
-                let slot = *index.entry((r.source, r.target)).or_insert_with(|| {
-                    distinct.push(*r);
-                    (distinct.len() - 1) as u32
-                });
-                js.push(slot);
-            }
-            slots.push(js);
-        }
-        let total_requests: usize = slots.iter().map(Vec::len).sum();
-        let coalesced = (total_requests - distinct.len()) as u64;
-
-        // Probe the per-epoch answer cache: a distinct request already
-        // answered at this epoch (by any worker, in any earlier
-        // micro-batch) skips evaluation entirely. The cache key includes
-        // the pinned epoch, so a hit is exactly as consistent as an
-        // evaluated answer.
-        let mut answers_by_slot: Vec<Option<QueryAnswer>> = vec![None; distinct.len()];
-        let mut miss: Vec<u32> = Vec::with_capacity(distinct.len());
-        let mut cache_hits = 0u64;
-        if let Some(cache) = &shared.cache {
-            for (i, r) in distinct.iter().enumerate() {
-                match cache.get(epoch, (r.source, r.target)) {
-                    Some(a) => {
-                        answers_by_slot[i] = Some(a);
-                        cache_hits += 1;
+        // Deadline shedding: a job that already waited past its
+        // deadline gets a typed refusal instead of stale evaluation.
+        let jobs = match shared.deadline {
+            None => jobs,
+            Some(deadline) => {
+                let mut live = Vec::with_capacity(jobs.len());
+                for job in jobs {
+                    let waited = job.submitted.elapsed();
+                    if waited > deadline {
+                        shared.deadline_shed.fetch_add(1, Ordering::SeqCst);
+                        let _ = job
+                            .reply
+                            .send(Err(ClosureError::DeadlineExceeded { waited }));
+                    } else {
+                        live.push(job);
                     }
-                    None => miss.push(i as u32),
+                }
+                live
+            }
+        };
+        if jobs.is_empty() {
+            continue;
+        }
+        // Panic isolation: the fault hook and the evaluation run under
+        // catch_unwind with the jobs held outside, so the doomed batch
+        // can still be resolved. `Ok(true)` is an injected non-unwind
+        // failure (FaultAction::Fail); `Err` is a real panic.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut injected = false;
+            for _ in &jobs {
+                injected |= ds_fault::fire(&shared.fault, FaultPoint::ServeWorker { worker: id });
+            }
+            if !injected {
+                process_batch(shared, id, &jobs, &mut scratch, &mut cached);
+            }
+            injected
+        }));
+        match outcome {
+            Ok(false) => {}
+            failed => {
+                for job in &jobs {
+                    let _ = job.reply.send(Err(ClosureError::WorkerFailed));
+                }
+                // Reset state exactly as a thread respawn would.
+                scratch = ScratchDijkstra::new();
+                cached = None;
+                if failed.is_err() {
+                    shared.worker_restarts.fetch_add(1, Ordering::SeqCst);
                 }
             }
-        } else {
-            miss.extend(0..distinct.len() as u32);
         }
-        let cache_misses = if shared.cache.is_some() {
-            miss.len() as u64
-        } else {
-            0
-        };
+    }
+}
 
-        // Group the remaining misses by fragment pair. The sharing itself
-        // is order-independent (the batch kernel caches chain plans per
-        // fragment pair and interior segments per chain for the whole
-        // call); the sort makes same-pair queries evaluate back-to-back
-        // while their interior relations are CPU-cache-hot, and makes a
-        // batch's evaluation order independent of client arrival
-        // interleaving.
-        let planner = snap.planner();
-        let keys: Vec<(Vec<FragmentId>, Vec<FragmentId>)> = miss
-            .iter()
-            .map(|&i| {
-                let r = &distinct[i as usize];
-                (
-                    planner.fragments_of(r.source),
-                    planner.fragments_of(r.target),
-                )
-            })
-            .collect();
-        let mut order: Vec<u32> = (0..miss.len() as u32).collect();
-        order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
-        let sorted: Vec<QueryRequest> = order
-            .iter()
-            .map(|&k| distinct[miss[k as usize] as usize])
-            .collect();
+/// The isolated per-batch evaluation: pin a snapshot epoch, coalesce
+/// identical requests, group the distinct ones by fragment pair,
+/// evaluate through the shared batch kernel, fan the answers back out
+/// per job.
+fn process_batch(
+    shared: &Shared,
+    id: usize,
+    jobs: &[QueryJob],
+    scratch: &mut ScratchDijkstra,
+    cached: &mut Option<(u64, Arc<EngineSnapshot>)>,
+) {
+    let t0 = Instant::now();
+    let (epoch, snap) = {
+        let pair = shared.published.pin(cached);
+        (pair.0, &pair.1)
+    };
 
-        let batch_stats = if sorted.is_empty() {
-            BatchStats::default()
-        } else {
-            let batch = snap.query_batch(&sorted, &mut scratch);
-            for (&k, a) in order.iter().zip(batch.answers) {
-                let slot = miss[k as usize] as usize;
-                if let Some(cache) = &shared.cache {
-                    let r = &distinct[slot];
-                    cache.insert(epoch, (r.source, r.target), a.clone());
+    // Coalesce: identical (source, target) pairs across the whole
+    // micro-batch are evaluated once (single-flight).
+    let mut distinct: Vec<QueryRequest> = Vec::new();
+    let mut index: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+    let mut slots: Vec<Vec<u32>> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let mut js = Vec::with_capacity(job.requests.len());
+        for r in &job.requests {
+            let slot = *index.entry((r.source, r.target)).or_insert_with(|| {
+                distinct.push(*r);
+                (distinct.len() - 1) as u32
+            });
+            js.push(slot);
+        }
+        slots.push(js);
+    }
+    let total_requests: usize = slots.iter().map(Vec::len).sum();
+    let coalesced = (total_requests - distinct.len()) as u64;
+
+    // Probe the per-epoch answer cache: a distinct request already
+    // answered at this epoch (by any worker, in any earlier
+    // micro-batch) skips evaluation entirely. The cache key includes
+    // the pinned epoch, so a hit is exactly as consistent as an
+    // evaluated answer.
+    let mut answers_by_slot: Vec<Option<QueryAnswer>> = vec![None; distinct.len()];
+    let mut miss: Vec<u32> = Vec::with_capacity(distinct.len());
+    let mut cache_hits = 0u64;
+    if let Some(cache) = &shared.cache {
+        for (i, r) in distinct.iter().enumerate() {
+            match cache.get(epoch, (r.source, r.target)) {
+                Some(a) => {
+                    answers_by_slot[i] = Some(a);
+                    cache_hits += 1;
                 }
-                answers_by_slot[slot] = Some(a);
+                None => miss.push(i as u32),
             }
-            batch.stats
-        };
-        let busy = t0.elapsed();
-
-        // Fan out per job; latency is submit → reply, recorded per
-        // request so percentiles weight by traffic.
-        let mut hist_samples: Vec<(u64, usize)> = Vec::with_capacity(jobs.len());
-        for (job, js) in jobs.iter().zip(&slots) {
-            let answers: Vec<QueryAnswer> = js
-                .iter()
-                .map(|&slot| {
-                    answers_by_slot[slot as usize]
-                        .clone()
-                        .expect("every distinct slot answered")
-                })
-                .collect();
-            let n = answers.len();
-            let _ = job.reply.send(ServedBatch { answers, epoch });
-            hist_samples.push((job.submitted.elapsed().as_nanos() as u64, n));
         }
+    } else {
+        miss.extend(0..distinct.len() as u32);
+    }
+    let cache_misses = if shared.cache.is_some() {
+        miss.len() as u64
+    } else {
+        0
+    };
 
-        let mut log = shared.worker_logs[id].lock().expect("worker log poisoned");
+    // Group the remaining misses by fragment pair. The sharing itself
+    // is order-independent (the batch kernel caches chain plans per
+    // fragment pair and interior segments per chain for the whole
+    // call); the sort makes same-pair queries evaluate back-to-back
+    // while their interior relations are CPU-cache-hot, and makes a
+    // batch's evaluation order independent of client arrival
+    // interleaving.
+    let planner = snap.planner();
+    let keys: Vec<(Vec<FragmentId>, Vec<FragmentId>)> = miss
+        .iter()
+        .map(|&i| {
+            let r = &distinct[i as usize];
+            (
+                planner.fragments_of(r.source),
+                planner.fragments_of(r.target),
+            )
+        })
+        .collect();
+    let mut order: Vec<u32> = (0..miss.len() as u32).collect();
+    order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+    let sorted: Vec<QueryRequest> = order
+        .iter()
+        .map(|&k| distinct[miss[k as usize] as usize])
+        .collect();
+
+    let batch_stats = if sorted.is_empty() {
+        BatchStats::default()
+    } else {
+        let batch = snap.query_batch(&sorted, scratch);
+        for (&k, a) in order.iter().zip(batch.answers) {
+            let slot = miss[k as usize] as usize;
+            if let Some(cache) = &shared.cache {
+                let r = &distinct[slot];
+                cache.insert(epoch, (r.source, r.target), a.clone());
+            }
+            answers_by_slot[slot] = Some(a);
+        }
+        batch.stats
+    };
+    let busy = t0.elapsed();
+
+    // Log before fanning out: a blocking client that reads `stats()`
+    // right after its reply must already see this batch accounted for.
+    // Latency is submit → reply (well, the instant before the send),
+    // recorded per request so percentiles weight by traffic.
+    {
+        let mut log = lock_unpoisoned(&shared.worker_logs[id]);
         log.jobs += jobs.len() as u64;
         log.requests += total_requests as u64;
         log.batches += 1;
@@ -778,12 +1004,24 @@ fn worker_loop(shared: &Shared, id: usize) {
         log.cache_misses += cache_misses;
         log.busy += busy;
         add_batch_stats(&mut log.batch, &batch_stats);
-        for (ns, n) in hist_samples {
-            for _ in 0..n {
+        for (job, js) in jobs.iter().zip(&slots) {
+            let ns = job.submitted.elapsed().as_nanos() as u64;
+            for _ in 0..js.len() {
                 log.hist.record(ns);
             }
         }
         log.scratch = scratch.stats();
+    }
+
+    for (job, js) in jobs.iter().zip(&slots) {
+        let answers: Vec<QueryAnswer> = js
+            .iter()
+            .map(|&slot| match &answers_by_slot[slot as usize] {
+                Some(a) => a.clone(),
+                None => unreachable!("every distinct slot answered"),
+            })
+            .collect();
+        let _ = job.reply.send(Ok(ServedBatch { answers, epoch }));
     }
 }
 
@@ -807,6 +1045,18 @@ fn writer_loop(
                 Ok(job) => jobs.push(job),
                 Err(_) => break,
             }
+        }
+        // Fault hook, one firing per publication attempt: `Panic`
+        // unwinds (writer death — the supervisor wrapper in
+        // `Server::start` flips degraded mode and every waiter resolves
+        // through its dropped reply sender); `Fail` refuses this batch
+        // with a typed error and degrades without unwinding.
+        if ds_fault::fire(&shared.fault, FaultPoint::ServeWriter) {
+            shared.degraded.store(true, Ordering::SeqCst);
+            for job in jobs {
+                let _ = job.reply.send(Err(ClosureError::WriterDown));
+            }
+            return;
         }
         let mut outcomes = Vec::with_capacity(jobs.len());
         let mut applied = 0u64;
@@ -849,7 +1099,7 @@ fn writer_loop(
         }
         let busy = t0.elapsed();
         {
-            let mut log = shared.writer_log.lock().expect("writer log poisoned");
+            let mut log = lock_unpoisoned(&shared.writer_log);
             log.updates += applied;
             log.publications += (applied > 0) as u64;
             log.busy += busy;

@@ -61,7 +61,7 @@ fn main() {
                             NodeId((i * 53 + t * 29) % nodes),
                         )
                     };
-                    let served = server.query(x, y);
+                    let served = server.query(x, y).expect("healthy pool");
                     assert!(served.epoch <= server.epoch());
                 }
             });

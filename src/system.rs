@@ -583,7 +583,7 @@ mod tests {
             let server = sys.serve(2);
             for (x, y) in [(0u32, 29u32), (5, 17), (12, 12)] {
                 assert_eq!(
-                    server.query(n(x), n(y)).answer.cost,
+                    server.query(n(x), n(y)).unwrap().answer.cost,
                     sys.shortest_path(n(x), n(y)).cost,
                     "{backend:?} {x}->{y}"
                 );

@@ -1,0 +1,403 @@
+//! Chaos property suite: deterministic seed-driven fault sweeps over
+//! the three supervised tiers (serve pool, machine sites, bulk
+//! materialization pool).
+//!
+//! Every scenario is derived from a seed by [`FaultScenario::from_seed`]
+//! and armed through the same `ds_fault` hooks production code carries
+//! disarmed, so a failing seed reproduces exactly. The properties under
+//! test, for every seed:
+//!
+//! - **No hangs**: each scenario runs under a watchdog thread; a stuck
+//!   request fails the test instead of wedging CI.
+//! - **Every request completes**: each query/update either returns an
+//!   answer or one of the *typed* errors the failure matrix allows for
+//!   that scenario — never a panic in the caller, never a silent wrong
+//!   answer.
+//! - **Answers stay exact**: every successful answer matches a
+//!   single-threaded Dijkstra oracle evaluated on the graph of the
+//!   epoch the answer was served from.
+//! - **Recovery**: after the fault plan is exhausted, the component has
+//!   respawned (restart counters) and serves exact answers again —
+//!   except the serve writer, which by design degrades to read-only.
+
+use std::collections::BTreeMap;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use discset::closure::{baseline, ClosureError, EngineConfig, TcEngine};
+use discset::fragment::linear::{linear_sweep, LinearConfig};
+use discset::gen::deterministic::grid;
+use discset::graph::{Edge, NodeId};
+use discset::machine::{Machine, MachineOptions};
+use discset::relation::bulk::{MaterializeConfig, MaterializeEngine, MaterializeError};
+use discset::relation::tc;
+use discset::serve::{
+    FaultPlan, FaultPoint, FaultScenario, FaultUniverse, ServeConfig, ServeError,
+};
+use discset::{Fragmenter, NetworkUpdate, System};
+
+/// Run `f` on its own thread under a wall-clock watchdog. A scenario
+/// that neither finishes nor panics within `secs` is reported as a hang
+/// (the no-hang property is itself under test); a panicking scenario is
+/// propagated with its original payload.
+fn with_watchdog<F: FnOnce() + Send + 'static>(name: String, secs: u64, f: F) {
+    let (done_tx, done_rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        f();
+        let _ = done_tx.send(());
+    });
+    match done_rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(()) => handle.join().expect("scenario thread"),
+        // Sender dropped without sending: the scenario panicked.
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{name}: hang detected — scenario still running after {secs}s watchdog")
+        }
+    }
+}
+
+/// SplitMix64, so the traffic is as reproducible as the fault plan.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn n(i: u64, nodes: u64) -> NodeId {
+    NodeId((i % nodes) as u32)
+}
+
+// ---------------------------------------------------------------- serve
+
+/// One serve-tier scenario: a 1-worker pool over a 9×4 grid fragmented
+/// three ways, driven by 120 sequential operations (an update every
+/// 10th, toggling a fragment-0 shortcut). Single worker + sequential
+/// traffic make the fault's nth-occurrence counters line up with the
+/// operation sequence, so each seed is fully deterministic.
+fn serve_chaos(seed: u64) {
+    let universe = FaultUniverse {
+        workers: 1,
+        sites: 0, // no machine in this scenario: seed%4==1 falls back to WriterKill
+        fragments: 0,
+    };
+    let scenario = FaultScenario::from_seed(seed, &universe);
+    let plan = Arc::new(scenario.plan(&universe));
+
+    let g = grid(9, 4);
+    let nodes = g.nodes as u64;
+    let sys = System::builder()
+        .graph(&g)
+        .fragmenter(Fragmenter::Linear(LinearConfig {
+            fragments: 3,
+            ..Default::default()
+        }))
+        .build()
+        .expect("valid grid system");
+    let mut cfg = ServeConfig::with_workers(1);
+    cfg.fault = Some(plan.clone());
+    let server = sys.serve_with(cfg);
+
+    // Per-epoch oracle: the graph behind every epoch ever published.
+    // Answers may be served from an older epoch than the current one;
+    // they must match the oracle *for their own epoch*.
+    let mut epochs: BTreeMap<u64, _> = BTreeMap::new();
+    epochs.insert(server.epoch(), server.snapshot().graph().clone());
+
+    let f0 = server.snapshot().fragmentation().fragment(0).clone();
+    let (a, b) = (
+        f0.nodes()[0],
+        *f0.nodes().last().expect("non-empty fragment"),
+    );
+
+    let mut rng = seed ^ 0xC4A5;
+    let mut toggle_in = true;
+    let mut worker_failures = 0u32;
+    let mut writer_failures = 0u32;
+    let mut ok_reads_after_writer_down = 0u32;
+    for op in 0..120u32 {
+        if op % 10 == 9 {
+            let update = if toggle_in {
+                NetworkUpdate::Insert {
+                    edge: Edge::new(a, b, 1),
+                    owner: 0,
+                }
+            } else {
+                NetworkUpdate::Remove {
+                    src: a,
+                    dst: b,
+                    owner: 0,
+                }
+            };
+            match server.update(&update) {
+                Ok(served) => {
+                    toggle_in = !toggle_in;
+                    epochs.insert(served.epoch, server.snapshot().graph().clone());
+                }
+                Err(ClosureError::WriterDown) => writer_failures += 1,
+                Err(e) => panic!("seed {seed}: unexpected update error {e}"),
+            }
+            continue;
+        }
+        let (x, y) = (n(splitmix(&mut rng), nodes), n(splitmix(&mut rng), nodes));
+        match server.query(x, y) {
+            Ok(served) => {
+                let (epoch, graph) = epochs
+                    .range(..=served.epoch)
+                    .next_back()
+                    .expect("answer epoch was published");
+                assert_eq!(
+                    served.answer.cost,
+                    baseline::shortest_path_cost(graph, x, y),
+                    "seed {seed}: op {op} ({x:?} -> {y:?}) diverged from the epoch-{epoch} oracle"
+                );
+                if writer_failures > 0 {
+                    ok_reads_after_writer_down += 1;
+                }
+            }
+            Err(ServeError::Request(ClosureError::WorkerFailed)) => worker_failures += 1,
+            Err(e) => panic!("seed {seed}: unexpected query error {e}"),
+        }
+    }
+
+    let stats = server.shutdown();
+    match scenario {
+        FaultScenario::WorkerPanic { .. } => {
+            assert!(plan.exhausted(), "seed {seed}: fault never fired");
+            assert!(
+                worker_failures >= 1,
+                "seed {seed}: no doomed batch observed"
+            );
+            assert!(
+                stats.worker_restarts >= 1,
+                "seed {seed}: no supervisor respawn"
+            );
+            assert!(
+                !stats.degraded,
+                "seed {seed}: worker death must not degrade writes"
+            );
+        }
+        FaultScenario::WriterKill { .. } => {
+            assert!(plan.exhausted(), "seed {seed}: fault never fired");
+            assert!(writer_failures >= 1, "seed {seed}: no WriterDown observed");
+            assert!(
+                stats.degraded,
+                "seed {seed}: writer death must flip degraded mode"
+            );
+            assert!(
+                ok_reads_after_writer_down >= 1,
+                "seed {seed}: reads must keep serving in degraded mode"
+            );
+            assert_eq!(worker_failures, 0, "seed {seed}: readers are unaffected");
+        }
+        FaultScenario::DelayStorm { .. } => {
+            assert_eq!(
+                worker_failures, 0,
+                "seed {seed}: delays must not fail requests"
+            );
+            assert_eq!(
+                writer_failures, 0,
+                "seed {seed}: delays must not fail updates"
+            );
+            assert_eq!(stats.worker_restarts, 0, "seed {seed}");
+            assert!(!stats.degraded, "seed {seed}");
+        }
+        FaultScenario::SiteKill { .. } => unreachable!("universe has no sites"),
+    }
+}
+
+#[test]
+fn serve_chaos_seed_sweep() {
+    // ≥ 4 consecutive seeds covers every scenario kind (worker panic,
+    // writer kill, delay storm — seed%4==1 maps to WriterKill here).
+    for seed in 0..8u64 {
+        with_watchdog(format!("serve seed {seed}"), 120, move || serve_chaos(seed));
+    }
+}
+
+// -------------------------------------------------------------- machine
+
+/// One machine-tier scenario: 3 site threads over the fragmented grid,
+/// a short dead-site timeout, 16 queries, then an update, then a
+/// post-recovery exactness sweep. Odd seeds only: seed%4 ∈ {1, 3} maps
+/// to SiteKill / DelayStorm, the two scenarios with machine components.
+fn machine_chaos(seed: u64) {
+    let universe = FaultUniverse {
+        workers: 0,
+        sites: 3,
+        fragments: 0,
+    };
+    let scenario = FaultScenario::from_seed(seed, &universe);
+    let plan = Arc::new(scenario.plan(&universe));
+
+    let g = grid(9, 4);
+    let nodes = g.nodes as u64;
+    let oracle = g.closure_graph();
+    let frag = linear_sweep(
+        &g.edge_list(),
+        &LinearConfig {
+            fragments: 3,
+            ..Default::default()
+        },
+    )
+    .expect("grid sweep")
+    .fragmentation;
+    let mut m = Machine::deploy_with_options(
+        g.closure_graph(),
+        frag,
+        true,
+        EngineConfig::default(),
+        MachineOptions {
+            site_recv_timeout: Duration::from_millis(300),
+            fault: Some(plan.clone()),
+        },
+    )
+    .expect("valid deployment");
+
+    let mut rng = seed ^ 0x51735;
+    let mut site_failures = 0u32;
+    for op in 0..16u32 {
+        let (x, y) = (n(splitmix(&mut rng), nodes), n(splitmix(&mut rng), nodes));
+        match m.try_shortest_path(x, y) {
+            Ok(answer) => assert_eq!(
+                answer.cost,
+                baseline::shortest_path_cost(&oracle, x, y),
+                "seed {seed}: op {op} ({x:?} -> {y:?}) diverged from the oracle"
+            ),
+            Err(ClosureError::SiteUnavailable { site }) => {
+                assert!(site < 3, "seed {seed}: phantom site {site}");
+                site_failures += 1;
+            }
+            Err(e) => panic!("seed {seed}: unexpected query error {e}"),
+        }
+    }
+
+    // One update through the possibly-wounded machine. Even when it
+    // reports SiteUnavailable the update IS applied — failed sites are
+    // redeployed from the coordinator's post-maintenance state.
+    let f0 = m.fragmentation().fragment(0).clone();
+    let (a, b) = (
+        f0.nodes()[0],
+        *f0.nodes().last().expect("non-empty fragment"),
+    );
+    match m.update(&NetworkUpdate::Insert {
+        edge: Edge::new(a, b, 1),
+        owner: 0,
+    }) {
+        Ok(_) => {}
+        Err(ClosureError::SiteUnavailable { .. }) => site_failures += 1,
+        Err(e) => panic!("seed {seed}: unexpected update error {e}"),
+    }
+    let updated = m.snapshot().graph().clone();
+
+    // Post-recovery: the plan's one-shot rules are spent, so every
+    // query must now succeed and agree with the post-update oracle.
+    for op in 0..8u32 {
+        let (x, y) = (n(splitmix(&mut rng), nodes), n(splitmix(&mut rng), nodes));
+        let answer = m
+            .try_shortest_path(x, y)
+            .unwrap_or_else(|e| panic!("seed {seed}: post-recovery query failed: {e}"));
+        assert_eq!(
+            answer.cost,
+            baseline::shortest_path_cost(&updated, x, y),
+            "seed {seed}: post-recovery op {op} ({x:?} -> {y:?}) diverged"
+        );
+    }
+
+    match scenario {
+        FaultScenario::SiteKill { .. } => {
+            assert!(plan.exhausted(), "seed {seed}: fault never fired");
+            assert!(
+                site_failures >= 1,
+                "seed {seed}: no SiteUnavailable observed"
+            );
+            assert!(
+                m.stats().site_restarts >= 1,
+                "seed {seed}: dead site was never redeployed"
+            );
+        }
+        FaultScenario::DelayStorm { .. } => {
+            // ≤ 10 ms per delayed message, well under the 300 ms dead-site
+            // timeout: slowness alone must never trip failover.
+            assert_eq!(site_failures, 0, "seed {seed}: delays tripped failover");
+            assert_eq!(m.stats().site_restarts, 0, "seed {seed}");
+        }
+        other => unreachable!("odd seeds with sites never map to {other:?}"),
+    }
+}
+
+#[test]
+fn machine_chaos_seed_sweep() {
+    // Odd seeds alternate SiteKill (1 mod 4) and DelayStorm (3 mod 4).
+    for seed in [1u64, 3, 5, 7, 9, 11] {
+        with_watchdog(format!("machine seed {seed}"), 120, move || {
+            machine_chaos(seed)
+        });
+    }
+}
+
+// ----------------------------------------------------------------- bulk
+
+/// One bulk-tier scenario: a worker dies (panic or silent exit) on one
+/// fragment of the 3-way grid partition. The run must abort with the
+/// typed error and clean joins; a retry on the same engine (the rule is
+/// one-shot) must converge to the exact semi-naive closure.
+fn bulk_chaos(seed: u64) {
+    let g = grid(9, 4);
+    let frag = linear_sweep(
+        &g.edge_list(),
+        &LinearConfig {
+            fragments: 3,
+            ..Default::default()
+        },
+    )
+    .expect("grid sweep")
+    .fragmentation;
+
+    let fragment = (seed % 3) as usize;
+    let point = FaultPoint::BulkWorker { fragment };
+    let plan = if seed.is_multiple_of(2) {
+        FaultPlan::new().panic_at(point, 1)
+    } else {
+        FaultPlan::new().fail_at(point, 1)
+    };
+    // Even seeds exercise the thread pool, odd seeds the inline driver:
+    // the isolation contract is mode-independent.
+    let threads = if seed.is_multiple_of(2) { 2 } else { 1 };
+    let engine = MaterializeEngine::from_fragmentation(
+        &frag,
+        true,
+        MaterializeConfig {
+            threads,
+            fault: Some(Arc::new(plan)),
+            ..Default::default()
+        },
+    );
+
+    let err = engine.materialize().expect_err("armed run must abort");
+    assert_eq!(
+        err,
+        MaterializeError::WorkerPanicked { fragment },
+        "seed {seed}"
+    );
+
+    // Clean joins + one-shot rule: the same engine retries to the exact
+    // fixpoint.
+    let (bulk, _) = engine
+        .materialize()
+        .unwrap_or_else(|e| panic!("seed {seed}: retry after abort failed: {e}"));
+    let (seq, _) = tc::seminaive_closure(&engine.partition().union_relation(), None);
+    assert_eq!(bulk.rows(), seq.rows(), "seed {seed}: retry diverged");
+}
+
+#[test]
+fn bulk_chaos_seed_sweep() {
+    for seed in 0..6u64 {
+        with_watchdog(format!("bulk seed {seed}"), 120, move || bulk_chaos(seed));
+    }
+}

@@ -838,12 +838,12 @@ fn concurrent_readers_match_their_epoch_oracle() {
                                     // share one epoch.
                                     let reqs =
                                         vec![QueryRequest::new(x, y), QueryRequest::new(y, x)];
-                                    let served = server.query_batch(&reqs);
+                                    let served = server.query_batch(&reqs).expect("healthy pool");
                                     for (r, a) in reqs.iter().zip(&served.answers) {
                                         out.push((r.source, r.target, a.cost, served.epoch));
                                     }
                                 } else {
-                                    let served = server.query(x, y);
+                                    let served = server.query(x, y).expect("healthy pool");
                                     out.push((x, y, served.answer.cost, served.epoch));
                                 }
                             };
