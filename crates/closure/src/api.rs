@@ -29,6 +29,7 @@ use std::sync::Arc;
 
 use ds_fragment::{FragmentId, Fragmentation};
 use ds_graph::{Cost, CsrGraph, Edge, NodeId};
+use ds_obs::{ChainEval, EvalTrace, TraceId};
 use ds_relation::{PathTuple, Relation};
 
 use crate::assemble;
@@ -415,6 +416,12 @@ pub trait SiteEvaluator {
         positions: &[usize],
         stats: &mut QueryStats,
     ) -> Vec<Relation<PathTuple>>;
+
+    /// Called by [`run_batch_traced`] before each request's evaluation
+    /// with that request's trace id, so message-passing backends can
+    /// stamp the id into their protocol traffic. The default is a no-op;
+    /// untraced batches never call it.
+    fn begin_query(&mut self, _trace: TraceId) {}
 }
 
 /// The batch driver shared by every backend.
@@ -430,6 +437,24 @@ pub fn run_batch<E: SiteEvaluator>(
     eval: &mut E,
     requests: &[QueryRequest],
 ) -> BatchAnswer {
+    run_batch_traced(planner, eval, requests, &[], None)
+}
+
+/// [`run_batch`] with request tracing: `traces[i]` is request `i`'s
+/// [`TraceId`] (an empty slice means untraced — the [`run_batch`] fast
+/// path), and when `sink` is given, one [`EvalTrace`] per request is
+/// appended to it carrying the request's total evaluation time and
+/// per-chain segment times. Before each traced request the driver calls
+/// [`SiteEvaluator::begin_query`] so the backend can stamp the id into
+/// its protocol messages. The untraced path takes no timestamps and
+/// performs no extra work beyond one branch per request.
+pub fn run_batch_traced<E: SiteEvaluator>(
+    planner: &Planner,
+    eval: &mut E,
+    requests: &[QueryRequest],
+    traces: &[TraceId],
+    mut sink: Option<&mut Vec<EvalTrace>>,
+) -> BatchAnswer {
     let mut bp = BatchPlanner::new(planner);
     let mut interiors: HashMap<Vec<FragmentId>, Vec<Relation<PathTuple>>> = HashMap::new();
     let mut stats = BatchStats {
@@ -437,7 +462,16 @@ pub fn run_batch<E: SiteEvaluator>(
         ..BatchStats::default()
     };
     let mut answers = Vec::with_capacity(requests.len());
-    for req in requests {
+    for (i, req) in requests.iter().enumerate() {
+        let trace = traces.get(i).copied().unwrap_or(TraceId::NONE);
+        if !traces.is_empty() {
+            eval.begin_query(trace);
+        }
+        let mut et = sink.as_ref().map(|_| EvalTrace {
+            trace,
+            ..EvalTrace::default()
+        });
+        let t0 = sink.as_ref().map(|_| std::time::Instant::now());
         answers.push(one_query(
             planner,
             eval,
@@ -445,7 +479,12 @@ pub fn run_batch<E: SiteEvaluator>(
             &mut interiors,
             &mut stats,
             req,
+            et.as_mut(),
         ));
+        if let (Some(sink), Some(mut et), Some(t0)) = (sink.as_deref_mut(), et, t0) {
+            et.eval_ns = t0.elapsed().as_nanos() as u64;
+            sink.push(et);
+        }
     }
     BatchAnswer { answers, stats }
 }
@@ -457,6 +496,7 @@ fn one_query<E: SiteEvaluator>(
     interiors: &mut HashMap<Vec<FragmentId>, Vec<Relation<PathTuple>>>,
     bstats: &mut BatchStats,
     req: &QueryRequest,
+    mut tr: Option<&mut EvalTrace>,
 ) -> QueryAnswer {
     let (x, y) = (req.source, req.target);
     if x == y {
@@ -489,7 +529,8 @@ fn one_query<E: SiteEvaluator>(
         ..QueryStats::default()
     };
     let mut best: Option<(Cost, Vec<FragmentId>)> = None;
-    for chain in &plan.chains {
+    for (chain_idx, chain) in plan.chains.iter().enumerate() {
+        let chain_t0 = tr.as_ref().map(|_| std::time::Instant::now());
         qstats.chains_evaluated += 1;
         let l = chain.queries.len();
         let cost = if l <= 2 {
@@ -519,6 +560,12 @@ fn one_query<E: SiteEvaluator>(
             segments.push(&ends[1]);
             assemble::chain_cost_refs(&segments, x, y)
         };
+        if let (Some(tr), Some(t0)) = (tr.as_deref_mut(), chain_t0) {
+            tr.chains.push(ChainEval {
+                chain: chain_idx as u32,
+                ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
         if let Some(cost) = cost {
             if best.as_ref().is_none_or(|(b, _)| cost < *b) {
                 best = Some((cost, chain.fragments.clone()));
@@ -654,6 +701,76 @@ mod tests {
             batch.answers[1].cost, None,
             "node 2 in no fragment: unreachable"
         );
+    }
+
+    #[test]
+    fn traced_batch_matches_untraced_and_times_chains() {
+        let frag = three_fragment_path();
+        let planner = Planner::new(&frag, 16, 8, None);
+        let requests: Vec<QueryRequest> = [(0, 6), (1, 5), (3, 3)]
+            .iter()
+            .map(|&(a, b)| (n(a), n(b)).into())
+            .collect();
+        let plain = run_batch(&planner, &mut counting_eval(&frag), &requests);
+        let traces: Vec<TraceId> = (1..=3).map(TraceId).collect();
+        let mut sink = Vec::new();
+        let traced = run_batch_traced(
+            &planner,
+            &mut counting_eval(&frag),
+            &requests,
+            &traces,
+            Some(&mut sink),
+        );
+        assert_eq!(plain.costs(), traced.costs(), "tracing changes no answer");
+        assert_eq!(sink.len(), 3, "one EvalTrace per request");
+        for (i, et) in sink.iter().enumerate() {
+            assert_eq!(et.trace, traces[i]);
+        }
+        // Cross-fragment queries evaluated at least one chain; the
+        // same-node request (3,3) short-circuits with none.
+        assert!(!sink[0].chains.is_empty());
+        assert!(sink[2].chains.is_empty());
+        assert!(sink[0].eval_ns >= sink[0].chains.iter().map(|c| c.ns).sum::<u64>());
+    }
+
+    #[test]
+    fn begin_query_sees_each_trace_in_order() {
+        struct SpyEval {
+            inner: CountingEval,
+            seen: Vec<TraceId>,
+        }
+        impl SiteEvaluator for SpyEval {
+            fn eval_positions(
+                &mut self,
+                chain: &ChainPlan,
+                positions: &[usize],
+                stats: &mut QueryStats,
+            ) -> Vec<Relation<PathTuple>> {
+                self.inner.eval_positions(chain, positions, stats)
+            }
+            fn begin_query(&mut self, trace: TraceId) {
+                self.seen.push(trace);
+            }
+        }
+        let frag = three_fragment_path();
+        let planner = Planner::new(&frag, 16, 8, None);
+        let requests = vec![QueryRequest::new(n(0), n(6)), QueryRequest::new(n(1), n(4))];
+        let mut eval = SpyEval {
+            inner: counting_eval(&frag),
+            seen: Vec::new(),
+        };
+        run_batch_traced(
+            &planner,
+            &mut eval,
+            &requests,
+            &[TraceId(9), TraceId(10)],
+            None,
+        );
+        assert_eq!(eval.seen, vec![TraceId(9), TraceId(10)]);
+        // Untraced batches never call begin_query.
+        eval.seen.clear();
+        run_batch(&planner, &mut eval, &requests);
+        assert!(eval.seen.is_empty());
     }
 
     #[test]

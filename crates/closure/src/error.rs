@@ -31,6 +31,10 @@ pub enum ClosureError {
     /// The serve writer died: the server is in read-only degraded mode.
     /// Reads keep serving the last published epoch; updates are refused.
     WriterDown,
+    /// The serve writer died mid-update and was respawned from the last
+    /// published snapshot. This update was *not* applied; a retry will
+    /// be served normally by the fresh writer.
+    WriterRestarted,
 }
 
 impl fmt::Display for ClosureError {
@@ -63,6 +67,12 @@ impl fmt::Display for ClosureError {
             }
             ClosureError::WriterDown => {
                 write!(f, "writer thread is down; server is read-only (degraded)")
+            }
+            ClosureError::WriterRestarted => {
+                write!(
+                    f,
+                    "writer died mid-update and was respawned; this update was not applied — retry"
+                )
             }
         }
     }
@@ -97,5 +107,6 @@ mod tests {
         .to_string()
         .contains("shed"));
         assert!(ClosureError::WriterDown.to_string().contains("read-only"));
+        assert!(ClosureError::WriterRestarted.to_string().contains("retry"));
     }
 }

@@ -436,6 +436,26 @@ impl EngineSnapshot {
         run_batch(&self.planner, &mut eval, requests)
     }
 
+    /// [`EngineSnapshot::query_batch`] with request tracing: `traces[i]`
+    /// is request `i`'s id, and per-request evaluation timings (total
+    /// plus per-chain segments) are appended to `sink`. Answers are
+    /// identical to the untraced path; the serve workers call this when
+    /// observability is armed.
+    pub fn query_batch_traced(
+        &self,
+        requests: &[QueryRequest],
+        scratch: &mut ScratchDijkstra,
+        traces: &[ds_obs::TraceId],
+        sink: &mut Vec<ds_obs::EvalTrace>,
+    ) -> BatchAnswer {
+        let mut eval = InlineEval {
+            augmented: &self.augmented,
+            mode: self.cfg.mode,
+            scratch,
+        };
+        crate::api::run_batch_traced(&self.planner, &mut eval, requests, traces, Some(sink))
+    }
+
     /// Reconstruct the full cheapest route. Requires
     /// [`EngineConfig::store_paths`].
     pub fn route(

@@ -49,7 +49,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use ds_closure::api::{build_parts, run_batch, SiteEvaluator};
+use ds_closure::api::{build_parts, run_batch, run_batch_traced, SiteEvaluator};
 use ds_closure::complementary::ComplementaryInfo;
 use ds_closure::planner::{ChainPlan, Planner};
 use ds_closure::updates::maintain;
@@ -60,6 +60,9 @@ use ds_closure::{
 };
 use ds_fragment::Fragmentation;
 use ds_graph::{CsrGraph, NodeId, ReachIndex, ScratchDijkstra};
+use ds_obs::{
+    EvalTrace, Observability, RequestTrace, SpanRecord, Stage, TraceId, TraceOutcome, Tracer,
+};
 use ds_relation::{PathTuple, Relation};
 
 pub use ds_fault::{FaultPlan, FaultPoint};
@@ -79,6 +82,11 @@ pub struct MachineOptions {
     /// Deterministic fault plan armed at every site thread. `None` (the
     /// default) reduces the hook to a single branch per message.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Observability bundle: when armed, every batch mints trace ids,
+    /// stamps them through the site protocol, files per-request span
+    /// sets, and mirrors [`MachineStats`] into the metrics registry.
+    /// `None` (the default) reduces every hook to one `Option` branch.
+    pub obs: Option<Arc<Observability>>,
 }
 
 impl Default for MachineOptions {
@@ -86,6 +94,7 @@ impl Default for MachineOptions {
         MachineOptions {
             site_recv_timeout: Duration::from_secs(10),
             fault: None,
+            obs: None,
         }
     }
 }
@@ -263,6 +272,14 @@ impl Machine {
         &mut self,
         requests: &[QueryRequest],
     ) -> Result<BatchAnswer, ClosureError> {
+        let obs = self.options.obs.clone();
+        let traces: Vec<TraceId> = match &obs {
+            Some(o) => requests.iter().map(|_| o.tracer().mint()).collect(),
+            None => Vec::new(),
+        };
+        let batch_start_ns = obs.as_ref().map_or(0, |o| o.tracer().now_ns());
+        let mut site_spans: Vec<SpanRecord> = Vec::new();
+        let mut eval_traces: Vec<EvalTrace> = Vec::new();
         let mut failed: BTreeSet<usize> = BTreeSet::new();
         let Machine {
             ref planner,
@@ -280,16 +297,73 @@ impl Machine {
             stats,
             next_tag,
             failed: &mut failed,
+            current_trace: TraceId::NONE,
+            trace_ctx: obs.as_ref().map(|o| TraceCtx {
+                tracer: o.tracer(),
+                spans: &mut site_spans,
+            }),
         };
-        let batch = run_batch(planner, &mut eval, requests);
+        let batch = match &obs {
+            Some(_) => run_batch_traced(
+                planner,
+                &mut eval,
+                requests,
+                &traces,
+                Some(&mut eval_traces),
+            ),
+            None => run_batch(planner, &mut eval, requests),
+        };
         if let Some(&site) = failed.iter().next() {
             for &s in &failed {
                 self.respawn_site(s);
             }
+            self.mirror_stats();
             return Err(ClosureError::SiteUnavailable { site });
         }
         self.stats.queries += requests.len();
+        if let Some(o) = &obs {
+            for (i, req) in requests.iter().enumerate() {
+                let et = &eval_traces[i];
+                let mut spans = vec![SpanRecord {
+                    trace: et.trace,
+                    stage: Stage::Evaluation,
+                    start_ns: batch_start_ns,
+                    dur_ns: et.eval_ns,
+                }];
+                for c in &et.chains {
+                    spans.push(SpanRecord {
+                        trace: et.trace,
+                        stage: Stage::ChainSegment { chain: c.chain },
+                        start_ns: batch_start_ns,
+                        dur_ns: c.ns,
+                    });
+                }
+                spans.extend(site_spans.iter().filter(|s| s.trace == et.trace));
+                o.record_request(RequestTrace {
+                    trace: et.trace,
+                    source: req.source.index() as u64,
+                    target: req.target.index() as u64,
+                    epoch: 0,
+                    total_ns: et.eval_ns,
+                    outcome: if batch.answers[i].cost.is_some() {
+                        TraceOutcome::Answered
+                    } else {
+                        TraceOutcome::Unreachable
+                    },
+                    spans,
+                });
+            }
+        }
+        self.mirror_stats();
         Ok(batch)
+    }
+
+    /// Refresh the registry-backed view of [`MachineStats`] (no-op when
+    /// observability is disarmed).
+    fn mirror_stats(&self) {
+        if let Some(o) = &self.options.obs {
+            self.stats.mirror_into(o.registry());
+        }
     }
 
     /// Single-request [`Machine::try_query_batch`].
@@ -354,6 +428,19 @@ struct ChannelEval<'a> {
     stats: &'a mut MachineStats,
     next_tag: &'a mut u64,
     failed: &'a mut BTreeSet<usize>,
+    /// Trace id of the request currently being evaluated (set by
+    /// [`SiteEvaluator::begin_query`] on traced batches), stamped into
+    /// every dispatched [`SiteRequest::SubQuery`].
+    current_trace: TraceId,
+    /// Armed on traced batches: collects one `SitePhaseOne` span per
+    /// sub-query response, attributed by the echoed trace id.
+    trace_ctx: Option<TraceCtx<'a>>,
+}
+
+/// The span-collection half of a traced batch.
+struct TraceCtx<'a> {
+    tracer: &'a Tracer,
+    spans: &'a mut Vec<SpanRecord>,
 }
 
 impl SiteEvaluator for ChannelEval<'_> {
@@ -374,6 +461,7 @@ impl SiteEvaluator for ChannelEval<'_> {
                 *self.next_tag += 1;
                 let req = SiteRequest::SubQuery {
                     tag,
+                    trace: self.current_trace,
                     sources: q.sources.clone(),
                     targets: q.targets.clone(),
                 };
@@ -402,6 +490,20 @@ impl SiteEvaluator for ChannelEval<'_> {
                         qstats.tuples_shipped += resp.rows.len();
                         qstats.total_site_busy += resp.busy;
                         qstats.max_site_busy = qstats.max_site_busy.max(resp.busy);
+                        if let Some(ctx) = &mut self.trace_ctx {
+                            if resp.trace.is_traced() {
+                                let busy_ns = resp.busy.as_nanos() as u64;
+                                let now = ctx.tracer.now_ns();
+                                ctx.spans.push(SpanRecord {
+                                    trace: resp.trace,
+                                    stage: Stage::SitePhaseOne {
+                                        site: resp.site as u32,
+                                    },
+                                    start_ns: now.saturating_sub(busy_ns),
+                                    dur_ns: busy_ns,
+                                });
+                            }
+                        }
                         segments[slot] = Some(Relation::from_rows("segment", resp.rows));
                     }
                     Ok(SiteResponse::DeltaApplied { .. }) => {
@@ -423,6 +525,10 @@ impl SiteEvaluator for ChannelEval<'_> {
             .into_iter()
             .map(|s| s.unwrap_or_else(|| Relation::from_rows("segment", Vec::new())))
             .collect()
+    }
+
+    fn begin_query(&mut self, trace: TraceId) {
+        self.current_trace = trace;
     }
 }
 
@@ -859,6 +965,61 @@ mod tests {
         assert!(m.connected(n(12), n(12)));
     }
 
+    #[test]
+    fn armed_observability_traces_batches_and_mirrors_stats() {
+        let g = grid(9, 4);
+        let frag = linear_sweep(
+            &g.edge_list(),
+            &LinearConfig {
+                fragments: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .fragmentation;
+        let obs = Observability::armed();
+        let mut m = Machine::deploy_with_options(
+            g.closure_graph(),
+            frag,
+            true,
+            EngineConfig::default(),
+            MachineOptions {
+                obs: Some(obs.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reqs = [
+            QueryRequest::new(n(0), n(35)),
+            QueryRequest::new(n(3), n(30)),
+        ];
+        let batch = m.try_query_batch(&reqs).unwrap();
+        assert!(batch.answers.iter().all(|a| a.cost.is_some()));
+
+        let recent = obs.tracer().recent(10);
+        assert_eq!(recent.len(), 2, "one RequestTrace per request");
+        for rt in &recent {
+            assert_eq!(rt.outcome, TraceOutcome::Answered);
+            assert!(rt.span(Stage::Evaluation).is_some(), "{rt}");
+            assert!(
+                rt.spans
+                    .iter()
+                    .any(|s| matches!(s.stage, Stage::SitePhaseOne { .. })),
+                "cross-fragment query must touch at least one site: {rt}"
+            );
+            assert!(rt
+                .spans
+                .iter()
+                .any(|s| matches!(s.stage, Stage::ChainSegment { .. })));
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.gauge("machine_queries"), Some(2));
+        assert!(snap.gauge("machine_messages_sent").unwrap_or(0) > 0);
+
+        // Oracle: a disarmed machine answers identically.
+        m.shutdown();
+    }
+
     fn machine_with_fault(plan: FaultPlan) -> (ds_gen::GeneratedGraph, Machine) {
         let g = grid(9, 4);
         let frag = linear_sweep(
@@ -878,6 +1039,7 @@ mod tests {
             MachineOptions {
                 site_recv_timeout: Duration::from_millis(200),
                 fault: Some(Arc::new(plan)),
+                obs: None,
             },
         )
         .unwrap();

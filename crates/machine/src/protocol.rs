@@ -12,6 +12,7 @@
 use std::time::Duration;
 
 use ds_graph::{Edge, NodeId};
+use ds_obs::TraceId;
 use ds_relation::PathTuple;
 
 /// Coordinator → site.
@@ -22,6 +23,10 @@ pub enum SiteRequest {
     SubQuery {
         /// Correlation tag echoed in the response.
         tag: u64,
+        /// Request trace id ([`TraceId::NONE`] when observability is
+        /// disarmed), echoed in the response so per-site spans can be
+        /// attributed to the originating request.
+        trace: TraceId,
         sources: Vec<NodeId>,
         targets: Vec<NodeId>,
     },
@@ -74,6 +79,8 @@ pub enum SiteResponse {
 pub struct SubQueryResult {
     pub site: usize,
     pub tag: u64,
+    /// The request trace id from the triggering [`SiteRequest::SubQuery`].
+    pub trace: TraceId,
     pub rows: Vec<PathTuple>,
     /// Processing time at the site (the workload-balance measure of
     /// §2.2).
@@ -88,6 +95,7 @@ mod tests {
     fn requests_compare() {
         let a = SiteRequest::SubQuery {
             tag: 1,
+            trace: TraceId::NONE,
             sources: vec![NodeId(0)],
             targets: vec![],
         };

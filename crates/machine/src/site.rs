@@ -79,6 +79,7 @@ pub fn run_site(
         match req {
             SiteRequest::SubQuery {
                 tag,
+                trace,
                 sources,
                 targets,
             } => {
@@ -87,6 +88,7 @@ pub fn run_site(
                 let resp = SiteResponse::SubQuery(SubQueryResult {
                     site: state.site,
                     tag,
+                    trace,
                     rows: rel.rows().to_vec(),
                     busy: start.elapsed(),
                 });
@@ -116,6 +118,7 @@ pub fn run_site(
 mod tests {
     use super::*;
     use ds_graph::NodeId;
+    use ds_obs::TraceId;
 
     fn init() -> SiteInit {
         SiteInit {
@@ -145,6 +148,7 @@ mod tests {
         req_tx
             .send(SiteRequest::SubQuery {
                 tag: 42,
+                trace: TraceId::NONE,
                 sources: vec![NodeId(0)],
                 targets: vec![NodeId(2)],
             })
@@ -183,6 +187,7 @@ mod tests {
         req_tx
             .send(SiteRequest::SubQuery {
                 tag: 2,
+                trace: TraceId::NONE,
                 sources: vec![NodeId(0)],
                 targets: vec![NodeId(2)],
             })
@@ -201,6 +206,7 @@ mod tests {
         req_tx
             .send(SiteRequest::SubQuery {
                 tag: 4,
+                trace: TraceId::NONE,
                 sources: vec![NodeId(0)],
                 targets: vec![NodeId(2)],
             })

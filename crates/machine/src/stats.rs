@@ -1,6 +1,7 @@
 //! Machine-level accounting: the quantities the PRISMA experiments
 //! (ref [14]) would have measured.
 
+use std::fmt;
 use std::time::Duration;
 
 /// Per-site counters. All counters accumulate monotonically for the
@@ -63,6 +64,62 @@ impl MachineStats {
         let busies: Vec<Duration> = self.sites.iter().map(|s| s.busy).collect();
         balance_ratio(&busies)
     }
+
+    /// Mirror every counter into `registry` as `machine_*` gauges — the
+    /// registry-backed view of this struct. Gauges (not counters)
+    /// because the struct owns the truth and the registry reflects it;
+    /// called by the coordinator after each batch/update.
+    pub fn mirror_into(&self, registry: &ds_obs::MetricsRegistry) {
+        registry.gauge("machine_queries").set(self.queries as u64);
+        registry.gauge("machine_updates").set(self.updates as u64);
+        registry
+            .gauge("machine_messages_sent")
+            .set(self.messages_sent as u64);
+        registry
+            .gauge("machine_messages_received")
+            .set(self.messages_received as u64);
+        registry
+            .gauge("machine_tuples_shipped")
+            .set(self.tuples_shipped as u64);
+        registry
+            .gauge("machine_update_messages_sent")
+            .set(self.update_messages_sent as u64);
+        registry
+            .gauge("machine_update_tuples_shipped")
+            .set(self.update_tuples_shipped as u64);
+        registry
+            .gauge("machine_site_restarts")
+            .set(self.site_restarts as u64);
+        registry
+            .gauge("machine_stale_responses")
+            .set(self.stale_responses as u64);
+    }
+}
+
+impl fmt::Display for MachineStats {
+    /// One-line summary, like `MaterializeStats`:
+    /// `3 sites: 12 queries, 2 updates, 40/40 msgs, 118 tuples shipped
+    /// (9 in deltas), balance 1.31, 0 restarts`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sites: {} queries, {} updates, {}/{} msgs, {} tuples shipped \
+             ({} in deltas), balance {:.2}, {} restarts",
+            self.sites.len(),
+            self.queries,
+            self.updates,
+            self.messages_sent,
+            self.messages_received,
+            self.tuples_shipped,
+            self.update_tuples_shipped,
+            self.balance_ratio(),
+            self.site_restarts,
+        )?;
+        if self.stale_responses > 0 {
+            write!(f, ", {} stale responses", self.stale_responses)?;
+        }
+        Ok(())
+    }
 }
 
 /// Imbalance of a set of busy times: max over mean of the non-idle
@@ -111,5 +168,47 @@ mod tests {
     fn empty_machine_is_balanced() {
         assert_eq!(MachineStats::new(0).balance_ratio(), 1.0);
         assert_eq!(MachineStats::new(3).balance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn display_is_one_line_with_every_headline_number() {
+        let mut s = MachineStats::new(3);
+        s.queries = 12;
+        s.updates = 2;
+        s.messages_sent = 40;
+        s.messages_received = 40;
+        s.tuples_shipped = 118;
+        s.update_tuples_shipped = 9;
+        let line = s.to_string();
+        assert!(!line.contains('\n'));
+        for needle in [
+            "3 sites",
+            "12 queries",
+            "2 updates",
+            "40/40 msgs",
+            "118 tuples",
+        ] {
+            assert!(line.contains(needle), "{line}");
+        }
+        assert!(!line.contains("stale"), "stale only shown when non-zero");
+        s.stale_responses = 1;
+        assert!(s.to_string().contains("1 stale"));
+    }
+
+    #[test]
+    fn mirror_into_reflects_every_counter() {
+        let reg = ds_obs::MetricsRegistry::new();
+        let mut s = MachineStats::new(2);
+        s.queries = 7;
+        s.tuples_shipped = 99;
+        s.mirror_into(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("machine_queries"), Some(7));
+        assert_eq!(snap.gauge("machine_tuples_shipped"), Some(99));
+        assert_eq!(snap.gauge("machine_site_restarts"), Some(0));
+        // Mirroring again after progress overwrites, never accumulates.
+        s.queries = 8;
+        s.mirror_into(&reg);
+        assert_eq!(reg.snapshot().gauge("machine_queries"), Some(8));
     }
 }

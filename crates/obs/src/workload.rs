@@ -1,0 +1,236 @@
+//! The workload recorder: a sharded, bounded sketch of which fragment
+//! pairs and vertex pairs the serve tier is actually asked about.
+//!
+//! This is the input a workload-adaptive re-fragmenter needs (ROADMAP:
+//! score candidate fragmentations against *observed* queried paths, à
+//! la Peng et al.): per-pair frequencies, cheap enough to sample from
+//! the hot path. Recording is sampled ([`WorkloadRecorder::should_sample`]
+//! is one relaxed atomic op), sharded to keep lock contention off the
+//! worker pool, and bounded per shard so an adversarial key stream
+//! cannot grow memory — new pairs arriving at a full shard are counted
+//! in `dropped` instead.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One hot pair and its observed frequency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotPair {
+    pub a: u64,
+    pub b: u64,
+    pub count: u64,
+}
+
+/// SplitMix64 finalizer — shard selection only.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Default)]
+struct PairSketch {
+    shards: Vec<Mutex<HashMap<(u64, u64), u64>>>,
+    per_shard_cap: usize,
+    dropped: AtomicU64,
+}
+
+impl PairSketch {
+    fn new(shards: usize, per_shard_cap: usize) -> Self {
+        PairSketch {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            per_shard_cap: per_shard_cap.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, a: u64, b: u64, n: u64) {
+        let shard =
+            (mix(a.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(b)) as usize) % self.shards.len();
+        let mut map = lock(&self.shards[shard]);
+        if let Some(c) = map.get_mut(&(a, b)) {
+            *c += n;
+        } else if map.len() < self.per_shard_cap {
+            map.insert((a, b), n);
+        } else {
+            self.dropped.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    fn top_k(&self, k: usize) -> Vec<HotPair> {
+        let mut all: Vec<HotPair> = Vec::new();
+        for shard in &self.shards {
+            for (&(a, b), &count) in lock(shard).iter() {
+                all.push(HotPair { a, b, count });
+            }
+        }
+        // Deterministic order: frequency desc, then pair asc.
+        all.sort_by(|x, y| y.count.cmp(&x.count).then((x.a, x.b).cmp(&(y.a, y.b))));
+        all.truncate(k);
+        all
+    }
+
+    fn distinct(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+}
+
+/// Sampled frequency sketch of the served query stream, keyed two
+/// ways: by vertex pair (who asks for what) and by fragment pair
+/// (which fragment-to-fragment routes are hot).
+#[derive(Debug)]
+pub struct WorkloadRecorder {
+    vertex_pairs: PairSketch,
+    fragment_pairs: PairSketch,
+    sample_every: u64,
+    tick: AtomicU64,
+}
+
+impl WorkloadRecorder {
+    /// `sample_every` = record every Nth request (1 = all);
+    /// `per_shard_cap` bounds each of the `shards` maps of each sketch.
+    pub fn new(shards: usize, per_shard_cap: usize, sample_every: u64) -> Self {
+        WorkloadRecorder {
+            vertex_pairs: PairSketch::new(shards, per_shard_cap),
+            fragment_pairs: PairSketch::new(shards, per_shard_cap),
+            sample_every: sample_every.max(1),
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    /// Hot-path sampling gate: one relaxed atomic op. Returns `true`
+    /// on every `sample_every`-th call.
+    #[inline]
+    pub fn should_sample(&self) -> bool {
+        self.tick
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.sample_every)
+    }
+
+    /// Count one (sampled) query for vertex pair `(source, target)`.
+    pub fn record_vertex_pair(&self, source: u64, target: u64) {
+        self.vertex_pairs.record(source, target, 1);
+    }
+
+    /// Count one (sampled) query routed from fragment `a` to fragment
+    /// `b`.
+    pub fn record_fragment_pair(&self, a: u64, b: u64) {
+        self.fragment_pairs.record(a, b, 1);
+    }
+
+    /// The `k` most frequently queried vertex pairs, hottest first
+    /// (ties broken by pair for determinism).
+    pub fn top_vertex_pairs(&self, k: usize) -> Vec<HotPair> {
+        self.vertex_pairs.top_k(k)
+    }
+
+    /// The `k` hottest fragment-to-fragment routes, hottest first.
+    pub fn top_fragment_pairs(&self, k: usize) -> Vec<HotPair> {
+        self.fragment_pairs.top_k(k)
+    }
+
+    /// Distinct vertex pairs currently tracked.
+    pub fn distinct_vertex_pairs(&self) -> usize {
+        self.vertex_pairs.distinct()
+    }
+
+    /// Distinct fragment pairs currently tracked.
+    pub fn distinct_fragment_pairs(&self) -> usize {
+        self.fragment_pairs.distinct()
+    }
+
+    /// Samples lost to full shards (vertex sketch + fragment sketch).
+    pub fn dropped(&self) -> u64 {
+        self.vertex_pairs.dropped.load(Ordering::Relaxed)
+            + self.fragment_pairs.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_accumulate_and_rank() {
+        let w = WorkloadRecorder::new(4, 64, 1);
+        for _ in 0..5 {
+            w.record_vertex_pair(1, 2);
+        }
+        for _ in 0..3 {
+            w.record_vertex_pair(3, 4);
+        }
+        w.record_vertex_pair(5, 6);
+        let top = w.top_vertex_pairs(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!((top[0].a, top[0].b, top[0].count), (1, 2, 5));
+        assert_eq!((top[1].a, top[1].b, top[1].count), (3, 4, 3));
+        assert_eq!(w.distinct_vertex_pairs(), 3);
+    }
+
+    #[test]
+    fn fragment_and_vertex_sketches_are_independent() {
+        let w = WorkloadRecorder::new(2, 64, 1);
+        w.record_fragment_pair(0, 1);
+        w.record_fragment_pair(0, 1);
+        assert_eq!(w.top_fragment_pairs(5).len(), 1);
+        assert_eq!(w.top_fragment_pairs(5)[0].count, 2);
+        assert!(w.top_vertex_pairs(5).is_empty());
+    }
+
+    #[test]
+    fn sampling_gate_fires_every_nth() {
+        let w = WorkloadRecorder::new(1, 8, 4);
+        let fired = (0..16).filter(|_| w.should_sample()).count();
+        assert_eq!(fired, 4);
+        let always = WorkloadRecorder::new(1, 8, 1);
+        assert!((0..10).all(|_| always.should_sample()));
+    }
+
+    #[test]
+    fn full_shards_drop_new_pairs_but_keep_counting_known_ones() {
+        let w = WorkloadRecorder::new(1, 2, 1);
+        w.record_vertex_pair(1, 1);
+        w.record_vertex_pair(2, 2);
+        w.record_vertex_pair(3, 3); // shard full → dropped
+        assert_eq!(w.distinct_vertex_pairs(), 2);
+        assert_eq!(w.dropped(), 1);
+        w.record_vertex_pair(1, 1); // known pair still counts
+        assert_eq!(w.top_vertex_pairs(1)[0].count, 2);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let w = WorkloadRecorder::new(8, 64, 1);
+        w.record_vertex_pair(9, 9);
+        w.record_vertex_pair(1, 1);
+        let top = w.top_vertex_pairs(2);
+        assert_eq!((top[0].a, top[1].a), (1, 9), "equal counts sort by pair");
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing_within_capacity() {
+        let w = std::sync::Arc::new(WorkloadRecorder::new(8, 1024, 1));
+        let mut threads = Vec::new();
+        for t in 0..4u64 {
+            let w = std::sync::Arc::clone(&w);
+            threads.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    w.record_vertex_pair(i % 10, t);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().expect("recorder thread");
+        }
+        let total: u64 = w.top_vertex_pairs(usize::MAX).iter().map(|p| p.count).sum();
+        assert_eq!(total, 2000);
+        assert_eq!(w.dropped(), 0);
+    }
+}

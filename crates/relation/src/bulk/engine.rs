@@ -68,6 +68,12 @@ pub struct MaterializeConfig {
     /// ([`FaultPoint::BulkWorker`]). `None` (the default) reduces the
     /// hook to a single branch.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Observability bundle (`ds_obs`): after a successful run the
+    /// resulting [`MaterializeStats`] are mirrored into the metrics
+    /// registry as `materialize_*` gauges
+    /// ([`MaterializeStats::mirror_into`]). `None` (the default) skips
+    /// the mirror entirely.
+    pub obs: Option<Arc<ds_obs::Observability>>,
 }
 
 impl Default for MaterializeConfig {
@@ -78,6 +84,7 @@ impl Default for MaterializeConfig {
             max_rounds: 0,
             dense_limit: DEFAULT_DENSE_LIMIT,
             fault: None,
+            obs: None,
         }
     }
 }
@@ -169,6 +176,33 @@ pub struct MaterializeStats {
 }
 
 impl MaterializeStats {
+    /// Mirror the run's headline numbers into `registry` as
+    /// `materialize_*` gauges — the registry-backed view of this
+    /// struct, same convention as `MachineStats::mirror_into`. Gauges
+    /// (not counters) because the struct owns the truth: a later run
+    /// overwrites, never accumulates.
+    pub fn mirror_into(&self, registry: &ds_obs::MetricsRegistry) {
+        registry
+            .gauge("materialize_fragments")
+            .set(self.fragments as u64);
+        registry
+            .gauge("materialize_threads")
+            .set(self.threads as u64);
+        registry.gauge("materialize_rounds").set(self.rounds as u64);
+        registry
+            .gauge("materialize_exchanged_tuples")
+            .set(self.exchanged_tuples as u64);
+        registry
+            .gauge("materialize_kept_local")
+            .set(self.kept_local as u64);
+        registry
+            .gauge("materialize_result_tuples")
+            .set(self.tc.result_tuples as u64);
+        registry
+            .gauge("materialize_generated_tuples")
+            .set(self.tc.tuples_generated as u64);
+    }
+
     /// Max over mean per-fragment busy time — 1.0 is a perfectly
     /// balanced run (same measure as the machine/serve stats).
     pub fn balance_ratio(&self) -> f64 {
@@ -602,6 +636,9 @@ impl MaterializeEngine {
         stats.tc.result_tuples = rows.len();
         stats.tc.exchange_rounds = stats.rounds;
         stats.tc.exchanged_tuples = stats.exchanged_tuples;
+        if let Some(obs) = &self.config.obs {
+            stats.mirror_into(obs.registry());
+        }
         Ok((Relation::from_rows("tc", rows), stats))
     }
 

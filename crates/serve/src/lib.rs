@@ -71,18 +71,29 @@
 //!   a supervisor: a panicking micro-batch resolves every in-flight
 //!   request with a typed `ClosureError::WorkerFailed` (never a hang)
 //!   and the worker is respawned ([`ServeStats::worker_restarts`]).
-//!   Writer death flips the server into read-only degraded mode
-//!   (updates refused with `WriterDown`, reads keep serving the last
-//!   published epoch). Jobs queued past [`ServeConfig::deadline`] are
-//!   shed with `DeadlineExceeded`, and the blocking wrappers retry
-//!   `Overloaded` admissions a bounded number of times
-//!   ([`ServeConfig::max_admission_retries`]). Failures are injectable
-//!   deterministically through `ds_fault` ([`ServeConfig::fault`]).
+//!   A writer panic is survivable too: the supervisor rebuilds the
+//!   working copy from the last published snapshot and re-arms the
+//!   same write channel ([`ServeStats::writer_restarts`]); in-flight
+//!   updates of the doomed batch resolve to `WriterRestarted` (not
+//!   applied — retry). Only a permanent writer death flips read-only
+//!   degraded mode (updates refused with `WriterDown`, reads keep
+//!   serving the last published epoch). Jobs queued past
+//!   [`ServeConfig::deadline`] are shed with `DeadlineExceeded`, and
+//!   the blocking wrappers retry `Overloaded` admissions a bounded
+//!   number of times ([`ServeConfig::max_admission_retries`]).
+//!   Failures are injectable deterministically through `ds_fault`
+//!   ([`ServeConfig::fault`]).
 //! * **Observability.** [`ServeStats`] reports throughput, p50/p99
-//!   latency from an in-crate fixed-bucket [`LatencyHistogram`],
-//!   per-worker busy time and scratch reuse, batch amortization and
-//!   cache hit/miss counters, queue pressure, and which
-//!   backend/strategy built the tables being served.
+//!   latency from the shared fixed-bucket [`LatencyHistogram`]
+//!   (promoted to `ds_obs`), per-worker busy time and scratch reuse,
+//!   batch amortization and cache hit/miss counters, queue pressure,
+//!   and which backend/strategy built the tables being served. Arming
+//!   [`ServeConfig::obs`] additionally mints a trace id per admitted
+//!   request, files span sets (queue wait, evaluation, per-chain
+//!   segment time, cache/coalesce/reach-index markers) into a trace
+//!   ring and slow-query log, samples query frequencies into the
+//!   workload recorder, and mirrors every counter into the
+//!   `ds_obs::MetricsRegistry` for JSON/Prometheus export.
 //!
 //! ```
 //! use ds_closure::{EngineConfig, EngineSnapshot};
@@ -105,13 +116,19 @@
 //! ```
 
 mod cache;
-pub mod histogram;
 mod queue;
 pub mod server;
 
+/// The fixed-bucket latency histogram was promoted to `ds_obs` (where
+/// the whole observability stack shares it); this module keeps the old
+/// `ds_serve::histogram::LatencyHistogram` path working.
+pub mod histogram {
+    pub use ds_obs::LatencyHistogram;
+}
+
 pub use ds_closure::snapshot::EngineSnapshot;
 pub use ds_fault::{FaultPlan, FaultPoint, FaultScenario, FaultUniverse};
-pub use histogram::LatencyHistogram;
+pub use ds_obs::LatencyHistogram;
 pub use server::{
     LatencySummary, Overloaded, PendingBatch, ServeConfig, ServeError, ServeStats, ServedAnswer,
     ServedBatch, ServedUpdate, Server,
@@ -599,16 +616,63 @@ mod tests {
         assert!(!stats.degraded, "a worker panic never degrades writes");
     }
 
-    /// Writer death flips the server into read-only degraded mode:
-    /// the in-flight update resolves with `WriterDown` (no hang),
-    /// later updates are refused, reads keep serving the last epoch.
+    /// A writer *panic* is survivable: the in-flight update resolves
+    /// with the typed `WriterRestarted` (not applied — retry), the
+    /// supervisor respawns the writer from the last published
+    /// snapshot, and the retried update applies exactly.
     #[test]
-    fn writer_death_degrades_to_read_only() {
+    fn writer_panic_respawns_and_updates_resume() {
         let (g, snap) = snapshot();
         let csr = g.closure_graph();
         let f0 = snap.fragmentation().fragment(0).clone();
         let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
         let plan = Arc::new(FaultPlan::new().panic_at(FaultPoint::ServeWriter, 1));
+        let server = Server::start(
+            snap,
+            ServeConfig {
+                workers: 2,
+                fault: Some(Arc::clone(&plan)),
+                ..ServeConfig::default()
+            },
+        );
+        let insert = NetworkUpdate::Insert {
+            edge: Edge::new(a, b, 1),
+            owner: 0,
+        };
+        assert!(matches!(
+            server.update(&insert),
+            Err(ds_closure::ClosureError::WriterRestarted)
+        ));
+        assert!(plan.exhausted());
+        assert_eq!(server.epoch(), 0, "the doomed update published nothing");
+        // The retry hits the respawned writer and applies exactly.
+        let served = server.update(&insert).unwrap();
+        assert_eq!(served.epoch, 1);
+        let after = server.query(n(0), n(39)).unwrap();
+        assert_eq!(after.epoch, 1);
+        let snap_now = server.snapshot();
+        assert_eq!(
+            after.answer.cost,
+            baseline::shortest_path_cost(snap_now.graph(), n(0), n(39))
+        );
+        assert!(after.answer.cost <= baseline::shortest_path_cost(&csr, n(0), n(39)));
+        let stats = server.shutdown();
+        assert_eq!(stats.writer_restarts, 1);
+        assert!(!stats.degraded, "a writer panic no longer degrades");
+        assert_eq!(stats.updates, 1);
+        assert!(stats.to_string().contains("1 writer restarts"));
+    }
+
+    /// A *non-unwind* writer failure (`FaultAction::Fail`) is the
+    /// permanent death: no respawn, read-only degraded mode, every
+    /// update — in-flight and future — refused with `WriterDown`.
+    #[test]
+    fn writer_fail_injection_degrades_to_read_only() {
+        let (g, snap) = snapshot();
+        let csr = g.closure_graph();
+        let f0 = snap.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        let plan = Arc::new(FaultPlan::new().fail_at(FaultPoint::ServeWriter, 1));
         let server = Server::start(
             snap,
             ServeConfig {
@@ -641,7 +705,95 @@ mod tests {
         );
         let stats = server.shutdown();
         assert!(stats.degraded);
+        assert_eq!(stats.writer_restarts, 0, "Fail never respawns");
         assert_eq!(stats.epoch, 0, "the failed update published nothing");
+        assert!(stats.to_string().contains("DEGRADED"));
+    }
+
+    /// Armed observability: every answered request leaves a trace with
+    /// a complete span set, counters land in the registry, the workload
+    /// recorder sees the hot pair, and the disarmed server answers
+    /// identically (the observability oracle).
+    #[test]
+    fn armed_observability_traces_requests_end_to_end() {
+        use ds_obs::{Observability, Stage, TraceOutcome};
+        let (_, snap) = snapshot();
+        let disarmed_snap = snap.clone();
+        let obs = Observability::armed();
+        let server = Server::start(
+            snap,
+            ServeConfig {
+                workers: 2,
+                obs: Some(obs.clone()),
+                ..ServeConfig::default()
+            },
+        );
+        // A hot pair (repeated → cache hits) plus distinct pairs.
+        let mut answers = Vec::new();
+        for i in 0..4u32 {
+            answers.push(server.query(n(0), n(39)).unwrap().answer.cost);
+            answers.push(server.query(n(i), n(30 + i)).unwrap().answer.cost);
+        }
+        // One update so the writer trace and epoch gauge move too.
+        let f0 = server.snapshot().fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        server
+            .update(&NetworkUpdate::Insert {
+                edge: Edge::new(a, b, 1),
+                owner: 0,
+            })
+            .unwrap();
+        assert!(server.connected(n(0), n(39)).unwrap());
+
+        let traces = obs.tracer().recent(64);
+        assert!(!traces.is_empty());
+        for rt in &traces {
+            match rt.outcome {
+                TraceOutcome::Answered | TraceOutcome::Unreachable => {
+                    if rt.span(Stage::ReachIndex).is_some() {
+                        continue; // connected fast path: one marker span
+                    }
+                    assert!(rt.span(Stage::QueueWait).is_some(), "{rt}");
+                    let resolved = rt.span(Stage::Evaluation).is_some()
+                        || rt.span(Stage::CacheHit).is_some()
+                        || rt.span(Stage::Coalesced).is_some();
+                    assert!(resolved, "no resolution span: {rt}");
+                }
+                TraceOutcome::Applied => {
+                    assert!(rt.span(Stage::WriterApply).is_some(), "{rt}");
+                    assert!(rt.span(Stage::Publication).is_some(), "{rt}");
+                }
+                other => panic!("unexpected outcome {other:?} in {rt}"),
+            }
+        }
+        let snap_metrics = obs.snapshot();
+        assert_eq!(snap_metrics.counter("serve_requests"), Some(8));
+        assert!(snap_metrics.counter("serve_cache_hits").unwrap_or(0) >= 1);
+        assert_eq!(snap_metrics.counter("serve_updates"), Some(1));
+        assert_eq!(snap_metrics.gauge("serve_epoch"), Some(1));
+        assert_eq!(snap_metrics.counter("serve_reach_fast_path"), Some(1));
+        let hist = snap_metrics
+            .histogram("request_latency_ns")
+            .expect("latency histogram registered");
+        assert!(hist.count() >= 8);
+        let hot = obs.workload().top_vertex_pairs(1);
+        assert_eq!(
+            (hot[0].a, hot[0].b),
+            (0, 39),
+            "the repeated pair is the hottest"
+        );
+
+        let stats = server.shutdown();
+        // Oracle: a disarmed server answers every query identically.
+        let disarmed = Server::start(disarmed_snap, ServeConfig::with_workers(2));
+        let mut oracle = Vec::new();
+        for i in 0..4u32 {
+            oracle.push(disarmed.query(n(0), n(39)).unwrap().answer.cost);
+            oracle.push(disarmed.query(n(i), n(30 + i)).unwrap().answer.cost);
+        }
+        assert_eq!(answers, oracle, "tracing never changes answers");
+        let dstats = disarmed.shutdown();
+        assert_eq!(stats.requests, dstats.requests);
     }
 
     /// Jobs queued past their deadline are shed with the typed

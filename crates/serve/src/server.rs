@@ -17,9 +17,12 @@ use ds_closure::{ClosureError, QueryAnswer};
 use ds_fault::{lock_unpoisoned, FaultPlan, FaultPoint};
 use ds_fragment::FragmentId;
 use ds_graph::{NodeId, ScratchDijkstra, ScratchStats};
+use ds_obs::{
+    Counter, EvalTrace, Gauge, LatencyHistogram, Observability, RequestTrace, SpanRecord, Stage,
+    TraceId, TraceOutcome,
+};
 
 use crate::cache::AnswerCache;
-use crate::histogram::LatencyHistogram;
 use crate::queue::{BoundedQueue, PushError};
 
 /// Serving configuration.
@@ -65,6 +68,15 @@ pub struct ServeConfig {
     /// The hooks are a single `Option` branch when disarmed — the serve
     /// bench's fault-overhead row measures exactly this.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Observability bundle (`ds_obs`). When armed, every admission
+    /// mints a [`TraceId`], workers file per-request span sets (queue
+    /// wait, evaluation, per-chain segment time, cache/coalesce/
+    /// reach-index markers) into the trace ring and slow-query log,
+    /// the hot path samples the workload recorder, and every `ServeStats`
+    /// counter is mirrored into the metrics registry. `None` (the
+    /// default) reduces every hook to one `Option` branch — the serve
+    /// bench's `obs-disarmed` row gates exactly this.
+    pub obs: Option<Arc<Observability>>,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +92,7 @@ impl Default for ServeConfig {
             deadline: None,
             max_admission_retries: 16,
             fault: None,
+            obs: None,
         }
     }
 }
@@ -277,6 +290,12 @@ pub struct ServeStats {
     /// Every request of the doomed micro-batch resolved to
     /// [`ClosureError::WorkerFailed`] first — nothing hangs.
     pub worker_restarts: u64,
+    /// Times the writer thread was respawned by its supervisor after a
+    /// panic: the working copy is rebuilt from the last published
+    /// snapshot and the write channel stays armed, so updates keep
+    /// flowing. The in-flight updates of the doomed batch resolved to
+    /// [`ClosureError::WriterRestarted`] (not applied — retry) first.
+    pub writer_restarts: u64,
     /// Jobs shed at the worker because they sat queued past
     /// [`ServeConfig::deadline`] (each resolved to
     /// [`ClosureError::DeadlineExceeded`]).
@@ -323,8 +342,53 @@ impl ServeStats {
     }
 }
 
+impl std::fmt::Display for ServeStats {
+    /// One-line summary, like `MaterializeStats` and `MachineStats`:
+    /// `epoch 2 (4 workers, inline): 150 requests (120 evaluated, 20
+    /// coalesced, 10 cached), 2 updates, p50 8.1us p99 40.2us, balance
+    /// 1.10`, with degrade/restart/shed markers appended only when
+    /// non-zero.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "epoch {} ({} workers, {}): {} requests ({} evaluated, {} coalesced, \
+             {} cached), {} updates, p50 {:.1}us p99 {:.1}us, balance {:.2}",
+            self.epoch,
+            self.workers,
+            self.backend,
+            self.requests,
+            self.evaluated,
+            self.coalesced,
+            self.cache_hits,
+            self.updates,
+            self.latency.p50_us,
+            self.latency.p99_us,
+            self.balance_ratio(),
+        )?;
+        if self.queue_rejections > 0 {
+            write!(f, ", {} shed", self.queue_rejections)?;
+        }
+        if self.deadline_shed > 0 {
+            write!(f, ", {} past deadline", self.deadline_shed)?;
+        }
+        if self.worker_restarts > 0 {
+            write!(f, ", {} worker restarts", self.worker_restarts)?;
+        }
+        if self.writer_restarts > 0 {
+            write!(f, ", {} writer restarts", self.writer_restarts)?;
+        }
+        if self.degraded {
+            write!(f, ", DEGRADED (read-only)")?;
+        }
+        Ok(())
+    }
+}
+
 struct QueryJob {
     requests: Vec<QueryRequest>,
+    /// One trace id per request, minted at admission; empty when
+    /// observability is disarmed.
+    traces: Vec<TraceId>,
     reply: mpsc::Sender<Result<ServedBatch, ClosureError>>,
     submitted: Instant,
 }
@@ -428,11 +492,67 @@ struct Shared {
     fault: Option<Arc<FaultPlan>>,
     /// Workers respawned after a panic.
     worker_restarts: AtomicU64,
+    /// Writers respawned after a panic (working copy rebuilt from the
+    /// last published snapshot).
+    writer_restarts: AtomicU64,
     /// Jobs shed past their deadline.
     deadline_shed: AtomicU64,
-    /// Set when the writer dies: read-only degraded mode.
+    /// Set when the writer is *permanently* down: read-only degraded
+    /// mode. A writer panic respawns and never sets this; only an
+    /// injected non-unwind failure (`FaultAction::Fail`) does.
     degraded: AtomicBool,
+    /// Armed observability plus pre-created metric handles (`None` =
+    /// disarmed: every hook is one `Option` branch).
+    obs: Option<ObsHandles>,
     started: Instant,
+}
+
+/// The armed observability bundle with its metric handles created once
+/// at server start, so the hot path pays one relaxed atomic op per
+/// event and never touches the registry lock.
+struct ObsHandles {
+    obs: Arc<Observability>,
+    requests: Counter,
+    jobs: Counter,
+    batches: Counter,
+    evaluated: Counter,
+    coalesced: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    reach_fast_path: Counter,
+    queue_rejections: Counter,
+    deadline_shed: Counter,
+    worker_restarts: Counter,
+    writer_restarts: Counter,
+    updates: Counter,
+    publications: Counter,
+    epoch: Gauge,
+    queue_depth: Gauge,
+}
+
+impl ObsHandles {
+    fn new(obs: Arc<Observability>) -> Self {
+        let r = obs.registry();
+        ObsHandles {
+            requests: r.counter("serve_requests"),
+            jobs: r.counter("serve_jobs"),
+            batches: r.counter("serve_batches"),
+            evaluated: r.counter("serve_evaluated"),
+            coalesced: r.counter("serve_coalesced"),
+            cache_hits: r.counter("serve_cache_hits"),
+            cache_misses: r.counter("serve_cache_misses"),
+            reach_fast_path: r.counter("serve_reach_fast_path"),
+            queue_rejections: r.counter("serve_queue_rejections"),
+            deadline_shed: r.counter("serve_deadline_shed"),
+            worker_restarts: r.counter("serve_worker_restarts"),
+            writer_restarts: r.counter("serve_writer_restarts"),
+            updates: r.counter("serve_updates"),
+            publications: r.counter("serve_publications"),
+            epoch: r.gauge("serve_epoch"),
+            queue_depth: r.gauge("serve_queue_depth"),
+            obs,
+        }
+    }
 }
 
 /// A running query-serving subsystem over one engine snapshot lineage.
@@ -456,7 +576,6 @@ impl Server {
     pub fn start(snapshot: EngineSnapshot, config: ServeConfig) -> Server {
         let workers = config.workers.max(1);
         let initial = Arc::new(snapshot);
-        let working = (*initial).clone();
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity.max(workers)),
             published: Published::new(initial),
@@ -474,8 +593,10 @@ impl Server {
             max_admission_retries: config.max_admission_retries,
             fault: config.fault.clone(),
             worker_restarts: AtomicU64::new(0),
+            writer_restarts: AtomicU64::new(0),
             deadline_shed: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
+            obs: config.obs.clone().map(ObsHandles::new),
             started: Instant::now(),
         });
         let mut handles = Vec::with_capacity(workers + 1);
@@ -488,17 +609,30 @@ impl Server {
             let shared = Arc::clone(&shared);
             let max = config.write_batch_max.max(1);
             handles.push(std::thread::spawn(move || {
-                // The writer has no respawn path: its private working
-                // copy dies with it. Death flips the server into
-                // read-only degraded mode instead of stalling updaters —
-                // dropping `write_rx` here resolves every queued and
-                // future update with `WriterDown` (see `Server::update`).
-                let died = catch_unwind(AssertUnwindSafe(|| {
-                    writer_loop(&shared, working, &write_rx, max)
-                }))
-                .is_err();
-                if died {
-                    shared.degraded.store(true, Ordering::SeqCst);
+                // Writer supervisor: a panicking writer loses only its
+                // private working copy, so the respawn rebuilds one from
+                // the last *published* snapshot and re-enters the loop on
+                // the same write channel — updates keep flowing. The
+                // in-flight updates of the doomed batch resolve through
+                // their dropped reply senders as `WriterRestarted` (not
+                // applied — retry; see `Server::update`). Only a clean
+                // return leaves the loop: shutdown (channel closed) or an
+                // injected non-unwind failure (`FaultAction::Fail`),
+                // which flips permanent read-only degraded mode first.
+                loop {
+                    let working = (*shared.published.current().1).clone();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        writer_loop(&shared, working, &write_rx, max)
+                    }));
+                    match outcome {
+                        Ok(()) => return,
+                        Err(_) => {
+                            shared.writer_restarts.fetch_add(1, Ordering::SeqCst);
+                            if let Some(h) = &shared.obs {
+                                h.writer_restarts.inc();
+                            }
+                        }
+                    }
                 }
             }));
         }
@@ -533,11 +667,40 @@ impl Server {
         if x == y {
             return Ok(true);
         }
-        let (_, snap) = self.shared.published.current();
+        let (epoch, snap) = self.shared.published.current();
         if let Some(reach) = snap.reach_index() {
             if x.index() < reach.node_count() && y.index() < reach.node_count() {
                 self.shared.reach_fast_path.fetch_add(1, Ordering::Relaxed);
-                return Ok(reach.reaches(x, y));
+                let connected = reach.reaches(x, y);
+                if let Some(h) = &self.shared.obs {
+                    h.reach_fast_path.inc();
+                    let tracer = h.obs.tracer();
+                    let trace = tracer.mint();
+                    let now = tracer.now_ns();
+                    h.obs.record_request(RequestTrace {
+                        trace,
+                        source: x.index() as u64,
+                        target: y.index() as u64,
+                        epoch,
+                        total_ns: 0,
+                        outcome: if connected {
+                            TraceOutcome::Answered
+                        } else {
+                            TraceOutcome::Unreachable
+                        },
+                        spans: vec![SpanRecord {
+                            trace,
+                            stage: Stage::ReachIndex,
+                            start_ns: now,
+                            dur_ns: 0,
+                        }],
+                    });
+                    let w = h.obs.workload();
+                    if w.should_sample() {
+                        w.record_vertex_pair(x.index() as u64, y.index() as u64);
+                    }
+                }
+                return Ok(connected);
             }
         }
         Ok(self.query(x, y)?.answer.cost.is_some())
@@ -559,16 +722,41 @@ impl Server {
             }));
             return Ok(PendingBatch { rx });
         }
+        let traces: Vec<TraceId> = match &self.shared.obs {
+            Some(h) => requests.iter().map(|_| h.obs.tracer().mint()).collect(),
+            None => Vec::new(),
+        };
         let job = QueryJob {
             requests: requests.to_vec(),
+            traces,
             reply: tx,
             submitted: Instant::now(),
         };
         match self.shared.queue.try_push(job) {
             Ok(()) => Ok(PendingBatch { rx }),
-            Err(PushError::Full(_)) => Err(Overloaded {
-                retry_after: self.shared.retry_after,
-            }),
+            Err(PushError::Full(job)) => {
+                if let Some(h) = &self.shared.obs {
+                    h.queue_rejections.inc();
+                    // Shed admissions still close their traces (outcome
+                    // only — nothing ran, so there are no spans and no
+                    // latency sample).
+                    let epoch = self.epoch();
+                    for (r, &trace) in job.requests.iter().zip(&job.traces) {
+                        h.obs.tracer().finish(RequestTrace {
+                            trace,
+                            source: r.source.index() as u64,
+                            target: r.target.index() as u64,
+                            epoch,
+                            total_ns: 0,
+                            outcome: TraceOutcome::Shed,
+                            spans: Vec::new(),
+                        });
+                    }
+                }
+                Err(Overloaded {
+                    retry_after: self.shared.retry_after,
+                })
+            }
             Err(PushError::Closed(job)) => {
                 // Only reachable during shutdown (which requires owning
                 // the server, so no client can still hold `&self` —
@@ -621,10 +809,18 @@ impl Server {
     /// Readers never wait on this: they keep answering from the previous
     /// epoch until the successor snapshot is swapped in.
     ///
-    /// After writer death the server is read-only
-    /// ([`ServeStats::degraded`]): every update — queued, in-flight, or
-    /// future — resolves to [`ClosureError::WriterDown`]; reads keep
-    /// serving the last published epoch.
+    /// A writer *panic* is survivable: the supervisor respawns the
+    /// writer with a working copy rebuilt from the last published
+    /// snapshot, the in-flight updates of the doomed batch resolve to
+    /// [`ClosureError::WriterRestarted`] (not applied — retry this
+    /// call), and later updates apply normally
+    /// ([`ServeStats::writer_restarts`] counts the respawns). Only a
+    /// *permanent* writer death (an injected non-unwind failure, or
+    /// shutdown) leaves the server read-only
+    /// ([`ServeStats::degraded`]): from then on every update — queued,
+    /// in-flight, or future — resolves to
+    /// [`ClosureError::WriterDown`]; reads keep serving the last
+    /// published epoch.
     pub fn update(&self, update: &NetworkUpdate) -> Result<ServedUpdate, ClosureError> {
         if self.shared.degraded.load(Ordering::SeqCst) {
             return Err(ClosureError::WriterDown);
@@ -644,11 +840,35 @@ impl Server {
         {
             return Err(ClosureError::WriterDown);
         }
-        // A dead writer drops its receiver, which drops every queued
-        // job's reply sender — recv() then errors instead of hanging.
+        // A dead writer drops every queued job's reply sender — recv()
+        // then errors instead of hanging. Which error depends on what
+        // killed it: a panic was respawned by the supervisor (this
+        // update was NOT applied — the typed error says retry), while a
+        // permanent death already flipped degraded mode.
         match rx.recv() {
             Ok(outcome) => outcome,
-            Err(mpsc::RecvError) => Err(ClosureError::WriterDown),
+            Err(mpsc::RecvError) => {
+                // The update died with the writer; leave a Failed trace
+                // so the loss is visible in the ring, not just the
+                // caller's error.
+                if let Some(h) = &self.shared.obs {
+                    let tracer = h.obs.tracer();
+                    tracer.finish(RequestTrace {
+                        trace: tracer.mint(),
+                        source: 0,
+                        target: 0,
+                        epoch: self.shared.published.epoch.load(Ordering::Acquire),
+                        total_ns: 0,
+                        outcome: TraceOutcome::Failed,
+                        spans: Vec::new(),
+                    });
+                }
+                if self.shared.degraded.load(Ordering::SeqCst) {
+                    Err(ClosureError::WriterDown)
+                } else {
+                    Err(ClosureError::WriterRestarted)
+                }
+            }
         }
     }
 
@@ -693,6 +913,7 @@ impl Server {
             backend: snap.source_backend(),
             strategy: snap.precompute_stats().strategy,
             worker_restarts: self.shared.worker_restarts.load(Ordering::SeqCst),
+            writer_restarts: self.shared.writer_restarts.load(Ordering::SeqCst),
             deadline_shed: self.shared.deadline_shed.load(Ordering::SeqCst),
             degraded: self.shared.degraded.load(Ordering::SeqCst),
         };
@@ -801,6 +1022,9 @@ fn supervised_worker(shared: &Shared, id: usize) {
             Ok(()) => return, // queue closed and drained: clean exit
             Err(_) => {
                 shared.worker_restarts.fetch_add(1, Ordering::SeqCst);
+                if let Some(h) = &shared.obs {
+                    h.worker_restarts.inc();
+                }
             }
         }
     }
@@ -841,6 +1065,10 @@ fn worker_loop(shared: &Shared, id: usize) {
                     let waited = job.submitted.elapsed();
                     if waited > deadline {
                         shared.deadline_shed.fetch_add(1, Ordering::SeqCst);
+                        if let Some(h) = &shared.obs {
+                            h.deadline_shed.inc();
+                            close_failed_traces(h, &job, Some(waited));
+                        }
                         let _ = job
                             .reply
                             .send(Err(ClosureError::DeadlineExceeded { waited }));
@@ -872,6 +1100,9 @@ fn worker_loop(shared: &Shared, id: usize) {
             Ok(false) => {}
             failed => {
                 for job in &jobs {
+                    if let Some(h) = &shared.obs {
+                        close_failed_traces(h, job, None);
+                    }
                     let _ = job.reply.send(Err(ClosureError::WorkerFailed));
                 }
                 // Reset state exactly as a thread respawn would.
@@ -879,9 +1110,40 @@ fn worker_loop(shared: &Shared, id: usize) {
                 cached = None;
                 if failed.is_err() {
                     shared.worker_restarts.fetch_add(1, Ordering::SeqCst);
+                    if let Some(h) = &shared.obs {
+                        h.worker_restarts.inc();
+                    }
                 }
             }
         }
+    }
+}
+
+/// Close every trace of a job that resolved to a typed failure instead
+/// of an answer (deadline shed when `waited` is given, worker panic
+/// otherwise). Outcome-only: failed requests leave no latency sample.
+fn close_failed_traces(h: &ObsHandles, job: &QueryJob, waited: Option<Duration>) {
+    let tracer = h.obs.tracer();
+    for (r, &trace) in job.requests.iter().zip(&job.traces) {
+        let wait_ns = waited.map_or(0, |w| w.as_nanos() as u64);
+        let spans = match waited {
+            Some(_) => vec![SpanRecord {
+                trace,
+                stage: Stage::QueueWait,
+                start_ns: tracer.now_ns().saturating_sub(wait_ns),
+                dur_ns: wait_ns,
+            }],
+            None => Vec::new(),
+        };
+        tracer.finish(RequestTrace {
+            trace,
+            source: r.source.index() as u64,
+            target: r.target.index() as u64,
+            epoch: 0,
+            total_ns: wait_ns,
+            outcome: TraceOutcome::Failed,
+            spans,
+        });
     }
 }
 
@@ -897,23 +1159,44 @@ fn process_batch(
     cached: &mut Option<(u64, Arc<EngineSnapshot>)>,
 ) {
     let t0 = Instant::now();
+    let obs = shared.obs.as_ref();
+    // Tracing context: the batch start on the tracer clock, and each
+    // job's queue wait (admission → drain) — the QueueWait span.
+    let batch_start_ns = obs.map_or(0, |h| h.obs.tracer().now_ns());
+    let waits: Vec<u64> = match obs {
+        Some(_) => jobs
+            .iter()
+            .map(|j| j.submitted.elapsed().as_nanos() as u64)
+            .collect(),
+        None => Vec::new(),
+    };
     let (epoch, snap) = {
         let pair = shared.published.pin(cached);
         (pair.0, &pair.1)
     };
 
     // Coalesce: identical (source, target) pairs across the whole
-    // micro-batch are evaluated once (single-flight).
+    // micro-batch are evaluated once (single-flight). The first
+    // occurrence's trace id becomes the slot's *primary* trace — the
+    // one the evaluation spans are attributed to; later occurrences
+    // get a `Coalesced` marker span.
     let mut distinct: Vec<QueryRequest> = Vec::new();
+    let mut distinct_traces: Vec<TraceId> = Vec::new();
     let mut index: HashMap<(NodeId, NodeId), u32> = HashMap::new();
     let mut slots: Vec<Vec<u32>> = Vec::with_capacity(jobs.len());
     for job in jobs {
         let mut js = Vec::with_capacity(job.requests.len());
-        for r in &job.requests {
-            let slot = *index.entry((r.source, r.target)).or_insert_with(|| {
-                distinct.push(*r);
-                (distinct.len() - 1) as u32
-            });
+        for (ri, r) in job.requests.iter().enumerate() {
+            let slot = match index.get(&(r.source, r.target)) {
+                Some(&slot) => slot,
+                None => {
+                    let slot = distinct.len() as u32;
+                    index.insert((r.source, r.target), slot);
+                    distinct.push(*r);
+                    distinct_traces.push(job.traces.get(ri).copied().unwrap_or(TraceId::NONE));
+                    slot
+                }
+            };
             js.push(slot);
         }
         slots.push(js);
@@ -947,6 +1230,12 @@ fn process_batch(
     } else {
         0
     };
+    // Which slots the cache answered (set before evaluation fills the
+    // rest) — those requests get a `CacheHit` span.
+    let cached_slots: Vec<bool> = match obs {
+        Some(_) => answers_by_slot.iter().map(Option::is_some).collect(),
+        None => Vec::new(),
+    };
 
     // Group the remaining misses by fragment pair. The sharing itself
     // is order-independent (the batch kernel caches chain plans per
@@ -956,6 +1245,25 @@ fn process_batch(
     // batch's evaluation order independent of client arrival
     // interleaving.
     let planner = snap.planner();
+    // Workload recorder: sampled per *request* (not per distinct slot —
+    // hot duplicates are exactly the signal), one vertex pair and one
+    // fragment pair each. `should_sample` is a single relaxed
+    // fetch_add.
+    if let Some(h) = obs {
+        let w = h.obs.workload();
+        for job in jobs {
+            for r in &job.requests {
+                if w.should_sample() {
+                    w.record_vertex_pair(r.source.index() as u64, r.target.index() as u64);
+                    let fs = planner.fragments_of(r.source);
+                    let ft = planner.fragments_of(r.target);
+                    if let (Some(&a), Some(&b)) = (fs.first(), ft.first()) {
+                        w.record_fragment_pair(a as u64, b as u64);
+                    }
+                }
+            }
+        }
+    }
     let keys: Vec<(Vec<FragmentId>, Vec<FragmentId>)> = miss
         .iter()
         .map(|&i| {
@@ -973,12 +1281,31 @@ fn process_batch(
         .map(|&k| distinct[miss[k as usize] as usize])
         .collect();
 
+    // `eval_traces[j]` carries the per-chain timing of `sorted[j]`;
+    // `slot_eval` maps a distinct slot back to that index.
+    let mut eval_traces: Vec<EvalTrace> = Vec::new();
+    let mut slot_eval: Vec<Option<u32>> = match obs {
+        Some(_) => vec![None; distinct.len()],
+        None => Vec::new(),
+    };
     let batch_stats = if sorted.is_empty() {
         BatchStats::default()
     } else {
-        let batch = snap.query_batch(&sorted, scratch);
-        for (&k, a) in order.iter().zip(batch.answers) {
+        let batch = match obs {
+            Some(_) => {
+                let sorted_traces: Vec<TraceId> = order
+                    .iter()
+                    .map(|&k| distinct_traces[miss[k as usize] as usize])
+                    .collect();
+                snap.query_batch_traced(&sorted, scratch, &sorted_traces, &mut eval_traces)
+            }
+            None => snap.query_batch(&sorted, scratch),
+        };
+        for (j, (&k, a)) in order.iter().zip(batch.answers).enumerate() {
             let slot = miss[k as usize] as usize;
+            if obs.is_some() {
+                slot_eval[slot] = Some(j as u32);
+            }
             if let Some(cache) = &shared.cache {
                 let r = &distinct[slot];
                 cache.insert(epoch, (r.source, r.target), a.clone());
@@ -1013,6 +1340,86 @@ fn process_batch(
         log.scratch = scratch.stats();
     }
 
+    // Registry mirror + per-request trace assembly (armed only; the
+    // whole block is one `Option` branch when disarmed). Runs before
+    // the fan-out for the same reason the log does: a client that
+    // inspects the trace ring right after its reply sees its own trace.
+    if let Some(h) = obs {
+        h.jobs.add(jobs.len() as u64);
+        h.requests.add(total_requests as u64);
+        h.batches.inc();
+        h.evaluated.add(sorted.len() as u64);
+        h.coalesced.add(coalesced);
+        h.cache_hits.add(cache_hits);
+        h.cache_misses.add(cache_misses);
+        h.queue_depth.set(shared.queue.depth() as u64);
+        for (ji, (job, js)) in jobs.iter().zip(&slots).enumerate() {
+            for (ri, &slot) in js.iter().enumerate() {
+                let slot = slot as usize;
+                let trace = job.traces.get(ri).copied().unwrap_or(TraceId::NONE);
+                let r = &job.requests[ri];
+                let wait_ns = waits[ji];
+                let mut spans = vec![SpanRecord {
+                    trace,
+                    stage: Stage::QueueWait,
+                    start_ns: batch_start_ns.saturating_sub(wait_ns),
+                    dur_ns: wait_ns,
+                }];
+                if cached_slots[slot] {
+                    spans.push(SpanRecord {
+                        trace,
+                        stage: Stage::CacheHit,
+                        start_ns: batch_start_ns,
+                        dur_ns: 0,
+                    });
+                } else if distinct_traces[slot] == trace {
+                    // The slot's primary request carries the evaluation
+                    // and per-chain segment spans.
+                    if let Some(j) = slot_eval[slot] {
+                        let et = &eval_traces[j as usize];
+                        spans.push(SpanRecord {
+                            trace,
+                            stage: Stage::Evaluation,
+                            start_ns: batch_start_ns,
+                            dur_ns: et.eval_ns,
+                        });
+                        for c in &et.chains {
+                            spans.push(SpanRecord {
+                                trace,
+                                stage: Stage::ChainSegment { chain: c.chain },
+                                start_ns: batch_start_ns,
+                                dur_ns: c.ns,
+                            });
+                        }
+                    }
+                } else {
+                    spans.push(SpanRecord {
+                        trace,
+                        stage: Stage::Coalesced,
+                        start_ns: batch_start_ns,
+                        dur_ns: 0,
+                    });
+                }
+                let answered = answers_by_slot[slot]
+                    .as_ref()
+                    .is_some_and(|a| a.cost.is_some());
+                h.obs.record_request(RequestTrace {
+                    trace,
+                    source: r.source.index() as u64,
+                    target: r.target.index() as u64,
+                    epoch,
+                    total_ns: job.submitted.elapsed().as_nanos() as u64,
+                    outcome: if answered {
+                        TraceOutcome::Answered
+                    } else {
+                        TraceOutcome::Unreachable
+                    },
+                    spans,
+                });
+            }
+        }
+    }
+
     for (job, js) in jobs.iter().zip(&slots) {
         let answers: Vec<QueryAnswer> = js
             .iter()
@@ -1036,7 +1443,11 @@ fn writer_loop(
     write_batch_max: usize,
 ) {
     let mut scratch = ScratchDijkstra::new();
-    let mut epoch = 0u64;
+    // Resume from the *published* epoch: on first entry that is 0, and
+    // after a supervisor respawn (whose working copy was rebuilt from
+    // the published snapshot) it is wherever the last publication left
+    // the readers — epochs never repeat or rewind across writer deaths.
+    let mut epoch = shared.published.epoch.load(Ordering::Acquire);
     while let Ok(first) = rx.recv() {
         let t0 = Instant::now();
         let mut jobs = vec![first];
@@ -1079,6 +1490,8 @@ fn writer_loop(
                 Err(e) => outcomes.push((job.reply, Err(e))),
             }
         }
+        let apply_ns = t0.elapsed().as_nanos() as u64;
+        let publish_t = Instant::now();
         if applied > 0 {
             // One reachability-index rebuild per publication, not per
             // update: every update this batch that could have changed
@@ -1103,6 +1516,42 @@ fn writer_loop(
             log.updates += applied;
             log.publications += (applied > 0) as u64;
             log.busy += busy;
+        }
+        if let Some(h) = &shared.obs {
+            h.updates.add(applied);
+            h.publications.add((applied > 0) as u64);
+            h.epoch.set(epoch);
+            if applied > 0 {
+                // One writer trace per publication: maintenance and
+                // publication spans land in the trace ring (never in the
+                // request latency histogram — that is reads only).
+                let tracer = h.obs.tracer();
+                let trace = tracer.mint();
+                let publish_ns = publish_t.elapsed().as_nanos() as u64;
+                let end_ns = tracer.now_ns();
+                tracer.finish(RequestTrace {
+                    trace,
+                    source: 0,
+                    target: 0,
+                    epoch,
+                    total_ns: busy.as_nanos() as u64,
+                    outcome: TraceOutcome::Applied,
+                    spans: vec![
+                        SpanRecord {
+                            trace,
+                            stage: Stage::WriterApply,
+                            start_ns: end_ns.saturating_sub(apply_ns + publish_ns),
+                            dur_ns: apply_ns,
+                        },
+                        SpanRecord {
+                            trace,
+                            stage: Stage::Publication,
+                            start_ns: end_ns.saturating_sub(publish_ns),
+                            dur_ns: publish_ns,
+                        },
+                    ],
+                });
+            }
         }
         for (reply, outcome) in outcomes {
             let _ = reply.send(outcome.map(|report| ServedUpdate { report, epoch }));

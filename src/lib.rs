@@ -10,6 +10,7 @@ pub use ds_fragment as fragment;
 pub use ds_gen as gen;
 pub use ds_graph as graph;
 pub use ds_machine as machine;
+pub use ds_obs as obs;
 pub use ds_relation as relation;
 pub use ds_serve as serve;
 
@@ -20,6 +21,7 @@ pub use ds_closure::{
     EngineSnapshot, FallbackReason, PrecomputeStats, PrecomputeStrategy, QueryAnswer, QueryStats,
     Route, UpdateBatchReport, UpdateReport,
 };
+pub use ds_obs::{MetricsSnapshot, ObsConfig, Observability, RequestTrace, TraceId};
 pub use ds_relation::bulk::{MaterializeConfig, MaterializeEngine, MaterializeStats};
 pub use ds_serve::{ServeConfig, ServeStats, ServedAnswer, ServedBatch, ServedUpdate, Server};
 pub use system::{Backend, Fragmenter, System, SystemBuilder, SystemError};

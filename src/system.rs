@@ -24,6 +24,7 @@
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 
 use ds_closure::api::{BatchAnswer, NetworkUpdate, QueryRequest, TcEngine};
 use ds_closure::{
@@ -37,7 +38,8 @@ use ds_fragment::{semantic, CrossingPolicy, FragError, Fragmentation};
 use ds_gen::output::expand_connections;
 use ds_gen::GeneratedGraph;
 use ds_graph::{Coord, CsrGraph, Edge, EdgeList};
-use ds_machine::Machine;
+use ds_machine::{Machine, MachineOptions};
+use ds_obs::{MetricsSnapshot, Observability};
 use ds_relation::bulk::{MaterializeConfig, MaterializeEngine, MaterializeError, MaterializeStats};
 use ds_relation::{PathTuple, Relation};
 
@@ -148,6 +150,7 @@ pub struct SystemBuilder {
     fragmenter: Option<Fragmenter>,
     backend: Backend,
     config: EngineConfig,
+    obs: Option<Arc<Observability>>,
 }
 
 impl SystemBuilder {
@@ -161,6 +164,7 @@ impl SystemBuilder {
             fragmenter: None,
             backend: Backend::Inline,
             config: EngineConfig::default(),
+            obs: None,
         }
     }
 
@@ -218,6 +222,19 @@ impl SystemBuilder {
         self
     }
 
+    /// Arm an observability bundle (`ds_obs`): one shared metrics
+    /// registry, request tracer, slow-query log and workload recorder
+    /// across every tier this system touches. The machine backend (if
+    /// chosen) traces and mirrors immediately; [`System::serve`] /
+    /// [`System::serve_with`] and [`System::materialize_with`] inherit
+    /// the bundle unless their config carries its own. Read the
+    /// aggregate through [`System::observe`]. Disarmed (the default)
+    /// costs one `Option` branch per hook.
+    pub fn observability(mut self, obs: Arc<Observability>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Fragment the relation and deploy the chosen backend.
     pub fn build(mut self) -> Result<System, SystemError> {
         if !self.has_graph {
@@ -254,17 +271,22 @@ impl SystemBuilder {
                 self.symmetric,
                 self.config,
             )?),
-            Backend::SiteThreads => Box::new(Machine::deploy_with_config(
+            Backend::SiteThreads => Box::new(Machine::deploy_with_options(
                 graph,
                 frag,
                 self.symmetric,
                 self.config,
+                MachineOptions {
+                    obs: self.obs.clone(),
+                    ..MachineOptions::default()
+                },
             )?),
         };
         Ok(System {
             backend: self.backend,
             symmetric: self.symmetric,
             engine,
+            obs: self.obs,
         })
     }
 
@@ -296,6 +318,7 @@ pub struct System {
     backend: Backend,
     symmetric: bool,
     engine: Box<dyn TcEngine>,
+    obs: Option<Arc<Observability>>,
 }
 
 impl System {
@@ -340,7 +363,14 @@ impl System {
 
     /// [`System::serve`] with full control over queue depth and
     /// micro-batch caps.
-    pub fn serve_with(&self, config: ds_serve::ServeConfig) -> ds_serve::Server {
+    ///
+    /// If this system was built with [`SystemBuilder::observability`]
+    /// and `config.obs` is unset, the server inherits the system's
+    /// bundle so serve-tier metrics land in the same registry.
+    pub fn serve_with(&self, mut config: ds_serve::ServeConfig) -> ds_serve::Server {
+        if config.obs.is_none() {
+            config.obs = self.obs.clone();
+        }
         ds_serve::Server::start(self.engine.snapshot(), config)
     }
 
@@ -366,10 +396,31 @@ impl System {
     /// round safety valve.
     pub fn materialize_with(
         &self,
-        config: MaterializeConfig,
+        mut config: MaterializeConfig,
     ) -> Result<(Relation<PathTuple>, MaterializeStats), MaterializeError> {
+        if config.obs.is_none() {
+            config.obs = self.obs.clone();
+        }
         MaterializeEngine::from_fragmentation(self.engine.fragmentation(), self.symmetric, config)
             .materialize()
+    }
+
+    /// The observability bundle this system was built with, if any.
+    pub fn observability(&self) -> Option<&Arc<Observability>> {
+        self.obs.as_ref()
+    }
+
+    /// A point-in-time snapshot of every metric the system's
+    /// observability bundle has accumulated — machine-tier gauges,
+    /// serve-tier counters and the request latency histogram, plus
+    /// anything custom registered on the same bundle. Returns an empty
+    /// snapshot when the system was built without
+    /// [`SystemBuilder::observability`].
+    pub fn observe(&self) -> MetricsSnapshot {
+        match &self.obs {
+            Some(obs) => obs.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
     }
 }
 
@@ -624,6 +675,54 @@ mod tests {
             .copied()
             .collect();
         assert_eq!(slice.rows(), expected);
+    }
+
+    /// One armed bundle handed to the builder collects metrics from the
+    /// machine backend, the serve tier and bulk materialization, all
+    /// readable through `System::observe()`. A disarmed system answers
+    /// identically and observes nothing.
+    #[test]
+    fn one_observability_bundle_spans_all_three_tiers() {
+        let obs = Observability::armed();
+        let mut sys = System::builder()
+            .graph(&grid(10, 3))
+            .fragmenter(Fragmenter::Linear(LinearConfig {
+                fragments: 3,
+                ..Default::default()
+            }))
+            .backend(Backend::SiteThreads)
+            .observability(Arc::clone(&obs))
+            .build()
+            .unwrap();
+        let mut plain = linear_system(Backend::SiteThreads);
+
+        // Machine tier: direct engine queries trace and mirror.
+        for (x, y) in [(0u32, 29u32), (5, 17)] {
+            assert_eq!(
+                sys.shortest_path(n(x), n(y)).cost,
+                plain.shortest_path(n(x), n(y)).cost,
+                "{x}->{y}"
+            );
+        }
+        // Serve tier inherits the bundle through serve_with.
+        let server = sys.serve(2);
+        server.query(n(0), n(29)).unwrap();
+        server.shutdown();
+        // Bulk tier inherits through materialize_with.
+        sys.materialize().unwrap();
+
+        let snap = sys.observe();
+        assert_eq!(snap.gauge("machine_queries"), Some(2), "{snap:?}");
+        assert_eq!(snap.counter("serve_requests"), Some(1), "{snap:?}");
+        assert!(snap.gauge("materialize_result_tuples").unwrap() > 0);
+        assert!(!obs.tracer().recent(16).is_empty());
+
+        // Disarmed facade: empty snapshot, nothing recorded anywhere.
+        assert!(plain.observe().counter("serve_requests").is_none());
+        assert_eq!(
+            plain.observe().to_json(),
+            MetricsSnapshot::default().to_json()
+        );
     }
 
     #[test]
