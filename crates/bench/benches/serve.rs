@@ -52,6 +52,14 @@
 //! baseline — `obs-disarmed` must stay ≤ 5% over it on the worst seed;
 //! `obs-armed` is reported, non-gating.
 //!
+//! **Durability overhead.** The transportation workload is re-measured
+//! as a pure write path (16 closed-loop updaters, 100% update mix)
+//! with the write-ahead log armed (`wal-on`: a fresh log directory,
+//! fsync'd group commits, append-before-apply on the writer) against a
+//! paired `wal-off` baseline, and the bench **fails** unless the
+//! durable write path keeps ≥ 70% of the WAL-off throughput on its
+//! worst seed — the group-commit amortization gate.
+//!
 //! Emits a committed perf snapshot to `BENCH_serve.json` (repo root).
 //!
 //! ```text
@@ -70,7 +78,7 @@ use ds_gen::{
 };
 use ds_graph::{NodeId, ScratchDijkstra};
 use ds_obs::Observability;
-use ds_serve::{FaultPlan, FaultPoint, ServeConfig, Server};
+use ds_serve::{DurabilityConfig, FaultPlan, FaultPoint, ServeConfig, Server};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -99,6 +107,15 @@ const GATE_PUBLICATION: f64 = 5.0;
 const GATE_OBS_DISARMED: f64 = 1.05;
 /// Interleaved rounds per seed for the observability overhead rows.
 const OBS_ROUNDS: usize = 5;
+/// Floor on the WAL-on / WAL-off write-path throughput ratio
+/// (best-of-samples, worst seed): durable serving — fsync'd group
+/// commits on every write batch plus append-before-apply on the writer
+/// — may cost at most 30% of pure update throughput. Group commit is
+/// what holds this: concurrent updaters share one append+fdatasync per
+/// writer micro-batch.
+const GATE_WAL: f64 = 0.7;
+/// Interleaved rounds per seed for the WAL overhead rows.
+const WAL_ROUNDS: usize = 3;
 
 #[derive(Clone)]
 enum Op {
@@ -212,16 +229,18 @@ fn client_stream(w: &Workload, client: usize, ops: usize, write_permille: u32) -
 }
 
 /// Serve `w.ops_total` operations through a fresh server with `workers`
-/// workers; returns requests answered (for the optimizer). `fault` and
-/// `obs` are `None` on every throughput-gated row; the overhead rows
-/// pass an armed-but-silent plan / an armed [`Observability`] bundle to
-/// price the hooks themselves.
+/// workers; returns requests answered (for the optimizer). `fault`,
+/// `obs` and `durability` are `None` on every speedup-gated row; the
+/// overhead rows pass an armed-but-silent plan / an armed
+/// [`Observability`] bundle / a fresh WAL directory to price each
+/// subsystem against its paired baseline.
 fn run_config(
     w: &Workload,
     workers: usize,
     write_permille: u32,
     fault: Option<Arc<FaultPlan>>,
     obs: Option<Arc<Observability>>,
+    durability: Option<DurabilityConfig>,
 ) -> u64 {
     let clients = workers * CLIENTS_PER_WORKER;
     let ops_per_client = w.ops_total / clients;
@@ -237,6 +256,7 @@ fn run_config(
             write_batch_max: 16,
             fault,
             obs,
+            durability,
             ..ServeConfig::default()
         },
     );
@@ -526,7 +546,7 @@ fn main() {
                 .map(|w| {
                     group
                         .run(&format!("{name}/seed-{}", w.seed), || {
-                            run_config(w, workers, write_permille, None, None)
+                            run_config(w, workers, write_permille, None, None, None)
                         })
                         .median_ns
                 })
@@ -559,7 +579,7 @@ fn main() {
                         "transportation/95r-5w/workers-4/fault-armed/seed-{}",
                         w.seed
                     ),
-                    || run_config(w, 4, 50, Some(armed_plan.clone()), None),
+                    || run_config(w, 4, 50, Some(armed_plan.clone()), None, None),
                 )
                 .median_ns
         })
@@ -581,12 +601,12 @@ fn main() {
     for w in &transportation {
         let bundle = Observability::armed();
         let mut samples = [Vec::new(), Vec::new(), Vec::new()];
-        run_config(w, 4, 50, None, None); // warmup, discarded
+        run_config(w, 4, 50, None, None, None); // warmup, discarded
         for _ in 0..OBS_ROUNDS {
             for (which, out) in samples.iter_mut().enumerate() {
                 let obs = (which == 2).then(|| Arc::clone(&bundle));
                 let t = std::time::Instant::now();
-                std::hint::black_box(run_config(w, 4, 50, None, obs));
+                std::hint::black_box(run_config(w, 4, 50, None, obs, None));
                 out.push(t.elapsed().as_nanos() as f64);
             }
         }
@@ -621,6 +641,62 @@ fn main() {
         &obs_disarmed_meds,
     );
     group.record("transportation/95r-5w/workers-4/obs-armed", &obs_armed_meds);
+
+    // Durability overhead on the write path: the transportation
+    // workload served as a pure update stream — 16 closed-loop
+    // updaters, each alternating its private delete / re-insert pair —
+    // with every update appended to a fresh write-ahead log (fsync'd
+    // group commits, append-before-apply) before it is applied. Paired
+    // interleaved sampling again: each round runs `wal-off` and
+    // `wal-on` back-to-back on a fresh log directory, and the gate
+    // compares best-of-samples per seed on the worst seed. Group
+    // commit is what the row demonstrates: concurrent updaters share
+    // one append+fdatasync per writer micro-batch, so the durable
+    // write path keeps ≥ 70% of the WAL-off throughput.
+    eprintln!("[serve] measuring WAL write-path overhead (paired wal-off/wal-on)");
+    let mut wal_ratios: Vec<f64> = Vec::with_capacity(transportation.len());
+    let (mut wal_off_meds, mut wal_on_meds) = (Vec::new(), Vec::new());
+    for w in &transportation {
+        let mut samples = [Vec::new(), Vec::new()];
+        for round in 0..WAL_ROUNDS {
+            for (which, out) in samples.iter_mut().enumerate() {
+                let dir = (which == 1).then(|| {
+                    let dir = std::env::temp_dir().join(format!(
+                        "discset-serve-bench-wal-{}-{}-{round}",
+                        std::process::id(),
+                        w.seed
+                    ));
+                    let _ = std::fs::remove_dir_all(&dir);
+                    dir
+                });
+                let durability = dir.clone().map(DurabilityConfig::at);
+                let t = std::time::Instant::now();
+                std::hint::black_box(run_config(w, 4, 1000, None, None, durability));
+                out.push(t.elapsed().as_nanos() as f64);
+                if let Some(dir) = dir {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+            }
+        }
+        let min = |s: &[f64]| s.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Throughput ratio wal-on/wal-off = time-off / time-on.
+        wal_ratios.push(min(&samples[0]) / min(&samples[1]));
+        for (which, name) in ["wal-off", "wal-on"].iter().enumerate() {
+            let row = group
+                .record(
+                    &format!("transportation/0r-100w/workers-4/{name}/seed-{}", w.seed),
+                    &samples[which],
+                )
+                .median_ns;
+            if which == 0 {
+                wal_off_meds.push(row);
+            } else {
+                wal_on_meds.push(row);
+            }
+        }
+    }
+    group.record("transportation/0r-100w/workers-4/wal-off", &wal_off_meds);
+    group.record("transportation/0r-100w/workers-4/wal-on", &wal_on_meds);
 
     println!("{}", render(group.results()));
     println!("aggregate throughput (closed loop, {CLIENTS_PER_WORKER} connections/worker, {THINK_US}us think time):");
@@ -684,6 +760,11 @@ fn main() {
         (GATE_OBS_DISARMED - 1.0) * 100.0,
         (worst_obs_armed - 1.0) * 100.0
     );
+    let worst_wal = wal_ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "durability: wal-on write-path throughput is {worst_wal:.2}x wal-off on the \
+         worst seed (fsync'd group commits; floor {GATE_WAL}x)"
+    );
     let worst_publication = publication_ratios
         .iter()
         .cloned()
@@ -717,5 +798,10 @@ fn main() {
          worst seed (ceiling {:.0}%)",
         (worst_obs_disarmed - 1.0) * 100.0,
         (GATE_OBS_DISARMED - 1.0) * 100.0
+    );
+    assert!(
+        worst_wal >= GATE_WAL,
+        "durability: wal-on throughput is only {worst_wal:.2}x wal-off on the worst \
+         seed (floor {GATE_WAL}x) — group commit is not amortizing the fsyncs"
     );
 }

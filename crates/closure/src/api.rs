@@ -26,6 +26,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 use ds_fragment::{FragmentId, Fragmentation};
 use ds_graph::{Cost, CsrGraph, Edge, NodeId};
@@ -453,8 +454,56 @@ pub fn run_batch_traced<E: SiteEvaluator>(
     eval: &mut E,
     requests: &[QueryRequest],
     traces: &[TraceId],
-    mut sink: Option<&mut Vec<EvalTrace>>,
+    sink: Option<&mut Vec<EvalTrace>>,
 ) -> BatchAnswer {
+    let bounded = run_batch_bounded(planner, eval, requests, traces, sink, &[]);
+    BatchAnswer {
+        answers: bounded
+            .answers
+            .into_iter()
+            .map(|a| match a {
+                Some(a) => a,
+                // Without deadlines no request can be cancelled; keep
+                // this arm total anyway (an unreachable unanswered slot
+                // degrades to "unreachable", never to a panic).
+                None => QueryAnswer {
+                    cost: None,
+                    best_chain: None,
+                    stats: QueryStats::default(),
+                },
+            })
+            .collect(),
+        stats: bounded.stats,
+    }
+}
+
+/// Result of a deadline-bounded batch ([`run_batch_bounded`]): `None`
+/// marks a request abandoned at a deadline check instead of answered.
+#[derive(Clone, Debug)]
+pub struct BoundedBatchAnswer {
+    pub answers: Vec<Option<QueryAnswer>>,
+    pub stats: BatchStats,
+}
+
+/// [`run_batch_traced`] with cooperative cancellation: `deadlines[i]`
+/// is request `i`'s absolute deadline (an empty slice, or `None` at a
+/// position, means unbounded). The driver checks the clock between
+/// requests and — inside a request — between fragment chains, so even
+/// a pathological multi-chain evaluation is abandoned at the next
+/// chain boundary rather than running to completion. A cancelled
+/// request yields `None`; work already performed for it (plans,
+/// interior segments) stays in the batch caches and keeps benefiting
+/// the remaining requests. The serve tier threads each job's
+/// admission-stamped deadline through here and resolves `None` slots
+/// with [`ClosureError::DeadlineExceeded`].
+pub fn run_batch_bounded<E: SiteEvaluator>(
+    planner: &Planner,
+    eval: &mut E,
+    requests: &[QueryRequest],
+    traces: &[TraceId],
+    mut sink: Option<&mut Vec<EvalTrace>>,
+    deadlines: &[Option<Instant>],
+) -> BoundedBatchAnswer {
     let mut bp = BatchPlanner::new(planner);
     let mut interiors: HashMap<Vec<FragmentId>, Vec<Relation<PathTuple>>> = HashMap::new();
     let mut stats = BatchStats {
@@ -471,7 +520,8 @@ pub fn run_batch_traced<E: SiteEvaluator>(
             trace,
             ..EvalTrace::default()
         });
-        let t0 = sink.as_ref().map(|_| std::time::Instant::now());
+        let t0 = sink.as_ref().map(|_| Instant::now());
+        let deadline = deadlines.get(i).copied().flatten();
         answers.push(one_query(
             planner,
             eval,
@@ -480,15 +530,17 @@ pub fn run_batch_traced<E: SiteEvaluator>(
             &mut stats,
             req,
             et.as_mut(),
+            deadline,
         ));
         if let (Some(sink), Some(mut et), Some(t0)) = (sink.as_deref_mut(), et, t0) {
             et.eval_ns = t0.elapsed().as_nanos() as u64;
             sink.push(et);
         }
     }
-    BatchAnswer { answers, stats }
+    BoundedBatchAnswer { answers, stats }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn one_query<E: SiteEvaluator>(
     planner: &Planner,
     eval: &mut E,
@@ -497,14 +549,21 @@ fn one_query<E: SiteEvaluator>(
     bstats: &mut BatchStats,
     req: &QueryRequest,
     mut tr: Option<&mut EvalTrace>,
-) -> QueryAnswer {
+    deadline: Option<Instant>,
+) -> Option<QueryAnswer> {
     let (x, y) = (req.source, req.target);
     if x == y {
-        return QueryAnswer {
+        return Some(QueryAnswer {
             cost: Some(0),
             best_chain: planner.fragments_of(x).first().map(|&f| vec![f]),
             stats: QueryStats::default(),
-        };
+        });
+    }
+    // Cooperative cancellation, checked before the (possibly expensive)
+    // chain enumeration and again at every chain boundary below: a
+    // request whose deadline has passed is abandoned, not evaluated.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return None;
     }
     let plan = match bp.plan(x, y) {
         Ok((plan, reused)) => {
@@ -517,11 +576,11 @@ fn one_query<E: SiteEvaluator>(
         }
         // Endpoint in no fragment: unreachable, like shortest_path.
         Err(_) => {
-            return QueryAnswer {
+            return Some(QueryAnswer {
                 cost: None,
                 best_chain: None,
                 stats: QueryStats::default(),
-            }
+            })
         }
     };
     let mut qstats = QueryStats {
@@ -530,6 +589,9 @@ fn one_query<E: SiteEvaluator>(
     };
     let mut best: Option<(Cost, Vec<FragmentId>)> = None;
     for (chain_idx, chain) in plan.chains.iter().enumerate() {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return None;
+        }
         let chain_t0 = tr.as_ref().map(|_| std::time::Instant::now());
         qstats.chains_evaluated += 1;
         let l = chain.queries.len();
@@ -576,11 +638,11 @@ fn one_query<E: SiteEvaluator>(
         Some((c, ch)) => (Some(c), Some(ch)),
         None => (None, None),
     };
-    QueryAnswer {
+    Some(QueryAnswer {
         cost,
         best_chain,
         stats: qstats,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -136,6 +136,15 @@ impl DisconnectionSetEngine {
         })
     }
 
+    /// Wrap an already-built snapshot (e.g. one the durability layer
+    /// recovered from disk) without re-running the precompute.
+    pub fn from_snapshot(snap: EngineSnapshot) -> Self {
+        DisconnectionSetEngine {
+            snap,
+            scratch: ScratchDijkstra::new(),
+        }
+    }
+
     /// Reuse accounting of the engine's persistent scratch kernel: after
     /// warmup, batches run with zero array growths.
     pub fn scratch_stats(&self) -> ScratchStats {

@@ -33,8 +33,16 @@ pub enum ClosureError {
     WriterDown,
     /// The serve writer died mid-update and was respawned from the last
     /// published snapshot. This update was *not* applied; a retry will
-    /// be served normally by the fresh writer.
+    /// be served normally by the fresh writer. (With durability enabled
+    /// the update may have reached the write-ahead log before the death
+    /// — in that case the respawned writer redoes it from the log, so a
+    /// retry could apply it twice; check the published state first.)
     WriterRestarted,
+    /// The durable write-ahead log refused this update's group commit
+    /// (I/O error or injected disk fault). The update was **not**
+    /// applied — durability is append-before-apply — and the server
+    /// keeps serving reads; a retry goes through the repaired log.
+    DurabilityFailed,
 }
 
 impl fmt::Display for ClosureError {
@@ -74,6 +82,12 @@ impl fmt::Display for ClosureError {
                     "writer died mid-update and was respawned; this update was not applied — retry"
                 )
             }
+            ClosureError::DurabilityFailed => {
+                write!(
+                    f,
+                    "write-ahead log refused the append; update not applied — retry"
+                )
+            }
         }
     }
 }
@@ -108,5 +122,8 @@ mod tests {
         .contains("shed"));
         assert!(ClosureError::WriterDown.to_string().contains("read-only"));
         assert!(ClosureError::WriterRestarted.to_string().contains("retry"));
+        assert!(ClosureError::DurabilityFailed
+            .to_string()
+            .contains("not applied"));
     }
 }

@@ -57,7 +57,9 @@ pub mod planner;
 pub mod snapshot;
 pub mod updates;
 
-pub use api::{BatchAnswer, BatchStats, NetworkUpdate, QueryRequest, RealHopSet, TcEngine};
+pub use api::{
+    BatchAnswer, BatchStats, BoundedBatchAnswer, NetworkUpdate, QueryRequest, RealHopSet, TcEngine,
+};
 pub use complementary::{
     ComplementaryInfo, ComplementaryScope, PrecomputeStats, PrecomputeStrategy,
 };

@@ -456,6 +456,30 @@ impl EngineSnapshot {
         crate::api::run_batch_traced(&self.planner, &mut eval, requests, traces, Some(sink))
     }
 
+    /// [`EngineSnapshot::query_batch_traced`] with cooperative
+    /// cancellation: `deadlines[i]` is request `i`'s absolute deadline
+    /// (empty slice or `None` = unbounded), checked between requests
+    /// and between fragment chains. A request that blows its deadline
+    /// mid-evaluation comes back as `None` instead of an answer; the
+    /// serve tier resolves those with
+    /// [`ClosureError::DeadlineExceeded`]. Tracing is optional: pass an
+    /// empty `traces` slice and `None` for `sink` on the untraced path.
+    pub fn query_batch_bounded(
+        &self,
+        requests: &[QueryRequest],
+        scratch: &mut ScratchDijkstra,
+        traces: &[ds_obs::TraceId],
+        sink: Option<&mut Vec<ds_obs::EvalTrace>>,
+        deadlines: &[Option<std::time::Instant>],
+    ) -> crate::api::BoundedBatchAnswer {
+        let mut eval = InlineEval {
+            augmented: &self.augmented,
+            mode: self.cfg.mode,
+            scratch,
+        };
+        crate::api::run_batch_bounded(&self.planner, &mut eval, requests, traces, sink, deadlines)
+    }
+
     /// Reconstruct the full cheapest route. Requires
     /// [`EngineConfig::store_paths`].
     pub fn route(

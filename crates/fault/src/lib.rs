@@ -61,6 +61,12 @@ pub enum FaultPoint {
     MachineSite { site: usize },
     /// A bulk materialize worker about to run one fragment round.
     BulkWorker { fragment: usize },
+    /// The durable store about to append a group-committed WAL batch.
+    WalAppend,
+    /// The durable store about to fsync the WAL after an append.
+    WalSync,
+    /// The durable store about to write a checkpoint image.
+    CheckpointWrite,
 }
 
 /// What an armed rule injects when its occurrence comes up.
@@ -73,6 +79,21 @@ pub enum FaultAction {
     /// Report an injected failure to the caller ([`fire`] returns
     /// `true`); the caller maps it to its own typed error.
     Fail,
+    /// Disk-point only: a short write — the first `keep` bytes of the
+    /// attempted write reach the medium, the rest are lost (a torn
+    /// record). At non-disk points this behaves like [`FaultAction::Fail`].
+    Torn { keep: usize },
+}
+
+/// What a disk fault hook ([`fire_disk`]) injects into an I/O attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFault {
+    /// The whole operation fails with an injected I/O error; no bytes
+    /// reach the medium.
+    Error,
+    /// A short write: only the first `keep` bytes of the attempt land on
+    /// the medium before the "crash" — the classic torn record.
+    Torn { keep: usize },
 }
 
 #[derive(Debug)]
@@ -114,6 +135,11 @@ impl FaultPlan {
         self.rule(point, nth, FaultAction::Fail)
     }
 
+    /// Tear the `nth` write at `point` after `keep` bytes (disk points).
+    pub fn torn_at(self, point: FaultPoint, nth: u64, keep: usize) -> Self {
+        self.rule(point, nth, FaultAction::Torn { keep })
+    }
+
     fn rule(mut self, point: FaultPoint, nth: u64, action: FaultAction) -> Self {
         self.rules.push(Rule {
             point,
@@ -148,7 +174,7 @@ impl FaultPlan {
             match rule.action {
                 FaultAction::Panic => panic_now = true,
                 FaultAction::Delay(d) => delay = Some(d),
-                FaultAction::Fail => must_fail = true,
+                FaultAction::Fail | FaultAction::Torn { .. } => must_fail = true,
             }
         }
         if let Some(d) = delay {
@@ -158,6 +184,46 @@ impl FaultPlan {
             panic!("injected fault: {point:?} occurrence {n}");
         }
         must_fail
+    }
+
+    /// Count one occurrence of a *disk* `point` and inject any matching
+    /// rule as a [`DiskFault`]. [`FaultAction::Panic`] panics before any
+    /// bytes are written (the process dies at the fault point);
+    /// [`FaultAction::Delay`] sleeps then proceeds; [`FaultAction::Fail`]
+    /// maps to [`DiskFault::Error`] and [`FaultAction::Torn`] to
+    /// [`DiskFault::Torn`]. Rules stay one-shot.
+    pub fn fire_disk(&self, point: FaultPoint) -> Option<DiskFault> {
+        let n = {
+            let mut counts = lock_unpoisoned(&self.counts);
+            let n = counts.entry(point).or_insert(0);
+            *n += 1;
+            *n
+        };
+        let mut injected: Option<DiskFault> = None;
+        let mut delay: Option<Duration> = None;
+        let mut panic_now = false;
+        for rule in &self.rules {
+            if rule.point != point || rule.nth != n {
+                continue;
+            }
+            if rule.fired.swap(true, Ordering::SeqCst) {
+                continue;
+            }
+            self.fired.fetch_add(1, Ordering::SeqCst);
+            match rule.action {
+                FaultAction::Panic => panic_now = true,
+                FaultAction::Delay(d) => delay = Some(d),
+                FaultAction::Fail => injected = Some(DiskFault::Error),
+                FaultAction::Torn { keep } => injected = Some(DiskFault::Torn { keep }),
+            }
+        }
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+        if panic_now {
+            panic!("injected disk fault: {point:?} occurrence {n}");
+        }
+        injected
     }
 
     /// Rules that have fired so far.
@@ -185,6 +251,16 @@ pub fn fire(plan: &Option<Arc<FaultPlan>>, point: FaultPoint) -> bool {
     match plan {
         None => false,
         Some(p) => p.fire(point),
+    }
+}
+
+/// Fire a disk hook against an optionally armed plan. Disarmed: one
+/// `Option` branch, no counting — the production write path.
+#[inline]
+pub fn fire_disk(plan: &Option<Arc<FaultPlan>>, point: FaultPoint) -> Option<DiskFault> {
+    match plan {
+        None => None,
+        Some(p) => p.fire_disk(point),
     }
 }
 
@@ -387,6 +463,41 @@ mod tests {
             assert!(plan.rule_count() >= 1);
             assert!(!plan.exhausted());
         }
+    }
+
+    #[test]
+    fn disk_rules_inject_torn_and_error_once() {
+        let plan = Arc::new(
+            FaultPlan::new()
+                .torn_at(FaultPoint::WalAppend, 2, 7)
+                .fail_at(FaultPoint::WalSync, 1),
+        );
+        let armed = Some(Arc::clone(&plan));
+        assert_eq!(fire_disk(&armed, FaultPoint::WalAppend), None);
+        assert_eq!(
+            fire_disk(&armed, FaultPoint::WalAppend),
+            Some(DiskFault::Torn { keep: 7 })
+        );
+        // One-shot: the same occurrence count never fires twice.
+        assert_eq!(fire_disk(&armed, FaultPoint::WalAppend), None);
+        assert_eq!(
+            fire_disk(&armed, FaultPoint::WalSync),
+            Some(DiskFault::Error)
+        );
+        assert!(plan.exhausted());
+        assert_eq!(fire_disk(&None, FaultPoint::CheckpointWrite), None);
+    }
+
+    #[test]
+    fn disk_panic_rule_kills_the_writer_before_bytes_land() {
+        let plan = Arc::new(FaultPlan::new().panic_at(FaultPoint::CheckpointWrite, 1));
+        let armed = Some(Arc::clone(&plan));
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            fire_disk(&armed, FaultPoint::CheckpointWrite)
+        }));
+        assert!(r.is_err(), "panic action unwinds from the disk hook");
+        // The respawned component survives the same point.
+        assert_eq!(fire_disk(&armed, FaultPoint::CheckpointWrite), None);
     }
 
     #[test]

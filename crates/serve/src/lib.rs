@@ -83,6 +83,17 @@
 //!   number of times ([`ServeConfig::max_admission_retries`]).
 //!   Failures are injectable deterministically through `ds_fault`
 //!   ([`ServeConfig::fault`]).
+//! * **Durability.** With [`ServeConfig::durability`] set, the writer
+//!   appends every folded update batch to `ds_durability`'s checksummed
+//!   write-ahead log **before** applying it (group commit: one buffered
+//!   write + one fsync per batch) and checkpoints on configurable
+//!   thresholds, so a process death is recoverable:
+//!   [`ds_durability::recover`] rebuilds the newest checkpoint plus the
+//!   surviving WAL suffix, and [`Server::try_start_at`] resumes serving
+//!   from it. A refused append fails its batch with the typed
+//!   `ClosureError::DurabilityFailed` without applying anything; a
+//!   respawned writer redoes any logged-but-unpublished suffix so the
+//!   live state always reconverges with the durable one.
 //! * **Observability.** [`ServeStats`] reports throughput, p50/p99
 //!   latency from the shared fixed-bucket [`LatencyHistogram`]
 //!   (promoted to `ds_obs`), per-worker busy time and scratch reuse,
@@ -127,11 +138,12 @@ pub mod histogram {
 }
 
 pub use ds_closure::snapshot::EngineSnapshot;
+pub use ds_durability::{recover, DurabilityConfig, DurabilityError, DurableStore, Recovered};
 pub use ds_fault::{FaultPlan, FaultPoint, FaultScenario, FaultUniverse};
 pub use ds_obs::LatencyHistogram;
 pub use server::{
-    LatencySummary, Overloaded, PendingBatch, ServeConfig, ServeError, ServeStats, ServedAnswer,
-    ServedBatch, ServedUpdate, Server,
+    Backoff, LatencySummary, Overloaded, PendingBatch, ServeConfig, ServeError, ServeStats,
+    ServedAnswer, ServedBatch, ServedUpdate, Server,
 };
 
 #[cfg(test)]
@@ -146,6 +158,19 @@ mod tests {
 
     fn n(i: u32) -> NodeId {
         NodeId(i)
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ds-serve-{}-{}-{}",
+            std::process::id(),
+            tag,
+            SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     fn snapshot() -> (ds_gen::GeneratedGraph, EngineSnapshot) {
@@ -583,6 +608,35 @@ mod tests {
         server.shutdown();
     }
 
+    /// The admission back-off is decorrelated jitter, not lockstep
+    /// doubling: deterministic per seed, bounded by `[base, cap]`, and
+    /// different seeds produce different sleep sequences.
+    #[test]
+    fn admission_backoff_is_seeded_bounded_decorrelated_jitter() {
+        use std::time::Duration;
+        let base = Duration::from_micros(50);
+        let cap = base * 64;
+        let seq = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(base, cap, seed);
+            (0..32).map(|_| b.next_delay()).collect()
+        };
+        let a = seq(42);
+        assert_eq!(a, seq(42), "same seed, same sequence");
+        let b = seq(43);
+        assert_ne!(a, b, "different seeds decorrelate");
+        for (i, d) in a.iter().chain(&b).enumerate() {
+            assert!(*d >= base && *d <= cap, "sleep {i} ({d:?}) out of bounds");
+        }
+        // Jitter actually jitters: the sequence is not the deterministic
+        // doubling ladder base, 2*base, 4*base, ...
+        assert!(
+            a.iter()
+                .enumerate()
+                .any(|(i, d)| *d != (base * 2u32.pow(i.min(6) as u32)).min(cap)),
+            "sequence degenerated to lockstep doubling: {a:?}"
+        );
+    }
+
     /// A worker panic mid-batch resolves every in-flight request with
     /// the typed `WorkerFailed` error (no hang), the supervisor keeps
     /// the pool alive, and the server serves correctly afterwards.
@@ -796,6 +850,134 @@ mod tests {
         assert_eq!(stats.requests, dstats.requests);
     }
 
+    /// Durable serving end-to-end: updates applied through a WAL-on
+    /// server survive a full stop, and a server restarted from
+    /// `recover` answers identically at the recovered epoch.
+    #[test]
+    fn durable_updates_survive_a_restart() {
+        let (_, snap) = snapshot();
+        let dir = tmpdir("restart");
+        let f0 = snap.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        let config = ServeConfig {
+            workers: 1,
+            durability: Some(DurabilityConfig::at(&dir)),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(snap, config.clone());
+        for cost in [3u64, 2, 1] {
+            server
+                .update(&NetworkUpdate::Insert {
+                    edge: Edge::new(a, b, cost),
+                    owner: 0,
+                })
+                .unwrap();
+        }
+        let final_answer = server.query(n(0), n(39)).unwrap();
+        let stats = server.shutdown(); // process death, simulated politely
+        assert_eq!(stats.epoch, 3);
+        assert_eq!(stats.wal_records, 3);
+        assert!(stats.wal_commits >= 1 && stats.wal_commits <= 3);
+        assert_eq!(stats.wal_failures, 0);
+        assert!(stats.to_string().contains("wal 3 records"));
+
+        let rec = recover(&dir).expect("recover the durable state");
+        assert_eq!(rec.epoch, 3);
+        let revived = Server::try_start_at(rec.snapshot, rec.epoch, config).unwrap();
+        let again = revived.query(n(0), n(39)).unwrap();
+        assert_eq!(again.epoch, 3, "resumes at the recovered epoch");
+        assert_eq!(again.answer.cost, final_answer.answer.cost);
+        // And the revived server keeps appending to the same log.
+        revived
+            .update(&NetworkUpdate::Remove {
+                src: a,
+                dst: b,
+                owner: 0,
+            })
+            .unwrap();
+        revived.shutdown();
+        let rec2 = recover(&dir).expect("recover again");
+        assert_eq!(rec2.epoch, 4, "the post-restart update is durable too");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An injected WAL append failure refuses the update with the typed
+    /// `DurabilityFailed`, applies nothing, and the server keeps
+    /// serving; the repaired log accepts the retry.
+    #[test]
+    fn wal_append_failure_refuses_the_update_without_applying() {
+        let (_, snap) = snapshot();
+        let dir = tmpdir("append-fail");
+        let f0 = snap.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        let plan = Arc::new(FaultPlan::new().fail_at(FaultPoint::WalAppend, 1));
+        let server = Server::start(
+            snap,
+            ServeConfig {
+                workers: 1,
+                durability: Some(DurabilityConfig::at(&dir)),
+                fault: Some(Arc::clone(&plan)),
+                ..ServeConfig::default()
+            },
+        );
+        let insert = NetworkUpdate::Insert {
+            edge: Edge::new(a, b, 1),
+            owner: 0,
+        };
+        assert!(matches!(
+            server.update(&insert),
+            Err(ds_closure::ClosureError::DurabilityFailed)
+        ));
+        assert_eq!(server.epoch(), 0, "append-before-apply: nothing applied");
+        assert!(server.query(n(0), n(39)).unwrap().answer.cost.is_some());
+        // The rule is one-shot: the retry goes through the repaired log.
+        assert_eq!(server.update(&insert).unwrap().epoch, 1);
+        let stats = server.shutdown();
+        assert_eq!(stats.wal_failures, 1);
+        assert_eq!(stats.wal_records, 1);
+        assert!(!stats.degraded, "a disk fault never degrades the writer");
+        let rec = recover(&dir).expect("recover");
+        assert_eq!(rec.epoch, 1, "only the acknowledged update is durable");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An injected writer *panic* at the WAL append point kills the
+    /// writer before bytes land: the supervisor respawns it, the redo
+    /// suffix is empty, and live state still matches the durable state.
+    #[test]
+    fn writer_panic_at_wal_append_respawns_consistently() {
+        let (_, snap) = snapshot();
+        let dir = tmpdir("panic-append");
+        let f0 = snap.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        let plan = Arc::new(FaultPlan::new().panic_at(FaultPoint::WalAppend, 1));
+        let server = Server::start(
+            snap,
+            ServeConfig {
+                workers: 1,
+                durability: Some(DurabilityConfig::at(&dir)),
+                fault: Some(Arc::clone(&plan)),
+                ..ServeConfig::default()
+            },
+        );
+        let insert = NetworkUpdate::Insert {
+            edge: Edge::new(a, b, 1),
+            owner: 0,
+        };
+        assert!(matches!(
+            server.update(&insert),
+            Err(ds_closure::ClosureError::WriterRestarted)
+        ));
+        assert_eq!(server.epoch(), 0);
+        // Respawned writer, clean log: the retry applies and persists.
+        assert_eq!(server.update(&insert).unwrap().epoch, 1);
+        let stats = server.shutdown();
+        assert_eq!(stats.writer_restarts, 1);
+        let rec = recover(&dir).expect("recover");
+        assert_eq!(rec.epoch, 1, "durable state matches the live outcome");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// Jobs queued past their deadline are shed with the typed
     /// `DeadlineExceeded { waited }` error and counted.
     #[test]
@@ -825,5 +1007,45 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.deadline_shed, 1);
         assert_eq!(stats.requests, 1, "only the fresh request was served");
+    }
+
+    /// A delay injected at the worker hook lands *after* the queue-time
+    /// shed check but before evaluation: the job is still within its
+    /// deadline when drained and only blows it mid-evaluation, where
+    /// the cooperative deadline check inside the batch kernel abandons
+    /// it — counted in `deadline_cancelled`, not `deadline_shed`.
+    #[test]
+    fn slow_evaluation_is_cancelled_mid_eval_with_a_typed_error() {
+        let (_, snap) = snapshot();
+        let deadline = std::time::Duration::from_millis(20);
+        let plan = Arc::new(FaultPlan::new().delay_at(
+            FaultPoint::ServeWorker { worker: 0 },
+            1,
+            deadline * 5,
+        ));
+        let server = Server::start(
+            snap,
+            ServeConfig {
+                workers: 1,
+                deadline: Some(deadline),
+                fault: Some(plan),
+                ..ServeConfig::default()
+            },
+        );
+        match server.query(n(0), n(39)) {
+            Err(ServeError::Request(ds_closure::ClosureError::DeadlineExceeded { waited })) => {
+                assert!(waited >= deadline, "{waited:?} past the deadline")
+            }
+            other => panic!("expected a mid-eval cancellation, got {other:?}"),
+        }
+        // The one-shot delay rule has fired; fresh requests serve
+        // normally again.
+        assert!(server.query(n(0), n(39)).unwrap().answer.cost.is_some());
+        let stats = server.shutdown();
+        assert_eq!(stats.deadline_cancelled, 1);
+        assert_eq!(
+            stats.deadline_shed, 0,
+            "the job never queued past its deadline"
+        );
     }
 }

@@ -14,6 +14,7 @@ use ds_closure::complementary::PrecomputeStrategy;
 use ds_closure::snapshot::EngineSnapshot;
 use ds_closure::updates::UpdateReport;
 use ds_closure::{ClosureError, QueryAnswer};
+use ds_durability::{DurabilityConfig, DurabilityError, DurableStore};
 use ds_fault::{lock_unpoisoned, FaultPlan, FaultPoint};
 use ds_fragment::FragmentId;
 use ds_graph::{NodeId, ScratchDijkstra, ScratchStats};
@@ -64,6 +65,13 @@ pub struct ServeConfig {
     /// starting at [`ServeConfig::retry_after`]) before giving up and
     /// returning [`ServeError::Overloaded`]. 0 = no retry.
     pub max_admission_retries: u32,
+    /// Durable storage (`ds_durability`): when set, the writer appends
+    /// every folded update batch to the write-ahead log **before**
+    /// applying it (one buffered write + one fsync per group commit) and
+    /// checkpoints on the configured thresholds, so
+    /// [`ds_durability::recover`] can rebuild the served state after a
+    /// process death. `None` (the default) keeps the tier memory-only.
+    pub durability: Option<DurabilityConfig>,
     /// Armed fault-injection plan (tests only; `None` in production).
     /// The hooks are a single `Option` branch when disarmed — the serve
     /// bench's fault-overhead row measures exactly this.
@@ -91,6 +99,7 @@ impl Default for ServeConfig {
             retry_after: Duration::from_micros(200),
             deadline: None,
             max_admission_retries: 16,
+            durability: None,
             fault: None,
             obs: None,
         }
@@ -188,6 +197,56 @@ impl std::fmt::Display for ServeError {
 }
 
 impl std::error::Error for ServeError {}
+
+/// Bounded decorrelated-jitter back-off for the blocking wrappers'
+/// admission retries: each sleep is drawn uniformly from
+/// `[base, prev * 3]` and capped, so concurrent shed clients spread
+/// out instead of re-colliding in lockstep the way deterministic
+/// doubling makes them (every client that was shed together retries
+/// together, forever). Deterministic given its seed — a SplitMix64
+/// stream — so tests can assert exact sequences.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    state: u64,
+}
+
+impl Backoff {
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        let base = base.max(Duration::from_nanos(1));
+        Backoff {
+            base,
+            cap: cap.max(base),
+            prev: base,
+            state: seed,
+        }
+    }
+
+    /// The next sleep: uniform in `[base, 3 * previous]`, clamped to
+    /// `[base, cap]`.
+    pub fn next_delay(&mut self) -> Duration {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let lo = self.base.as_nanos() as u64;
+        let hi = (self.prev.as_nanos() as u64).saturating_mul(3).max(lo);
+        let pick = lo + if hi > lo { z % (hi - lo + 1) } else { 0 };
+        let next = Duration::from_nanos(pick).clamp(self.base, self.cap);
+        self.prev = next;
+        next
+    }
+}
+
+/// Per-process seed stream for [`Backoff`]: every blocking call gets
+/// its own jitter sequence, decorrelating concurrent retriers.
+fn next_backoff_seed() -> u64 {
+    static SEED: AtomicU64 = AtomicU64::new(0x005E_ED0F_B0FF);
+    SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+}
 
 /// An admitted (but not yet answered) job: the handle
 /// [`Server::submit`] returns. [`PendingBatch::wait`] blocks until the
@@ -300,6 +359,27 @@ pub struct ServeStats {
     /// [`ServeConfig::deadline`] (each resolved to
     /// [`ClosureError::DeadlineExceeded`]).
     pub deadline_shed: u64,
+    /// Requests abandoned *mid-evaluation* because the chain loop
+    /// noticed the admission-stamped deadline had passed (each resolved
+    /// to [`ClosureError::DeadlineExceeded`]). Distinct from
+    /// [`ServeStats::deadline_shed`], which counts queue-time sheds that
+    /// never started evaluating.
+    pub deadline_cancelled: u64,
+    /// Update records durably appended to the write-ahead log (0 when
+    /// durability is off).
+    pub wal_records: u64,
+    /// WAL group commits: one buffered write + one fsync each,
+    /// amortized across the writer's folded update batch
+    /// (`wal_records / wal_commits` = achieved group-commit factor).
+    pub wal_commits: u64,
+    /// WAL appends or checkpoint writes that failed (I/O error, torn
+    /// write, injected disk fault). Each failed append refused its whole
+    /// batch with [`ClosureError::DurabilityFailed`] without applying
+    /// anything; each failed checkpoint left the previous checkpoint +
+    /// full log authoritative.
+    pub wal_failures: u64,
+    /// Checkpoints durably written (each prunes the log behind it).
+    pub checkpoints: u64,
     /// `true` once the writer thread died: the server is read-only.
     /// Reads keep serving the last published epoch; updates are refused
     /// with [`ClosureError::WriterDown`].
@@ -371,6 +451,19 @@ impl std::fmt::Display for ServeStats {
         if self.deadline_shed > 0 {
             write!(f, ", {} past deadline", self.deadline_shed)?;
         }
+        if self.deadline_cancelled > 0 {
+            write!(f, ", {} cancelled mid-eval", self.deadline_cancelled)?;
+        }
+        if self.wal_commits > 0 {
+            write!(
+                f,
+                ", wal {} records/{} commits/{} checkpoints",
+                self.wal_records, self.wal_commits, self.checkpoints
+            )?;
+        }
+        if self.wal_failures > 0 {
+            write!(f, ", {} wal failures", self.wal_failures)?;
+        }
         if self.worker_restarts > 0 {
             write!(f, ", {} worker restarts", self.worker_restarts)?;
         }
@@ -409,10 +502,10 @@ struct Published {
 }
 
 impl Published {
-    fn new(snapshot: Arc<EngineSnapshot>) -> Self {
+    fn new(epoch: u64, snapshot: Arc<EngineSnapshot>) -> Self {
         Published {
-            epoch: AtomicU64::new(0),
-            slot: Mutex::new((0, snapshot)),
+            epoch: AtomicU64::new(epoch),
+            slot: Mutex::new((epoch, snapshot)),
         }
     }
 
@@ -490,6 +583,23 @@ struct Shared {
     max_admission_retries: u32,
     /// Armed fault-injection plan (`None` in production).
     fault: Option<Arc<FaultPlan>>,
+    /// The durable store (when durability is on). Logically owned by the
+    /// writer thread — the mutex exists so the supervisor can reach it
+    /// across a writer respawn; it is never contended.
+    store: Option<Mutex<DurableStore>>,
+    /// The LSN through which the *published* state incorporates the
+    /// durable log. A respawned writer redoes the WAL suffix beyond this
+    /// so the live state reconverges with what [`ds_durability::recover`]
+    /// would rebuild.
+    published_lsn: AtomicU64,
+    /// Records appended to the WAL.
+    wal_records: AtomicU64,
+    /// WAL group commits (one fsync each).
+    wal_commits: AtomicU64,
+    /// Failed WAL appends/syncs and failed checkpoint writes.
+    wal_failures: AtomicU64,
+    /// Checkpoints durably written.
+    checkpoints: AtomicU64,
     /// Workers respawned after a panic.
     worker_restarts: AtomicU64,
     /// Writers respawned after a panic (working copy rebuilt from the
@@ -497,6 +607,9 @@ struct Shared {
     writer_restarts: AtomicU64,
     /// Jobs shed past their deadline.
     deadline_shed: AtomicU64,
+    /// Requests abandoned mid-evaluation at a deadline check inside the
+    /// chain loop.
+    deadline_cancelled: AtomicU64,
     /// Set when the writer is *permanently* down: read-only degraded
     /// mode. A writer panic respawns and never sets this; only an
     /// injected non-unwind failure (`FaultAction::Fail`) does.
@@ -526,6 +639,11 @@ struct ObsHandles {
     writer_restarts: Counter,
     updates: Counter,
     publications: Counter,
+    deadline_cancelled: Counter,
+    wal_records: Counter,
+    wal_commits: Counter,
+    wal_failures: Counter,
+    checkpoints: Counter,
     epoch: Gauge,
     queue_depth: Gauge,
 }
@@ -548,6 +666,11 @@ impl ObsHandles {
             writer_restarts: r.counter("serve_writer_restarts"),
             updates: r.counter("serve_updates"),
             publications: r.counter("serve_publications"),
+            deadline_cancelled: r.counter("serve_deadline_cancelled"),
+            wal_records: r.counter("serve_wal_records"),
+            wal_commits: r.counter("serve_wal_commits"),
+            wal_failures: r.counter("serve_wal_failures"),
+            checkpoints: r.counter("serve_checkpoints"),
             epoch: r.gauge("serve_epoch"),
             queue_depth: r.gauge("serve_queue_depth"),
             obs,
@@ -573,12 +696,44 @@ pub struct Server {
 
 impl Server {
     /// Spawn the worker pool and writer thread over `snapshot`.
+    ///
+    /// With [`ServeConfig::durability`] set, this attaches (or creates)
+    /// the durable store first and **panics** if that fails — use
+    /// [`Server::try_start_at`] to handle the error. A fresh directory
+    /// gets an initial checkpoint of `snapshot`; an existing one must be
+    /// the directory `snapshot` was recovered from
+    /// ([`ds_durability::recover`] / `System::open` produce exactly
+    /// that), in which case prefer [`Server::try_start_at`] with the
+    /// recovered epoch.
     pub fn start(snapshot: EngineSnapshot, config: ServeConfig) -> Server {
+        match Server::try_start_at(snapshot, 0, config) {
+            Ok(server) => server,
+            Err(e) => panic!("durable store init failed: {e}"),
+        }
+    }
+
+    /// [`Server::start`] resuming at a given published epoch (the one
+    /// [`ds_durability::Recovered::epoch`] reports), with durable-store
+    /// attachment failures surfaced instead of panicking.
+    pub fn try_start_at(
+        snapshot: EngineSnapshot,
+        epoch: u64,
+        config: ServeConfig,
+    ) -> Result<Server, DurabilityError> {
+        let store = match &config.durability {
+            Some(cfg) => {
+                let store =
+                    DurableStore::attach(cfg.clone(), &snapshot, epoch, config.fault.clone())?;
+                Some(store)
+            }
+            None => None,
+        };
+        let initial_lsn = store.as_ref().map_or(0, DurableStore::last_lsn);
         let workers = config.workers.max(1);
         let initial = Arc::new(snapshot);
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity.max(workers)),
-            published: Published::new(initial),
+            published: Published::new(epoch, initial),
             reach_fast_path: AtomicU64::new(0),
             cache: config
                 .answer_cache
@@ -592,9 +747,16 @@ impl Server {
             deadline: config.deadline,
             max_admission_retries: config.max_admission_retries,
             fault: config.fault.clone(),
+            store: store.map(Mutex::new),
+            published_lsn: AtomicU64::new(initial_lsn),
+            wal_records: AtomicU64::new(0),
+            wal_commits: AtomicU64::new(0),
+            wal_failures: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
             worker_restarts: AtomicU64::new(0),
             writer_restarts: AtomicU64::new(0),
             deadline_shed: AtomicU64::new(0),
+            deadline_cancelled: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
             obs: config.obs.clone().map(ObsHandles::new),
             started: Instant::now(),
@@ -620,6 +782,13 @@ impl Server {
                 // injected non-unwind failure (`FaultAction::Fail`),
                 // which flips permanent read-only degraded mode first.
                 loop {
+                    // With durability on, the log may hold records the
+                    // doomed writer appended but never published (it
+                    // died between append and publish). Redo that
+                    // suffix first so the live state reconverges with
+                    // what `recover` would rebuild from disk. On first
+                    // entry the suffix is empty (attach == recovered).
+                    redo_wal_suffix(&shared);
                     let working = (*shared.published.current().1).clone();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         writer_loop(&shared, working, &write_rx, max)
@@ -636,11 +805,11 @@ impl Server {
                 }
             }));
         }
-        Server {
+        Ok(Server {
             shared,
             write_tx: Mutex::new(Some(write_tx)),
             handles,
-        }
+        })
     }
 
     /// Answer one shortest-path request (blocking).
@@ -778,14 +947,15 @@ impl Server {
     }
 
     /// Answer a batch of requests as one job (blocking convenience): a
-    /// shed submission is retried with exponential back-off (starting at
-    /// [`ServeConfig::retry_after`], doubling, capped) up to
-    /// [`ServeConfig::max_admission_retries`] times — each rejected
-    /// attempt still counts in [`ServeStats::queue_rejections`]. All
-    /// answers come from the same snapshot epoch.
+    /// shed submission is retried with bounded decorrelated-jitter
+    /// back-off (see [`Backoff`]; base [`ServeConfig::retry_after`],
+    /// capped at 64x) up to [`ServeConfig::max_admission_retries`]
+    /// times — each rejected attempt still counts in
+    /// [`ServeStats::queue_rejections`]. All answers come from the same
+    /// snapshot epoch.
     pub fn query_batch(&self, requests: &[QueryRequest]) -> Result<ServedBatch, ServeError> {
-        let mut backoff = self.shared.retry_after.max(Duration::from_micros(10));
-        let cap = backoff * 64;
+        let base = self.shared.retry_after.max(Duration::from_micros(10));
+        let mut backoff = Backoff::new(base, base * 64, next_backoff_seed());
         let mut attempts = 0u32;
         loop {
             match self.submit(requests) {
@@ -798,8 +968,7 @@ impl Server {
                             attempts,
                         });
                     }
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(cap);
+                    std::thread::sleep(backoff.next_delay());
                 }
             }
         }
@@ -915,6 +1084,11 @@ impl Server {
             worker_restarts: self.shared.worker_restarts.load(Ordering::SeqCst),
             writer_restarts: self.shared.writer_restarts.load(Ordering::SeqCst),
             deadline_shed: self.shared.deadline_shed.load(Ordering::SeqCst),
+            deadline_cancelled: self.shared.deadline_cancelled.load(Ordering::SeqCst),
+            wal_records: self.shared.wal_records.load(Ordering::SeqCst),
+            wal_commits: self.shared.wal_commits.load(Ordering::SeqCst),
+            wal_failures: self.shared.wal_failures.load(Ordering::SeqCst),
+            checkpoints: self.shared.checkpoints.load(Ordering::SeqCst),
             degraded: self.shared.degraded.load(Ordering::SeqCst),
         };
         let mut hist = LatencyHistogram::new();
@@ -1182,18 +1356,32 @@ fn process_batch(
     // get a `Coalesced` marker span.
     let mut distinct: Vec<QueryRequest> = Vec::new();
     let mut distinct_traces: Vec<TraceId> = Vec::new();
+    // Per distinct slot, the *latest* admission time among the jobs
+    // sharing it (tracked only when a deadline is configured): the
+    // in-evaluation deadline check keeps evaluating while any
+    // interested job is still within its deadline.
+    let mut slot_submitted: Vec<Instant> = Vec::new();
     let mut index: HashMap<(NodeId, NodeId), u32> = HashMap::new();
     let mut slots: Vec<Vec<u32>> = Vec::with_capacity(jobs.len());
     for job in jobs {
         let mut js = Vec::with_capacity(job.requests.len());
         for (ri, r) in job.requests.iter().enumerate() {
             let slot = match index.get(&(r.source, r.target)) {
-                Some(&slot) => slot,
+                Some(&slot) => {
+                    if shared.deadline.is_some() {
+                        let s = &mut slot_submitted[slot as usize];
+                        *s = (*s).max(job.submitted);
+                    }
+                    slot
+                }
                 None => {
                     let slot = distinct.len() as u32;
                     index.insert((r.source, r.target), slot);
                     distinct.push(*r);
                     distinct_traces.push(job.traces.get(ri).copied().unwrap_or(TraceId::NONE));
+                    if shared.deadline.is_some() {
+                        slot_submitted.push(job.submitted);
+                    }
                     slot
                 }
             };
@@ -1291,26 +1479,47 @@ fn process_batch(
     let batch_stats = if sorted.is_empty() {
         BatchStats::default()
     } else {
+        // Each sorted request carries its slot's absolute deadline so
+        // the batch kernel can abandon a pathological evaluation at
+        // the next chain boundary (cooperative cancellation).
+        let sorted_deadlines: Vec<Option<Instant>> = match shared.deadline {
+            None => Vec::new(),
+            Some(d) => order
+                .iter()
+                .map(|&k| Some(slot_submitted[miss[k as usize] as usize] + d))
+                .collect(),
+        };
         let batch = match obs {
             Some(_) => {
                 let sorted_traces: Vec<TraceId> = order
                     .iter()
                     .map(|&k| distinct_traces[miss[k as usize] as usize])
                     .collect();
-                snap.query_batch_traced(&sorted, scratch, &sorted_traces, &mut eval_traces)
+                snap.query_batch_bounded(
+                    &sorted,
+                    scratch,
+                    &sorted_traces,
+                    Some(&mut eval_traces),
+                    &sorted_deadlines,
+                )
             }
-            None => snap.query_batch(&sorted, scratch),
+            None => snap.query_batch_bounded(&sorted, scratch, &[], None, &sorted_deadlines),
         };
         for (j, (&k, a)) in order.iter().zip(batch.answers).enumerate() {
             let slot = miss[k as usize] as usize;
             if obs.is_some() {
                 slot_eval[slot] = Some(j as u32);
             }
-            if let Some(cache) = &shared.cache {
-                let r = &distinct[slot];
-                cache.insert(epoch, (r.source, r.target), a.clone());
+            // A `None` answer is a request cancelled mid-evaluation at
+            // its deadline: leave the slot unanswered (the fan-out
+            // resolves it with `DeadlineExceeded`) and cache nothing.
+            if let Some(a) = a {
+                if let Some(cache) = &shared.cache {
+                    let r = &distinct[slot];
+                    cache.insert(epoch, (r.source, r.target), a.clone());
+                }
+                answers_by_slot[slot] = Some(a);
             }
-            answers_by_slot[slot] = Some(a);
         }
         batch.stats
     };
@@ -1400,19 +1609,17 @@ fn process_batch(
                         dur_ns: 0,
                     });
                 }
-                let answered = answers_by_slot[slot]
-                    .as_ref()
-                    .is_some_and(|a| a.cost.is_some());
                 h.obs.record_request(RequestTrace {
                     trace,
                     source: r.source.index() as u64,
                     target: r.target.index() as u64,
                     epoch,
                     total_ns: job.submitted.elapsed().as_nanos() as u64,
-                    outcome: if answered {
-                        TraceOutcome::Answered
-                    } else {
-                        TraceOutcome::Unreachable
+                    outcome: match &answers_by_slot[slot] {
+                        Some(a) if a.cost.is_some() => TraceOutcome::Answered,
+                        Some(_) => TraceOutcome::Unreachable,
+                        // Cancelled mid-evaluation at the deadline.
+                        None => TraceOutcome::Shed,
                     },
                     spans,
                 });
@@ -1421,11 +1628,29 @@ fn process_batch(
     }
 
     for (job, js) in jobs.iter().zip(&slots) {
+        // A job touching any slot cancelled mid-evaluation resolves
+        // with `DeadlineExceeded` — distinct from the queue-time shed
+        // in `worker_loop`, and counted separately
+        // ([`ServeStats::deadline_cancelled`]).
+        if js
+            .iter()
+            .any(|&slot| answers_by_slot[slot as usize].is_none())
+        {
+            let waited = job.submitted.elapsed();
+            shared.deadline_cancelled.fetch_add(1, Ordering::SeqCst);
+            if let Some(h) = obs {
+                h.deadline_cancelled.inc();
+            }
+            let _ = job
+                .reply
+                .send(Err(ClosureError::DeadlineExceeded { waited }));
+            continue;
+        }
         let answers: Vec<QueryAnswer> = js
             .iter()
             .map(|&slot| match &answers_by_slot[slot as usize] {
                 Some(a) => a.clone(),
-                None => unreachable!("every distinct slot answered"),
+                None => unreachable!("cancelled jobs resolved above"),
             })
             .collect();
         let _ = job.reply.send(Ok(ServedBatch { answers, epoch }));
@@ -1469,6 +1694,44 @@ fn writer_loop(
             }
             return;
         }
+        // Append-before-apply: the whole folded batch goes to the
+        // write-ahead log as one group commit (one buffered write, one
+        // fsync) before any update touches the working copy. A refused
+        // append — I/O error, torn write, injected disk fault — fails
+        // every job of the batch with a typed error and applies nothing:
+        // the durable log never lags the acknowledged state. (An
+        // injected `Panic` at a disk fault point unwinds here instead —
+        // the supervisor respawns the writer and redoes any durable
+        // suffix, see `redo_wal_suffix`.)
+        let wal_range = match &shared.store {
+            Some(store) => {
+                let updates: Vec<NetworkUpdate> = jobs.iter().map(|j| j.update).collect();
+                let mut store = lock_unpoisoned(store);
+                match store.append_batch(epoch, &updates) {
+                    Ok(first) => {
+                        let n = updates.len() as u64;
+                        shared.wal_records.fetch_add(n, Ordering::SeqCst);
+                        shared.wal_commits.fetch_add(1, Ordering::SeqCst);
+                        if let Some(h) = &shared.obs {
+                            h.wal_records.add(n);
+                            h.wal_commits.inc();
+                        }
+                        Some(first + n - 1)
+                    }
+                    Err(_) => {
+                        shared.wal_failures.fetch_add(1, Ordering::SeqCst);
+                        if let Some(h) = &shared.obs {
+                            h.wal_failures.inc();
+                        }
+                        for job in jobs {
+                            let _ = job.reply.send(Err(ClosureError::DurabilityFailed));
+                        }
+                        continue;
+                    }
+                }
+            }
+            None => None,
+        };
         let mut outcomes = Vec::with_capacity(jobs.len());
         let mut applied = 0u64;
         for job in jobs {
@@ -1509,6 +1772,13 @@ fn writer_loop(
             // are keyed by epoch and lazily cleared on first contact
             // with the new one.
             shared.published.publish(epoch, Arc::new(working.clone()));
+        }
+        if let Some(last) = wal_range {
+            // The published state now reflects every logged record up to
+            // `last` (no-ops and per-update errors included — replay
+            // treats them identically): a respawn redoes nothing before
+            // this point.
+            shared.published_lsn.store(last, Ordering::SeqCst);
         }
         let busy = t0.elapsed();
         {
@@ -1556,5 +1826,78 @@ fn writer_loop(
         for (reply, outcome) in outcomes {
             let _ = reply.send(outcome.map(|report| ServedUpdate { report, epoch }));
         }
+        // Checkpoint *after* acknowledging the batch: a failed (or
+        // fault-killed) checkpoint must never take acknowledged updates
+        // down with it. Failure here is non-fatal to durability — the
+        // previous checkpoint plus the full log still recover; the
+        // thresholds stay tripped so the next batch retries.
+        if let Some(store) = &shared.store {
+            let mut store = lock_unpoisoned(store);
+            if store.should_checkpoint() {
+                match store.checkpoint(&working, epoch) {
+                    Ok(()) => {
+                        shared.checkpoints.fetch_add(1, Ordering::SeqCst);
+                        if let Some(h) = &shared.obs {
+                            h.checkpoints.inc();
+                        }
+                    }
+                    Err(_) => {
+                        shared.wal_failures.fetch_add(1, Ordering::SeqCst);
+                        if let Some(h) = &shared.obs {
+                            h.wal_failures.inc();
+                        }
+                    }
+                }
+            }
+        }
     }
+}
+
+/// Reconverge the published state with the durable log after a writer
+/// death: replay every WAL record beyond [`Shared::published_lsn`] onto a
+/// copy of the published snapshot and publish the result. These are
+/// records the doomed writer group-committed but never applied/published
+/// — their callers were told [`ClosureError::WriterRestarted`], yet the
+/// records are durable, so a later [`ds_durability::recover`] *will*
+/// replay them; the live state must agree. No-op when durability is off
+/// or the suffix is empty (every clean start).
+fn redo_wal_suffix(shared: &Shared) {
+    let Some(store) = &shared.store else { return };
+    let mut store = lock_unpoisoned(store);
+    let after = shared.published_lsn.load(Ordering::SeqCst);
+    let suffix = match store.read_suffix(after) {
+        Ok(suffix) => suffix,
+        Err(_) => {
+            shared.wal_failures.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+    };
+    if suffix.is_empty() {
+        return;
+    }
+    let mut working = (*shared.published.current().1).clone();
+    let mut scratch = ScratchDijkstra::new();
+    let mut epoch = shared.published.epoch.load(Ordering::Acquire);
+    let mut applied = 0u64;
+    let mut last = after;
+    for rec in &suffix {
+        // Mirror the writer's apply loop: effective updates bump the
+        // epoch, per-update errors are skipped (their callers already
+        // saw the error).
+        if let Ok(report) = working.maintain(&rec.update, &mut scratch) {
+            if report.sites_touched > 0 || report.full_recompute {
+                epoch += 1;
+                applied += 1;
+            }
+        }
+        last = rec.lsn;
+    }
+    if applied > 0 {
+        working.ensure_reach();
+        shared.published.publish(epoch, Arc::new(working));
+    }
+    shared.published_lsn.store(last, Ordering::SeqCst);
+    let mut log = lock_unpoisoned(&shared.writer_log);
+    log.updates += applied;
+    log.publications += (applied > 0) as u64;
 }

@@ -6,6 +6,7 @@
 //! `route`, `update`, `query_batch`) both execution substrates implement.
 
 pub use ds_closure as closure;
+pub use ds_durability as durability;
 pub use ds_fragment as fragment;
 pub use ds_gen as gen;
 pub use ds_graph as graph;
@@ -21,6 +22,7 @@ pub use ds_closure::{
     EngineSnapshot, FallbackReason, PrecomputeStats, PrecomputeStrategy, QueryAnswer, QueryStats,
     Route, UpdateBatchReport, UpdateReport,
 };
+pub use ds_durability::{recover, DurabilityConfig, DurabilityError, DurableStore, Recovered};
 pub use ds_obs::{MetricsSnapshot, ObsConfig, Observability, RequestTrace, TraceId};
 pub use ds_relation::bulk::{MaterializeConfig, MaterializeEngine, MaterializeStats};
 pub use ds_serve::{ServeConfig, ServeStats, ServedAnswer, ServedBatch, ServedUpdate, Server};

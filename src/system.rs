@@ -24,6 +24,7 @@
 //! ```
 
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use ds_closure::api::{BatchAnswer, NetworkUpdate, QueryRequest, TcEngine};
@@ -31,6 +32,7 @@ use ds_closure::{
     ClosureError, DisconnectionSetEngine, EngineConfig, PrecomputeStats, QueryAnswer, Route,
     UpdateBatchReport, UpdateReport,
 };
+use ds_durability::{recover, DurabilityConfig, DurabilityError};
 use ds_fragment::bond_energy::{bond_energy, BondEnergyConfig};
 use ds_fragment::center::{center_based, CenterConfig};
 use ds_fragment::linear::{linear_sweep, LinearConfig};
@@ -96,6 +98,9 @@ pub enum SystemError {
     Fragmentation(FragError),
     /// Engine construction failed.
     Closure(ClosureError),
+    /// The durable store could not be recovered or attached
+    /// (`ds_durability`); the string is the underlying error's display.
+    Durability(String),
 }
 
 impl fmt::Display for SystemError {
@@ -121,6 +126,7 @@ impl fmt::Display for SystemError {
             }
             SystemError::Fragmentation(e) => write!(f, "fragmentation failed: {e}"),
             SystemError::Closure(e) => write!(f, "engine construction failed: {e}"),
+            SystemError::Durability(e) => write!(f, "durable store failed: {e}"),
         }
     }
 }
@@ -139,6 +145,12 @@ impl From<ClosureError> for SystemError {
     }
 }
 
+impl From<DurabilityError> for SystemError {
+    fn from(e: DurabilityError) -> Self {
+        SystemError::Durability(e.to_string())
+    }
+}
+
 /// Fluent construction of a [`System`]. Obtain via [`System::builder`].
 #[derive(Clone, Debug)]
 pub struct SystemBuilder {
@@ -151,6 +163,7 @@ pub struct SystemBuilder {
     backend: Backend,
     config: EngineConfig,
     obs: Option<Arc<Observability>>,
+    durable: Option<PathBuf>,
 }
 
 impl SystemBuilder {
@@ -165,6 +178,7 @@ impl SystemBuilder {
             backend: Backend::Inline,
             config: EngineConfig::default(),
             obs: None,
+            durable: None,
         }
     }
 
@@ -235,6 +249,16 @@ impl SystemBuilder {
         self
     }
 
+    /// Make the serve tier durable at `path`: [`System::serve`] /
+    /// [`System::serve_with`] write-ahead-log every update and
+    /// checkpoint there (unless the serve config carries its own
+    /// [`ds_serve::ServeConfig::durability`]), so the served state can
+    /// be rebuilt after a process death with [`System::open`].
+    pub fn durable(mut self, path: impl Into<PathBuf>) -> Self {
+        self.durable = Some(path.into());
+        self
+    }
+
     /// Fragment the relation and deploy the chosen backend.
     pub fn build(mut self) -> Result<System, SystemError> {
         if !self.has_graph {
@@ -287,6 +311,8 @@ impl SystemBuilder {
             symmetric: self.symmetric,
             engine,
             obs: self.obs,
+            durable: self.durable,
+            serve_epoch: 0,
         })
     }
 
@@ -319,12 +345,39 @@ pub struct System {
     symmetric: bool,
     engine: Box<dyn TcEngine>,
     obs: Option<Arc<Observability>>,
+    /// Durable-store directory [`System::serve`] continues logging to.
+    durable: Option<PathBuf>,
+    /// The epoch the served state corresponds to (0 for fresh builds;
+    /// the recovered epoch for [`System::open`]ed systems).
+    serve_epoch: u64,
 }
 
 impl System {
     /// Start building a system.
     pub fn builder() -> SystemBuilder {
         SystemBuilder::new()
+    }
+
+    /// Reopen a durable system from disk: rebuild the newest valid
+    /// checkpoint under `path`, replay the surviving write-ahead-log
+    /// suffix (truncating at the first torn or corrupt record), and
+    /// return a ready-to-serve inline system whose [`System::serve`]
+    /// continues appending to the same log at the recovered epoch.
+    ///
+    /// The precompute is rebuilt during recovery — checkpoints store
+    /// only the fragmented relation and engine configuration.
+    pub fn open(path: impl Into<PathBuf>) -> Result<System, SystemError> {
+        let path = path.into();
+        let recovered = recover(&path)?;
+        let symmetric = recovered.snapshot.is_symmetric();
+        Ok(System {
+            backend: Backend::Inline,
+            symmetric,
+            engine: Box::new(DisconnectionSetEngine::from_snapshot(recovered.snapshot)),
+            obs: None,
+            durable: Some(path),
+            serve_epoch: recovered.epoch,
+        })
     }
 
     /// The backend this system deployed.
@@ -366,12 +419,42 @@ impl System {
     ///
     /// If this system was built with [`SystemBuilder::observability`]
     /// and `config.obs` is unset, the server inherits the system's
-    /// bundle so serve-tier metrics land in the same registry.
-    pub fn serve_with(&self, mut config: ds_serve::ServeConfig) -> ds_serve::Server {
+    /// bundle so serve-tier metrics land in the same registry. If it
+    /// was built with [`SystemBuilder::durable`] (or reopened with
+    /// [`System::open`]) and `config.durability` is unset, the server
+    /// write-ahead-logs every update to the system's durable directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the durable store cannot be attached (unreadable or
+    /// unwritable directory). Use [`System::try_serve_with`] to handle
+    /// that case.
+    pub fn serve_with(&self, config: ds_serve::ServeConfig) -> ds_serve::Server {
+        match self.try_serve_with(config) {
+            Ok(server) => server,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`System::serve_with`], but surfacing durable-store attachment
+    /// failures as [`SystemError::Durability`] instead of panicking.
+    pub fn try_serve_with(
+        &self,
+        mut config: ds_serve::ServeConfig,
+    ) -> Result<ds_serve::Server, SystemError> {
         if config.obs.is_none() {
             config.obs = self.obs.clone();
         }
-        ds_serve::Server::start(self.engine.snapshot(), config)
+        if config.durability.is_none() {
+            if let Some(dir) = &self.durable {
+                config.durability = Some(DurabilityConfig::at(dir.clone()));
+            }
+        }
+        Ok(ds_serve::Server::try_start_at(
+            self.engine.snapshot(),
+            self.serve_epoch,
+            config,
+        )?)
     }
 
     /// Materialize the full transitive closure of this system's
@@ -753,6 +836,56 @@ mod tests {
             System::builder().graph(&grid(4, 2)).build().unwrap_err(),
             SystemError::MissingFragmenter
         );
+    }
+
+    /// Build a durable system, serve updates through it, kill the
+    /// server, and reopen from disk: the reopened system answers
+    /// identically and continues at the recovered epoch.
+    #[test]
+    fn durable_system_reopens_after_restart() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "discset-system-durable-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let sys = System::builder()
+            .graph(&grid(10, 3))
+            .fragmenter(Fragmenter::Linear(LinearConfig {
+                fragments: 3,
+                ..Default::default()
+            }))
+            .durable(&dir)
+            .build()
+            .unwrap();
+        let f0 = sys.fragmentation().fragment(0).clone();
+        let (a, b) = (f0.nodes()[0], *f0.nodes().last().unwrap());
+        {
+            let server = sys.serve(2);
+            server
+                .update(&NetworkUpdate::Insert {
+                    edge: ds_graph::Edge::new(a, b, 1),
+                    owner: 0,
+                })
+                .unwrap();
+            assert_eq!(server.query(a, b).unwrap().answer.cost, Some(1));
+            server.shutdown();
+        }
+
+        let mut reopened = System::open(&dir).expect("recover");
+        assert_eq!(reopened.shortest_path(a, b).cost, Some(1));
+        let server = reopened.serve(2);
+        assert_eq!(
+            server.stats().epoch,
+            1,
+            "serving resumes at the recovered epoch"
+        );
+        assert_eq!(server.query(a, b).unwrap().answer.cost, Some(1));
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

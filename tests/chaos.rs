@@ -444,3 +444,202 @@ fn bulk_chaos_seed_sweep() {
         with_watchdog(format!("bulk seed {seed}"), 120, move || bulk_chaos(seed));
     }
 }
+
+// ----------------------------------------------------------- durability
+
+/// One durable-serve kill-and-restart scenario: a WAL-backed server
+/// over the 9×4 grid absorbs 18 distinct-edge inserts while a
+/// seed-derived disk fault fires at an arbitrary occurrence of one of
+/// the durability fault points (torn append, failed append, failed
+/// sync, torn/failed checkpoint, writer panic at the append hook —
+/// `seed % 5`). The server is then shut down and the directory
+/// recovered cold: the recovered engine must answer identically to a
+/// Dijkstra oracle over the *surviving update prefix* — the acked
+/// inserts, plus at most the ONE ambiguous in-flight insert a writer
+/// panic may or may not have durably logged.
+fn durable_chaos(seed: u64, dir: &std::path::Path) {
+    use discset::closure::DisconnectionSetEngine;
+    use discset::graph::CsrGraph;
+    use discset::serve::DurabilityConfig;
+
+    const UPDATES: u64 = 18;
+    let mut rng = seed ^ 0xD00D;
+    // Fault occurrence 2..=UPDATES-1: never the attach-time checkpoint
+    // (occurrence 1 of CheckpointWrite), and never the last append —
+    // at least one post-fault operation exercises repair-and-continue.
+    let nth = 2 + splitmix(&mut rng) % (UPDATES - 2);
+    let kind = seed % 5;
+    let plan = Arc::new(match kind {
+        0 => FaultPlan::new().torn_at(
+            FaultPoint::WalAppend,
+            nth,
+            (splitmix(&mut rng) % 24) as usize,
+        ),
+        1 => FaultPlan::new().fail_at(FaultPoint::WalAppend, nth),
+        2 => FaultPlan::new().fail_at(FaultPoint::WalSync, nth),
+        // Occurrence 2 is the first *threshold* checkpoint (after the
+        // 8th applied update; occurrence 1 was written at attach).
+        3 => {
+            if seed.is_multiple_of(2) {
+                FaultPlan::new().torn_at(FaultPoint::CheckpointWrite, 2, 32)
+            } else {
+                FaultPlan::new().fail_at(FaultPoint::CheckpointWrite, 2)
+            }
+        }
+        _ => FaultPlan::new().panic_at(FaultPoint::WalAppend, nth),
+    });
+
+    let g = grid(9, 4);
+    let nodes = g.nodes as u64;
+    let sys = System::builder()
+        .graph(&g)
+        .fragmenter(Fragmenter::Linear(LinearConfig {
+            fragments: 3,
+            ..Default::default()
+        }))
+        .build()
+        .expect("valid grid system");
+    let mut cfg = ServeConfig::with_workers(1);
+    let mut dcfg = DurabilityConfig::at(dir);
+    dcfg.checkpoint_updates = 8; // two threshold checkpoints per run
+    cfg.durability = Some(dcfg);
+    cfg.fault = Some(Arc::clone(&plan));
+    let server = sys.serve_with(cfg);
+
+    // Distinct-edge inserts only (fragment-0 node pairs, enumerated
+    // deterministically) so "the surviving prefix" is a well-defined
+    // edge set even when one op's fate is ambiguous.
+    let f0 = server.snapshot().fragmentation().fragment(0).clone();
+    let nodes0 = f0.nodes().to_vec();
+    let mut pairs = Vec::new();
+    for i in 0..nodes0.len() {
+        for j in (i + 1)..nodes0.len() {
+            pairs.push((nodes0[i], nodes0[j]));
+        }
+    }
+    assert!(pairs.len() >= UPDATES as usize, "fragment 0 too small");
+
+    let mut applied: Vec<Edge> = Vec::new();
+    let mut ambiguous: Option<Edge> = None;
+    let mut refused = 0u32;
+    for &(a, b) in pairs.iter().take(UPDATES as usize) {
+        let edge = Edge::new(a, b, 1 + splitmix(&mut rng) % 4);
+        match server.update(&NetworkUpdate::Insert { edge, owner: 0 }) {
+            Ok(_) => applied.push(edge),
+            // Append-before-apply: the WAL refused the group commit, so
+            // the update is guaranteed NOT applied and NOT durable.
+            Err(ClosureError::DurabilityFailed) => refused += 1,
+            // The writer died at the append hook and was respawned; this
+            // op is the one whose durability is ambiguous.
+            Err(ClosureError::WriterRestarted) => {
+                assert!(ambiguous.is_none(), "seed {seed}: two ambiguous ops");
+                ambiguous = Some(edge);
+            }
+            Err(e) => panic!("seed {seed}: unexpected update error {e}"),
+        }
+    }
+    let stats = server.shutdown();
+
+    // Cold recovery of the directory the dead server left behind.
+    let rec = discset::recover(dir).unwrap_or_else(|e| panic!("seed {seed}: recover failed: {e}"));
+    let recovered = DisconnectionSetEngine::from_snapshot(rec.snapshot.clone());
+
+    // Oracle(s) over the surviving prefix: symmetric closure of the
+    // original grid plus the acked inserts — and, when one op is
+    // ambiguous, the variant that also includes it. The recovered
+    // engine must match ONE of them on every probe (prefix
+    // consistency: never a mix, never anything else).
+    let oracle_graph = |extra: &[Edge]| -> CsrGraph {
+        let mut es: Vec<Edge> = g.closure_graph().edges().collect();
+        for e in extra {
+            es.push(*e);
+            es.push(e.reversed());
+        }
+        CsrGraph::from_edges(g.nodes, &es)
+    };
+    let without = oracle_graph(&applied);
+    let with = ambiguous.map(|e| {
+        let mut v = applied.clone();
+        v.push(e);
+        oracle_graph(&v)
+    });
+    let mut matches_without = true;
+    let mut matches_with = with.is_some();
+    for probe in 0..60u32 {
+        let (x, y) = (n(splitmix(&mut rng), nodes), n(splitmix(&mut rng), nodes));
+        let got = recovered.shortest_path(x, y).cost;
+        if got != baseline::shortest_path_cost(&without, x, y) {
+            matches_without = false;
+        }
+        if let Some(w) = &with {
+            if got != baseline::shortest_path_cost(w, x, y) {
+                matches_with = false;
+            }
+        }
+        if !matches_without && !matches_with {
+            panic!("seed {seed}: probe {probe} ({x:?} -> {y:?}) matches no oracle");
+        }
+    }
+    assert!(
+        matches_without || matches_with,
+        "seed {seed}: recovered state is not a prefix of the acked history"
+    );
+
+    // Scenario-shaped bookkeeping.
+    assert!(plan.exhausted(), "seed {seed}: fault never fired");
+    match kind {
+        0..=2 => {
+            assert_eq!(refused, 1, "seed {seed}: exactly one refused group commit");
+            assert!(stats.wal_failures >= 1, "seed {seed}");
+            assert_eq!(applied.len() as u64, UPDATES - 1, "seed {seed}");
+            assert_eq!(rec.epoch, applied.len() as u64, "seed {seed}");
+        }
+        3 => {
+            // The checkpoint failed *after* the acks: nothing refused,
+            // everything recovered from the older checkpoint + WAL.
+            assert_eq!(refused, 0, "seed {seed}");
+            assert_eq!(applied.len() as u64, UPDATES, "seed {seed}");
+            assert!(stats.wal_failures >= 1, "seed {seed}");
+            assert_eq!(rec.epoch, UPDATES, "seed {seed}");
+        }
+        _ => {
+            assert!(stats.writer_restarts >= 1, "seed {seed}: no respawn");
+            assert_eq!(refused, 0, "seed {seed}");
+            assert!(ambiguous.is_some(), "seed {seed}: no ambiguous op");
+            assert_eq!(applied.len() as u64, UPDATES - 1, "seed {seed}");
+        }
+    }
+
+    // Restart-and-recover end-to-end: reopen through the facade and
+    // keep serving + writing at the recovered epoch.
+    let reopened = System::open(dir).unwrap_or_else(|e| panic!("seed {seed}: open failed: {e}"));
+    let server2 = reopened.serve(1);
+    assert_eq!(server2.stats().epoch, rec.epoch, "seed {seed}");
+    let (a, b) = pairs[UPDATES as usize];
+    let served = server2
+        .update(&NetworkUpdate::Insert {
+            edge: Edge::new(a, b, 1),
+            owner: 0,
+        })
+        .unwrap_or_else(|e| panic!("seed {seed}: post-recovery update failed: {e}"));
+    assert_eq!(served.epoch, rec.epoch + 1, "seed {seed}");
+    server2.shutdown();
+}
+
+#[test]
+fn durable_serve_kill_and_restart_sweep() {
+    // 20 seeds × 5 fault kinds: every durability fault point fires at
+    // several different arbitrary occurrences.
+    for seed in 0..20u64 {
+        let dir = std::env::temp_dir().join(format!(
+            "discset-chaos-durable-{}-{seed}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let d = dir.clone();
+        with_watchdog(format!("durable seed {seed}"), 120, move || {
+            durable_chaos(seed, &d)
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
